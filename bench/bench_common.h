@@ -1,0 +1,110 @@
+// bench/bench_common.h
+//
+// Shared environment for the bench binaries: a cluster, a site registry
+// holding a representative built image, site-wide engine state and a
+// host environment — everything an engine pipeline needs. Benches
+// report *simulated* time via counters (sim_ms etc.); wall time is the
+// cost of running the functional model and is reported by
+// google-benchmark as usual.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "image/build.h"
+#include "registry/client.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace hpcc::bench {
+
+struct SiteEnv {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<registry::OciRegistry> registry;
+  engine::SiteState site;
+  image::ImageReference ref;
+  crypto::Digest manifest_digest;
+  runtime::HostEnvironment host_env;
+  crypto::Keyring keyring;
+
+  engine::EngineContext ctx(sim::NodeId node = 0,
+                            const std::string& user = "user") {
+    engine::EngineContext c;
+    c.cluster = cluster.get();
+    c.node = node;
+    c.registry = registry.get();
+    c.site = &site;
+    c.host_env = host_env;
+    c.keyring = &keyring;
+    c.user = user;
+    return c;
+  }
+
+  /// Drops site caches so the next run is cold again.
+  void reset_site() {
+    site = engine::SiteState{};
+    for (std::uint32_t n = 0; n < cluster->num_nodes(); ++n)
+      cluster->page_cache(n).invalidate_all();
+    cluster->shared_fs().reset_stats();
+  }
+};
+
+/// Builds the standard bench environment: a 16-node cluster and an
+/// image with a realistic base (loader files, libraries) plus an
+/// application layer. Deterministic for `seed`.
+inline SiteEnv make_site_env(std::uint64_t seed = 7,
+                             std::uint32_t num_nodes = 16,
+                             std::uint64_t base_payload = 24ull << 20) {
+  LogSink::instance().set_print(false);
+  SiteEnv env;
+  sim::ClusterConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.node_spec.gpus = 4;
+  cfg.node_spec.gpu_vendor = "nvidia";
+  env.cluster = std::make_unique<sim::Cluster>(cfg);
+  env.registry = std::make_unique<registry::OciRegistry>("registry.site");
+  (void)env.registry->create_project("apps", "builder");
+
+  image::ImageConfig base_cfg;
+  auto base =
+      image::synthetic_base_os("hpccos", seed, 8, base_payload, &base_cfg);
+  image::ImageBuilder builder(seed + 1);
+  auto built = builder
+                   .build(image::BuildSpec::parse_containerfile(
+                              "FROM base\n"
+                              "RUN install app 40 131072\n"
+                              "RUN lib libmpi 4.1 2.30\n")
+                              .value(),
+                          base, base_cfg)
+                   .value();
+  built.config.entrypoint = {"/opt/app/bin/app"};
+
+  std::vector<vfs::Layer> layers;
+  layers.push_back(vfs::Layer::from_fs(base));
+  for (auto& l : built.layers) layers.push_back(std::move(l));
+
+  registry::RegistryClient pusher(&env.cluster->network(), 0);
+  env.ref = image::ImageReference::parse("registry.site/apps/app:v1").value();
+  auto pushed =
+      pusher.push(0, *env.registry, "builder", env.ref, built.config, layers);
+  env.manifest_digest = pushed.value().manifest_digest;
+
+  env.host_env.glibc = runtime::Version::parse("2.37");
+  env.host_env.gpu_vendor = "nvidia";
+  env.host_env.gpu_driver = runtime::Version::parse("535.0");
+  env.host_env.libraries = {
+      {"libcuda", runtime::Version::parse("12.2"), runtime::Version::parse("2.27")},
+      {"libmpi", runtime::Version::parse("4.1"), runtime::Version::parse("2.28")},
+  };
+  return env;
+}
+
+/// Formats simulated microseconds as a benchmark counter in ms.
+inline void report_sim_ms(benchmark::State& state, const char* name,
+                          SimDuration usec_value) {
+  state.counters[name] = static_cast<double>(usec_value) / 1000.0;
+}
+
+}  // namespace hpcc::bench

@@ -1,0 +1,124 @@
+// bench_crypto — micro-costs of the security substrate behind the
+// signing/encryption columns of Tables 2, 4 and 5: SHA-256 content
+// addressing, HMAC, ChaCha20, sealed-box encryption, Schnorr-style
+// sign/verify and the LZSS codec used by the image formats. These are
+// real wall-time benchmarks (the primitives do the actual work).
+#include <benchmark/benchmark.h>
+
+#include "crypto/cipher.h"
+#include "crypto/digest.h"
+#include "crypto/sign.h"
+#include "image/build.h"
+#include "vfs/compress.h"
+
+using namespace hpcc;
+
+namespace {
+
+Bytes payload(std::size_t size) {
+  Rng rng(9);
+  return image::synthetic_file_content(rng, size);
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto digest = crypto::Sha256::hash(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  const Bytes key = to_bytes("registry-token-key");
+  for (auto _ : state) {
+    auto mac = crypto::hmac_sha256(key, data);
+    benchmark::DoNotOptimize(mac);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_ChaCha20(benchmark::State& state) {
+  Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaKey key{};
+  key[0] = 1;
+  crypto::ChaChaNonce nonce{};
+  for (auto _ : state) {
+    crypto::chacha20_xor(key, nonce, 0, data);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_SealOpen(benchmark::State& state) {
+  const auto key = crypto::derive_key("passphrase");
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto box = crypto::seal(key, data);
+    auto opened = crypto::open(key, box);
+    benchmark::DoNotOptimize(opened);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+
+void BM_Sign(benchmark::State& state) {
+  const auto kp = crypto::KeyPair::generate(1);
+  const std::string digest = "sha256:" + std::string(64, 'a');
+  for (auto _ : state) {
+    auto sig = kp.sign(std::string_view(digest));
+    benchmark::DoNotOptimize(sig);
+  }
+}
+
+void BM_Verify(benchmark::State& state) {
+  const auto kp = crypto::KeyPair::generate(1);
+  const std::string digest = "sha256:" + std::string(64, 'a');
+  const auto sig = kp.sign(std::string_view(digest));
+  for (auto _ : state) {
+    auto ok = crypto::verify(kp.public_key(), std::string_view(digest), sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+
+void BM_LzssCompress(benchmark::State& state) {
+  const Bytes data = payload(static_cast<std::size_t>(state.range(0)));
+  std::size_t comp_size = 0;
+  for (auto _ : state) {
+    auto comp = vfs::lzss_compress(data);
+    comp_size = comp.size();
+    benchmark::DoNotOptimize(comp);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  state.counters["ratio"] = static_cast<double>(comp_size) /
+                            static_cast<double>(data.size());
+}
+
+void BM_LzssDecompress(benchmark::State& state) {
+  const Bytes comp = vfs::lzss_compress(payload(
+      static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto out = vfs::lzss_decompress(comp);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(1 << 20);
+BENCHMARK(BM_HmacSha256)->Arg(4096)->Arg(1 << 20);
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(1 << 20);
+BENCHMARK(BM_SealOpen)->Arg(1 << 20);
+BENCHMARK(BM_Sign);
+BENCHMARK(BM_Verify);
+BENCHMARK(BM_LzssCompress)->Arg(1 << 20);
+BENCHMARK(BM_LzssDecompress)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

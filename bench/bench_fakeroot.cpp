@@ -1,0 +1,95 @@
+// bench_fakeroot — §4.1.2's fakeroot comparison: plain UserNS vs
+// LD_PRELOAD interception vs ptrace interception on a syscall-heavy
+// workload. The paper's claims: LD_PRELOAD "fails with static binaries";
+// ptrace "introduces a significant performance penalty and the user
+// requires access to the CAP_SYS_PTRACE capability."
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+const runtime::RootlessMechanism kMechanisms[] = {
+    runtime::RootlessMechanism::kUserNamespace,
+    runtime::RootlessMechanism::kFakerootPreload,
+    runtime::RootlessMechanism::kFakerootPtrace,
+};
+
+/// Runs a syscall-heavy workload (many opens) under a mechanism on a
+/// node-local dir rootfs; returns the simulated wall time.
+Result<SimDuration> run_under(runtime::RootlessMechanism mechanism,
+                              std::uint64_t opens, bool static_binaries) {
+  sim::NodeLocalStorage local;
+  vfs::MemFs tree;
+  (void)tree.write_file("/app", Bytes(64, 1));
+  runtime::StorageBacking b;
+  b.local = &local;
+  auto rootfs = std::shared_ptr<runtime::MountedRootfs>(
+      runtime::make_dir_rootfs(&tree, b));
+
+  runtime::HostFacts facts;
+  facts.user_has_cap_sys_ptrace = true;
+  runtime::OciRuntime rt(runtime::RuntimeKind::kCrun);
+  HPCC_TRY(auto created, rt.create(0, runtime::RuntimeConfig{},
+                                   std::move(rootfs), mechanism, facts));
+  runtime::WorkloadProfile w;
+  w.files_opened = opens;
+  w.sequential_bytes = 1 << 20;
+  w.cpu_time = 0;
+  w.has_static_binaries = static_binaries;
+  HPCC_TRY(const SimTime done,
+           created.container->run(created.ready_at, w));
+  return done - created.ready_at;
+}
+
+void print_fakeroot_table() {
+  std::printf("== fakeroot mechanisms on a 50k-syscall build job ==\n\n");
+  Table t({"Mechanism", "dynamic binaries", "static binaries",
+           "per-syscall overhead"});
+  for (auto m : kMechanisms) {
+    const auto dynamic = run_under(m, 50000, false);
+    const auto stat = run_under(m, 50000, true);
+    t.add_row({std::string(runtime::to_string(m)),
+               dynamic.ok() ? strings::human_usec(dynamic.value()) : "FAILS",
+               stat.ok() ? strings::human_usec(stat.value())
+                         : "FAILS (" + std::string(to_string(stat.error().code())) + ")",
+               strings::human_usec(runtime::syscall_overhead(m))});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "note: fakeroot (ptrace) additionally requires CAP_SYS_PTRACE; the\n"
+      "runtime refuses to create the container without it (§4.1.2).\n\n");
+}
+
+void BM_SyscallHeavyWorkload(benchmark::State& state) {
+  const auto mechanism = kMechanisms[static_cast<std::size_t>(state.range(0))];
+  const auto opens = static_cast<std::uint64_t>(state.range(1));
+  SimDuration sim = 0;
+  for (auto _ : state) {
+    auto r = run_under(mechanism, opens, false);
+    benchmark::DoNotOptimize(r);
+    if (r.ok()) sim = r.value();
+  }
+  state.SetLabel(std::string(runtime::to_string(mechanism)) + " / " +
+                 std::to_string(opens) + " opens");
+  report_sim_ms(state, "sim_runtime_ms", sim);
+}
+
+BENCHMARK(BM_SyscallHeavyWorkload)
+    ->Args({0, 5000})->Args({1, 5000})->Args({2, 5000})
+    ->Args({0, 50000})->Args({1, 50000})->Args({2, 50000})
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fakeroot_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

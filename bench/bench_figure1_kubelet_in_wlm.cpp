@@ -1,0 +1,119 @@
+// bench_figure1_kubelet_in_wlm — reproduces the paper's Figure 1: the
+// proposed architecture with Kubernetes kubelets running dynamically
+// inside WLM job allocations, joined to a standing K3s control plane.
+//
+// The bench sweeps the pod arrival rate and reports the figure's
+// qualitative promises as measurements: pods are scheduled into Slurm
+// allocations (full WLM accounting), start latency stays in seconds
+// (no per-session control-plane bring-up), and capacity returns to the
+// WLM when the pod queue drains.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "orch/scenario.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+orch::TraceConfig trace_for_rate(double pods_per_hour) {
+  orch::TraceConfig cfg;
+  cfg.duration = minutes(40);
+  cfg.job_rate_per_hour = 8;
+  cfg.pod_rate_per_hour = pods_per_hour;
+  cfg.mean_job_runtime = minutes(8);
+  cfg.mean_pod_runtime = minutes(3);
+  return cfg;
+}
+
+void print_figure1_summary() {
+  std::printf(
+      "== Figure 1: kubelets inside WLM allocations (survey §6.5) ==\n\n"
+      "  standing K3s control plane  <--HSN-->  Slurm allocation\n"
+      "      | schedule pods                      | rootless kubelets\n"
+      "      v                                    v (cgroups v2, delegated)\n"
+      "    pods  ------------------------->  containers on compute nodes\n\n");
+
+  Table t({"pods/h", "pods", "mean start latency", "p95", "WLM accounting",
+           "utilization", "agent allocations"});
+  for (double rate : {20.0, 60.0, 120.0}) {
+    auto scenario = orch::make_scenario(orch::ScenarioKind::kKubeletInAllocation,
+                                        orch::ScenarioConfig{});
+    const auto trace = orch::generate_trace(5, trace_for_rate(rate));
+    const auto metrics = scenario->run(trace);
+    if (!metrics.ok()) continue;
+    const auto& m = metrics.value();
+    char util[32], cov[32];
+    std::snprintf(util, sizeof util, "%.1f%%", m.utilization * 100);
+    std::snprintf(cov, sizeof cov, "%.0f%%", m.wlm_accounting_coverage * 100);
+    // Agent allocation count is embedded in the notes string.
+    std::string allocs = m.notes.substr(m.notes.rfind("; ") + 2);
+    t.add_row({std::to_string(static_cast<int>(rate)),
+               std::to_string(m.pods_completed),
+               strings::human_usec(m.mean_pod_start_latency),
+               strings::human_usec(m.p95_pod_start_latency), cov, util,
+               allocs});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+/// One full Figure 1 simulation as a benchmark (wall time = cost of
+/// simulating it; sim counters = the architecture's own numbers).
+void BM_Figure1Scenario(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  orch::ScenarioMetrics m;
+  for (auto _ : state) {
+    auto scenario = orch::make_scenario(orch::ScenarioKind::kKubeletInAllocation,
+                                        orch::ScenarioConfig{});
+    const auto trace = orch::generate_trace(5, trace_for_rate(rate));
+    auto metrics = scenario->run(trace);
+    benchmark::DoNotOptimize(metrics);
+    if (metrics.ok()) m = metrics.value();
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " pods/h");
+  report_sim_ms(state, "sim_mean_pod_latency_ms", m.mean_pod_start_latency);
+  state.counters["wlm_accounting"] = m.wlm_accounting_coverage;
+  state.counters["utilization"] = m.utilization;
+}
+
+/// The §6.5 precondition probe: kubelet start with and without a
+/// delegated cgroups-v2 subtree.
+void BM_RootlessKubeletPreconditions(benchmark::State& state) {
+  const bool delegated = state.range(0) == 1;
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  std::uint64_t started = 0;
+  for (auto _ : state) {
+    k8s::Kubelet::Config cfg;
+    cfg.node_name = "probe";
+    cfg.cgroup_ready_check = [delegated] { return delegated; };
+    k8s::Kubelet kubelet(&api, cfg,
+                         [](SimTime now, const k8s::Pod&) -> Result<SimTime> {
+                           return now;
+                         });
+    auto r = kubelet.start(0);
+    if (r.ok()) ++started;
+    kubelet.stop();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(delegated ? "cgroups v2 delegated" : "no delegation -> refused");
+  state.counters["starts_succeeded"] = static_cast<double>(started);
+}
+
+BENCHMARK(BM_Figure1Scenario)->Arg(20)->Arg(60)->Arg(120)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RootlessKubeletPreconditions)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LogSink::instance().set_print(false);
+  print_figure1_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

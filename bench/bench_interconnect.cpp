@@ -1,0 +1,152 @@
+// bench_interconnect — §3.2's isolation cost quantified: "strict
+// container isolation may introduce performance penalties due to
+// increased OS overhead" and "may break access to HPC hardware such as
+// interconnects". HPC engines skip the network namespace and use the
+// host fabric; cloud-default containers route through an overlay
+// (veth/NAT) that costs per-message latency and a bandwidth haircut.
+// The bench runs a ring halo exchange over both paths.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+/// `rounds` of a ring exchange between `ranks` nodes, message size
+/// `bytes`; returns completion time of the slowest rank.
+SimTime halo_exchange(sim::Network& net, int ranks, int rounds,
+                      std::uint64_t bytes, bool overlay) {
+  std::vector<SimTime> t(ranks, 0);
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<SimTime> next(ranks, 0);
+    for (int i = 0; i < ranks; ++i) {
+      const int peer = (i + 1) % ranks;
+      // Each rank sends to its right neighbour; the round completes for
+      // a rank when both its send is delivered and its inbound arrives.
+      const SimTime delivered =
+          overlay ? net.overlay_transfer(t[i], static_cast<sim::NodeId>(i),
+                                         static_cast<sim::NodeId>(peer), bytes)
+                  : net.transfer(t[i], static_cast<sim::NodeId>(i),
+                                 static_cast<sim::NodeId>(peer), bytes);
+      next[peer] = std::max(next[peer], delivered);
+      next[i] = std::max(next[i], delivered);
+    }
+    t = next;
+  }
+  SimTime worst = 0;
+  for (auto v : t) worst = std::max(worst, v);
+  return worst;
+}
+
+void print_interconnect_table() {
+  std::printf(
+      "== host interconnect vs container overlay network (survey §3.2) ==\n\n");
+  Table t({"message size", "host network (100 rounds)",
+           "overlay network (100 rounds)", "penalty"});
+  for (std::uint64_t bytes : {64ull, 64ull << 10, 4ull << 20}) {
+    sim::Network host_net(8), overlay_net(8);
+    const SimTime host = halo_exchange(host_net, 4, 100, bytes, false);
+    const SimTime overlay = halo_exchange(overlay_net, 4, 100, bytes, true);
+    char penalty[16];
+    std::snprintf(penalty, sizeof penalty, "%.1fx",
+                  static_cast<double>(overlay) / static_cast<double>(host));
+    t.add_row({strings::human_bytes(bytes), strings::human_usec(host),
+               strings::human_usec(overlay), penalty});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "shape: latency-bound small messages suffer the per-message\n"
+      "encapsulation cost; large messages the bandwidth haircut. This is\n"
+      "why the HPC engines run with 'user and mount NS' only (Table 2)\n"
+      "and leave the network namespace alone.\n\n");
+}
+
+void BM_HaloExchange(benchmark::State& state) {
+  const bool overlay = state.range(0) == 1;
+  const auto bytes = static_cast<std::uint64_t>(state.range(1));
+  SimTime done = 0;
+  for (auto _ : state) {
+    sim::Network net(8);
+    done = halo_exchange(net, 4, 100, bytes, overlay);
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetLabel(std::string(overlay ? "overlay" : "host") + " " +
+                 strings::human_bytes(bytes));
+  report_sim_ms(state, "sim_exchange_ms", done);
+}
+
+/// MPI_Init skew: all ranks must have their container up before the job
+/// computes; the barrier waits for the slowest rank. Cold (first job):
+/// per-node extraction (Charliecloud) parallelizes across NVMe while a
+/// shared conversion (Sarus) serializes through one converter. Warm
+/// (every subsequent job): the shared cache makes Sarus ranks nearly
+/// instant while cache-less engines re-extract every time.
+/// Out-of-line on purpose: GCC 12 at -O2 miscompiles this fold when it
+/// is inlined into the benchmark loop (the variant access gets hoisted
+/// past the call and reads a stale stack slot); the call boundary keeps
+/// the codegen correct everywhere we tested (-O0/-O1/-O2, ASan, UBSan).
+__attribute__((noinline)) SimTime rank_barrier(
+    std::vector<std::unique_ptr<engine::ContainerEngine>>& engines,
+    const image::ImageReference& ref, SimTime start) {
+  SimTime barrier = start;
+  for (auto& eng : engines) {
+    auto outcome = eng->run_image(start, ref);
+    if (outcome.ok())
+      barrier = std::max(barrier, outcome.value().create_done);
+  }
+  return barrier;
+}
+
+__attribute__((noinline)) SimTime rank_finish(
+    std::vector<std::unique_ptr<engine::ContainerEngine>>& engines,
+    const image::ImageReference& ref) {
+  SimTime last = 0;
+  for (auto& eng : engines) {
+    auto first = eng->run_image(0, ref);
+    if (first.ok()) last = std::max(last, first.value().finished);
+  }
+  return last;
+}
+
+void BM_MpiInitBarrierSkew(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? engine::EngineKind::kSarus
+                                        : engine::EngineKind::kCharliecloud;
+  const bool warm = state.range(1) == 1;
+  SimTime barrier = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SiteEnv env = make_site_env(7, 8);
+    std::vector<std::unique_ptr<engine::ContainerEngine>> engines;
+    for (sim::NodeId n = 0; n < 8; ++n)
+      engines.push_back(engine::make_engine(kind, env.ctx(n)));
+    const SimTime start = warm ? rank_finish(engines, env.ref) : 0;
+    state.ResumeTiming();
+    barrier = rank_barrier(engines, env.ref, start) - start;
+    benchmark::DoNotOptimize(barrier);
+  }
+  state.SetLabel(std::string(engine::to_string(kind)) + " 8-rank barrier (" +
+                 (warm ? "warm" : "cold") + ")");
+  report_sim_ms(state, "sim_barrier_ms", barrier);
+}
+
+BENCHMARK(BM_HaloExchange)
+    ->Args({0, 64})->Args({1, 64})
+    ->Args({0, 4 << 20})->Args({1, 4 << 20})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MpiInitBarrierSkew)
+    ->Args({0, 0})->Args({1, 0})->Args({0, 1})->Args({1, 1})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LogSink::instance().set_print(false);
+  print_interconnect_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// bench_registry_proxy — §5.1.3 quantified: a fleet of nodes pulling
+// through a rate-limited upstream, directly vs via the site's
+// pull-through proxy. Reports throttle counts, upstream traffic and
+// fleet completion time.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "registry/proxy.h"
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+struct FleetResult {
+  std::size_t succeeded = 0;
+  std::size_t throttled = 0;
+  SimTime fleet_done = 0;
+  std::uint64_t upstream_bytes = 0;
+  std::uint64_t upstream_requests = 0;
+};
+
+FleetResult pull_fleet(std::uint32_t nodes, std::uint64_t pull_limit,
+                       bool via_proxy) {
+  sim::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  sim::Cluster cluster(cfg);
+  registry::RegistryLimits limits;
+  limits.pull_limit = pull_limit;
+  limits.pull_window = sec(6 * 3600);
+  registry::OciRegistry hub("dockerhub.example", limits);
+  (void)hub.create_project("library", "up");
+
+  image::ImageConfig icfg;
+  auto rootfs = image::synthetic_base_os("base", 4, 4, 8 << 20, &icfg);
+  std::vector<vfs::Layer> layers;
+  layers.push_back(vfs::Layer::from_fs(rootfs));
+  registry::RegistryClient publisher(&cluster.network(), 0);
+  const auto ref =
+      image::ImageReference::parse("dockerhub.example/library/base:1").value();
+  (void)publisher.push(0, hub, "up", ref, icfg, layers);
+  const auto published_pulls = hub.pulls();
+  (void)published_pulls;
+
+  registry::PullThroughProxy proxy("proxy.site", &hub);
+  FleetResult result;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    registry::RegistryClient client(&cluster.network(), n);
+    if (via_proxy) {
+      auto pulled = client.pull_via_proxy(0, proxy, ref);
+      if (pulled.ok()) {
+        ++result.succeeded;
+        result.fleet_done = std::max(result.fleet_done, pulled.value().done);
+      } else {
+        ++result.throttled;
+      }
+    } else {
+      auto pulled = client.pull(0, hub, ref);
+      if (pulled.ok()) {
+        ++result.succeeded;
+        result.fleet_done = std::max(result.fleet_done, pulled.value().done);
+      } else {
+        ++result.throttled;
+      }
+    }
+  }
+  result.upstream_bytes = via_proxy ? proxy.upstream_bytes() : 0;
+  result.upstream_requests =
+      via_proxy ? proxy.upstream_fetches() : hub.pulls();
+  return result;
+}
+
+void print_proxy_table() {
+  std::printf(
+      "== fleet pull under a DockerHub-style rate limit (40/6h) ==\n\n");
+  Table t({"nodes", "path", "succeeded", "throttled", "upstream requests",
+           "fleet done (sim)"});
+  for (std::uint32_t nodes : {16u, 64u, 256u}) {
+    for (bool proxy : {false, true}) {
+      const auto r = pull_fleet(nodes, 40, proxy);
+      t.add_row({std::to_string(nodes), proxy ? "via site proxy" : "direct",
+                 std::to_string(r.succeeded), std::to_string(r.throttled),
+                 std::to_string(r.upstream_requests),
+                 strings::human_usec(r.fleet_done)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+void BM_FleetPull(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const bool proxy = state.range(1) == 1;
+  FleetResult r;
+  for (auto _ : state) {
+    r = pull_fleet(nodes, 40, proxy);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(proxy ? "proxy" : "direct") + " x" +
+                 std::to_string(nodes));
+  state.counters["succeeded"] = static_cast<double>(r.succeeded);
+  state.counters["throttled"] = static_cast<double>(r.throttled);
+  report_sim_ms(state, "sim_fleet_done_ms", r.fleet_done);
+}
+
+BENCHMARK(BM_FleetPull)
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({256, 0})->Args({256, 1})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_proxy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// bench_startup_smallfiles — §3.2/§4.1.4: "a container image contains
+// many small files which may be loaded from shared storage from many
+// compute nodes and that put strain on the cluster filesystem, slowing
+// down startup time." A Python-like app (5000 opens) and a compiled MPI
+// app (60 opens) start on N nodes simultaneously, with the image served
+// as (a) an extracted directory on the shared FS, (b) a flattened
+// squash image on the shared FS, (c) a directory extracted to
+// node-local NVMe.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "runtime/mounts.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+enum class Strategy : int { kDirShared = 0, kSquashShared, kDirLocal };
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kDirShared: return "dir on shared FS";
+    case Strategy::kSquashShared: return "squash image on shared FS";
+    case Strategy::kDirLocal: return "dir on node-local NVMe";
+  }
+  return "?";
+}
+
+/// Simulates `nodes` containers starting at t=0, each opening
+/// `opens` files and streaming `bytes`; returns the worst completion.
+SimTime concurrent_startup(Strategy strategy, std::uint32_t nodes,
+                           std::uint64_t opens, std::uint64_t bytes) {
+  sim::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  sim::Cluster cluster(cfg);
+  vfs::MemFs tree;
+  (void)tree.write_file("/app", Bytes(1024, 1));
+  auto squash = vfs::SquashImage::build(tree);
+
+  SimTime worst = 0;
+  std::vector<std::unique_ptr<runtime::MountedRootfs>> mounts;
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    runtime::StorageBacking b;
+    if (strategy == Strategy::kDirLocal) {
+      b.local = &cluster.local_storage(n);
+    } else {
+      b.shared = &cluster.shared_fs();
+    }
+    b.cache = &cluster.page_cache(n);
+    b.cache_key = "img";
+    switch (strategy) {
+      case Strategy::kDirShared:
+      case Strategy::kDirLocal:
+        mounts.push_back(runtime::make_dir_rootfs(&tree, b));
+        break;
+      case Strategy::kSquashShared:
+        mounts.push_back(runtime::make_squash_rootfs(&squash, b, false));
+        break;
+    }
+  }
+  // Interleave the opens across nodes (they all start at once).
+  std::vector<SimTime> t(nodes, 0);
+  for (std::uint64_t i = 0; i < opens; ++i) {
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      t[n] = mounts[n]->charge_open(t[n]);
+  }
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    t[n] = mounts[n]->charge_read(t[n], bytes, /*random=*/false);
+    worst = std::max(worst, t[n]);
+  }
+  return worst;
+}
+
+void print_startup_table() {
+  std::printf(
+      "== startup strain: N nodes start the same container at once ==\n\n");
+  const auto python = runtime::python_workload();
+  const auto mpi = runtime::compiled_mpi_workload();
+  for (const auto& [label, opens, bytes] :
+       {std::tuple{"python-like (5000 opens)", python.files_opened,
+                   python.sequential_bytes},
+        std::tuple{"compiled MPI (60 opens)", mpi.files_opened,
+                   mpi.sequential_bytes}}) {
+    std::printf("-- %s --\n", label);
+    Table t({"image strategy", "1 node", "64 nodes", "512 nodes",
+             "512-node slowdown"});
+    for (int s = 0; s <= 2; ++s) {
+      const SimTime t1 =
+          concurrent_startup(static_cast<Strategy>(s), 1, opens, bytes);
+      const SimTime t64 =
+          concurrent_startup(static_cast<Strategy>(s), 64, opens, bytes);
+      const SimTime t512 =
+          concurrent_startup(static_cast<Strategy>(s), 512, opens, bytes);
+      char slow[16];
+      std::snprintf(slow, sizeof slow, "%.1fx",
+                    static_cast<double>(t512) / static_cast<double>(t1));
+      t.add_row({strategy_name(static_cast<Strategy>(s)),
+                 strings::human_usec(t1), strings::human_usec(t64),
+                 strings::human_usec(t512), slow});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+}
+
+void BM_ConcurrentStartup(benchmark::State& state) {
+  const auto strategy = static_cast<Strategy>(state.range(0));
+  const auto nodes = static_cast<std::uint32_t>(state.range(1));
+  const auto w = runtime::python_workload();
+  SimTime worst = 0;
+  for (auto _ : state) {
+    worst = concurrent_startup(strategy, nodes, w.files_opened,
+                               w.sequential_bytes);
+    benchmark::DoNotOptimize(worst);
+  }
+  state.SetLabel(std::string(strategy_name(strategy)) + " x" +
+                 std::to_string(nodes));
+  report_sim_ms(state, "sim_worst_startup_ms", worst);
+}
+
+BENCHMARK(BM_ConcurrentStartup)
+    ->Args({0, 1})->Args({0, 64})->Args({0, 512})
+    ->Args({1, 1})->Args({1, 64})->Args({1, 512})
+    ->Args({2, 1})->Args({2, 64})->Args({2, 512})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_startup_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// bench_table1_engines — reproduces the paper's Table 1.
+//
+// The table itself is regenerated from the live engine feature sets
+// (columns: champion/affiliation/runtime/language, rootless techniques,
+// container monitor, OCI hook & container support). The benchmarks then
+// measure what the architectural columns imply: container cold-start
+// through each engine's monitor/runtime/mount configuration.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+void print_table1() {
+  Table id_table({"Engine", "Version", "Champion", "Affiliation", "Runtime",
+                  "Implem. Language"});
+  Table rootless_table({"Engine", "Rootless", "Rootless-FS",
+                        "Container Monitor", "OCI Hooks", "OCI Container"});
+  for (auto kind : engine::all_engine_kinds()) {
+    auto e = engine::make_engine(kind, engine::EngineContext{});
+    const auto& f = e->features();
+    id_table.add_row({f.name, f.version, f.champion, f.affiliation,
+                      f.runtime_names, f.implementation_language});
+    rootless_table.add_row({f.name, f.rootless_desc(), f.rootless_fs,
+                            std::string(engine::to_string(f.monitor)),
+                            std::string(engine::to_string(f.hooks)),
+                            std::string(engine::to_string(f.oci_container))});
+  }
+  std::printf("== Table 1: container engines (identification) ==\n%s\n",
+              id_table.render().c_str());
+  std::printf("== Table 1 (cont.): rootless techniques & OCI compat ==\n%s\n",
+              rootless_table.render().c_str());
+}
+
+/// Cold-start latency through each engine (excluding the pull, which is
+/// shared): conversion + monitor + namespaces + mounts + runtime create.
+void BM_EngineColdStart(benchmark::State& state) {
+  const auto kind =
+      engine::all_engine_kinds()[static_cast<std::size_t>(state.range(0))];
+  SimDuration sim_cold = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SiteEnv env = make_site_env();
+    auto eng = engine::make_engine(kind, env.ctx());
+    state.ResumeTiming();
+    auto outcome = eng->run_image(0, env.ref);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok())
+      sim_cold = outcome.value().create_done - outcome.value().pull_done;
+  }
+  state.SetLabel(std::string(engine::to_string(kind)));
+  report_sim_ms(state, "sim_cold_start_ms", sim_cold);
+}
+
+/// Warm start: image pulled and converted, caches hot.
+void BM_EngineWarmStart(benchmark::State& state) {
+  const auto kind =
+      engine::all_engine_kinds()[static_cast<std::size_t>(state.range(0))];
+  SiteEnv env = make_site_env();
+  auto eng = engine::make_engine(kind, env.ctx());
+  auto first = eng->run_image(0, env.ref);
+  SimTime t = first.ok() ? first.value().finished : 0;
+  SimDuration sim_warm = 0;
+  for (auto _ : state) {
+    auto outcome = eng->run_image(t, env.ref);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok()) {
+      sim_warm = outcome.value().create_done - t;
+      t = outcome.value().finished;
+    }
+  }
+  state.SetLabel(std::string(engine::to_string(kind)));
+  report_sim_ms(state, "sim_warm_start_ms", sim_warm);
+}
+
+BENCHMARK(BM_EngineColdStart)->DenseRange(0, 8)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineWarmStart)->DenseRange(0, 8)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// bench_table3_integrations — reproduces the paper's Table 3: GPU and
+// accelerator enablement, OS/MPI library hookup, WLM and module-system
+// integration, build tools, documentation grades and community size.
+// The benchmarks measure the hookup mechanics: GPU-hook cost, ABI
+// compatibility checking, and WLM-integrated (SPANK) vs plain launch.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+#include "wlm/slurm.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+void print_table3() {
+  Table hpc_table({"Engine", "GPU-Enablement", "Accelerator Support",
+                   "OS/MPI Library Hookup", "WLM Integration",
+                   "Contains Build Tool"});
+  Table community_table({"Engine", "Module System Integration", "Doc User",
+                         "Doc Admin", "Doc Source", "# Contributors"});
+  for (auto kind : engine::all_engine_kinds()) {
+    auto e = engine::make_engine(kind, engine::EngineContext{});
+    const auto& f = e->features();
+    hpc_table.add_row({f.name, std::string(engine::to_string(f.gpu)),
+                       f.accelerator_support, f.library_hookup,
+                       f.wlm_integration, f.contains_build_tool ? "yes" : "no"});
+    community_table.add_row({f.name, f.module_integration, f.doc_user,
+                             f.doc_admin, f.doc_source,
+                             std::to_string(f.contributors)});
+  }
+  std::printf("== Table 3: HPC extensions ==\n%s\n", hpc_table.render().c_str());
+  std::printf("== Table 3 (cont.): integrations & community ==\n%s\n",
+              community_table.render().c_str());
+}
+
+/// Launch cost with vs without the GPU hookup (prestart hook + binds +
+/// ABI check against the driver stack).
+void BM_GpuHookupOverhead(benchmark::State& state) {
+  const bool gpu = state.range(0) == 1;
+  SimDuration sim = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SiteEnv env = make_site_env();
+    auto sarus = engine::make_engine(engine::EngineKind::kSarus, env.ctx());
+    auto warmup = sarus->run_image(0, env.ref);  // caches hot
+    engine::RunOptions options;
+    options.gpu = gpu;
+    state.ResumeTiming();
+    auto outcome = sarus->run_image(warmup.value().finished, env.ref, options);
+    benchmark::DoNotOptimize(outcome);
+    if (outcome.ok())
+      sim = outcome.value().create_done - warmup.value().finished;
+  }
+  state.SetLabel(gpu ? "with GPU hook" : "no GPU");
+  report_sim_ms(state, "sim_create_ms", sim);
+}
+
+/// The ABI compatibility check itself (Sarus's safeguard, §4.1.6).
+void BM_AbiCheck(benchmark::State& state) {
+  runtime::ContainerEnvironment container;
+  container.glibc = runtime::Version::parse("2.36");
+  for (int i = 0; i < 24; ++i) {
+    container.libraries.push_back({"lib" + std::to_string(i),
+                                   runtime::Version::parse("1.0"),
+                                   runtime::Version::parse("2.30")});
+  }
+  runtime::HostEnvironment host;
+  host.glibc = runtime::Version::parse("2.37");
+  for (int i = 0; i < 12; ++i) {
+    host.libraries.push_back({"lib" + std::to_string(i * 2),
+                              runtime::Version::parse("1.1"),
+                              runtime::Version::parse("2.31")});
+  }
+  for (auto _ : state) {
+    auto report = runtime::check_hookup(container, host);
+    benchmark::DoNotOptimize(report);
+  }
+}
+
+/// WLM-integrated container start (SPANK plugin primes the image during
+/// the prolog) vs a plain batch-script engine invocation.
+void BM_WlmIntegratedLaunch(benchmark::State& state) {
+  const bool spank = state.range(0) == 1;
+  SimDuration pod_latency = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SiteEnv env = make_site_env();
+    wlm::SlurmWlm slurm(env.cluster.get());
+    auto eng = engine::make_engine(engine::EngineKind::kEnroot, env.ctx());
+    if (spank) {
+      // The SPANK plugin pulls + converts during the prolog, as
+      // Shifter's and ENROOT's plugins do (Table 3).
+      slurm.register_spank(wlm::SpankPlugin{
+          "container-prime",
+          [&](const wlm::JobRecord& rec) -> Result<Unit> {
+            (void)eng->pull(rec.started, env.ref);
+            return ok_unit();
+          },
+          nullptr});
+    }
+    SimTime started = 0, ready = 0;
+    wlm::JobSpec job;
+    job.nodes = 1;
+    job.run_time = minutes(1);
+    job.on_start = [&](wlm::JobId, const std::vector<sim::NodeId>&) {
+      started = env.cluster->now();
+      auto outcome = eng->run_image(started, env.ref);
+      if (outcome.ok()) ready = outcome.value().create_done;
+    };
+    (void)slurm.submit(job);
+    state.ResumeTiming();
+    env.cluster->events().run();
+    benchmark::DoNotOptimize(ready);
+    pod_latency = ready - started;
+  }
+  state.SetLabel(spank ? "SPANK-primed" : "plain batch script");
+  report_sim_ms(state, "sim_container_ready_ms", pod_latency);
+}
+
+BENCHMARK(BM_GpuHookupOverhead)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AbiCheck);
+BENCHMARK(BM_WlmIntegratedLaunch)->Arg(0)->Arg(1)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// bench_table4_registries — reproduces the paper's Table 4: the seven
+// registry products, their artifact support, proxying, replication,
+// storage backends and auth providers. Benchmarks: push/pull through a
+// configured registry, mirroring throughput, and the pull-through proxy
+// hit path.
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "registry/profiles.h"
+#include "registry/proxy.h"
+#include "util/table.h"
+
+using namespace hpcc;
+using namespace hpcc::bench;
+
+namespace {
+
+std::string join_vec(const std::vector<std::string>& v) {
+  std::string out;
+  for (const auto& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out.empty() ? "-" : out;
+}
+
+void print_table4() {
+  Table id_table({"Registry", "Version", "Champion", "Affiliation", "Focus",
+                  "Protocol"});
+  Table feat_table({"Registry", "OCI Artifact Support", "Proxying",
+                    "Repl./Mirroring", "Storage Support",
+                    "Authentication Providers"});
+  for (const auto& p : registry::registry_products()) {
+    id_table.add_row({p.name, p.version, p.champion, p.affiliation, p.focus,
+                      std::string(registry::to_string(p.protocol))});
+    std::string auth;
+    for (auto kind : p.auth_providers) {
+      if (!auth.empty()) auth += ", ";
+      auth += std::string(registry::to_string(kind));
+    }
+    feat_table.add_row({p.name, join_vec(p.artifact_support),
+                        std::string(registry::to_string(p.proxying)),
+                        std::string(registry::to_string(p.replication)),
+                        join_vec(p.storage_backends), auth});
+  }
+  std::printf("== Table 4: registries (identification) ==\n%s\n",
+              id_table.render().c_str());
+  std::printf("== Table 4 (cont.): features ==\n%s\n",
+              feat_table.render().c_str());
+}
+
+/// Full image pull latency from a Harbor-configured registry.
+void BM_RegistryPull(benchmark::State& state) {
+  SiteEnv env = make_site_env();
+  registry::RegistryClient client(&env.cluster->network(), 1);
+  SimDuration sim = 0;
+  SimTime t = 0;
+  for (auto _ : state) {
+    auto pulled = client.pull(t, *env.registry, env.ref);
+    benchmark::DoNotOptimize(pulled);
+    if (pulled.ok()) {
+      sim = pulled.value().done - t;
+      t = pulled.value().done;
+    }
+  }
+  report_sim_ms(state, "sim_pull_ms", sim);
+}
+
+/// Incremental pull: only the changed layer moves.
+void BM_RegistryIncrementalPull(benchmark::State& state) {
+  SiteEnv env = make_site_env();
+  registry::RegistryClient client(&env.cluster->network(), 1);
+  image::BlobStore local;
+  (void)client.pull(0, *env.registry, env.ref, &local);
+  SimDuration sim = 0;
+  std::uint64_t bytes = 0;
+  SimTime t = sec(10);
+  for (auto _ : state) {
+    auto pulled = client.pull(t, *env.registry, env.ref, &local);
+    benchmark::DoNotOptimize(pulled);
+    if (pulled.ok()) {
+      sim = pulled.value().done - t;
+      bytes = pulled.value().bytes_transferred;
+      t = pulled.value().done;
+    }
+  }
+  report_sim_ms(state, "sim_pull_ms", sim);
+  state.counters["bytes_transferred"] = static_cast<double>(bytes);
+}
+
+/// Mirroring a repository between registries (Table 4 replication).
+void BM_MirrorRepository(benchmark::State& state) {
+  SiteEnv env = make_site_env();
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto* harbor = registry::find_registry_product("harbor").value();
+    auto dst = registry::instantiate_oci_registry(*harbor, "mirror.site").value();
+    (void)dst->create_project("apps", "svc");
+    state.ResumeTiming();
+    auto stats = registry::mirror_repository(*env.registry, *dst,
+                                             "registry.site/apps/app", "svc");
+    benchmark::DoNotOptimize(stats);
+    if (stats.ok())
+      state.counters["bytes_copied"] =
+          static_cast<double>(stats.value().bytes_copied);
+  }
+}
+
+/// Proxy hit path (the §5.1.3 steady state).
+void BM_ProxyCacheHit(benchmark::State& state) {
+  SiteEnv env = make_site_env();
+  registry::PullThroughProxy proxy("proxy.site", env.registry.get());
+  registry::RegistryClient client(&env.cluster->network(), 1);
+  (void)client.pull_via_proxy(0, proxy, env.ref);  // warm the cache
+  SimDuration sim = 0;
+  SimTime t = sec(5);
+  for (auto _ : state) {
+    auto pulled = client.pull_via_proxy(t, proxy, env.ref);
+    benchmark::DoNotOptimize(pulled);
+    if (pulled.ok()) {
+      sim = pulled.value().done - t;
+      t = pulled.value().done;
+    }
+  }
+  report_sim_ms(state, "sim_pull_ms", sim);
+  state.counters["upstream_fetches"] =
+      static_cast<double>(proxy.upstream_fetches());
+}
+
+BENCHMARK(BM_RegistryPull)->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RegistryIncrementalPull)->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MirrorRepository)->Iterations(2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProxyCacheHit)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// examples/quickstart — the end-to-end tour of the hpcc public API:
+//
+//   1. write a Containerfile and build a layered image,
+//   2. push it to a site registry,
+//   3. run it on a simulated HPC cluster through an HPC container
+//      engine (Sarus-style: transparent squash conversion, suid mount),
+//   4. run it again and watch the caches work.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "image/build.h"
+#include "registry/client.h"
+#include "util/strings.h"
+
+using namespace hpcc;
+
+namespace {
+void show(const char* label, SimTime from, SimTime to) {
+  std::printf("  %-28s %10s\n", label,
+              strings::human_usec(static_cast<std::uint64_t>(to - from)).c_str());
+}
+}  // namespace
+
+int main() {
+  std::printf("== hpcc quickstart ==\n\n");
+
+  // ----- 1. build an image from a Containerfile -----------------------
+  const char* containerfile = R"(
+FROM registry.site/base/hpccos:1
+RUN install gromacs 60 262144
+RUN lib libmpi 4.1 2.30
+ENV OMP_NUM_THREADS=8
+LABEL org.hpcc.example quickstart
+)";
+  auto spec = image::BuildSpec::parse_containerfile(containerfile);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "spec: %s\n", spec.error().to_string().c_str());
+    return 1;
+  }
+  image::ImageConfig base_config;
+  vfs::MemFs base =
+      image::synthetic_base_os("hpccos", /*seed=*/1, 6, 16 << 20, &base_config);
+  image::ImageBuilder builder(/*seed=*/7);
+  auto built = builder.build(spec.value(), base, base_config);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build: %s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  std::vector<vfs::Layer> layers;
+  layers.push_back(vfs::Layer::from_fs(base));
+  for (auto& layer : built.value().layers) layers.push_back(std::move(layer));
+  std::printf("built image: %zu layers, %s of content\n", layers.size(),
+              strings::human_bytes(built.value().rootfs.total_bytes()).c_str());
+
+  // ----- 2. push to the site registry ---------------------------------
+  sim::ClusterConfig cluster_cfg;
+  cluster_cfg.num_nodes = 8;
+  sim::Cluster cluster(cluster_cfg);
+
+  registry::OciRegistry reg("registry.site");
+  (void)reg.create_project("apps", "builder");
+  registry::RegistryClient pusher(&cluster.network(), 0);
+  const auto ref = image::ImageReference::parse("registry.site/apps/gromacs:2023").value();
+  auto pushed = pusher.push(0, reg, "builder", ref, built.value().config, layers);
+  if (!pushed.ok()) {
+    std::fprintf(stderr, "push: %s\n", pushed.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("pushed %s (%s transferred)\n\n", ref.to_string().c_str(),
+              strings::human_bytes(pushed.value().bytes_transferred).c_str());
+
+  // ----- 3. run it with an HPC engine ---------------------------------
+  engine::SiteState site;
+  engine::EngineContext ctx;
+  ctx.cluster = &cluster;
+  ctx.node = 3;
+  ctx.registry = &reg;
+  ctx.site = &site;
+  ctx.user = "alice";
+  ctx.host_env.glibc = runtime::Version::parse("2.37");
+  ctx.host_env.libraries = {{"libmpi", runtime::Version::parse("4.1"),
+                             runtime::Version::parse("2.28")}};
+  auto sarus = engine::make_engine(engine::EngineKind::kSarus, ctx);
+
+  engine::RunOptions options;
+  options.workload = runtime::compiled_mpi_workload();
+  options.mpi_hookup = true;
+
+  std::printf("cold run through %s:\n", sarus->features().name.c_str());
+  auto cold = sarus->run_image(cluster.now(), ref, options);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "run: %s\n", cold.error().to_string().c_str());
+    return 1;
+  }
+  show("pull (registry -> site)", 0, cold.value().pull_done);
+  show("convert (OCI -> squash)", cold.value().pull_done,
+       cold.value().convert_done);
+  show("create (namespaces+mounts)", cold.value().convert_done,
+       cold.value().create_done);
+  show("workload", cold.value().create_done, cold.value().finished);
+  std::printf("  ABI check: %s\n",
+              std::string(runtime::to_string(cold.value().abi.verdict)).c_str());
+
+  // ----- 4. and again: warm caches ------------------------------------
+  std::printf("\nwarm run (same user, image cached + conversion cached):\n");
+  auto warm = sarus->run_image(cold.value().finished, ref, options);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "run: %s\n", warm.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("  pull skipped: %s, conversion cache hit: %s\n",
+              warm.value().pull_skipped ? "yes" : "no",
+              warm.value().conversion_cache_hit ? "yes" : "no");
+  show("time to ready (cold)", 0, cold.value().create_done);
+  show("time to ready (warm)", cold.value().finished,
+       warm.value().create_done);
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// examples/site_advisor — the survey as a decision tool.
+//
+// Renders the adaptive-containerization decision document (engines from
+// Tables 1-3, registries from Tables 4-5, Kubernetes scenarios from §6)
+// for six site profiles, then shows the containerizer tuning runtime
+// parameters for a concrete application on one of them.
+//
+// Build & run:  ./build/examples/site_advisor [profile]
+//   profile: conservative | pragmatic | cloud | secure | gpu | bio
+//            (default: print the recommendation line for all six)
+#include <cstdio>
+#include <string>
+
+#include "adaptive/containerize.h"
+#include "adaptive/decision.h"
+
+using namespace hpcc;
+using namespace hpcc::adaptive;
+
+namespace {
+
+SiteRequirements profile_by_name(const std::string& name) {
+  if (name == "conservative") return conservative_hpc_site();
+  if (name == "pragmatic") return pragmatic_hpc_site();
+  if (name == "cloud") return cloud_leaning_site();
+  if (name == "secure") return secure_data_site();
+  if (name == "gpu") return gpu_ai_site();
+  return bioinformatics_site();
+}
+
+void summarize(const SiteRequirements& site) {
+  DecisionEngine engine(site);
+  const auto report = engine.decide();
+  std::printf("  %-16s engine=%-14s registry=%-8s", site.site_name.c_str(),
+              report.best_engine() ? report.best_engine()->name.c_str()
+                                   : "NONE",
+              report.best_registry() ? report.best_registry()->name.c_str()
+                                     : "NONE");
+  if (!report.scenarios.empty()) {
+    std::printf(" k8s=%s",
+                report.best_scenario() ? report.best_scenario()->name.c_str()
+                                       : "NONE");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    const SiteRequirements site = profile_by_name(argv[1]);
+    DecisionEngine engine(site);
+    std::printf("%s\n", engine.decide().render().c_str());
+    return 0;
+  }
+
+  std::printf("== adaptive containerization: recommendations per site ==\n\n");
+  for (const char* name :
+       {"conservative", "pragmatic", "cloud", "secure", "gpu", "bio"}) {
+    summarize(profile_by_name(name));
+  }
+
+  std::printf(
+      "\n(run with a profile name for the full decision document, e.g. "
+      "`site_advisor secure`)\n\n");
+
+  // ----- containerizer: tune for one app on the bio site --------------
+  std::printf("== containerizer plan: python pipeline on 'bioinformatics' ==\n\n");
+  AdaptiveContainerizer adaptive(bioinformatics_site());
+  AppSpec app;
+  app.name = "variant-calling";
+  app.workload = runtime::python_workload();
+  app.image_files = 45000;
+  app.needs_mpi = false;
+  const auto plan = adaptive.plan(app);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan.value().render().c_str());
+  return 0;
+}

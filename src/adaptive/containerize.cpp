@@ -1,0 +1,116 @@
+#include "adaptive/containerize.h"
+
+#include "util/strings.h"
+
+namespace hpcc::adaptive {
+
+std::string ContainerizationPlan::render() const {
+  std::string out = "containerization plan\n";
+  out += "  engine:    " + std::string(engine::to_string(engine)) + "\n";
+  out += "  format:    " + std::string(image::to_string(format)) + "\n";
+  out += "  mount:     " + std::string(engine::to_string(mount)) + "\n";
+  out += "  rootless:  " + std::string(runtime::to_string(mechanism)) + "\n";
+  out += "  runtime:   " + std::string(runtime::to_string(runtime)) + "\n";
+  out += "  block:     " + strings::human_bytes(squash_block_size) + "\n";
+  out += std::string("  prefetch:  ") + (prefetch_node_local ? "node-local" : "no") + "\n";
+  out += std::string("  proxy:     ") + (use_site_proxy ? "site proxy" : "direct") + "\n";
+  for (const auto& r : rationale) out += "  * " + r + "\n";
+  return out;
+}
+
+AdaptiveContainerizer::AdaptiveContainerizer(SiteRequirements site)
+    : site_(site), decision_(site) {}
+
+Result<ContainerizationPlan> AdaptiveContainerizer::plan(
+    const AppSpec& app) const {
+  const DecisionReport report = decision_.decide();
+  const ScoredOption* chosen = report.best_engine();
+  if (!chosen) {
+    return err_precondition(
+        "no surveyed engine satisfies site '" + site_.site_name +
+        "': " + (report.engines.empty()
+                     ? std::string("no candidates")
+                     : report.engines.front().exclusions.empty()
+                           ? std::string("unknown")
+                           : report.engines.front().exclusions.front()));
+  }
+
+  ContainerizationPlan plan;
+  plan.rationale.push_back("engine " + chosen->name +
+                           " ranked first for this site (score " +
+                           std::to_string(chosen->score).substr(0, 4) + ")");
+
+  // Recover the behaviour of the chosen engine.
+  for (auto kind : engine::all_engine_kinds()) {
+    auto instance = engine::make_engine(kind, engine::EngineContext{});
+    if (instance->features().name != chosen->name) continue;
+    plan.engine = kind;
+    plan.format = instance->behavior().native_format;
+    plan.mount = instance->behavior().mount;
+    plan.mechanism = instance->behavior().mechanism;
+    plan.runtime = instance->behavior().runtime;
+    break;
+  }
+
+  // ----- access-pattern tuning (§7: "optimal runtime parameters").
+  const auto& w = app.workload;
+  const bool random_heavy =
+      w.random_reads * static_cast<std::uint64_t>(w.random_read_size) * 4 >
+      w.sequential_bytes;
+  if (plan.format == image::ImageFormat::kSquash ||
+      plan.format == image::ImageFormat::kFlat) {
+    if (random_heavy) {
+      plan.squash_block_size = 32 * 1024;
+      plan.rationale.push_back(
+          "random-access-heavy workload: small 32 KiB blocks limit read "
+          "amplification through the compressed image");
+    } else {
+      plan.squash_block_size = 256 * 1024;
+      plan.rationale.push_back(
+          "streaming workload: large 256 KiB blocks amortize per-block "
+          "overhead and compress better");
+    }
+  }
+
+  // Small-file storms on a shared FS: extract to node-local if we can.
+  const bool small_file_storm = app.image_files > 10000 || w.files_opened > 2000;
+  if (small_file_storm && site_.shared_filesystem && site_.node_local_storage &&
+      plan.mount == engine::MountStrategy::kDirExtract) {
+    plan.prefetch_node_local = true;
+    plan.rationale.push_back(
+        "interpreter-style small-file load: extracting to node-local "
+        "storage avoids the shared filesystem's metadata service (§4.1.2)");
+  } else if (small_file_storm &&
+             plan.mount != engine::MountStrategy::kDirExtract) {
+    plan.rationale.push_back(
+        "interpreter-style small-file load served from the flattened "
+        "image (single file on the cluster FS, §3.2)");
+  }
+
+  if (site_.air_gapped) {
+    plan.use_site_proxy = true;
+    plan.rationale.push_back(
+        "air-gapped site: pulls go through the caching proxy registry "
+        "(§5.1.3)");
+  }
+
+  if (app.needs_gpu) {
+    if (site_.gpu_vendor.empty()) {
+      return err_precondition("app '" + app.name +
+                              "' needs GPUs but site '" + site_.site_name +
+                              "' declares none");
+    }
+    plan.gpu_hook = true;
+    plan.rationale.push_back("GPU enablement via the engine's " +
+                             std::string(site_.gpu_vendor) + " hookup");
+  }
+  if (app.needs_mpi) {
+    plan.mpi_hookup = true;
+    plan.rationale.push_back(
+        "host MPI injected; ABI compatibility checked before launch "
+        "(§4.1.6)");
+  }
+  return plan;
+}
+
+}  // namespace hpcc::adaptive

@@ -1,0 +1,58 @@
+// hpcc/adaptive/modules.h
+//
+// Module-system integration — §4.1.7 of the survey: "With the exception
+// of the Singularity Registry HPC (shpc), none of the other projects
+// offer affiliated solutions to automatically integrate containers as
+// modules. Despite shpc originating in the Singularity ecosystem, it
+// officially supports other container solutions like Podman, although
+// they may require additional configuration in the form of wrapper
+// scripts."
+//
+// generate_module() is that shpc-style generator: given an image and
+// the engine a site chose, it emits an Lmod-style modulefile plus one
+// wrapper script per container binary, so `module load samtools/1.17`
+// puts transparent container-backed commands on PATH.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "image/manifest.h"
+#include "image/reference.h"
+#include "util/result.h"
+
+namespace hpcc::adaptive {
+
+struct ModuleBundle {
+  std::string name;        ///< "bio/samtools"
+  std::string version;     ///< "1.17"
+  std::string modulefile;  ///< Lmod-style Lua text
+  /// Wrapper scripts keyed by command name ("samtools" -> shell text).
+  std::map<std::string, std::string> wrappers;
+
+  std::string module_path() const { return name + "/" + version; }
+};
+
+struct ModuleOptions {
+  /// Binaries to expose. Empty = derive from the image config's
+  /// entrypoint (its basename).
+  std::vector<std::string> commands;
+  /// Bind the caller's working directory into the container.
+  bool bind_cwd = true;
+  /// Enable GPU hookup in the wrappers.
+  bool gpu = false;
+};
+
+/// Generates the module bundle for `ref` as run by `engine_kind`.
+/// Engines that ship a build tool get `<engine> exec`-style wrappers;
+/// the dir-based engines (Charliecloud, ENROOT) get their two-step
+/// invocations — the "additional configuration in the form of wrapper
+/// scripts" the survey mentions.
+Result<ModuleBundle> generate_module(const image::ImageReference& ref,
+                                     const image::ImageConfig& config,
+                                     engine::EngineKind engine_kind,
+                                     ModuleOptions options = {});
+
+}  // namespace hpcc::adaptive

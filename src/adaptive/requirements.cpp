@@ -1,0 +1,65 @@
+#include "adaptive/requirements.h"
+
+namespace hpcc::adaptive {
+
+SiteRequirements conservative_hpc_site() {
+  SiteRequirements site;
+  site.site_name = "conservative-hpc";
+  site.rootless_mandatory = true;
+  site.allow_setuid_helpers = false;
+  site.allow_root_daemons = false;
+  site.community_risk_tolerance = 0.3;
+  return site;
+}
+
+SiteRequirements pragmatic_hpc_site() {
+  SiteRequirements site;
+  site.site_name = "pragmatic-hpc";
+  site.allow_setuid_helpers = true;  // audited suid binary accepted
+  site.gpu_vendor = "nvidia";
+  site.community_risk_tolerance = 0.5;
+  return site;
+}
+
+SiteRequirements cloud_leaning_site() {
+  SiteRequirements site;
+  site.site_name = "cloud-leaning";
+  site.kubernetes_workloads = true;
+  site.users_bring_oci_images = true;
+  site.need_host_interconnect = false;  // loosely-coupled workloads
+  site.community_risk_tolerance = 0.7;
+  return site;
+}
+
+SiteRequirements secure_data_site() {
+  SiteRequirements site;
+  site.site_name = "secure-data";
+  site.require_signature_verification = true;
+  site.require_encrypted_images = true;
+  site.allow_setuid_helpers = false;
+  site.community_risk_tolerance = 0.2;
+  return site;
+}
+
+SiteRequirements gpu_ai_site() {
+  SiteRequirements site;
+  site.site_name = "gpu-ai";
+  site.gpu_vendor = "nvidia";
+  site.need_module_integration = true;
+  site.allow_setuid_helpers = true;
+  site.community_risk_tolerance = 0.6;
+  return site;
+}
+
+SiteRequirements bioinformatics_site() {
+  SiteRequirements site;
+  site.site_name = "bioinformatics";
+  site.kubernetes_workloads = true;
+  site.air_gapped = true;
+  site.users_bring_oci_images = true;
+  site.shared_filesystem = true;
+  site.community_risk_tolerance = 0.5;
+  return site;
+}
+
+}  // namespace hpcc::adaptive

@@ -1,0 +1,69 @@
+// hpcc/adaptive/requirements.h
+//
+// The site-requirements model — §3.2 of the survey turned into a typed
+// input. A supercomputing centre fills one of these in; the decision
+// engine (decision.h) evaluates every engine, registry and integration
+// scenario against it and emits the "decision document for supercomputer
+// operation centers" the paper's conclusion promises.
+#pragma once
+
+#include <string>
+
+namespace hpcc::adaptive {
+
+struct SiteRequirements {
+  std::string site_name = "site";
+
+  // ----- security posture (§3.2)
+  /// Containers must start without root privileges in the initial
+  /// namespace ("alternative container execution models such as
+  /// rootless [are] a requirement").
+  bool rootless_mandatory = true;
+  /// Setuid-root helper binaries tolerated (many sites refuse them;
+  /// they shrink the attack surface debate to one audited binary).
+  bool allow_setuid_helpers = false;
+  /// Root daemons on compute nodes tolerated (dockerd).
+  bool allow_root_daemons = false;
+  /// Images must be signature-verified before running.
+  bool require_signature_verification = false;
+  /// Encrypted containers needed (restricted data on shared systems).
+  bool require_encrypted_images = false;
+
+  // ----- hardware & software stack
+  std::string gpu_vendor;          ///< "", "nvidia", "amd", "mixed"
+  bool need_mpi_hookup = true;     ///< host MPI/fabric injection
+  bool need_host_interconnect = true;  ///< no network namespace isolation
+  bool shared_filesystem = true;   ///< cluster FS strained by small files
+  bool node_local_storage = true;  ///< NVMe available for extraction
+
+  // ----- workflows
+  /// Users arrive with vanilla OCI images (registry ecosystems, CI).
+  bool users_bring_oci_images = true;
+  /// Users arrive with SIF images (Singularity ecosystem).
+  bool users_bring_sif_images = false;
+  bool want_wlm_integration = true;
+  bool need_module_integration = false;
+  /// Kubernetes-orchestrated workflows must run (section 6 applies).
+  bool kubernetes_workloads = false;
+  /// WLM accounting must cover all compute, including pods (§6).
+  bool accounting_required = true;
+
+  // ----- registry / connectivity
+  bool multi_tenant_registry = true;
+  /// Limited/no direct internet from the cluster (§5.1.3: proxying).
+  bool air_gapped = false;
+
+  // ----- risk appetite (§4.1.9)
+  /// 0 = only large, multi-vendor communities; 1 = anything goes.
+  double community_risk_tolerance = 0.5;
+};
+
+/// Canned profiles used by tests, benches and the site-advisor example.
+SiteRequirements conservative_hpc_site();   ///< strict rootless, no suid
+SiteRequirements pragmatic_hpc_site();      ///< suid tolerated (Sarus-like)
+SiteRequirements cloud_leaning_site();      ///< k8s workflows, OCI-first
+SiteRequirements secure_data_site();        ///< signing+encryption required
+SiteRequirements gpu_ai_site();             ///< nvidia, module integration
+SiteRequirements bioinformatics_site();     ///< k8s pipelines, air-gapped
+
+}  // namespace hpcc::adaptive

@@ -1,0 +1,79 @@
+#include "crypto/chacha20.h"
+
+namespace hpcc::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter) {
+  // "expand 32-byte k"
+  std::uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      load_le32(key.data() + 0),  load_le32(key.data() + 4),
+      load_le32(key.data() + 8),  load_le32(key.data() + 12),
+      load_le32(key.data() + 16), load_le32(key.data() + 20),
+      load_le32(key.data() + 24), load_le32(key.data() + 28),
+      counter,
+      load_le32(nonce.data() + 0), load_le32(nonce.data() + 4),
+      load_le32(nonce.data() + 8)};
+
+  std::uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    // Column rounds.
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    // Diagonal rounds.
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[i * 4 + 0] = static_cast<std::uint8_t>(v);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, Bytes& data) {
+  std::uint32_t counter = initial_counter;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto block = chacha20_block(key, nonce, counter++);
+    const std::size_t n = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= block[i];
+    off += n;
+  }
+}
+
+}  // namespace hpcc::crypto

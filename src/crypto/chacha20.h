@@ -1,0 +1,36 @@
+// hpcc/crypto/chacha20.h
+//
+// ChaCha20 stream cipher (RFC 8439 variant: 256-bit key, 96-bit nonce,
+// 32-bit block counter). Real, test-vector-verified implementation.
+//
+// Used by the encrypted-container support the survey tracks in Table 2
+// ("does the runtime, resp. engine, support decryption of encrypted
+// containers", §4.1.5): FlatImage payload partitions and OCI layer blobs
+// are encrypted with ChaCha20 and authenticated with HMAC-SHA256
+// (encrypt-then-MAC) — see crypto/cipher.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace hpcc::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// XORs `data` with the ChaCha20 keystream in place. Encryption and
+/// decryption are the same operation. `initial_counter` is the 32-bit
+/// block counter (RFC 8439 uses 1 for AEAD payloads; we use 0 for raw
+/// streams and test vectors that specify it).
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint32_t initial_counter, Bytes& data);
+
+/// Generates one 64-byte keystream block (exposed for tests against the
+/// RFC 8439 vectors).
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter);
+
+}  // namespace hpcc::crypto

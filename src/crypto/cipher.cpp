@@ -1,0 +1,80 @@
+#include "crypto/cipher.h"
+
+#include <cstring>
+
+namespace hpcc::crypto {
+
+namespace {
+constexpr std::size_t kNonceSize = 12;
+constexpr std::size_t kMacSize = 32;
+}  // namespace
+
+ChaChaKey derive_key(std::string_view passphrase) {
+  // 4096 iterations of H(prefix || prev || passphrase). Cheap enough for
+  // tests, structured like a real KDF.
+  Sha256::DigestBytes state{};
+  for (int i = 0; i < 4096; ++i) {
+    Sha256 h;
+    h.update(std::string_view("hpcc-kdf-v1"));
+    h.update(BytesView(state.data(), state.size()));
+    h.update(passphrase);
+    state = h.digest();
+  }
+  ChaChaKey key;
+  std::copy(state.begin(), state.end(), key.begin());
+  return key;
+}
+
+SealedBox seal(const ChaChaKey& key, BytesView plaintext) {
+  // Deterministic nonce: first 12 bytes of H(key || H(plaintext)).
+  Sha256 nh;
+  nh.update(BytesView(key.data(), key.size()));
+  const auto pt_digest = Sha256::hash(plaintext);
+  nh.update(BytesView(pt_digest.data(), pt_digest.size()));
+  const auto nonce_src = nh.digest();
+
+  ChaChaNonce nonce;
+  std::copy(nonce_src.begin(), nonce_src.begin() + kNonceSize, nonce.begin());
+
+  Bytes ct(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, nonce, 1, ct);
+
+  // MAC over nonce || ciphertext with a domain-separated MAC key.
+  Bytes mac_key(key.begin(), key.end());
+  mac_key.push_back('m');
+  Bytes mac_input(nonce.begin(), nonce.end());
+  append(mac_input, ct);
+  const auto mac = hmac_sha256(mac_key, mac_input);
+
+  SealedBox box;
+  box.blob.reserve(kNonceSize + ct.size() + kMacSize);
+  append(box.blob, BytesView(nonce.data(), nonce.size()));
+  append(box.blob, ct);
+  append(box.blob, BytesView(mac.data(), mac.size()));
+  return box;
+}
+
+Result<Bytes> open(const ChaChaKey& key, const SealedBox& box) {
+  if (box.blob.size() < kNonceSize + kMacSize)
+    return err_integrity("sealed box too short");
+
+  ChaChaNonce nonce;
+  std::copy(box.blob.begin(), box.blob.begin() + kNonceSize, nonce.begin());
+  const std::size_t ct_len = box.blob.size() - kNonceSize - kMacSize;
+
+  Bytes mac_key(key.begin(), key.end());
+  mac_key.push_back('m');
+  Bytes mac_input(box.blob.begin(), box.blob.begin() + kNonceSize + ct_len);
+  const auto expected_mac = hmac_sha256(mac_key, mac_input);
+
+  Sha256::DigestBytes given_mac;
+  std::copy(box.blob.end() - kMacSize, box.blob.end(), given_mac.begin());
+  if (!mac_equal(expected_mac, given_mac))
+    return err_integrity("MAC verification failed (wrong key or tampered data)");
+
+  Bytes pt(box.blob.begin() + kNonceSize, box.blob.begin() + kNonceSize + ct_len);
+  chacha20_xor(key, nonce, 1, pt);
+  return pt;
+}
+
+}  // namespace hpcc::crypto

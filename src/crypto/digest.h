@@ -1,0 +1,65 @@
+// hpcc/crypto/digest.h
+//
+// The Digest value type used throughout the image/registry stack: the
+// OCI "algorithm:hex" form, e.g.
+//   sha256:9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08
+//
+// Layers, manifests and flat images are all addressed by Digest
+// (content-addressable storage, survey §3.1), and registries deduplicate
+// blobs by comparing Digests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace hpcc::crypto {
+
+class Digest {
+ public:
+  Digest() = default;
+
+  /// Computes the sha256 digest of `data`.
+  static Digest of(BytesView data);
+  static Digest of(std::string_view text);
+
+  /// Parses "sha256:<64 lowercase hex chars>".
+  static Result<Digest> parse(std::string_view text);
+
+  /// True if this digest has been assigned (default-constructed digests
+  /// are empty and match nothing).
+  bool empty() const { return hex_.empty(); }
+
+  /// The hex portion (64 chars).
+  const std::string& hex() const { return hex_; }
+
+  /// The canonical "sha256:<hex>" form.
+  std::string to_string() const { return empty() ? "<empty>" : "sha256:" + hex_; }
+
+  /// A 12-char abbreviation for logs/tables, like `docker images` IDs.
+  std::string short_form() const { return hex_.substr(0, 12); }
+
+  friend bool operator==(const Digest& a, const Digest& b) = default;
+  friend auto operator<=>(const Digest& a, const Digest& b) = default;
+
+ private:
+  explicit Digest(std::string hex) : hex_(std::move(hex)) {}
+  std::string hex_;
+};
+
+/// Verifies that `data` hashes to `expected`. Returns an integrity error
+/// naming both digests on mismatch — the check every pull performs.
+Result<Unit> verify_digest(BytesView data, const Digest& expected);
+
+}  // namespace hpcc::crypto
+
+template <>
+struct std::hash<hpcc::crypto::Digest> {
+  std::size_t operator()(const hpcc::crypto::Digest& d) const noexcept {
+    return std::hash<std::string>{}(d.hex());
+  }
+};

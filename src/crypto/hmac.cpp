@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+namespace hpcc::crypto {
+
+Sha256::DigestBytes hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t k[kBlock] = {0};
+  if (key.size() > kBlock) {
+    const auto hashed = Sha256::hash(key);
+    std::copy(hashed.begin(), hashed.end(), k);
+  } else {
+    std::copy(key.begin(), key.end(), k);
+  }
+
+  std::uint8_t ipad[kBlock], opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad, kBlock));
+  inner.update(message);
+  const auto inner_digest = inner.digest();
+
+  Sha256 outer;
+  outer.update(BytesView(opad, kBlock));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.digest();
+}
+
+bool mac_equal(const Sha256::DigestBytes& a, const Sha256::DigestBytes& b) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace hpcc::crypto

@@ -1,0 +1,19 @@
+// hpcc/crypto/hmac.h
+//
+// HMAC-SHA256 (RFC 2104). Used for registry auth tokens and as the MAC
+// in the encrypted-container format (crypto/cipher.h).
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace hpcc::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Sha256::DigestBytes hmac_sha256(BytesView key, BytesView message);
+
+/// Constant-time comparison of two MACs (avoids the timing side channel
+/// even though our threat model is simulated; it is cheap and correct).
+bool mac_equal(const Sha256::DigestBytes& a, const Sha256::DigestBytes& b);
+
+}  // namespace hpcc::crypto

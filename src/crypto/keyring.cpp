@@ -1,0 +1,49 @@
+#include "crypto/keyring.h"
+
+namespace hpcc::crypto {
+
+void Keyring::trust(const std::string& identity, const PublicKey& key) {
+  keys_[identity] = key;
+}
+
+bool Keyring::revoke(const std::string& identity) {
+  return keys_.erase(identity) > 0;
+}
+
+std::optional<PublicKey> Keyring::find(const std::string& identity) const {
+  auto it = keys_.find(identity);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> Keyring::identity_of(
+    const std::string& fingerprint) const {
+  for (const auto& [identity, key] : keys_) {
+    if (key.fingerprint() == fingerprint) return identity;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Keyring::identities() const {
+  std::vector<std::string> out;
+  out.reserve(keys_.size());
+  for (const auto& [identity, key] : keys_) out.push_back(identity);
+  return out;
+}
+
+Result<Unit> verify_record(const Keyring& ring, const SignatureRecord& rec) {
+  const auto key = ring.find(rec.signer_identity);
+  if (!key) {
+    return err_denied("signer '" + rec.signer_identity +
+                      "' is not in the trust store");
+  }
+  if (key->fingerprint() != rec.key_fingerprint) {
+    return err_integrity("key fingerprint mismatch for signer '" +
+                         rec.signer_identity + "' (possible key rotation or " +
+                         "name squatting)");
+  }
+  return verify(*key, rec.payload_digest, rec.signature)
+      .map([](Unit u) { return u; });
+}
+
+}  // namespace hpcc::crypto

@@ -1,0 +1,57 @@
+// hpcc/crypto/keyring.h
+//
+// A trust store mapping signer identities to public keys, mirroring the
+// GPG keyrings / sigstore trust roots the surveyed tools consult when
+// verifying container signatures. Engines hold a Keyring and a
+// VerificationPolicy; registries store signature attachments alongside
+// artifacts (registry/signing support in Tables 4/5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sign.h"
+#include "util/result.h"
+
+namespace hpcc::crypto {
+
+class Keyring {
+ public:
+  /// Registers (or replaces) a trusted key under `identity`
+  /// (e.g. "alice@site.example").
+  void trust(const std::string& identity, const PublicKey& key);
+
+  /// Removes an identity; returns false if it was not present.
+  bool revoke(const std::string& identity);
+
+  std::optional<PublicKey> find(const std::string& identity) const;
+
+  /// Looks up the identity owning a key fingerprint (reverse lookup used
+  /// when a signature names only the key id).
+  std::optional<std::string> identity_of(const std::string& fingerprint) const;
+
+  std::size_t size() const { return keys_.size(); }
+
+  std::vector<std::string> identities() const;
+
+ private:
+  std::map<std::string, PublicKey> keys_;
+};
+
+/// A signature attachment as stored next to an artifact: who signed,
+/// with which key, over which payload digest.
+struct SignatureRecord {
+  std::string signer_identity;
+  std::string key_fingerprint;
+  std::string payload_digest;  ///< canonical digest string the sig covers
+  KeyPair::Signature signature;
+};
+
+/// Verifies a SignatureRecord against a keyring: the signer must be
+/// trusted, the fingerprint must match the trusted key, and the signature
+/// must verify over the payload digest string.
+Result<Unit> verify_record(const Keyring& ring, const SignatureRecord& rec);
+
+}  // namespace hpcc::crypto

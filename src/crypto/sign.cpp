@@ -1,0 +1,129 @@
+#include "crypto/sign.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hpcc::crypto {
+
+namespace {
+
+// p = 2^61 - 1, a Mersenne prime. Group order of Z_p* is p - 1.
+constexpr std::uint64_t kP = 0x1fffffffffffffffull;
+constexpr std::uint64_t kOrder = kP - 1;
+constexpr std::uint64_t kG = 3;  // small generator; order divides p-1
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kP);
+}
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  base %= kP;
+  while (exp > 0) {
+    if (exp & 1) result = mul_mod(result, base);
+    base = mul_mod(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Derives a scalar mod `mod` from a hash of the inputs (Fiat-Shamir).
+std::uint64_t hash_to_scalar(std::uint64_t r, BytesView message,
+                             std::uint64_t mod) {
+  Sha256 h;
+  Bytes r_bytes;
+  append_u64(r_bytes, r);
+  h.update(r_bytes);
+  h.update(message);
+  const auto d = h.digest();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v % mod;
+}
+
+}  // namespace
+
+std::string PublicKey::fingerprint() const {
+  Bytes b;
+  append_u64(b, y);
+  const auto d = Sha256::hash(b);
+  return strings::hex_encode(std::span(d.data(), 8));
+}
+
+KeyPair KeyPair::generate(std::uint64_t seed) {
+  Rng rng(seed);
+  KeyPair kp;
+  // Private exponent in [2, order-1].
+  kp.x_ = 2 + rng.next_below(kOrder - 2);
+  kp.pub_.y = pow_mod(kG, kp.x_);
+  return kp;
+}
+
+Bytes KeyPair::Signature::serialize() const {
+  Bytes out;
+  append_u64(out, e);
+  append_u64(out, s);
+  return out;
+}
+
+Result<KeyPair::Signature> KeyPair::Signature::deserialize(BytesView data) {
+  if (data.size() != 16)
+    return err_invalid("signature must be 16 bytes, got " +
+                       std::to_string(data.size()));
+  Signature sig;
+  sig.e = read_u64(data, 0);
+  sig.s = read_u64(data, 8);
+  return sig;
+}
+
+KeyPair::Signature KeyPair::sign(BytesView message) const {
+  // Deterministic nonce (RFC 6979 style): k = H(x || message) mod order.
+  Bytes nonce_input;
+  append_u64(nonce_input, x_);
+  append(nonce_input, message);
+  const auto nd = Sha256::hash(nonce_input);
+  std::uint64_t k = 0;
+  for (int i = 0; i < 8; ++i) k = (k << 8) | nd[i];
+  k = 1 + k % (kOrder - 1);
+
+  const std::uint64_t r = pow_mod(kG, k);
+  Signature sig;
+  sig.e = hash_to_scalar(r, message, kOrder);
+  // s = k + e*x mod order
+  const auto ex = static_cast<unsigned __int128>(sig.e) * x_;
+  sig.s = static_cast<std::uint64_t>((ex + k) % kOrder);
+  return sig;
+}
+
+KeyPair::Signature KeyPair::sign(std::string_view message) const {
+  return sign(BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                        message.size()));
+}
+
+Result<Unit> verify(const PublicKey& pub, BytesView message,
+                    const KeyPair::Signature& sig) {
+  if (pub.y == 0) return err_invalid("empty public key");
+  if (sig.s >= kOrder || sig.e >= kOrder)
+    return err_integrity("signature scalars out of range");
+  // r' = g^s * y^{-e} = g^s * y^{order-e}; valid iff H(r' || m) == e.
+  const std::uint64_t y_pow = pow_mod(pub.y, kOrder - (sig.e % kOrder));
+  const std::uint64_t r_prime = mul_mod(pow_mod(kG, sig.s), y_pow);
+  const std::uint64_t e_prime = hash_to_scalar(r_prime, message, kOrder);
+  if (e_prime != sig.e) {
+    return err_integrity("signature verification failed for key " +
+                         pub.fingerprint());
+  }
+  return ok_unit();
+}
+
+Result<Unit> verify(const PublicKey& pub, std::string_view message,
+                    const KeyPair::Signature& sig) {
+  return verify(
+      pub,
+      BytesView(reinterpret_cast<const std::uint8_t*>(message.data()),
+                message.size()),
+      sig);
+}
+
+}  // namespace hpcc::crypto

@@ -1,0 +1,71 @@
+// hpcc/crypto/sign.h
+//
+// Digital signatures for container images and registry artifacts.
+//
+// The survey evaluates *where* signing happens in each solution
+// (Table 2 "Signature Verification Support", §4.1.5): GPG attachments
+// (Podman), Notary (Docker), SIF-embedded PGP (Apptainer/Singularity),
+// and cosign/sigstore artifacts. We model all of those flows on one
+// primitive: a Schnorr identification-style signature over the
+// multiplicative group mod p = 2^61 - 1 (a Mersenne prime).
+//
+// *** SECURITY NOTE *** A 61-bit group is breakable in seconds; this
+// primitive is SIMULATION-GRADE. It is structurally a real Schnorr
+// signature (commitment, Fiat-Shamir challenge via SHA-256, response),
+// so every property the survey discusses — who can sign, what data a
+// signature covers, detection of tampering and name squatting — behaves
+// exactly as with production crypto. Do not reuse outside hpcc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/digest.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace hpcc::crypto {
+
+/// A public verification key. Value type; printable for keyrings.
+struct PublicKey {
+  std::uint64_t y = 0;  ///< g^x mod p
+
+  std::string fingerprint() const;  ///< 16-hex-char key id
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+/// A signing keypair. Create with KeyPair::generate(seed).
+class KeyPair {
+ public:
+  /// Deterministically generates a keypair from a seed (all hpcc
+  /// randomness is seeded; see util/rng.h).
+  static KeyPair generate(std::uint64_t seed);
+
+  const PublicKey& public_key() const { return pub_; }
+
+  /// Signs the digest of `message`.
+  struct Signature {
+    std::uint64_t e = 0;  ///< Fiat-Shamir challenge
+    std::uint64_t s = 0;  ///< response
+
+    Bytes serialize() const;
+    static Result<Signature> deserialize(BytesView data);
+  };
+
+  Signature sign(BytesView message) const;
+  Signature sign(std::string_view message) const;
+
+ private:
+  KeyPair() = default;
+  std::uint64_t x_ = 0;  ///< private exponent
+  PublicKey pub_;
+};
+
+/// Verifies `sig` over `message` against `pub`. Returns kIntegrity with a
+/// descriptive message on failure.
+Result<Unit> verify(const PublicKey& pub, BytesView message,
+                    const KeyPair::Signature& sig);
+Result<Unit> verify(const PublicKey& pub, std::string_view message,
+                    const KeyPair::Signature& sig);
+
+}  // namespace hpcc::crypto

@@ -1,0 +1,180 @@
+// hpcc/engine/engine.h
+//
+// The container engine: the user-facing component that "permit[s] the
+// user to make requests regarding container images ... image pulls from
+// a registry, signature verification, unpacking of bundles, and
+// ascertaining the availability of required system components. The
+// engine is not a CRI, but is responsible for calling the container
+// runtime" (§3.1).
+//
+// All nine surveyed engines share one pipeline —
+//   pull → (transparent) convert → mount → create → run
+// — and differ in the mechanisms each stage uses (Tables 1-3). A single
+// ContainerEngine implementation parameterized by EngineBehavior
+// realizes all of them; engine/profiles.cpp instantiates the nine
+// configurations.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "engine/features.h"
+#include "image/convert.h"
+#include "image/store.h"
+#include "registry/client.h"
+#include "runtime/container.h"
+#include "runtime/libraries.h"
+#include "sim/cluster.h"
+#include "util/log.h"
+#include "util/result.h"
+
+namespace hpcc::engine {
+
+/// How an engine realizes the container root filesystem (Table 1's
+/// "Rootless-FS" column, made executable).
+enum class MountStrategy : std::uint8_t {
+  kOverlayKernel,     ///< rootful Docker: kernel overlayfs over layer dirs
+  kOverlayFuse,       ///< rootless Podman: fuse-overlayfs
+  kSquashFuse,        ///< Podman-HPC / Charliecloud / non-suid Singularity
+  kSquashKernelSuid,  ///< Shifter / Sarus / suid Singularity
+  kDirExtract,        ///< Charliecloud/ENROOT: unpack to node-local dir
+};
+
+std::string_view to_string(MountStrategy s) noexcept;
+
+/// The mechanism configuration distinguishing the engines.
+struct EngineBehavior {
+  runtime::RootlessMechanism mechanism =
+      runtime::RootlessMechanism::kUserNamespace;
+  MountStrategy mount = MountStrategy::kSquashFuse;
+  runtime::RuntimeKind runtime = runtime::RuntimeKind::kCrun;
+  runtime::NamespaceSet namespaces = runtime::NamespaceSet::hpc();
+  /// Automatic OCI->native conversion on run (Table 2 col 1).
+  bool transparent_conversion = true;
+  /// Converted artifacts cached (col 2) and shared between users (col 3).
+  bool cache_native_format = false;
+  bool share_native_format = false;
+  /// Native format for conversion targets.
+  image::ImageFormat native_format = image::ImageFormat::kSquash;
+  /// Engine verifies signatures on its native format when a keyring is
+  /// present and the caller requires it.
+  bool can_verify_signatures = false;
+  bool supports_encrypted_images = false;
+  /// GPU/library hookup mechanism available.
+  bool gpu_enablement = false;
+  bool abi_checks = false;  ///< Sarus-style explicit ABI verification
+  /// OCI hooks honoured (vs custom or none).
+  bool oci_hooks = false;
+};
+
+/// Site-wide shared state: the conversion cache (+ functional artifacts)
+/// and the cluster-level pulled-layer cache. One per simulated site.
+struct SiteState {
+  image::ConversionCache conversion_cache;
+  image::BlobStore layer_cache;  ///< pulled blobs on the cluster FS
+  std::map<std::string, std::shared_ptr<vfs::SquashImage>> squash_artifacts;
+  std::map<std::string, std::shared_ptr<vfs::FlatImage>> flat_artifacts;
+  std::map<std::string, std::shared_ptr<vfs::MemFs>> dir_artifacts;
+  /// Pulled functional images: manifest digest -> (config, layers).
+  struct PulledImage {
+    image::ImageConfig config;
+    std::vector<vfs::Layer> layers;
+  };
+  std::map<std::string, PulledImage> pulled;
+};
+
+/// Wiring of one engine instance to the substrate on a node.
+struct EngineContext {
+  sim::Cluster* cluster = nullptr;
+  sim::NodeId node = 0;
+  registry::OciRegistry* registry = nullptr;       ///< direct upstream
+  registry::PullThroughProxy* proxy = nullptr;     ///< preferred when set
+  SiteState* site = nullptr;
+  runtime::HostEnvironment host_env;
+  runtime::HostFacts host_facts;
+  crypto::Keyring* keyring = nullptr;
+  std::string user = "user";
+};
+
+struct RunOptions {
+  runtime::WorkloadProfile workload = runtime::shell_workload();
+  bool gpu = false;
+  bool mpi_hookup = false;
+  /// Refuse to run unsigned/unverifiable images.
+  bool require_signature = false;
+  std::optional<std::string> decrypt_passphrase;
+  /// Attach to this cgroup (WLM integration).
+  runtime::Cgroup* cgroup = nullptr;
+};
+
+struct RunOutcome {
+  SimTime pull_done = 0;
+  SimTime convert_done = 0;
+  SimTime create_done = 0;
+  SimTime finished = 0;
+  std::uint64_t bytes_pulled = 0;
+  bool pull_skipped = false;        ///< image already on site
+  bool conversion_cache_hit = false;
+  bool daemon_was_started = false;  ///< dockerd cold start happened
+  runtime::AbiReport abi;
+  std::string rootfs_description;
+
+  SimDuration cold_start_latency(SimTime submitted) const {
+    return create_done - submitted;
+  }
+};
+
+class ContainerEngine {
+ public:
+  ContainerEngine(EngineKind kind, EngineFeatures features,
+                  EngineBehavior behavior, EngineContext ctx);
+
+  EngineKind kind() const { return kind_; }
+  const EngineFeatures& features() const { return features_; }
+  const EngineBehavior& behavior() const { return behavior_; }
+
+  /// The full pipeline: ensure image present, convert to the native
+  /// format (transparently or explicitly), mount, create and run the
+  /// workload. Returns the stage timings.
+  Result<RunOutcome> run_image(SimTime now, const image::ImageReference& ref,
+                               const RunOptions& options = {});
+
+  /// Pull only (what `engine pull` does). Idempotent.
+  Result<SimTime> pull(SimTime now, const image::ImageReference& ref,
+                       std::uint64_t* bytes = nullptr, bool* skipped = nullptr);
+
+ private:
+  Result<SimTime> ensure_converted(SimTime now,
+                                   const image::ImageReference& ref,
+                                   const crypto::Digest& manifest_digest,
+                                   const SiteState::PulledImage& img,
+                                   bool* cache_hit);
+
+  Result<std::shared_ptr<runtime::MountedRootfs>> make_rootfs(
+      const std::string& key, const SiteState::PulledImage& img,
+      const RunOptions& options);
+
+  runtime::StorageBacking shared_backing(const std::string& key) const;
+  runtime::StorageBacking local_backing(const std::string& key) const;
+
+  EngineKind kind_;
+  EngineFeatures features_;
+  EngineBehavior behavior_;
+  EngineContext ctx_;
+  runtime::OciRuntime oci_runtime_;
+  Logger log_;
+  bool daemon_running_ = false;
+  // Per-run overlay instances (kept alive for the mount lifetime).
+  std::vector<std::unique_ptr<vfs::OverlayFs>> live_overlays_;
+};
+
+/// Instantiates one of the nine surveyed engines with its published
+/// feature set and behaviour.
+std::unique_ptr<ContainerEngine> make_engine(EngineKind kind, EngineContext ctx);
+
+/// All nine kinds in the paper's row order.
+const std::vector<EngineKind>& all_engine_kinds();
+
+}  // namespace hpcc::engine

@@ -1,0 +1,105 @@
+// hpcc/engine/features.h
+//
+// The declarative feature set of a container engine — the columns of
+// the survey's Tables 1, 2 and 3. Every engine instance carries one of
+// these, and bench_table1/2/3 regenerate the paper's tables from them;
+// tests/engine_test.cpp pins the ground truth per engine and
+// behavioural probes verify the claimed features actually work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/container.h"
+#include "runtime/namespaces.h"
+#include "runtime/rootless.h"
+
+namespace hpcc::engine {
+
+enum class EngineKind : std::uint8_t {
+  kDocker = 0,
+  kPodman,
+  kPodmanHpc,
+  kShifter,
+  kSarus,
+  kCharliecloud,
+  kApptainer,
+  kSingularityCe,
+  kEnroot,
+};
+
+std::string_view to_string(EngineKind k) noexcept;
+
+enum class MonitorKind : std::uint8_t {
+  kNone,               ///< "no" — engine execs the runtime directly
+  kPerMachineDaemon,   ///< dockerd
+  kPerContainer,       ///< conmon
+};
+
+enum class HookSupport : std::uint8_t {
+  kNone,           ///< "no"
+  kOci,            ///< "yes"
+  kOciManualRoot,  ///< "yes (manually, requires root)" — Singularity
+  kCustom,         ///< engine-specific plugin framework
+};
+
+enum class OciContainerSupport : std::uint8_t { kYes, kPartial, kNo };
+
+enum class GpuSupport : std::uint8_t {
+  kNative,      ///< "yes"
+  kViaHooks,    ///< "via OCI hooks"
+  kManual,      ///< "manually"
+  kNvidiaOnly,  ///< "yes, Nvidia only"
+  kNo,          ///< "no"
+};
+
+std::string_view to_string(MonitorKind m) noexcept;
+std::string_view to_string(HookSupport h) noexcept;
+std::string_view to_string(OciContainerSupport o) noexcept;
+std::string_view to_string(GpuSupport g) noexcept;
+
+struct EngineFeatures {
+  // ----- Table 1: identification
+  std::string name;
+  std::string version;
+  std::string champion;
+  std::string affiliation;
+  std::string runtime_names;  ///< "runc/crun", "Shifter", ...
+  std::string implementation_language;
+
+  // ----- Table 1: rootless & OCI
+  std::vector<runtime::RootlessMechanism> rootless_mechanisms;
+  std::string rootless_fs;  ///< "suid", "fuse-overlayfs", "Dir, SquashFUSE"...
+  MonitorKind monitor = MonitorKind::kNone;
+  HookSupport hooks = HookSupport::kNone;
+  OciContainerSupport oci_container = OciContainerSupport::kPartial;
+
+  // ----- Table 2: formats & security
+  bool transparent_conversion = false;
+  bool native_format_caching = false;
+  bool native_format_sharing = false;
+  runtime::NamespaceSet exec_namespaces = runtime::NamespaceSet::hpc();
+  std::string namespacing_desc;  ///< the Table 2 wording
+  std::vector<std::string> signature_support;  ///< "Notary", "GPG", "sigstore"
+  bool encrypted_containers = false;
+  std::string encryption_desc;
+
+  // ----- Table 3: HPC extensions & community
+  GpuSupport gpu = GpuSupport::kNo;
+  std::string accelerator_support;
+  std::string library_hookup;
+  std::string wlm_integration;
+  bool contains_build_tool = false;
+  std::string module_integration;
+  std::string doc_user;    ///< "+", "++", "+++", "N/A"
+  std::string doc_admin;
+  std::string doc_source;
+  int contributors = 0;
+
+  /// "UserNS" / "UserNS, fakeroot" — the Table 1 Rootless column.
+  std::string rootless_desc() const;
+  /// "GPG, sigstore" — the Table 2 signature column.
+  std::string signature_desc() const;
+};
+
+}  // namespace hpcc::engine

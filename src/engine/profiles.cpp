@@ -1,0 +1,480 @@
+// The nine surveyed engines: feature sets transcribed from Tables 1-3
+// and behaviours wiring each to the mechanisms it actually uses.
+#include "engine/engine.h"
+
+namespace hpcc::engine {
+
+std::string_view to_string(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kDocker: return "Docker";
+    case EngineKind::kPodman: return "Podman";
+    case EngineKind::kPodmanHpc: return "Podman-HPC";
+    case EngineKind::kShifter: return "Shifter";
+    case EngineKind::kSarus: return "Sarus";
+    case EngineKind::kCharliecloud: return "Charliecloud";
+    case EngineKind::kApptainer: return "Apptainer";
+    case EngineKind::kSingularityCe: return "SingularityCE";
+    case EngineKind::kEnroot: return "ENROOT";
+  }
+  return "?";
+}
+
+std::string_view to_string(MonitorKind m) noexcept {
+  switch (m) {
+    case MonitorKind::kNone: return "no";
+    case MonitorKind::kPerMachineDaemon: return "per-machine (dockerd)";
+    case MonitorKind::kPerContainer: return "per-container (conmon)";
+  }
+  return "?";
+}
+
+std::string_view to_string(HookSupport h) noexcept {
+  switch (h) {
+    case HookSupport::kNone: return "no";
+    case HookSupport::kOci: return "yes";
+    case HookSupport::kOciManualRoot: return "yes (manually, requires root)";
+    case HookSupport::kCustom: return "custom hooks";
+  }
+  return "?";
+}
+
+std::string_view to_string(OciContainerSupport o) noexcept {
+  switch (o) {
+    case OciContainerSupport::kYes: return "yes";
+    case OciContainerSupport::kPartial: return "yes (partial)";
+    case OciContainerSupport::kNo: return "no";
+  }
+  return "?";
+}
+
+std::string_view to_string(GpuSupport g) noexcept {
+  switch (g) {
+    case GpuSupport::kNative: return "yes";
+    case GpuSupport::kViaHooks: return "via OCI hooks";
+    case GpuSupport::kManual: return "manually";
+    case GpuSupport::kNvidiaOnly: return "yes, Nvidia only";
+    case GpuSupport::kNo: return "no";
+  }
+  return "?";
+}
+
+std::string EngineFeatures::rootless_desc() const {
+  std::string out;
+  bool has_userns = false, has_fakeroot = false;
+  for (auto m : rootless_mechanisms) {
+    if (m == runtime::RootlessMechanism::kUserNamespace) has_userns = true;
+    if (m == runtime::RootlessMechanism::kFakerootPreload ||
+        m == runtime::RootlessMechanism::kFakerootPtrace)
+      has_fakeroot = true;
+  }
+  if (has_userns) out = "UserNS";
+  if (has_fakeroot) out += out.empty() ? "fakeroot" : ", fakeroot";
+  if (out.empty()) out = "-";
+  return out;
+}
+
+std::string EngineFeatures::signature_desc() const {
+  if (signature_support.empty()) return "-";
+  std::string out;
+  for (const auto& s : signature_support) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+const std::vector<EngineKind>& all_engine_kinds() {
+  static const std::vector<EngineKind> kKinds = {
+      EngineKind::kDocker,       EngineKind::kPodman,
+      EngineKind::kPodmanHpc,    EngineKind::kShifter,
+      EngineKind::kSarus,        EngineKind::kCharliecloud,
+      EngineKind::kApptainer,    EngineKind::kSingularityCe,
+      EngineKind::kEnroot};
+  return kKinds;
+}
+
+namespace {
+
+std::pair<EngineFeatures, EngineBehavior> profile(EngineKind kind) {
+  using runtime::RootlessMechanism;
+  EngineFeatures f;
+  EngineBehavior b;
+  f.name = std::string(to_string(kind));
+
+  switch (kind) {
+    case EngineKind::kDocker:
+      f.version = "v24.0.5 (Jul. 24, 2023)";
+      f.champion = "Docker";
+      f.affiliation = "Docker";
+      f.runtime_names = "runc/crun";
+      f.implementation_language = "Go";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "fuse-overlayfs";
+      f.monitor = MonitorKind::kPerMachineDaemon;
+      f.hooks = HookSupport::kOci;
+      f.oci_container = OciContainerSupport::kYes;
+      f.exec_namespaces = runtime::NamespaceSet::full();
+      f.namespacing_desc = "full";
+      f.signature_support = {"Notary"};
+      f.encrypted_containers = false;
+      f.encryption_desc = "no, extensions available";
+      f.gpu = GpuSupport::kViaHooks;
+      f.accelerator_support = "via OCI hooks";
+      f.library_hookup = "via OCI hooks";
+      f.wlm_integration = "no";
+      f.contains_build_tool = true;
+      f.module_integration = "via shpc";
+      f.doc_user = "+++";
+      f.doc_admin = "+";
+      f.doc_source = "+";
+      f.contributors = 486;
+      // Rootful daemon, kernel overlay: the baseline HPC sites reject.
+      b.mechanism = RootlessMechanism::kRootDaemon;
+      b.mount = MountStrategy::kOverlayKernel;
+      b.runtime = runtime::RuntimeKind::kRunc;
+      b.namespaces = runtime::NamespaceSet::full();
+      b.transparent_conversion = false;
+      b.cache_native_format = false;
+      b.share_native_format = false;
+      b.can_verify_signatures = true;
+      b.supports_encrypted_images = false;
+      b.gpu_enablement = true;
+      b.oci_hooks = true;
+      break;
+
+    case EngineKind::kPodman:
+      f.version = "v4.6.1 (Aug. 10, 2023)";
+      f.champion = "RedHat/IBM";
+      f.affiliation = "Kubernetes";
+      f.runtime_names = "crun/runc/Crio-O";
+      f.implementation_language = "Go";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "fuse-overlayfs";
+      f.monitor = MonitorKind::kPerContainer;
+      f.hooks = HookSupport::kOci;
+      f.oci_container = OciContainerSupport::kYes;
+      f.exec_namespaces = runtime::NamespaceSet::full();
+      f.namespacing_desc = "full";
+      f.signature_support = {"GPG", "sigstore"};
+      f.encrypted_containers = true;
+      f.encryption_desc = "yes";
+      f.gpu = GpuSupport::kViaHooks;
+      f.accelerator_support = "via OCI hooks";
+      f.library_hookup = "via OCI hooks";
+      f.wlm_integration = "no";
+      f.contains_build_tool = true;
+      f.module_integration = "via shpc";
+      f.doc_user = "+";
+      f.doc_admin = "N/A";
+      f.doc_source = "++";
+      f.contributors = 461;
+      b.mechanism = RootlessMechanism::kUserNamespace;
+      b.mount = MountStrategy::kOverlayFuse;
+      b.runtime = runtime::RuntimeKind::kCrun;
+      b.namespaces = runtime::NamespaceSet::full();
+      b.transparent_conversion = false;
+      b.cache_native_format = false;
+      b.share_native_format = false;
+      b.can_verify_signatures = true;
+      b.supports_encrypted_images = true;
+      b.gpu_enablement = true;
+      b.oci_hooks = true;
+      break;
+
+    case EngineKind::kPodmanHpc:
+      f.version = "v1.0.2 (Jun. 15, 2023)";
+      f.champion = "NERSC";
+      f.affiliation = "-";
+      f.runtime_names = "crun/runc/Crio-O";
+      f.implementation_language = "Python, C";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "SquashFUSE + fuse-overlayfs";
+      f.monitor = MonitorKind::kPerContainer;
+      f.hooks = HookSupport::kOci;
+      f.oci_container = OciContainerSupport::kYes;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "full/user and mount NS";
+      f.signature_support = {"GPG", "sigstore"};
+      f.encrypted_containers = true;
+      f.encryption_desc = "yes";
+      f.gpu = GpuSupport::kNative;
+      f.accelerator_support = "via OCI hooks or patch";
+      f.library_hookup = "yes";
+      f.wlm_integration = "no";
+      f.contains_build_tool = true;
+      f.module_integration = "(via shpc)";
+      f.doc_user = "N/A";
+      f.doc_admin = "N/A";
+      f.doc_source = "(+)";
+      f.contributors = 3;
+      b.mechanism = RootlessMechanism::kUserNamespace;
+      b.mount = MountStrategy::kSquashFuse;
+      b.runtime = runtime::RuntimeKind::kCrun;
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = true;
+      b.cache_native_format = true;
+      b.share_native_format = false;  // per-user squash cache
+      b.native_format = image::ImageFormat::kSquash;
+      b.can_verify_signatures = true;
+      b.supports_encrypted_images = true;
+      b.gpu_enablement = true;
+      b.oci_hooks = true;
+      break;
+
+    case EngineKind::kShifter:
+      f.version = "Git 0784ae5 (Oct. 22, 2022)";
+      f.champion = "NERSC";
+      f.affiliation = "-";
+      f.runtime_names = "Shifter";
+      f.implementation_language = "C";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "suid";
+      f.monitor = MonitorKind::kNone;
+      f.hooks = HookSupport::kNone;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS";
+      f.signature_support = {};
+      f.encrypted_containers = false;
+      f.encryption_desc = "no";
+      f.gpu = GpuSupport::kNo;
+      f.accelerator_support = "no";
+      f.library_hookup = "for MPICH";
+      f.wlm_integration = "yes / SPANK plugin";
+      f.contains_build_tool = false;
+      f.module_integration = "no (shpc announced)";
+      f.doc_user = "+";
+      f.doc_admin = "+";
+      f.doc_source = "++";
+      f.contributors = 17;
+      b.mechanism = RootlessMechanism::kSetuidHelper;
+      b.mount = MountStrategy::kSquashKernelSuid;
+      b.runtime = runtime::RuntimeKind::kCustom;
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = true;
+      b.cache_native_format = true;
+      b.share_native_format = false;
+      b.native_format = image::ImageFormat::kSquash;
+      b.can_verify_signatures = false;
+      b.gpu_enablement = false;
+      b.oci_hooks = false;
+      break;
+
+    case EngineKind::kSarus:
+      f.version = "v1.6.0 (May 5, 2023)";
+      f.champion = "CSCS";
+      f.affiliation = "-";
+      f.runtime_names = "runc/crun";
+      f.implementation_language = "C++";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "suid";
+      f.monitor = MonitorKind::kNone;
+      f.hooks = HookSupport::kOci;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS";
+      f.signature_support = {};
+      f.encrypted_containers = false;
+      f.encryption_desc = "no";
+      f.gpu = GpuSupport::kNative;
+      f.accelerator_support = "via OCI hooks";
+      f.library_hookup = "yes";
+      f.wlm_integration = "partially via OCI hooks";
+      f.contains_build_tool = false;
+      f.module_integration = "no (shpc announced)";
+      f.doc_user = "++";
+      f.doc_admin = "++";
+      f.doc_source = "+";
+      f.contributors = 6;
+      b.mechanism = RootlessMechanism::kSetuidHelper;
+      b.mount = MountStrategy::kSquashKernelSuid;
+      b.runtime = runtime::RuntimeKind::kRunc;
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = true;
+      b.cache_native_format = true;
+      b.share_native_format = true;  // the setuid-service shared cache
+      b.native_format = image::ImageFormat::kSquash;
+      b.can_verify_signatures = false;
+      b.gpu_enablement = true;
+      b.abi_checks = true;  // "explicit ABI compatibility checks"
+      b.oci_hooks = true;
+      break;
+
+    case EngineKind::kCharliecloud:
+      f.version = "v0.33 (Jun. 9, 2023)";
+      f.champion = "LANL";
+      f.affiliation = "-";
+      f.runtime_names = "Charliecloud";
+      f.implementation_language = "C";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "Dir, SquashFUSE";
+      f.monitor = MonitorKind::kNone;
+      f.hooks = HookSupport::kNone;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS";
+      f.signature_support = {};
+      f.encrypted_containers = false;
+      f.encryption_desc = "no";
+      f.gpu = GpuSupport::kManual;
+      f.accelerator_support = "manually";
+      f.library_hookup = "manually";
+      f.wlm_integration = "no (no SPANK plugin release)";
+      f.contains_build_tool = false;
+      f.module_integration = "no";
+      f.doc_user = "+++";
+      f.doc_admin = "+";
+      f.doc_source = "++";
+      f.contributors = 31;
+      b.mechanism = RootlessMechanism::kUserNamespace;
+      b.mount = MountStrategy::kDirExtract;
+      b.runtime = runtime::RuntimeKind::kCustom;
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = false;  // explicit ch-convert
+      b.cache_native_format = false;
+      b.share_native_format = false;
+      b.native_format = image::ImageFormat::kDirectory;
+      b.can_verify_signatures = false;
+      b.gpu_enablement = true;  // manual: works, user-driven
+      b.oci_hooks = false;
+      break;
+
+    case EngineKind::kApptainer:
+      f.version = "v1.2.2 (Jul. 27, 2023)";
+      f.champion = "LLNL, CIQ";
+      f.affiliation = "Linux Foundation";
+      f.runtime_names = "runc/crun";
+      f.implementation_language = "Go";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace,
+                               RootlessMechanism::kFakerootPreload};
+      f.rootless_fs = "suid, fakeroot, (SquashFUSE)";
+      f.monitor = MonitorKind::kPerContainer;
+      f.hooks = HookSupport::kOciManualRoot;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS, possibly others";
+      f.signature_support = {"GPG (SIF containers)"};
+      f.encrypted_containers = true;
+      f.encryption_desc = "yes (SIF only, via kernel driver)";
+      f.gpu = GpuSupport::kNative;
+      f.accelerator_support = "no";
+      f.library_hookup = "manually";
+      f.wlm_integration = "no";
+      f.contains_build_tool = true;
+      f.module_integration = "via shpc";
+      f.doc_user = "++";
+      f.doc_admin = "+";
+      f.doc_source = "+";
+      f.contributors = 148;
+      b.mechanism = RootlessMechanism::kUserNamespace;
+      b.mount = MountStrategy::kSquashFuse;  // the setuid-less default
+      b.runtime = runtime::RuntimeKind::kRunc;  // Apptainer default (Table 1)
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = true;
+      b.cache_native_format = true;
+      b.share_native_format = true;
+      b.native_format = image::ImageFormat::kFlat;
+      b.can_verify_signatures = true;
+      b.supports_encrypted_images = true;
+      b.gpu_enablement = true;
+      b.oci_hooks = false;
+      break;
+
+    case EngineKind::kSingularityCe:
+      f.version = "v3.11.4 (Jun. 22, 2023)";
+      f.champion = "Sylabs";
+      f.affiliation = "-";
+      f.runtime_names = "crun/runc";
+      f.implementation_language = "Go";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace,
+                               RootlessMechanism::kFakerootPreload};
+      f.rootless_fs = "suid, fakeroot, SquashFUSE";
+      f.monitor = MonitorKind::kPerContainer;
+      f.hooks = HookSupport::kOciManualRoot;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS, possibly others";
+      f.signature_support = {"GPG (SIF containers)"};
+      f.encrypted_containers = true;
+      f.encryption_desc = "yes (SIF only, via kernel driver)";
+      f.gpu = GpuSupport::kNative;
+      f.accelerator_support = "no";
+      f.library_hookup = "manually";
+      f.wlm_integration = "no";
+      f.contains_build_tool = true;
+      f.module_integration = "via shpc";
+      f.doc_user = "++";
+      f.doc_admin = "N/A";
+      f.doc_source = "+";
+      f.contributors = 130;
+      b.mechanism = RootlessMechanism::kSetuidHelper;  // classic suid install
+      b.mount = MountStrategy::kSquashKernelSuid;
+      b.runtime = runtime::RuntimeKind::kCrun;  // SingularityCE default
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = true;
+      b.cache_native_format = true;
+      b.share_native_format = true;
+      b.native_format = image::ImageFormat::kFlat;
+      b.can_verify_signatures = true;
+      b.supports_encrypted_images = true;
+      b.gpu_enablement = true;
+      b.oci_hooks = false;
+      break;
+
+    case EngineKind::kEnroot:
+      f.version = "v3.4.1 (Feb. 8, 2023)";
+      f.champion = "Nvidia";
+      f.affiliation = "Nvidia";
+      f.runtime_names = "enroot";
+      f.implementation_language = "C, Bash";
+      f.rootless_mechanisms = {RootlessMechanism::kUserNamespace};
+      f.rootless_fs = "Dir";
+      f.monitor = MonitorKind::kNone;
+      f.hooks = HookSupport::kCustom;
+      f.oci_container = OciContainerSupport::kPartial;
+      f.exec_namespaces = runtime::NamespaceSet::hpc();
+      f.namespacing_desc = "user and mount NS";
+      f.signature_support = {};
+      f.encrypted_containers = false;
+      f.encryption_desc = "no";
+      f.gpu = GpuSupport::kNvidiaOnly;
+      f.accelerator_support = "via custom hooks";
+      f.library_hookup = "via custom hooks";
+      f.wlm_integration = "yes / SPANK plugin";
+      f.contains_build_tool = false;
+      f.module_integration = "no";
+      f.doc_user = "N/A";
+      f.doc_admin = "N/A";
+      f.doc_source = "+";
+      f.contributors = 9;
+      b.mechanism = RootlessMechanism::kUserNamespace;
+      b.mount = MountStrategy::kDirExtract;
+      b.runtime = runtime::RuntimeKind::kCustom;
+      b.namespaces = runtime::NamespaceSet::hpc();
+      b.transparent_conversion = false;  // explicit enroot import/create
+      b.cache_native_format = false;
+      b.share_native_format = false;
+      b.native_format = image::ImageFormat::kDirectory;
+      b.can_verify_signatures = false;
+      b.gpu_enablement = true;
+      b.oci_hooks = false;
+      break;
+  }
+  return {std::move(f), b};
+}
+
+}  // namespace
+
+std::unique_ptr<ContainerEngine> make_engine(EngineKind kind,
+                                             EngineContext ctx) {
+  auto [features, behavior] = profile(kind);
+  // The Table 2 conversion columns are properties of the behaviour; keep
+  // the declarative mirror in sync with the executable configuration.
+  features.transparent_conversion = behavior.transparent_conversion;
+  features.native_format_caching = behavior.cache_native_format;
+  features.native_format_sharing = behavior.share_native_format;
+  return std::make_unique<ContainerEngine>(kind, std::move(features), behavior,
+                                           std::move(ctx));
+}
+
+}  // namespace hpcc::engine

@@ -1,0 +1,92 @@
+// hpcc/image/build.h
+//
+// Container build specs and the image builder.
+//
+// §4.1.4: "The Singularity Definition file .def is similar to RPM specs,
+// and all commands to build the container can be placed in a single
+// section, as layering is not available in the flat Singularity Image
+// Format. In Dockerfiles, on the other hand, manually grouping commands
+// into layers poses an important concept to allow incremental container
+// builds, updates, and deployments." We implement both spec formats over
+// one synthetic build-command language; a Containerfile build produces
+// one layer per RUN/COPY step, a .def build produces a single flat tree.
+//
+// Synthetic build-command language (the "shell" of the simulation):
+//   install <name> <files> <bytes-per-file>   populate /opt/<name>/...
+//   write <path> <text...>                    create a file
+//   remove <path>                             delete a path
+//   lib <name> <abi-version> <min-glibc>      add a shared library
+//   glibc <version>                           set the container's glibc
+//   env <KEY>=<value>                         set an environment variable
+// Unknown commands create a build-log entry (a real state change, so
+// every step yields a layer with content).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/manifest.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "vfs/layer.h"
+#include "vfs/memfs.h"
+
+namespace hpcc::image {
+
+enum class SpecFormat : std::uint8_t { kContainerfile, kSingularityDef };
+
+struct BuildSpec {
+  SpecFormat format = SpecFormat::kContainerfile;
+  std::string base;                 ///< FROM / Bootstrap source reference
+  std::vector<std::string> run;     ///< RUN / %post commands, in order
+  std::map<std::string, std::string> env;     ///< ENV / %environment
+  std::map<std::string, std::string> labels;  ///< LABEL / %labels
+  std::string raw_text;             ///< original spec text (for SIF embedding)
+
+  /// Parses a Dockerfile/Containerfile (FROM, RUN, ENV, LABEL; other
+  /// directives rejected with a helpful message).
+  static Result<BuildSpec> parse_containerfile(std::string_view text);
+
+  /// Parses a Singularity definition file (Bootstrap/From header,
+  /// %post, %environment, %labels sections).
+  static Result<BuildSpec> parse_singularity_def(std::string_view text);
+};
+
+struct BuiltImage {
+  ImageConfig config;
+  /// Containerfile builds: one layer per run step (plus the base layer
+  /// when the builder created the base). Def builds: exactly one layer.
+  std::vector<vfs::Layer> layers;
+  /// The flattened final rootfs.
+  vfs::MemFs rootfs;
+};
+
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(std::uint64_t seed = 42) : rng_(seed) {}
+
+  /// Builds `spec` on top of `base` (empty MemFs for scratch builds).
+  /// The caller resolves the FROM reference to a rootfs (an engine pulls
+  /// it; tests pass synthetic_base_os()).
+  Result<BuiltImage> build(const BuildSpec& spec, const vfs::MemFs& base,
+                           ImageConfig base_config = {});
+
+ private:
+  Result<Unit> run_command(const std::string& command, vfs::MemFs& fs,
+                           ImageConfig& config, int step_index);
+  Rng rng_;
+};
+
+/// A deterministic synthetic base OS: /bin,/etc,/usr/lib with a glibc,
+/// a shell, loader config files (nsswitch.conf, locale data — the small
+/// files §4.1.4 says get loaded at every container start), and `extra_libs`
+/// shared libraries. ~`payload_bytes` of library payload.
+vfs::MemFs synthetic_base_os(std::string_view name, std::uint64_t seed,
+                             int extra_libs = 8,
+                             std::uint64_t payload_bytes = 24ull << 20,
+                             ImageConfig* config_out = nullptr);
+
+/// Deterministic compressible file content of `size` bytes.
+Bytes synthetic_file_content(Rng& rng, std::uint64_t size);
+
+}  // namespace hpcc::image

@@ -1,0 +1,106 @@
+// hpcc/image/convert.h
+//
+// Image-format conversion and the conversion cache.
+//
+// §4.1.4: "one solution to work around these limitations is to flatten
+// the OCI bundle either to a node-local directory, or to a filesystem
+// image on a shared storage. This conversion can happen either
+// automatically or explicitly. In the automatic case, we want this
+// converted image to be cached to avoid repeated conversion costs
+// (storage and time), and possibly share it between different users."
+//
+// Table 2's "Transparent Format Conversion", "Native Container Format
+// Caching" and "Native Format Sharing" columns are implemented by the
+// engines on top of these primitives.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/digest.h"
+#include "image/manifest.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+#include "vfs/flat_image.h"
+#include "vfs/layer.h"
+#include "vfs/squash_image.h"
+
+namespace hpcc::image {
+
+enum class ImageFormat : std::uint8_t {
+  kOciLayers,   ///< layered OCI bundle
+  kSquash,      ///< single squash filesystem image
+  kFlat,        ///< SIF-style flat image
+  kDirectory,   ///< extracted directory tree
+};
+
+std::string_view to_string(ImageFormat f) noexcept;
+
+// ----- functional conversions
+
+/// Applies `layers` in order onto an empty tree (flattening).
+Result<vfs::MemFs> flatten_layers(const std::vector<vfs::Layer>& layers);
+
+/// Flatten + pack into a squash image.
+Result<vfs::SquashImage> layers_to_squash(
+    const std::vector<vfs::Layer>& layers,
+    std::uint32_t block_size = vfs::SquashImage::kDefaultBlockSize);
+
+/// Flatten + pack into a flat (SIF-style) image.
+Result<vfs::FlatImage> layers_to_flat(const std::vector<vfs::Layer>& layers,
+                                      vfs::FlatImageInfo info,
+                                      vfs::FlatImageOptions options = {});
+
+/// Repackages a flat image's payload as a single OCI layer (the
+/// "Podman runs SIF" direction of §4.1.4).
+Result<vfs::Layer> flat_to_layer(const vfs::FlatImage& image,
+                                 std::optional<std::string> passphrase = {});
+
+// ----- conversion cache
+
+struct CacheEntry {
+  crypto::Digest source;      ///< manifest digest of the source image
+  ImageFormat format = ImageFormat::kSquash;
+  crypto::Digest artifact;    ///< digest of the converted artifact
+  std::uint64_t size = 0;
+  std::string owner;          ///< user who created the entry
+  bool shared_between_users = false;
+  SimTime created = 0;
+};
+
+/// Cache of converted artifacts. Sharing semantics follow Table 2: some
+/// engines (Sarus, Singularity) share converted images between users, a
+/// setuid service guaranteeing integrity; others cache per user
+/// (Podman-HPC, Shifter) or not at all (Charliecloud, ENROOT).
+class ConversionCache {
+ public:
+  /// Looks up a conversion usable by `user`: an entry matches if it has
+  /// the same source+format and is either owned by `user` or shared.
+  std::optional<CacheEntry> lookup(const crypto::Digest& source,
+                                   ImageFormat format,
+                                   const std::string& user);
+
+  void insert(CacheEntry entry);
+
+  /// Drops all entries for a source (image updated upstream).
+  void invalidate(const crypto::Digest& source);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+  /// Total bytes of cached artifacts (the storage cost of caching).
+  std::uint64_t stored_bytes() const;
+
+ private:
+  static std::string key(const crypto::Digest& source, ImageFormat format);
+  // key -> entries (several owners may hold private conversions).
+  std::multimap<std::string, CacheEntry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// CPU cost of converting `input_bytes` of layer data (unpack + repack +
+/// compress): used by engines to charge simulated conversion time.
+SimDuration conversion_cpu_cost(std::uint64_t input_bytes);
+
+}  // namespace hpcc::image

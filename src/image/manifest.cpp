@@ -1,0 +1,114 @@
+#include "image/manifest.h"
+
+#include "util/wire.h"
+
+namespace hpcc::image {
+
+namespace {
+void put_version(Bytes& out, const runtime::Version& v) {
+  append_u32(out, static_cast<std::uint32_t>(v.major));
+  append_u32(out, static_cast<std::uint32_t>(v.minor));
+  append_u32(out, static_cast<std::uint32_t>(v.patch));
+}
+
+bool get_version(wire::Reader& r, runtime::Version& v) {
+  std::uint32_t a = 0, b = 0, c = 0;
+  if (!r.get_u32(a) || !r.get_u32(b) || !r.get_u32(c)) return false;
+  v.major = static_cast<int>(a);
+  v.minor = static_cast<int>(b);
+  v.patch = static_cast<int>(c);
+  return true;
+}
+}  // namespace
+
+Bytes ImageConfig::serialize() const {
+  Bytes out;
+  wire::put_string(out, "hpcc-image-config-v1");
+  wire::put_string(out, arch);
+  append_u32(out, static_cast<std::uint32_t>(entrypoint.size()));
+  for (const auto& e : entrypoint) wire::put_string(out, e);
+  wire::put_map(out, env);
+  wire::put_map(out, labels);
+  put_version(out, abi.glibc);
+  append_u32(out, static_cast<std::uint32_t>(abi.libraries.size()));
+  for (const auto& lib : abi.libraries) {
+    wire::put_string(out, lib.name);
+    put_version(out, lib.abi);
+    put_version(out, lib.requires_glibc);
+  }
+  return out;
+}
+
+Result<ImageConfig> ImageConfig::deserialize(BytesView blob) {
+  wire::Reader r(blob);
+  std::string magic;
+  if (!r.get_string(magic) || magic != "hpcc-image-config-v1")
+    return err_integrity("bad image config magic");
+  ImageConfig cfg;
+  std::uint32_t n = 0;
+  if (!r.get_string(cfg.arch) || !r.get_u32(n))
+    return err_integrity("image config truncated");
+  cfg.entrypoint.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string e;
+    if (!r.get_string(e)) return err_integrity("image config truncated");
+    cfg.entrypoint.push_back(std::move(e));
+  }
+  if (!r.get_map(cfg.env) || !r.get_map(cfg.labels))
+    return err_integrity("image config truncated");
+  if (!get_version(r, cfg.abi.glibc) || !r.get_u32(n))
+    return err_integrity("image config truncated");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    runtime::Library lib;
+    if (!r.get_string(lib.name) || !get_version(r, lib.abi) ||
+        !get_version(r, lib.requires_glibc))
+      return err_integrity("image config truncated");
+    cfg.abi.libraries.push_back(std::move(lib));
+  }
+  return cfg;
+}
+
+std::uint64_t OciManifest::total_layer_bytes() const {
+  std::uint64_t total = 0;
+  for (auto s : layer_sizes) total += s;
+  return total;
+}
+
+Bytes OciManifest::serialize() const {
+  Bytes out;
+  wire::put_string(out, "hpcc-manifest-v1");
+  wire::put_string(out, config_digest.to_string());
+  append_u32(out, static_cast<std::uint32_t>(layer_digests.size()));
+  for (std::size_t i = 0; i < layer_digests.size(); ++i) {
+    wire::put_string(out, layer_digests[i].to_string());
+    append_u64(out, i < layer_sizes.size() ? layer_sizes[i] : 0);
+  }
+  wire::put_map(out, annotations);
+  return out;
+}
+
+Result<OciManifest> OciManifest::deserialize(BytesView blob) {
+  wire::Reader r(blob);
+  std::string magic;
+  if (!r.get_string(magic) || magic != "hpcc-manifest-v1")
+    return err_integrity("bad manifest magic");
+  OciManifest m;
+  std::string digest_str;
+  std::uint32_t n = 0;
+  if (!r.get_string(digest_str)) return err_integrity("manifest truncated");
+  HPCC_TRY(m.config_digest, crypto::Digest::parse(digest_str));
+  if (!r.get_u32(n)) return err_integrity("manifest truncated");
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string layer_str;
+    std::uint64_t size = 0;
+    if (!r.get_string(layer_str) || !r.get_u64(size))
+      return err_integrity("manifest truncated");
+    HPCC_TRY(auto d, crypto::Digest::parse(layer_str));
+    m.layer_digests.push_back(d);
+    m.layer_sizes.push_back(size);
+  }
+  if (!r.get_map(m.annotations)) return err_integrity("manifest truncated");
+  return m;
+}
+
+}  // namespace hpcc::image

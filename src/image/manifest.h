@@ -1,0 +1,54 @@
+// hpcc/image/manifest.h
+//
+// OCI image manifest and config models.
+//
+// "The OCI defines a standard container image format" (§3.1): a manifest
+// lists a config blob and an ordered set of layer blobs, all addressed
+// by digest. The config carries what engines need at run time — among it
+// the container's ABI surface (glibc, bundled libraries) that the host
+// library hookup checks against (§4.1.6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "runtime/libraries.h"
+#include "util/result.h"
+
+namespace hpcc::image {
+
+/// The image config blob (analog of the OCI image config JSON).
+struct ImageConfig {
+  std::string arch = "x86_64";
+  std::vector<std::string> entrypoint = {"/bin/sh"};
+  std::map<std::string, std::string> env;
+  std::map<std::string, std::string> labels;
+  /// ABI surface for the hookup checker.
+  runtime::ContainerEnvironment abi;
+
+  Bytes serialize() const;
+  static Result<ImageConfig> deserialize(BytesView blob);
+};
+
+/// The image manifest: config + layers, all by digest.
+struct OciManifest {
+  crypto::Digest config_digest;
+  std::vector<crypto::Digest> layer_digests;
+  /// Compressed size per layer (what a pull transfers), parallel to
+  /// layer_digests.
+  std::vector<std::uint64_t> layer_sizes;
+  std::map<std::string, std::string> annotations;
+
+  std::uint64_t total_layer_bytes() const;
+  std::size_t num_layers() const { return layer_digests.size(); }
+
+  Bytes serialize() const;
+  static Result<OciManifest> deserialize(BytesView blob);
+
+  /// The manifest digest — what a tag points at.
+  crypto::Digest digest() const { return crypto::Digest::of(serialize()); }
+};
+
+}  // namespace hpcc::image

@@ -1,0 +1,56 @@
+#include "image/reference.h"
+
+#include "util/strings.h"
+
+namespace hpcc::image {
+
+Result<ImageReference> ImageReference::parse(std::string_view text) {
+  if (text.empty()) return err_invalid("empty image reference");
+  ImageReference ref;
+
+  std::string rest(text);
+
+  // Digest pin.
+  if (const auto at = rest.find('@'); at != std::string::npos) {
+    HPCC_TRY(ref.digest, crypto::Digest::parse(rest.substr(at + 1)));
+    rest = rest.substr(0, at);
+  }
+
+  // Tag: the last ':' after the last '/'.
+  const auto last_slash = rest.rfind('/');
+  const auto last_colon = rest.rfind(':');
+  if (last_colon != std::string::npos &&
+      (last_slash == std::string::npos || last_colon > last_slash)) {
+    ref.tag = rest.substr(last_colon + 1);
+    if (ref.tag.empty()) return err_invalid("empty tag in reference: " +
+                                            std::string(text));
+    rest = rest.substr(0, last_colon);
+  }
+
+  // Registry host: first component containing '.' or ':' or "localhost".
+  const auto first_slash = rest.find('/');
+  if (first_slash != std::string::npos) {
+    const std::string head = rest.substr(0, first_slash);
+    if (strings::contains(head, ".") || strings::contains(head, ":") ||
+        head == "localhost") {
+      ref.registry = head;
+      rest = rest.substr(first_slash + 1);
+    }
+  }
+  if (ref.registry.empty()) ref.registry = "docker.io";
+
+  if (rest.empty()) return err_invalid("empty repository in reference: " +
+                                       std::string(text));
+  ref.repository = rest;
+  if (ref.tag.empty() && !ref.pinned()) ref.tag = "latest";
+  return ref;
+}
+
+std::string ImageReference::to_string() const {
+  std::string out = registry + "/" + repository;
+  if (!tag.empty()) out += ":" + tag;
+  if (pinned()) out += "@" + digest.to_string();
+  return out;
+}
+
+}  // namespace hpcc::image

@@ -1,0 +1,36 @@
+// hpcc/image/reference.h
+//
+// Image references: "registry.site.example/bio/samtools:1.17" or
+// "docker.io/library/alpine@sha256:<hex>". The parsing rules follow the
+// Docker/OCI convention: an optional registry host (recognized by a dot,
+// colon or "localhost" in the first component), a repository path, an
+// optional ":tag" and an optional "@digest" pin.
+#pragma once
+
+#include <string>
+
+#include "crypto/digest.h"
+#include "util/result.h"
+
+namespace hpcc::image {
+
+struct ImageReference {
+  std::string registry;    ///< "docker.io" if unspecified
+  std::string repository;  ///< "library/alpine"
+  std::string tag;         ///< "latest" if unspecified and no digest pin
+  crypto::Digest digest;   ///< set when pinned with @sha256:...
+
+  static Result<ImageReference> parse(std::string_view text);
+
+  bool pinned() const { return !digest.empty(); }
+
+  /// Canonical string form.
+  std::string to_string() const;
+
+  /// registry + "/" + repository (the repo key registries index by).
+  std::string repo_key() const { return registry + "/" + repository; }
+
+  friend bool operator==(const ImageReference&, const ImageReference&) = default;
+};
+
+}  // namespace hpcc::image

@@ -1,0 +1,83 @@
+#include "image/store.h"
+
+namespace hpcc::image {
+
+crypto::Digest BlobStore::put(Bytes blob) {
+  const crypto::Digest digest = crypto::Digest::of(blob);
+  logical_bytes_ += blob.size();
+  auto it = blobs_.find(digest);
+  if (it != blobs_.end()) {
+    ++dedup_hits_;
+    return digest;
+  }
+  stored_bytes_ += blob.size();
+  blobs_.emplace(digest, std::move(blob));
+  return digest;
+}
+
+Result<crypto::Digest> BlobStore::put_verified(Bytes blob,
+                                               const crypto::Digest& expected) {
+  HPCC_TRY_UNIT(crypto::verify_digest(blob, expected));
+  return put(std::move(blob));
+}
+
+Result<const Bytes*> BlobStore::get(const crypto::Digest& digest) const {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end())
+    return err_not_found("no blob " + digest.to_string());
+  return &it->second;
+}
+
+bool BlobStore::contains(const crypto::Digest& digest) const {
+  return blobs_.contains(digest);
+}
+
+Result<Unit> BlobStore::remove(const crypto::Digest& digest) {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end())
+    return err_not_found("no blob " + digest.to_string());
+  stored_bytes_ -= it->second.size();
+  blobs_.erase(it);
+  return ok_unit();
+}
+
+std::string ImageStore::tag_key(const ImageReference& ref) {
+  return ref.repo_key() + ":" + ref.tag;
+}
+
+Result<crypto::Digest> ImageStore::tag_manifest(const ImageReference& ref,
+                                                const OciManifest& manifest) {
+  // The manifest must be complete: config and layers present.
+  if (!blobs_.contains(manifest.config_digest))
+    return err_precondition("config blob missing: " +
+                            manifest.config_digest.to_string());
+  for (const auto& layer : manifest.layer_digests) {
+    if (!blobs_.contains(layer))
+      return err_precondition("layer blob missing: " + layer.to_string());
+  }
+  const crypto::Digest manifest_digest = blobs_.put(manifest.serialize());
+  if (!ref.tag.empty()) tags_[tag_key(ref)] = manifest_digest;
+  return manifest_digest;
+}
+
+Result<OciManifest> ImageStore::resolve(const ImageReference& ref) const {
+  crypto::Digest manifest_digest;
+  if (ref.pinned()) {
+    manifest_digest = ref.digest;
+  } else {
+    auto it = tags_.find(tag_key(ref));
+    if (it == tags_.end())
+      return err_not_found("no such image: " + ref.to_string());
+    manifest_digest = it->second;
+  }
+  HPCC_TRY(const Bytes* blob, blobs_.get(manifest_digest));
+  return OciManifest::deserialize(*blob);
+}
+
+Result<Unit> ImageStore::untag(const ImageReference& ref) {
+  if (tags_.erase(tag_key(ref)) == 0)
+    return err_not_found("no such tag: " + ref.to_string());
+  return ok_unit();
+}
+
+}  // namespace hpcc::image

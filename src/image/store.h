@@ -1,0 +1,82 @@
+// hpcc/image/store.h
+//
+// Content-addressable blob storage and the engine-local image store.
+//
+// "Layer deduplication can be employed in registries and locally based
+// on equal hashes (content-addressable storage)" (§3.1). BlobStore is
+// that CAS: putting the same bytes twice stores them once and counts a
+// dedup hit — bench_dedup measures the storage this saves across image
+// families sharing base layers. ImageStore adds the tag→manifest
+// indirection engines and registries both need.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "crypto/digest.h"
+#include "image/manifest.h"
+#include "image/reference.h"
+#include "util/result.h"
+
+namespace hpcc::image {
+
+class BlobStore {
+ public:
+  /// Stores `blob`; returns its digest. Identical content is stored
+  /// once (dedup).
+  crypto::Digest put(Bytes blob);
+
+  /// Verifying put: fails with kIntegrity if the content does not hash
+  /// to `expected` (every pull does this).
+  Result<crypto::Digest> put_verified(Bytes blob, const crypto::Digest& expected);
+
+  Result<const Bytes*> get(const crypto::Digest& digest) const;
+  bool contains(const crypto::Digest& digest) const;
+  Result<Unit> remove(const crypto::Digest& digest);
+
+  /// Physical bytes stored (after dedup).
+  std::uint64_t stored_bytes() const { return stored_bytes_; }
+  /// Logical bytes put (before dedup).
+  std::uint64_t logical_bytes() const { return logical_bytes_; }
+  std::uint64_t num_blobs() const { return blobs_.size(); }
+  std::uint64_t dedup_hits() const { return dedup_hits_; }
+
+ private:
+  std::unordered_map<crypto::Digest, Bytes> blobs_;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+};
+
+/// An engine-local image store: blobs + a tag table. Registries build
+/// their multi-tenant stores on the same primitives (registry/).
+class ImageStore {
+ public:
+  BlobStore& blobs() { return blobs_; }
+  const BlobStore& blobs() const { return blobs_; }
+
+  /// Stores a complete OCI image (config + layers already in blobs())
+  /// under `ref`. The manifest is stored as a blob and tagged.
+  Result<crypto::Digest> tag_manifest(const ImageReference& ref,
+                                      const OciManifest& manifest);
+
+  /// Resolves a reference to its manifest. Digest-pinned references
+  /// bypass the tag table.
+  Result<OciManifest> resolve(const ImageReference& ref) const;
+
+  bool has(const ImageReference& ref) const { return resolve(ref).ok(); }
+
+  Result<Unit> untag(const ImageReference& ref);
+
+  /// All tags currently known ("registry/repo:tag" -> manifest digest).
+  const std::map<std::string, crypto::Digest>& tags() const { return tags_; }
+
+ private:
+  static std::string tag_key(const ImageReference& ref);
+  BlobStore blobs_;
+  std::map<std::string, crypto::Digest> tags_;
+};
+
+}  // namespace hpcc::image

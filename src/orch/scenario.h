@@ -1,0 +1,108 @@
+// hpcc/orch/scenario.h
+//
+// The Kubernetes/WLM integration scenarios of §6, each as an executable
+// simulation over the same cluster substrate and workload trace:
+//
+//   kStaticPartitioning    — baseline the paper argues against ("static
+//                            partitioning leads to reduced utilisation
+//                            and/or a load imbalance", §6.6)
+//   kOnDemandReallocation  — §6.1: nodes drained from the WLM and
+//                            reprovisioned as Kubernetes agents
+//   kWlmInK8s              — §6.2: the WLM runs inside Kubernetes
+//   kK8sInWlm              — §6.3: a full (K3s) cluster starts inside
+//                            each WLM allocation
+//   kBridgeOperator        — §6.4a: explicit K8s->WLM job translation
+//   kKnocVirtualKubelet    — §6.4b: a virtual kubelet submits pods as
+//                            WLM jobs transparently
+//   kKubeletInAllocation   — §6.5 / Figure 1: the paper's proposal —
+//                            rootless kubelets started inside WLM
+//                            allocations join a standing control plane
+//
+// run() executes the trace to completion and reports the §6.6 figures
+// of merit: utilization, pod start latency, WLM accounting coverage,
+// and reconfiguration churn.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "orch/workload.h"
+#include "sim/cluster.h"
+#include "util/result.h"
+
+namespace hpcc::orch {
+
+enum class ScenarioKind : std::uint8_t {
+  kStaticPartitioning = 0,
+  kOnDemandReallocation,
+  kWlmInK8s,
+  kK8sInWlm,
+  kBridgeOperator,
+  kKnocVirtualKubelet,
+  kKubeletInAllocation,
+};
+
+std::string_view to_string(ScenarioKind k) noexcept;
+
+/// All seven kinds, baseline first.
+const std::vector<ScenarioKind>& all_scenario_kinds();
+
+struct ScenarioConfig {
+  std::uint32_t num_nodes = 16;
+  std::uint32_t cores_per_node = 64;
+  /// Static split: fraction of nodes owned by the WLM.
+  double hpc_fraction = 0.5;
+  /// Nodes per kubelet allocation (§6.5) / per-session allocation (§6.3).
+  std::uint32_t alloc_nodes = 2;
+  /// Idle time before agent allocations are released.
+  SimDuration idle_release = minutes(3);
+  /// Container cold start added to each pod by the default runner.
+  SimDuration pod_cold_start = sec(2);
+  /// Relative job slowdown when the WLM itself runs containerized
+  /// (§6.2: "any possible performance penalties incurred by the
+  /// additional layer introduced must be verified").
+  double wlm_in_k8s_overhead = 0.03;
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioMetrics {
+  std::string scenario;
+  /// Useful-work node-time over nodes × makespan.
+  double utilization = 0;
+  /// Useful core-time over *reserved* core-time: how much of what each
+  /// architecture holds (exclusive per-pod nodes, static partitions,
+  /// idle agent allocations) does real work. This is the §6.6 "reduced
+  /// utilisation / load imbalance" observable.
+  double efficiency = 0;
+  SimDuration mean_pod_start_latency = 0;
+  SimDuration p95_pod_start_latency = 0;
+  SimDuration mean_job_wait = 0;
+  std::uint64_t pods_completed = 0;
+  std::uint64_t pods_failed = 0;
+  std::uint64_t jobs_completed = 0;
+  /// Fraction of consumed compute accounted through the WLM — the §6
+  /// requirement ("particularly crucial in regards to the accounting of
+  /// used resources").
+  double wlm_accounting_coverage = 0;
+  /// Node reprovisions / drains — the "disturbances to the system which
+  /// may be difficult to monitor" of §6.6.
+  std::uint64_t reconfigurations = 0;
+  SimTime makespan = 0;
+  std::string notes;
+};
+
+class IntegrationScenario {
+ public:
+  virtual ~IntegrationScenario() = default;
+  virtual ScenarioKind scenario_kind() const = 0;
+  std::string name() const { return std::string(to_string(scenario_kind())); }
+
+  /// Runs the trace to completion. One-shot: construct a fresh scenario
+  /// per run.
+  virtual Result<ScenarioMetrics> run(const WorkloadTrace& trace) = 0;
+};
+
+std::unique_ptr<IntegrationScenario> make_scenario(ScenarioKind kind,
+                                                   ScenarioConfig config = {});
+
+}  // namespace hpcc::orch

@@ -1,0 +1,256 @@
+#include "orch/workflow_dag.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hpcc::orch {
+
+Result<Unit> WorkflowDag::validate() const {
+  if (stages.empty()) return err_invalid("workflow '" + name + "' is empty");
+  std::set<std::string> names;
+  for (const auto& stage : stages) {
+    if (stage.name.empty()) return err_invalid("a stage has no name");
+    if (!names.insert(stage.name).second)
+      return err_invalid("duplicate stage name: " + stage.name);
+  }
+  for (const auto& stage : stages) {
+    for (const auto& dep : stage.after) {
+      if (!names.contains(dep))
+        return err_invalid("stage '" + stage.name +
+                           "' depends on unknown stage '" + dep + "'");
+      if (dep == stage.name)
+        return err_invalid("stage '" + stage.name + "' depends on itself");
+    }
+  }
+  // Cycle detection: Kahn's algorithm must consume every stage.
+  std::map<std::string, int> indegree;
+  std::map<std::string, std::vector<std::string>> children;
+  for (const auto& stage : stages) indegree[stage.name] = 0;
+  for (const auto& stage : stages) {
+    for (const auto& dep : stage.after) {
+      ++indegree[stage.name];
+      children[dep].push_back(stage.name);
+    }
+  }
+  std::vector<std::string> frontier;
+  for (const auto& [n, d] : indegree)
+    if (d == 0) frontier.push_back(n);
+  std::size_t consumed = 0;
+  while (!frontier.empty()) {
+    const std::string n = frontier.back();
+    frontier.pop_back();
+    ++consumed;
+    for (const auto& c : children[n])
+      if (--indegree[c] == 0) frontier.push_back(c);
+  }
+  if (consumed != stages.size())
+    return err_invalid("workflow '" + name + "' contains a dependency cycle");
+  return ok_unit();
+}
+
+Result<const StageResult*> WorkflowReport::stage(const std::string& name) const {
+  for (const auto& s : stages)
+    if (s.name == name) return &s;
+  return err_not_found("no stage '" + name + "' in report");
+}
+
+namespace {
+
+/// Shared DAG-execution scaffold: tracks prerequisite completion and
+/// calls `submit_stage` as stages become ready; `on_stage_done` must be
+/// invoked by the backend when a stage finishes.
+struct DagDriver {
+  explicit DagDriver(const WorkflowDag& dag) {
+    for (const auto& stage : dag.stages) {
+      pending[stage.name] = stage.after.size();
+      for (const auto& dep : stage.after) children[dep].push_back(stage.name);
+      by_name[stage.name] = &stage;
+    }
+  }
+
+  std::vector<const WorkflowStage*> initial() const {
+    std::vector<const WorkflowStage*> out;
+    for (const auto& [name, count] : pending)
+      if (count == 0) out.push_back(by_name.at(name));
+    return out;
+  }
+
+  /// Marks `name` done; returns stages that just became ready.
+  std::vector<const WorkflowStage*> complete(const std::string& name) {
+    std::vector<const WorkflowStage*> ready;
+    for (const auto& child : children[name]) {
+      if (--pending[child] == 0) ready.push_back(by_name.at(child));
+    }
+    return ready;
+  }
+
+  std::map<std::string, std::size_t> pending;
+  std::map<std::string, std::vector<std::string>> children;
+  std::map<std::string, const WorkflowStage*> by_name;
+};
+
+/// Computes the critical path from per-stage results: the chain ending
+/// at the latest finish, walking back through the predecessor with the
+/// latest finish among each stage's prerequisites.
+std::vector<std::string> critical_path(const WorkflowDag& dag,
+                                       const std::vector<StageResult>& results) {
+  std::map<std::string, const StageResult*> by_name;
+  for (const auto& r : results) by_name[r.name] = &r;
+  std::map<std::string, const WorkflowStage*> spec;
+  for (const auto& s : dag.stages) spec[s.name] = &s;
+
+  const StageResult* cur = nullptr;
+  for (const auto& r : results) {
+    if (!cur || r.finished > cur->finished) cur = &r;
+  }
+  std::vector<std::string> path;
+  while (cur) {
+    path.push_back(cur->name);
+    const WorkflowStage* stage = spec[cur->name];
+    const StageResult* best = nullptr;
+    for (const auto& dep : stage->after) {
+      auto it = by_name.find(dep);
+      if (it == by_name.end()) continue;
+      if (!best || it->second->finished > best->finished) best = it->second;
+    }
+    cur = best;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+Result<WorkflowReport> run_on_wlm(WorkflowDag dag, sim::Cluster& cluster,
+                                  wlm::SlurmWlm& wlm, StageLauncher launcher,
+                                  const std::string& user) {
+  HPCC_TRY_UNIT(dag.validate());
+  if (!launcher) return err_invalid("run_on_wlm needs a stage launcher");
+
+  auto driver = std::make_shared<DagDriver>(dag);
+  auto report = std::make_shared<WorkflowReport>();
+  report->workflow = dag.name;
+  auto failure = std::make_shared<std::optional<Error>>();
+
+  // submit_stage is recursive through callbacks; keep it on the heap.
+  // Callbacks capture a weak reference to it — a strong self-capture
+  // would be a shared_ptr cycle. The strong ref below outlives
+  // events.run(), so locking always succeeds while events are live.
+  auto submit_stage = std::make_shared<
+      std::function<void(const WorkflowStage*)>>();
+  std::weak_ptr<std::function<void(const WorkflowStage*)>> weak_submit =
+      submit_stage;
+  *submit_stage = [&, driver, report, failure,
+                   weak_submit](const WorkflowStage* stage) {
+    wlm::JobSpec job;
+    job.name = dag.name + "/" + stage->name;
+    job.user = user;
+    job.nodes = stage->nodes;
+    job.run_time = 0;  // ended explicitly when the container finishes
+    job.time_limit = 8 * minutes(60);
+
+    StageResult result;
+    result.name = stage->name;
+    result.submitted = cluster.now();
+
+    job.on_start = [&, driver, report, failure, weak_submit, stage,
+                    result](wlm::JobId id,
+                            const std::vector<sim::NodeId>&) mutable {
+      result.started = cluster.now();
+      auto finished = launcher(cluster.now(), *stage);
+      if (!finished.ok()) {
+        *failure = finished.error().wrap("stage '" + stage->name + "'");
+        (void)wlm.cancel(id);
+        return;
+      }
+      cluster.events().schedule_at(
+          finished.value(),
+          [&, driver, report, failure, weak_submit, stage, result,
+           id]() mutable {
+            result.finished = cluster.now();
+            report->stages.push_back(result);
+            (void)wlm.cancel(id);  // release the allocation
+            auto submit = weak_submit.lock();
+            if (!submit) return;
+            for (const WorkflowStage* next : driver->complete(stage->name))
+              (*submit)(next);
+          });
+    };
+    (void)wlm.submit(job);
+  };
+
+  for (const WorkflowStage* stage : driver->initial()) (*submit_stage)(stage);
+  cluster.events().run();
+
+  if (failure->has_value()) return **failure;
+  if (report->stages.size() != dag.stages.size())
+    return err_internal("workflow stalled: " +
+                        std::to_string(report->stages.size()) + "/" +
+                        std::to_string(dag.stages.size()) + " stages ran");
+  for (const auto& s : report->stages)
+    report->makespan = std::max(report->makespan, s.finished);
+  report->critical_path = critical_path(dag, report->stages);
+  return *report;
+}
+
+Result<WorkflowReport> run_on_k8s(WorkflowDag dag, sim::EventQueue& events,
+                                  k8s::ApiServer& api) {
+  HPCC_TRY_UNIT(dag.validate());
+
+  auto driver = std::make_shared<DagDriver>(dag);
+  auto report = std::make_shared<WorkflowReport>();
+  report->workflow = dag.name;
+  auto submitted = std::make_shared<std::map<std::string, SimTime>>();
+
+  auto create_pod = [&, driver, submitted](const WorkflowStage* stage) {
+    k8s::PodSpec spec;
+    spec.image = stage->image;
+    spec.workload = stage->workload;
+    spec.cpu_request = stage->cpu_cores;
+    (*submitted)[stage->name] = events.now();
+    (void)api.create_pod(dag.name + "-" + stage->name, spec);
+  };
+
+  // Watch pod completions and release dependents. The watcher outlives
+  // this call (the API server keeps it), so it holds an `active` flag
+  // that is cleared before returning — afterwards it ignores events
+  // rather than touching dead locals.
+  auto done = std::make_shared<std::set<std::string>>();
+  auto active = std::make_shared<bool>(true);
+  api.watch([&, driver, report, submitted, done, active,
+             create_pod](const k8s::WatchEvent& e) {
+    if (!*active) return;
+    if (e.kind != k8s::EventKind::kPodUpdated) return;
+    const std::string prefix = dag.name + "-";
+    if (e.object_name.rfind(prefix, 0) != 0) return;
+    auto pod = api.pod(e.object_name);
+    if (!pod.ok()) return;
+    if (pod.value()->phase != k8s::PodPhase::kSucceeded) return;
+    const std::string stage_name = e.object_name.substr(prefix.size());
+    if (!done->insert(stage_name).second) return;
+
+    StageResult result;
+    result.name = stage_name;
+    result.submitted = (*submitted)[stage_name];
+    result.started = pod.value()->started;
+    result.finished = pod.value()->finished;
+    report->stages.push_back(result);
+    for (const WorkflowStage* next : driver->complete(stage_name))
+      create_pod(next);
+  });
+
+  for (const WorkflowStage* stage : driver->initial()) create_pod(stage);
+  events.run();
+  *active = false;
+
+  if (report->stages.size() != dag.stages.size())
+    return err_internal("workflow stalled on K8s: " +
+                        std::to_string(report->stages.size()) + "/" +
+                        std::to_string(dag.stages.size()) + " stages ran");
+  for (const auto& s : report->stages)
+    report->makespan = std::max(report->makespan, s.finished);
+  report->critical_path = critical_path(dag, report->stages);
+  return *report;
+}
+
+}  // namespace hpcc::orch

@@ -1,0 +1,58 @@
+// hpcc/orch/workload.h
+//
+// The mixed HPC + cloud-native workload the §6 integration scenarios
+// are evaluated on: classic batch jobs (multi-node, long, exclusive)
+// arriving alongside Kubernetes pods (single-node-fraction, short, many)
+// — the bioinformatics/data-science pipelines whose "workflow systems
+// ... rely on Kubernetes as an interface" motivate the whole section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "k8s/k8s.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace hpcc::orch {
+
+struct HpcJobArrival {
+  SimTime submit = 0;
+  std::string user = "hpc-user";
+  std::uint32_t nodes = 1;
+  SimDuration run_time = minutes(10);
+  SimDuration time_limit = minutes(20);
+};
+
+struct PodArrival {
+  SimTime submit = 0;
+  std::string name;
+  k8s::PodSpec spec;
+};
+
+struct WorkloadTrace {
+  std::vector<HpcJobArrival> jobs;
+  std::vector<PodArrival> pods;
+
+  /// Total useful compute demand (node-microseconds) for utilization
+  /// baselines: jobs count full nodes, pods their core fraction.
+  double demand_node_usec(std::uint32_t cores_per_node) const;
+  SimTime last_arrival() const;
+};
+
+struct TraceConfig {
+  SimDuration duration = minutes(60);   ///< arrival window
+  double job_rate_per_hour = 12.0;      ///< HPC jobs per hour
+  double pod_rate_per_hour = 60.0;      ///< pods per hour
+  std::uint32_t max_job_nodes = 4;
+  SimDuration mean_job_runtime = minutes(12);
+  SimDuration mean_pod_runtime = minutes(3);
+  std::uint32_t pod_cores = 4;          ///< per-pod cpu request
+  /// Pods arrive in bursts (workflow stages), not uniformly.
+  double burst_factor = 0.5;            ///< fraction arriving in bursts
+};
+
+/// Deterministic Poisson-ish arrival trace from a seed.
+WorkloadTrace generate_trace(std::uint64_t seed, const TraceConfig& config);
+
+}  // namespace hpcc::orch

@@ -1,0 +1,81 @@
+#include "registry/auth.h"
+
+#include "util/strings.h"
+
+namespace hpcc::registry {
+
+std::string_view to_string(AuthProviderKind k) noexcept {
+  switch (k) {
+    case AuthProviderKind::kInternal: return "internal";
+    case AuthProviderKind::kLdap: return "LDAP";
+    case AuthProviderKind::kOidc: return "OIDC";
+    case AuthProviderKind::kPam: return "PAM";
+    case AuthProviderKind::kKerberos: return "Kerberos";
+    case AuthProviderKind::kSaml: return "SAML";
+    case AuthProviderKind::kUaa: return "UAA";
+    case AuthProviderKind::kKeystone: return "Keystone";
+  }
+  return "?";
+}
+
+std::string Token::serialize() const {
+  return user + "|" + std::to_string(expires) + "|" + mac_hex;
+}
+
+Result<Token> Token::parse(std::string_view text) {
+  const auto parts = strings::split(text, '|');
+  if (parts.size() != 3) return err_invalid("malformed token");
+  Token t;
+  t.user = parts[0];
+  t.expires = 0;
+  for (char c : parts[1]) {
+    if (c < '0' || c > '9') return err_invalid("malformed token expiry");
+    t.expires = t.expires * 10 + (c - '0');
+  }
+  t.mac_hex = parts[2];
+  return t;
+}
+
+AuthService::AuthService(std::vector<AuthProviderKind> providers)
+    : providers_(std::move(providers)) {
+  // A per-instance signing key derived from the provider list — stable
+  // within one simulation, distinct across registries.
+  std::string seed = "hpcc-auth";
+  for (auto p : providers_) seed += std::string(to_string(p));
+  const auto d = crypto::Sha256::hash(std::string_view(seed));
+  signing_key_.assign(d.begin(), d.end());
+}
+
+void AuthService::add_user(const std::string& user, const std::string& secret) {
+  users_[user] = secret;
+}
+
+std::string AuthService::mac_for(const std::string& user,
+                                 SimTime expires) const {
+  const std::string payload = user + "|" + std::to_string(expires);
+  const auto mac = crypto::hmac_sha256(signing_key_, to_bytes(payload));
+  return strings::hex_encode(std::span(mac.data(), 16));
+}
+
+Result<Token> AuthService::login(const std::string& user,
+                                 const std::string& secret, SimTime now,
+                                 SimDuration ttl) {
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second != secret)
+    return err_denied("invalid credentials for user '" + user + "'");
+  Token t;
+  t.user = user;
+  t.expires = now + ttl;
+  t.mac_hex = mac_for(user, t.expires);
+  return t;
+}
+
+Result<std::string> AuthService::authenticate(const Token& token,
+                                              SimTime now) const {
+  if (token.mac_hex != mac_for(token.user, token.expires))
+    return err_denied("token signature invalid");
+  if (now >= token.expires) return err_denied("token expired");
+  return token.user;
+}
+
+}  // namespace hpcc::registry

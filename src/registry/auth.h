@@ -1,0 +1,68 @@
+// hpcc/registry/auth.h
+//
+// Registry authentication: a user database with pluggable provider
+// kinds (the "Authentication Providers" column of Table 4) and
+// HMAC-signed bearer tokens.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace hpcc::registry {
+
+enum class AuthProviderKind : std::uint8_t {
+  kInternal,
+  kLdap,
+  kOidc,
+  kPam,
+  kKerberos,
+  kSaml,
+  kUaa,
+  kKeystone,
+};
+
+std::string_view to_string(AuthProviderKind k) noexcept;
+
+struct Token {
+  std::string user;
+  SimTime expires = 0;
+  std::string mac_hex;  ///< HMAC over "user|expires"
+
+  std::string serialize() const;
+  static Result<Token> parse(std::string_view text);
+};
+
+/// A user database + token mint. The provider kind is descriptive (which
+/// backend would hold the passwords); verification logic is shared.
+class AuthService {
+ public:
+  explicit AuthService(std::vector<AuthProviderKind> providers = {
+                           AuthProviderKind::kInternal});
+
+  const std::vector<AuthProviderKind>& providers() const { return providers_; }
+
+  /// Registers a user with a secret.
+  void add_user(const std::string& user, const std::string& secret);
+
+  /// Password login -> bearer token valid until `now + ttl`.
+  Result<Token> login(const std::string& user, const std::string& secret,
+                      SimTime now, SimDuration ttl = minutes(60));
+
+  /// Validates a token at `now`; returns the authenticated user.
+  Result<std::string> authenticate(const Token& token, SimTime now) const;
+
+ private:
+  std::string mac_for(const std::string& user, SimTime expires) const;
+
+  std::vector<AuthProviderKind> providers_;
+  std::map<std::string, std::string> users_;
+  Bytes signing_key_;
+};
+
+}  // namespace hpcc::registry

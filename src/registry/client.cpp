@@ -1,0 +1,119 @@
+#include "registry/client.h"
+
+namespace hpcc::registry {
+
+Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
+                                        const image::ImageReference& ref,
+                                        image::BlobStore* local) {
+  PullResult out;
+  SimTime retry = 0;
+  auto admitted = reg.admit_pull(now, &retry);
+  if (!admitted.ok()) return admitted.error();
+
+  SimTime t = reg.serve_request(now);
+  HPCC_TRY(out.manifest, reg.get_manifest(ref));
+
+  // Config blob.
+  t = reg.serve_request(t);
+  HPCC_TRY(Bytes config_blob, reg.get_blob(out.manifest.config_digest));
+  HPCC_TRY_UNIT(crypto::verify_digest(config_blob, out.manifest.config_digest));
+  t = reg.serve_transfer(t, config_blob.size());
+  t = network_->wan_transfer(t, node_, config_blob.size());
+  out.bytes_transferred += config_blob.size();
+  HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
+  if (local) (void)local->put(std::move(config_blob));
+
+  // Layers, skipping locally cached ones.
+  for (const auto& digest : out.manifest.layer_digests) {
+    if (local && local->contains(digest)) {
+      ++out.layers_skipped;
+      HPCC_TRY(const Bytes* cached, local->get(digest));
+      HPCC_TRY(auto layer, vfs::Layer::deserialize(*cached));
+      out.layers.push_back(std::move(layer));
+      continue;
+    }
+    t = reg.serve_request(t);
+    HPCC_TRY(Bytes blob, reg.get_blob(digest));
+    HPCC_TRY_UNIT(crypto::verify_digest(blob, digest));
+    t = reg.serve_transfer(t, blob.size());
+    t = network_->wan_transfer(t, node_, blob.size());
+    out.bytes_transferred += blob.size();
+    HPCC_TRY(auto layer, vfs::Layer::deserialize(blob));
+    out.layers.push_back(std::move(layer));
+    if (local) (void)local->put(std::move(blob));
+  }
+  out.done = t;
+  return out;
+}
+
+Result<PullResult> RegistryClient::pull_via_proxy(
+    SimTime now, PullThroughProxy& proxy, const image::ImageReference& ref,
+    image::BlobStore* local) {
+  PullResult out;
+  HPCC_TRY(const auto mres, proxy.fetch_manifest(now, ref));
+  out.manifest = mres.manifest;
+  SimTime t = mres.done;
+
+  HPCC_TRY(const auto cres, proxy.fetch_blob(t, out.manifest.config_digest));
+  t = network_->transfer(cres.done, 0, node_, cres.blob.size());
+  out.bytes_transferred += cres.blob.size();
+  HPCC_TRY(out.config, image::ImageConfig::deserialize(cres.blob));
+
+  for (const auto& digest : out.manifest.layer_digests) {
+    if (local && local->contains(digest)) {
+      ++out.layers_skipped;
+      HPCC_TRY(const Bytes* cached, local->get(digest));
+      HPCC_TRY(auto layer, vfs::Layer::deserialize(*cached));
+      out.layers.push_back(std::move(layer));
+      continue;
+    }
+    HPCC_TRY(const auto bres, proxy.fetch_blob(t, digest));
+    HPCC_TRY_UNIT(crypto::verify_digest(bres.blob, digest));
+    // Proxy lives on the site network: node-to-node speed, not WAN.
+    t = network_->transfer(bres.done, 0, node_, bres.blob.size());
+    out.bytes_transferred += bres.blob.size();
+    HPCC_TRY(auto layer, vfs::Layer::deserialize(bres.blob));
+    out.layers.push_back(std::move(layer));
+    if (local) (void)local->put(bres.blob);
+  }
+  out.done = t;
+  return out;
+}
+
+Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
+                                        const std::string& user,
+                                        const image::ImageReference& ref,
+                                        const image::ImageConfig& config,
+                                        const std::vector<vfs::Layer>& layers) {
+  PushResult out;
+  const std::string project =
+      ref.repository.substr(0, ref.repository.find('/'));
+
+  SimTime t = now;
+  image::OciManifest manifest;
+
+  Bytes config_blob = config.serialize();
+  t = network_->wan_transfer(t, node_, config_blob.size());
+  out.bytes_transferred += config_blob.size();
+  HPCC_TRY(manifest.config_digest,
+           reg.push_blob(user, project, std::move(config_blob)));
+
+  for (const auto& layer : layers) {
+    Bytes blob = layer.serialize();
+    const std::uint64_t size = blob.size();
+    // Existing blobs are not re-transferred (cross-user dedup on push).
+    if (!reg.has_blob(crypto::Digest::of(blob))) {
+      t = network_->wan_transfer(t, node_, size);
+      out.bytes_transferred += size;
+    }
+    HPCC_TRY(auto digest, reg.push_blob(user, project, std::move(blob)));
+    manifest.layer_digests.push_back(digest);
+    manifest.layer_sizes.push_back(size);
+  }
+  t = reg.serve_request(t);
+  HPCC_TRY(out.manifest_digest, reg.push_manifest(user, ref, manifest));
+  out.done = t;
+  return out;
+}
+
+}  // namespace hpcc::registry

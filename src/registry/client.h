@@ -1,0 +1,71 @@
+// hpcc/registry/client.h
+//
+// The node-side registry client: timed, digest-verified pulls and
+// pushes over the cluster network model. Every pull verifies each blob
+// against its manifest digest (the integrity check content addressing
+// buys, §3.1); layers already present in the local store are skipped —
+// the incremental-pull behaviour layered images exist for (§4.1.4).
+#pragma once
+
+#include <optional>
+
+#include "image/convert.h"
+#include "image/manifest.h"
+#include "image/reference.h"
+#include "image/store.h"
+#include "registry/proxy.h"
+#include "registry/registry.h"
+#include "sim/network.h"
+#include "util/result.h"
+#include "vfs/layer.h"
+
+namespace hpcc::registry {
+
+struct PullResult {
+  SimTime done = 0;
+  image::OciManifest manifest;
+  image::ImageConfig config;
+  std::vector<vfs::Layer> layers;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t layers_skipped = 0;  ///< already in the local store
+};
+
+struct PushResult {
+  SimTime done = 0;
+  crypto::Digest manifest_digest;
+  std::uint64_t bytes_transferred = 0;
+};
+
+class RegistryClient {
+ public:
+  /// `node` is where this client runs; transfers cross that node's NIC
+  /// and the WAN uplink.
+  RegistryClient(sim::Network* network, sim::NodeId node)
+      : network_(network), node_(node) {}
+
+  /// Timed pull of a full image. Rate-limited upstreams surface
+  /// kResourceExhausted (with the §5.1.3 "toomanyrequests" semantics);
+  /// callers either back off or go through a proxy.
+  Result<PullResult> pull(SimTime now, OciRegistry& reg,
+                          const image::ImageReference& ref,
+                          image::BlobStore* local = nullptr);
+
+  /// Timed pull through a caching proxy (no upstream rate-limit exposure
+  /// and site-local transfer speeds on hits).
+  Result<PullResult> pull_via_proxy(SimTime now, PullThroughProxy& proxy,
+                                    const image::ImageReference& ref,
+                                    image::BlobStore* local = nullptr);
+
+  /// Timed push of config + layers + manifest.
+  Result<PushResult> push(SimTime now, OciRegistry& reg,
+                          const std::string& user,
+                          const image::ImageReference& ref,
+                          const image::ImageConfig& config,
+                          const std::vector<vfs::Layer>& layers);
+
+ private:
+  sim::Network* network_;
+  sim::NodeId node_;
+};
+
+}  // namespace hpcc::registry

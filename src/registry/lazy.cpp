@@ -1,0 +1,164 @@
+#include "registry/lazy.h"
+
+namespace hpcc::registry {
+
+Result<crypto::Digest> publish_lazy(OciRegistry& reg,
+                                    const std::string& user,
+                                    const std::string& project,
+                                    const vfs::SquashImage& squash) {
+  return reg.push_blob(user, project, squash.blob());
+}
+
+namespace {
+
+class LazyRootfs final : public runtime::MountedRootfs {
+ public:
+  LazyRootfs(const vfs::SquashImage* squash, LazyMountConfig config,
+             const runtime::RuntimeCosts& costs)
+      : squash_(squash), config_(config), costs_(costs) {}
+
+  runtime::MountKind kind() const override {
+    // Lazy mounts are FUSE-class userspace drivers (stargz-snapshotter,
+    // EroFS-over-fscache): safe for rootless use, FUSE-priced per op.
+    return runtime::MountKind::kSquashFuse;
+  }
+  std::string describe() const override {
+    return config_.over_wan ? "lazy image (WAN-backed)"
+                            : "lazy image (site-registry-backed)";
+  }
+
+  SimDuration setup_cost() const override {
+    // FUSE daemon spawn + index fetch (the metadata region only — the
+    // whole point: no image-sized transfer before the container starts).
+    const std::uint64_t index_bytes =
+        squash_->size() - compressed_payload_bytes();
+    return costs_.fuse_mount_cost + transfer_duration(index_bytes);
+  }
+
+  SimTime charge_open(SimTime now) override { return fuse_op(now); }
+
+  SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    const double ratio = squash_->compression_ratio();
+    if (random) {
+      return block_read(fuse_op(now),
+                        std::min<std::uint64_t>(bytes + 1, block_size()),
+                        ratio, next_key(random));
+    }
+    // Sequential: fetch the covering blocks; cached blocks are free
+    // beyond memory speed.
+    SimTime t = fuse_op(now);
+    std::uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(remaining, block_size());
+      t = block_read(t, chunk, ratio, next_key(false));
+      remaining -= chunk;
+    }
+    return t;
+  }
+
+  Result<SimTime> read_file(SimTime now, std::string_view path,
+                            Bytes* out) override {
+    HPCC_TRY(const auto blocks, squash_->file_blocks(path));
+    SimTime t = fuse_op(now);
+    std::uint64_t remaining = blocks.file_size;
+    for (std::size_t i = 0; i < blocks.comp_lens.size(); ++i) {
+      const std::uint64_t unc =
+          std::min<std::uint64_t>(remaining, blocks.block_size);
+      const std::string key =
+          "lazy:" + std::string(path) + ":" + std::to_string(i);
+      if (config_.cache->contains(key)) {
+        t += config_.cache->hit_cost(unc);
+      } else {
+        t = fetch(t, blocks.comp_lens[i]);
+        t += decompress_time(unc);
+        config_.cache->insert(key, unc);
+      }
+      remaining -= unc;
+    }
+    if (out) {
+      HPCC_TRY(*out, squash_->read_file(path));
+    }
+    return t;
+  }
+
+  bool exists(std::string_view path) const override {
+    return squash_->exists(path);
+  }
+
+ private:
+  std::uint64_t block_size() const { return squash_->block_size(); }
+
+  std::uint64_t compressed_payload_bytes() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(squash_->uncompressed_bytes()) *
+        squash_->compression_ratio());
+  }
+
+  SimTime fuse_op(SimTime now) const { return now + costs_.fuse_fs_op; }
+
+  SimDuration decompress_time(std::uint64_t bytes) const {
+    return static_cast<SimDuration>(static_cast<double>(bytes) /
+                                    costs_.decompress_bandwidth) +
+           1;
+  }
+
+  SimDuration transfer_duration(std::uint64_t bytes) const {
+    const double bw = config_.over_wan
+                          ? 1250.0   // shared uplink class
+                          : 12000.0; // site network class
+    const SimDuration latency = config_.over_wan ? msec(20) : usec(50);
+    return latency +
+           static_cast<SimDuration>(static_cast<double>(bytes) / bw);
+  }
+
+  /// Fetch `bytes` from the registry: frontend + egress + network.
+  SimTime fetch(SimTime t, std::uint64_t bytes) {
+    t = config_.registry->serve_request(t);
+    t = config_.registry->serve_transfer(t, bytes);
+    if (config_.over_wan) {
+      t = config_.network->wan_transfer(t, config_.node, bytes);
+    } else {
+      t = config_.network->transfer(t, 0, config_.node, bytes);
+    }
+    return t;
+  }
+
+  std::string next_key(bool random) {
+    const std::uint64_t nblocks = std::max<std::uint64_t>(1, squash_->num_blocks());
+    const std::uint64_t idx =
+        random ? (rnd_counter_++ % std::max<std::uint64_t>(1, nblocks / 4))
+               : (seq_counter_++ % nblocks);
+    return "lazyblk:" + std::to_string(idx);
+  }
+
+  SimTime block_read(SimTime t, std::uint64_t unc, double ratio,
+                     const std::string& key) {
+    if (config_.cache->contains(key)) return t + config_.cache->hit_cost(unc);
+    const auto comp =
+        static_cast<std::uint64_t>(static_cast<double>(unc) * ratio) + 1;
+    t = fetch(t, comp);
+    t += decompress_time(unc);
+    config_.cache->insert(key, unc);
+    return t;
+  }
+
+  const vfs::SquashImage* squash_;
+  LazyMountConfig config_;
+  const runtime::RuntimeCosts& costs_;
+  std::uint64_t rnd_counter_ = 0;
+  std::uint64_t seq_counter_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<runtime::MountedRootfs>> make_lazy_rootfs(
+    const vfs::SquashImage* squash, LazyMountConfig config,
+    const runtime::RuntimeCosts& costs) {
+  if (!squash) return err_invalid("lazy mount needs a squash image");
+  if (!config.registry || !config.network || !config.cache)
+    return err_invalid("lazy mount needs a registry, a network and a cache");
+  return std::unique_ptr<runtime::MountedRootfs>(
+      new LazyRootfs(squash, config, costs));
+}
+
+}  // namespace hpcc::registry

@@ -1,0 +1,52 @@
+// hpcc/registry/lazy.h
+//
+// Lazy-pulling images — the survey's §7 outlook implemented:
+// "With registries like Quay or Dragonfly providing eStargz or EroFS
+// images, which can be either generated on-the-fly or uploaded in
+// addition to the OCI compatible layers, we assume it won't be long
+// until these formats will be evaluated and possibly adopted for HPC
+// usage as an alternative to SIF."
+//
+// A LazyImage is a chunk-indexed squash artifact hosted by a registry:
+// mounting fetches only the index; file blocks are fetched over the
+// network on first access and land in the node's page cache. Containers
+// start before the image has "arrived" — the win is time-to-first-work;
+// the cost is first-touch latency on every cold block (bench_lazy_pull
+// measures both sides against the pull-convert-run pipeline).
+#pragma once
+
+#include <memory>
+
+#include "registry/registry.h"
+#include "runtime/mounts.h"
+#include "sim/network.h"
+#include "util/result.h"
+#include "vfs/squash_image.h"
+
+namespace hpcc::registry {
+
+/// Publishes a squash artifact as a lazily-pullable image: the registry
+/// stores the blob; the returned digest is what lazy mounts reference.
+Result<crypto::Digest> publish_lazy(OciRegistry& reg,
+                                    const std::string& user,
+                                    const std::string& project,
+                                    const vfs::SquashImage& squash);
+
+struct LazyMountConfig {
+  OciRegistry* registry = nullptr;
+  sim::Network* network = nullptr;
+  sim::NodeId node = 0;
+  sim::PageCache* cache = nullptr;  ///< required: lazy without cache thrashes
+  /// Transfers cross the WAN (public registry) or stay on the site
+  /// network (site registry / Dragonfly-style P2P).
+  bool over_wan = false;
+};
+
+/// Creates a lazily-backed rootfs over a published squash image. Mount
+/// setup fetches only the index (metadata region); block fetches happen
+/// on access. Functional reads return real content.
+Result<std::unique_ptr<runtime::MountedRootfs>> make_lazy_rootfs(
+    const vfs::SquashImage* squash, LazyMountConfig config,
+    const runtime::RuntimeCosts& costs = runtime::default_costs());
+
+}  // namespace hpcc::registry

@@ -1,0 +1,237 @@
+#include "registry/profiles.h"
+
+#include "util/strings.h"
+
+namespace hpcc::registry {
+
+std::string_view to_string(ProxySupport v) noexcept {
+  switch (v) {
+    case ProxySupport::kNo: return "no";
+    case ProxySupport::kManual: return "yes / manual";
+    case ProxySupport::kAuto: return "yes / auto";
+  }
+  return "?";
+}
+
+std::string_view to_string(ReplicationSupport v) noexcept {
+  switch (v) {
+    case ReplicationSupport::kNo: return "no";
+    case ReplicationSupport::kPull: return "yes (pull)";
+    case ReplicationSupport::kPushPull: return "yes (push + pull)";
+    case ReplicationSupport::kManual: return "manual (Globus)";
+  }
+  return "?";
+}
+
+std::string_view to_string(SquashSupport v) noexcept {
+  switch (v) {
+    case SquashSupport::kNo: return "no";
+    case SquashSupport::kOnDemand: return "on-demand";
+    case SquashSupport::kNotApplicable: return "-";
+  }
+  return "?";
+}
+
+std::string_view to_string(RegistryProtocol v) noexcept {
+  switch (v) {
+    case RegistryProtocol::kOciV1: return "OCI v1";
+    case RegistryProtocol::kOciV2: return "OCI v2";
+    case RegistryProtocol::kLibraryApi: return "Library API";
+    case RegistryProtocol::kLibraryApiAndOci: return "Library API, OCI v2";
+  }
+  return "?";
+}
+
+bool RegistryProduct::supports_user_defined_artifacts() const {
+  for (const auto& a : artifact_support)
+    if (strings::contains(a, "user-def")) return true;
+  return false;
+}
+
+const std::vector<RegistryProduct>& registry_products() {
+  static const std::vector<RegistryProduct> kProducts = [] {
+    std::vector<RegistryProduct> v;
+
+    RegistryProduct quay;
+    quay.name = "Quay";
+    quay.version = "v3.8.10 (Dec. 6 2022)";
+    quay.champion = "RedHat/IBM";
+    quay.affiliation = "-";
+    quay.focus = "Registry";
+    quay.protocol = RegistryProtocol::kOciV2;
+    quay.artifact_support = {"Helm charts", "cosign", "zstd"};
+    quay.proxying = ProxySupport::kAuto;
+    quay.replication = ReplicationSupport::kPull;
+    quay.storage_backends = {"FS", "S3", "GCS", "Swift", "Ceph"};
+    quay.auth_providers = {AuthProviderKind::kInternal, AuthProviderKind::kLdap,
+                           AuthProviderKind::kKeystone, AuthProviderKind::kOidc};
+    quay.squashing = SquashSupport::kOnDemand;
+    quay.image_formats = {"OCI"};
+    quay.multi_tenant = true;
+    quay.tenant_term = "Organization";
+    quay.quota_support = "per-project";
+    quay.signing = true;
+    quay.deployment = {"Kubernetes Operator"};
+    quay.build_integration = "build on Kubernetes, EC2";
+    v.push_back(std::move(quay));
+
+    RegistryProduct harbor;
+    harbor.name = "Harbor";
+    harbor.version = "v2.8.3 (Jul. 28, 2023)";
+    harbor.champion = "VMWare";
+    harbor.affiliation = "CNCF";
+    harbor.focus = "Registry";
+    harbor.protocol = RegistryProtocol::kOciV2;
+    harbor.artifact_support = {"Helm charts", "cosign", "user-def."};
+    harbor.proxying = ProxySupport::kAuto;
+    harbor.replication = ReplicationSupport::kPushPull;
+    harbor.storage_backends = {"FS", "Azure", "GCS", "S3", "Swift", "OSS"};
+    harbor.auth_providers = {AuthProviderKind::kInternal, AuthProviderKind::kLdap,
+                             AuthProviderKind::kUaa, AuthProviderKind::kOidc};
+    harbor.squashing = SquashSupport::kNo;
+    harbor.image_formats = {"OCI"};
+    harbor.multi_tenant = true;
+    harbor.tenant_term = "Project";
+    harbor.quota_support = "per-project";
+    harbor.signing = true;
+    harbor.deployment = {"Docker Compose", "Helm Chart"};
+    harbor.build_integration = "via CI/CD";
+    v.push_back(std::move(harbor));
+
+    RegistryProduct gitlab;
+    gitlab.name = "GitLab";
+    gitlab.version = "v16.2 (Jul. 22, 2023)";
+    gitlab.champion = "GitLab";
+    gitlab.affiliation = "-";
+    gitlab.focus = "Git hosting, CI/CD";
+    gitlab.protocol = RegistryProtocol::kOciV2;
+    gitlab.artifact_support = {"no, separate pkg registries"};
+    gitlab.proxying = ProxySupport::kManual;
+    gitlab.replication = ReplicationSupport::kNo;
+    gitlab.storage_backends = {"FS", "Azure", "GCS", "S3", "Swift", "OSS"};
+    gitlab.auth_providers = {AuthProviderKind::kLdap};
+    gitlab.squashing = SquashSupport::kNo;
+    gitlab.image_formats = {"OCI"};
+    gitlab.multi_tenant = true;
+    gitlab.tenant_term = "Organization";
+    gitlab.quota_support = "minimal solution self-hosted";
+    gitlab.signing = false;
+    gitlab.deployment = {"Linux packages", "Helm Chart", "Kubernetes Operator",
+                         "Docker", "GET"};
+    gitlab.build_integration = "via CI/CD";
+    v.push_back(std::move(gitlab));
+
+    RegistryProduct gitea;
+    gitea.name = "Gitea";
+    gitea.version = "v1.20.2 (Jul. 29, 2023)";
+    gitea.champion = "(OSS community)";
+    gitea.affiliation = "-";
+    gitea.focus = "Git hosting, CI/CD";
+    gitea.protocol = RegistryProtocol::kOciV2;
+    gitea.artifact_support = {"Helm", "separate pkg registries"};
+    gitea.proxying = ProxySupport::kNo;
+    gitea.replication = ReplicationSupport::kNo;
+    gitea.storage_backends = {"FS", "Minio/S3"};
+    gitea.auth_providers = {AuthProviderKind::kInternal, AuthProviderKind::kLdap,
+                            AuthProviderKind::kPam, AuthProviderKind::kKerberos};
+    gitea.squashing = SquashSupport::kNo;
+    gitea.image_formats = {"OCI"};
+    gitea.multi_tenant = false;
+    gitea.quota_support = "no";
+    gitea.signing = false;
+    gitea.deployment = {"Docker Compose", "Binary", "Helm Chart"};
+    gitea.build_integration = "via CI/CD";
+    v.push_back(std::move(gitea));
+
+    RegistryProduct shpc;
+    shpc.name = "shpc";
+    shpc.version = "v2.1.0 (Apr. 6, 2023)";
+    shpc.champion = "vsoch";
+    shpc.affiliation = "LLNL";
+    shpc.focus = "Registry";
+    shpc.protocol = RegistryProtocol::kLibraryApi;
+    shpc.artifact_support = {};
+    shpc.proxying = ProxySupport::kNo;
+    shpc.replication = ReplicationSupport::kManual;
+    shpc.storage_backends = {"Minio", "GCS", "S3"};
+    shpc.auth_providers = {AuthProviderKind::kLdap, AuthProviderKind::kPam,
+                           AuthProviderKind::kSaml};
+    shpc.squashing = SquashSupport::kNotApplicable;
+    shpc.image_formats = {"SIF"};
+    shpc.multi_tenant = false;
+    shpc.quota_support = "no";
+    shpc.signing = true;
+    shpc.deployment = {"Docker Compose"};
+    shpc.build_integration = "build on GCC";
+    v.push_back(std::move(shpc));
+
+    RegistryProduct hink;
+    hink.name = "Hinkskalle";
+    hink.version = "v4.6.0 (Oct. 18, 2022)";
+    hink.champion = "h3kker";
+    hink.affiliation = "University of Vienna";
+    hink.focus = "Registry";
+    hink.protocol = RegistryProtocol::kLibraryApiAndOci;
+    hink.artifact_support = {"no"};
+    hink.proxying = ProxySupport::kNo;
+    hink.replication = ReplicationSupport::kNo;
+    hink.storage_backends = {"FS"};
+    hink.auth_providers = {AuthProviderKind::kLdap};
+    hink.squashing = SquashSupport::kNotApplicable;
+    hink.image_formats = {"SIF", "OCI"};
+    hink.multi_tenant = false;
+    hink.quota_support = "no";
+    hink.signing = true;
+    hink.deployment = {"Docker Compose"};
+    hink.build_integration = "no";
+    v.push_back(std::move(hink));
+
+    RegistryProduct zot;
+    zot.name = "zot";
+    zot.version = "v1.4.3 (Nov. 30, 2022)";
+    zot.champion = "Cisco";
+    zot.affiliation = "CNCF";
+    zot.focus = "Registry";
+    zot.protocol = RegistryProtocol::kOciV1;
+    zot.artifact_support = {"Helm charts", "cosign", "notation"};
+    zot.proxying = ProxySupport::kNo;
+    zot.replication = ReplicationSupport::kPull;
+    zot.storage_backends = {"FS", "S3"};
+    zot.auth_providers = {AuthProviderKind::kInternal, AuthProviderKind::kLdap};
+    zot.squashing = SquashSupport::kNo;
+    zot.image_formats = {"OCI"};
+    zot.multi_tenant = false;
+    zot.quota_support = "no";
+    zot.signing = true;
+    zot.deployment = {"Docker", "Helm", "Podman"};
+    zot.build_integration = "via CI/CD";
+    v.push_back(std::move(zot));
+
+    return v;
+  }();
+  return kProducts;
+}
+
+Result<const RegistryProduct*> find_registry_product(std::string_view name) {
+  for (const auto& p : registry_products()) {
+    if (strings::to_lower(p.name) == strings::to_lower(name)) return &p;
+  }
+  return err_not_found("no registry product '" + std::string(name) + "'");
+}
+
+Result<std::unique_ptr<OciRegistry>> instantiate_oci_registry(
+    const RegistryProduct& product, const std::string& host,
+    RegistryLimits limits) {
+  if (!product.supports_oci())
+    return err_unsupported(product.name + " speaks only the Library API");
+  TenancyPolicy tenancy;
+  tenancy.multi_tenant = product.multi_tenant;
+  tenancy.tenant_term =
+      product.tenant_term.empty() ? "Project" : product.tenant_term;
+  tenancy.per_project_quota = product.quota_support == "per-project";
+  auto reg = std::make_unique<OciRegistry>(host, limits, tenancy);
+  for (auto kind : product.auth_providers) (void)kind;  // descriptive
+  return reg;
+}
+
+}  // namespace hpcc::registry

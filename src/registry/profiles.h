@@ -1,0 +1,77 @@
+// hpcc/registry/profiles.h
+//
+// The seven registry products the survey compares (Tables 4 and 5):
+// Quay, Harbor, GitLab, Gitea, shpc, Hinkskalle, zot. Each profile is a
+// declarative feature set *plus* a factory that instantiates a working
+// registry configured to behave accordingly — so the regenerated tables
+// describe live code, and the adaptive decision engine can score real
+// capabilities.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "registry/registry.h"
+
+namespace hpcc::registry {
+
+enum class ProxySupport : std::uint8_t { kNo, kManual, kAuto };
+enum class ReplicationSupport : std::uint8_t { kNo, kPull, kPushPull, kManual };
+enum class SquashSupport : std::uint8_t { kNo, kOnDemand, kNotApplicable };
+enum class RegistryProtocol : std::uint8_t { kOciV1, kOciV2, kLibraryApi,
+                                             kLibraryApiAndOci };
+
+std::string_view to_string(ProxySupport v) noexcept;
+std::string_view to_string(ReplicationSupport v) noexcept;
+std::string_view to_string(SquashSupport v) noexcept;
+std::string_view to_string(RegistryProtocol v) noexcept;
+
+struct RegistryProduct {
+  // Table 4, identification
+  std::string name;
+  std::string version;
+  std::string champion;
+  std::string affiliation;
+  std::string focus;
+  RegistryProtocol protocol = RegistryProtocol::kOciV2;
+
+  // Table 4, features
+  std::vector<std::string> artifact_support;  ///< "Helm charts", "cosign", ...
+  ProxySupport proxying = ProxySupport::kNo;
+  ReplicationSupport replication = ReplicationSupport::kNo;
+  std::vector<std::string> storage_backends;
+  std::vector<AuthProviderKind> auth_providers;
+
+  // Table 5
+  SquashSupport squashing = SquashSupport::kNo;
+  std::vector<std::string> image_formats;  ///< "OCI", "SIF"
+  bool multi_tenant = false;
+  std::string tenant_term;       ///< "Organization" / "Project"
+  std::string quota_support;     ///< "per-project", "no", ...
+  bool signing = false;
+  std::vector<std::string> deployment;
+  std::string build_integration;
+
+  bool supports_oci() const {
+    return protocol != RegistryProtocol::kLibraryApi;
+  }
+  bool supports_library_api() const {
+    return protocol == RegistryProtocol::kLibraryApi ||
+           protocol == RegistryProtocol::kLibraryApiAndOci;
+  }
+  bool supports_user_defined_artifacts() const;
+};
+
+/// The seven products, in the paper's row order.
+const std::vector<RegistryProduct>& registry_products();
+
+Result<const RegistryProduct*> find_registry_product(std::string_view name);
+
+/// Instantiates a working OCI registry configured per the product's
+/// tenancy/quota flags. kUnsupported for Library-API-only products.
+Result<std::unique_ptr<OciRegistry>> instantiate_oci_registry(
+    const RegistryProduct& product, const std::string& host,
+    RegistryLimits limits = {});
+
+}  // namespace hpcc::registry

@@ -1,0 +1,119 @@
+#include "registry/proxy.h"
+
+#include "image/reference.h"
+
+namespace hpcc::registry {
+
+PullThroughProxy::PullThroughProxy(std::string host, OciRegistry* upstream,
+                                   ProxyConfig config)
+    : host_(std::move(host)), upstream_(upstream), config_(config),
+      frontend_(host_ + "-frontend", config.limits.frontend_threads),
+      egress_(host_ + "-egress", 1) {}
+
+SimTime PullThroughProxy::upstream_fetch(SimTime now, std::uint64_t bytes) {
+  // Wait out the upstream rate limiter (the proxy is one well-behaved
+  // client instead of hundreds of throttled ones).
+  SimTime t = now;
+  SimTime retry = 0;
+  while (true) {
+    auto admitted = upstream_->admit_pull(t, &retry);
+    if (admitted.ok()) break;
+    throttle_wait_ += retry - t;
+    t = retry;
+  }
+  t = upstream_->serve_request(t);
+  t = upstream_->serve_transfer(t, bytes);
+  // WAN crossing.
+  t += config_.upstream_rtt +
+       static_cast<SimDuration>(static_cast<double>(bytes) /
+                                config_.upstream_bandwidth);
+  ++upstream_fetches_;
+  upstream_bytes_ += bytes;
+  return t;
+}
+
+Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
+    SimTime now, const image::ImageReference& ref) {
+  ManifestResult out;
+  SimTime t = frontend_.submit(now, config_.limits.request_service);
+
+  auto it = manifest_cache_.find(ref.to_string());
+  if (it != manifest_cache_.end()) {
+    HPCC_TRY(const Bytes* blob, cache_.get(it->second));
+    HPCC_TRY(out.manifest, image::OciManifest::deserialize(*blob));
+    out.cache_hit = true;
+    ++cache_hits_;
+    out.done = t;
+    bytes_served_ += blob->size();
+    return out;
+  }
+
+  HPCC_TRY(out.manifest, upstream_->get_manifest(ref));
+  Bytes blob = out.manifest.serialize();
+  t = upstream_fetch(t, blob.size());
+  bytes_served_ += blob.size();
+  manifest_cache_[ref.to_string()] = cache_.put(std::move(blob));
+  out.done = t;
+  return out;
+}
+
+Result<PullThroughProxy::BlobResult> PullThroughProxy::fetch_blob(
+    SimTime now, const crypto::Digest& digest) {
+  BlobResult out;
+  SimTime t = frontend_.submit(now, config_.limits.request_service);
+
+  if (const auto cached = cache_.get(digest); cached.ok()) {
+    out.blob = *cached.value();
+    out.cache_hit = true;
+    ++cache_hits_;
+  } else {
+    HPCC_TRY(out.blob, upstream_->get_blob(digest));
+    t = upstream_fetch(t, out.blob.size());
+    (void)cache_.put(out.blob);
+  }
+  // Serve through the proxy's own egress (site-local, fast).
+  t = egress_.submit(t, static_cast<SimDuration>(
+                            static_cast<double>(out.blob.size()) /
+                            config_.limits.egress_bandwidth));
+  bytes_served_ += out.blob.size();
+  out.done = t;
+  return out;
+}
+
+Result<MirrorStats> mirror_repository(const OciRegistry& source,
+                                      OciRegistry& destination,
+                                      const std::string& repo_key,
+                                      const std::string& dest_user) {
+  MirrorStats stats;
+  HPCC_TRY(const auto tags, source.list_tags(repo_key));
+  for (const auto& tag : tags) {
+    HPCC_TRY(const auto ref, image::ImageReference::parse(repo_key + ":" + tag));
+    HPCC_TRY(const auto manifest, source.get_manifest(ref));
+
+    const std::string project =
+        ref.repository.substr(0, ref.repository.find('/'));
+    // Copy config + layers, skipping blobs the destination already has.
+    auto copy_blob = [&](const crypto::Digest& digest) -> Result<Unit> {
+      if (destination.has_blob(digest)) {
+        ++stats.blobs_skipped;
+        return ok_unit();
+      }
+      HPCC_TRY(Bytes blob, source.get_blob(digest));
+      stats.bytes_copied += blob.size();
+      ++stats.blobs_copied;
+      HPCC_TRY(auto d, destination.push_blob(dest_user, project, std::move(blob)));
+      (void)d;
+      return ok_unit();
+    };
+    HPCC_TRY_UNIT(copy_blob(manifest.config_digest));
+    for (const auto& layer : manifest.layer_digests)
+      HPCC_TRY_UNIT(copy_blob(layer));
+
+    HPCC_TRY(auto digest, destination.push_manifest(dest_user, ref, manifest));
+    (void)digest;
+    ++stats.manifests_copied;
+  }
+  return stats;
+}
+
+}  // namespace hpcc::registry

@@ -1,0 +1,90 @@
+// hpcc/registry/proxy.h
+//
+// Pull-through caching proxy and mirroring.
+//
+// §5.1.3: "A registry implementing proxy capabilities by means of
+// transparently forwarding and caching requests in a namespace to an
+// upstream registry can provide such proxy services. The advantages
+// over a common HTTP(S) proxy include detailed statistics about
+// upstream registry usage, required disk space, image statistics" —
+// and, crucially, shielding a site with few public IPs from upstream
+// rate limits. bench_registry_proxy reproduces that scenario.
+#pragma once
+
+#include <string>
+
+#include "registry/registry.h"
+
+namespace hpcc::registry {
+
+struct ProxyConfig {
+  RegistryLimits limits;             ///< the proxy's own service capacity
+  SimDuration upstream_rtt = msec(40);  ///< WAN round trip to upstream
+  double upstream_bandwidth = 1250.0;   ///< bytes/us from upstream (10 Gb/s)
+};
+
+class PullThroughProxy {
+ public:
+  PullThroughProxy(std::string host, OciRegistry* upstream,
+                   ProxyConfig config = {});
+
+  struct ManifestResult {
+    SimTime done = 0;
+    image::OciManifest manifest;
+    bool cache_hit = false;
+  };
+  struct BlobResult {
+    SimTime done = 0;
+    Bytes blob;
+    bool cache_hit = false;
+  };
+
+  /// Fetches a manifest at `now`. Cache hit: served locally. Miss: the
+  /// proxy pulls upstream (waiting out the upstream rate limiter if
+  /// throttled), caches, then serves.
+  Result<ManifestResult> fetch_manifest(SimTime now,
+                                        const image::ImageReference& ref);
+
+  Result<BlobResult> fetch_blob(SimTime now, const crypto::Digest& digest);
+
+  // ----- the "detailed statistics" a proxy registry provides (§5.1.3)
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t upstream_fetches() const { return upstream_fetches_; }
+  std::uint64_t upstream_bytes() const { return upstream_bytes_; }
+  std::uint64_t bytes_served() const { return bytes_served_; }
+  std::uint64_t cached_bytes() const { return cache_.stored_bytes(); }
+  SimDuration throttle_wait_total() const { return throttle_wait_; }
+
+ private:
+  SimTime upstream_fetch(SimTime now, std::uint64_t bytes);
+
+  std::string host_;
+  OciRegistry* upstream_;
+  ProxyConfig config_;
+  image::BlobStore cache_;
+  std::map<std::string, crypto::Digest> manifest_cache_;  // ref -> digest
+  sim::FifoStation frontend_;
+  sim::FifoStation egress_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t upstream_fetches_ = 0;
+  std::uint64_t upstream_bytes_ = 0;
+  std::uint64_t bytes_served_ = 0;
+  SimDuration throttle_wait_ = 0;
+};
+
+/// One-shot replication of a repository between registries ("Repl./
+/// Mirroring", Table 4). Blobs already present at the destination are
+/// skipped (CAS dedup across sites).
+struct MirrorStats {
+  std::uint64_t manifests_copied = 0;
+  std::uint64_t blobs_copied = 0;
+  std::uint64_t blobs_skipped = 0;
+  std::uint64_t bytes_copied = 0;
+};
+
+Result<MirrorStats> mirror_repository(const OciRegistry& source,
+                                      OciRegistry& destination,
+                                      const std::string& repo_key,
+                                      const std::string& dest_user);
+
+}  // namespace hpcc::registry

@@ -1,0 +1,113 @@
+#include "runtime/cgroup.h"
+
+#include "vfs/path.h"
+
+namespace hpcc::runtime {
+
+void Cgroup::charge_cpu(SimDuration core_usec) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent)
+    g->usage_.cpu_time += core_usec;
+}
+
+Result<Unit> Cgroup::charge_memory(std::uint64_t bytes) {
+  // Check limits along the path first (all-or-nothing).
+  for (Cgroup* g = this; g != nullptr; g = g->parent) {
+    if (g->limits_.memory_limit != 0 &&
+        g->usage_.memory_current + bytes > g->limits_.memory_limit) {
+      return err_exhausted("cgroup " + g->path_ + " memory limit " +
+                           std::to_string(g->limits_.memory_limit) +
+                           " exceeded");
+    }
+  }
+  for (Cgroup* g = this; g != nullptr; g = g->parent) {
+    g->usage_.memory_current += bytes;
+    g->usage_.memory_peak =
+        std::max(g->usage_.memory_peak, g->usage_.memory_current);
+  }
+  return ok_unit();
+}
+
+void Cgroup::release_memory(std::uint64_t bytes) {
+  for (Cgroup* g = this; g != nullptr; g = g->parent) {
+    g->usage_.memory_current =
+        bytes > g->usage_.memory_current ? 0 : g->usage_.memory_current - bytes;
+  }
+}
+
+CgroupTree::CgroupTree(CgroupVersion version) : version_(version) {
+  root_.path_ = "/";
+}
+
+Result<std::pair<Cgroup*, std::string>> CgroupTree::resolve_parent(
+    const std::string& path) {
+  const std::string norm = vfs::normalize(path);
+  if (norm == "/") return err_invalid("cannot operate on the root cgroup");
+  Cgroup* cur = &root_;
+  const auto comps = vfs::components(norm);
+  for (std::size_t i = 0; i + 1 < comps.size(); ++i) {
+    auto it = cur->children.find(comps[i]);
+    if (it == cur->children.end())
+      return err_not_found("no cgroup " + comps[i] + " under " + cur->path_);
+    cur = it->second.get();
+  }
+  return std::make_pair(cur, comps.back());
+}
+
+Result<Cgroup*> CgroupTree::create(const std::string& path,
+                                   CgroupLimits limits) {
+  HPCC_TRY(auto pr, resolve_parent(path));
+  auto& [parent, name] = pr;
+  if (parent->children.contains(name))
+    return err_exists("cgroup exists: " + vfs::normalize(path));
+  auto group = std::make_unique<Cgroup>();
+  group->path_ = vfs::normalize(path);
+  group->limits_ = limits;
+  group->parent = parent;
+  // v1 has no sane delegation story; v2 children inherit delegation.
+  group->delegated_ = version_ == CgroupVersion::kV2 && parent->delegated_;
+  Cgroup* raw = group.get();
+  parent->children.emplace(name, std::move(group));
+  return raw;
+}
+
+Result<Cgroup*> CgroupTree::find(const std::string& path) {
+  const std::string norm = vfs::normalize(path);
+  if (norm == "/") return &root_;
+  HPCC_TRY(auto pr, resolve_parent(norm));
+  auto& [parent, name] = pr;
+  auto it = parent->children.find(name);
+  if (it == parent->children.end())
+    return err_not_found("no cgroup: " + norm);
+  return it->second.get();
+}
+
+Result<Unit> CgroupTree::remove(const std::string& path) {
+  HPCC_TRY(auto pr, resolve_parent(path));
+  auto& [parent, name] = pr;
+  auto it = parent->children.find(name);
+  if (it == parent->children.end())
+    return err_not_found("no cgroup: " + vfs::normalize(path));
+  if (!it->second->children.empty())
+    return err_precondition("cgroup has children: " + vfs::normalize(path));
+  parent->children.erase(it);
+  return ok_unit();
+}
+
+Result<Unit> CgroupTree::delegate(const std::string& path) {
+  if (version_ != CgroupVersion::kV2) {
+    return err_unsupported(
+        "cgroup delegation requires cgroups v2 (rootless Kubernetes "
+        "precondition, survey §6.5)");
+  }
+  HPCC_TRY(Cgroup * g, find(path));
+  g->delegated_ = true;
+  return ok_unit();
+}
+
+bool CgroupTree::rootless_ready(const std::string& path) {
+  if (version_ != CgroupVersion::kV2) return false;
+  auto g = find(path);
+  return g.ok() && g.value()->delegated();
+}
+
+}  // namespace hpcc::runtime

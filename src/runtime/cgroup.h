@@ -1,0 +1,102 @@
+// hpcc/runtime/cgroup.h
+//
+// Control-group model: a hierarchy of groups with cpu/memory limits,
+// usage accounting, and v2 delegation.
+//
+// Two survey threads depend on this: (1) the WLM "controls device access
+// rights ... and may restrict the capabilities available to the user
+// (like cgroups)" (§4.1.6) — job steps are charged against their
+// allocation's cgroup; (2) the Kubelet-in-WLM scenario "includes
+// enabling version 2 of the Linux cgroups framework [and] cgroup
+// delegations" (§6.5) — rootless kubelets refuse to start without a
+// delegated v2 subtree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace hpcc::runtime {
+
+enum class CgroupVersion : std::uint8_t { kV1 = 1, kV2 = 2 };
+
+struct CgroupLimits {
+  /// Micro-cores: 1'000'000 == one full core. 0 = unlimited.
+  std::uint64_t cpu_quota_ucores = 0;
+  /// Bytes. 0 = unlimited.
+  std::uint64_t memory_limit = 0;
+};
+
+struct CgroupUsage {
+  SimDuration cpu_time = 0;       ///< accumulated core-microseconds
+  std::uint64_t memory_peak = 0;  ///< high-water mark
+  std::uint64_t memory_current = 0;
+};
+
+/// A node in the cgroup tree. Created via CgroupTree.
+class Cgroup {
+ public:
+  const std::string& path() const { return path_; }
+  const CgroupLimits& limits() const { return limits_; }
+  const CgroupUsage& usage() const { return usage_; }
+  bool delegated() const { return delegated_; }
+
+  /// Charges CPU time; propagates to ancestors (hierarchical accounting).
+  void charge_cpu(SimDuration core_usec);
+
+  /// Attempts to allocate memory; fails against the tightest limit on
+  /// the path to the root (the OOM condition).
+  Result<Unit> charge_memory(std::uint64_t bytes);
+  void release_memory(std::uint64_t bytes);
+
+ private:
+  friend class CgroupTree;
+  std::string path_;
+  CgroupLimits limits_;
+  CgroupUsage usage_;
+  bool delegated_ = false;
+  Cgroup* parent = nullptr;
+  std::map<std::string, std::unique_ptr<Cgroup>> children;
+};
+
+/// The per-node cgroup hierarchy.
+class CgroupTree {
+ public:
+  explicit CgroupTree(CgroupVersion version = CgroupVersion::kV2);
+
+  CgroupVersion version() const { return version_; }
+
+  /// Creates a group at `path` ("/slurm/job123/step0"); parents must
+  /// exist. Returns the created group.
+  Result<Cgroup*> create(const std::string& path, CgroupLimits limits = {});
+
+  Result<Cgroup*> find(const std::string& path);
+
+  /// Removes a (leaf) group.
+  Result<Unit> remove(const std::string& path);
+
+  /// Delegates a subtree to an unprivileged user — only meaningful (and
+  /// only permitted) on cgroups v2, which is exactly the configuration
+  /// constraint §6.5 calls out for rootless Kubernetes.
+  Result<Unit> delegate(const std::string& path);
+
+  /// True if `path` exists, is delegated, and the tree is v2 — the
+  /// precondition a rootless kubelet checks before starting.
+  bool rootless_ready(const std::string& path);
+
+  Cgroup& root() { return root_; }
+
+ private:
+  Result<std::pair<Cgroup*, std::string>> resolve_parent(
+      const std::string& path);
+
+  CgroupVersion version_;
+  Cgroup root_;
+};
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,203 @@
+#include "runtime/container.h"
+
+namespace hpcc::runtime {
+
+std::string_view to_string(RuntimeKind k) noexcept {
+  switch (k) {
+    case RuntimeKind::kRunc: return "runc";
+    case RuntimeKind::kCrun: return "crun";
+    case RuntimeKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string_view to_string(ContainerState s) noexcept {
+  switch (s) {
+    case ContainerState::kCreated: return "created";
+    case ContainerState::kRunning: return "running";
+    case ContainerState::kStopped: return "stopped";
+    case ContainerState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+WorkloadProfile python_workload() {
+  WorkloadProfile w;
+  w.name = "python-pipeline";
+  w.files_opened = 5000;       // interpreter + site-packages import storm
+  w.sequential_bytes = 180ull << 20;
+  w.random_reads = 200;
+  w.cpu_time = sec(30);
+  return w;
+}
+
+WorkloadProfile compiled_mpi_workload() {
+  WorkloadProfile w;
+  w.name = "compiled-mpi";
+  w.files_opened = 60;         // binary + shared libs + parameter files
+  w.sequential_bytes = 96ull << 20;
+  w.random_reads = 0;
+  w.cpu_time = minutes(5);
+  return w;
+}
+
+WorkloadProfile shell_workload() {
+  WorkloadProfile w;
+  w.name = "shell";
+  w.files_opened = 12;
+  w.sequential_bytes = 2ull << 20;
+  w.random_reads = 0;
+  w.cpu_time = msec(5);
+  return w;
+}
+
+Result<SimTime> Container::run(SimTime now, const WorkloadProfile& workload) {
+  if (state_ != ContainerState::kCreated && state_ != ContainerState::kStopped)
+    return err_precondition("container " + id_ + " is " +
+                            std::string(to_string(state_)));
+
+  if (workload.has_static_binaries &&
+      !supports_static_binaries(mechanism_)) {
+    state_ = ContainerState::kFailed;
+    return err_unsupported(
+        "workload '" + workload.name + "' contains statically linked "
+        "binaries, which LD_PRELOAD-based fakeroot cannot intercept "
+        "(survey §4.1.2)");
+  }
+
+  state_ = ContainerState::kRunning;
+  SimTime t = now;
+
+  // start-phase hooks
+  if (hooks_) {
+    HookContext ctx{config_, annotations_};
+    HPCC_TRY(SimDuration start_hooks,
+             hooks_->run_phase(HookPhase::kStartContainer, ctx, *costs_));
+    HPCC_TRY(SimDuration post_hooks,
+             hooks_->run_phase(HookPhase::kPoststart, ctx, *costs_));
+    t += start_hooks + post_hooks;
+  }
+
+  // Startup: open every file the app touches, serially (the loader /
+  // interpreter import path is serial).
+  const SimDuration per_syscall = syscall_overhead(mechanism_, *costs_);
+  for (std::uint64_t i = 0; i < workload.files_opened; ++i) {
+    t = rootfs_->charge_open(t);
+    t += per_syscall;
+  }
+
+  // Bulk sequential input.
+  if (workload.sequential_bytes > 0)
+    t = rootfs_->charge_read(t, workload.sequential_bytes, /*random=*/false);
+
+  // Random accesses.
+  for (std::uint64_t i = 0; i < workload.random_reads; ++i) {
+    t = rootfs_->charge_read(t, workload.random_read_size, /*random=*/true);
+    t += per_syscall;
+  }
+
+  // Compute.
+  t += workload.cpu_time;
+  if (cgroup_) cgroup_->charge_cpu(workload.cpu_time);
+
+  // stop-phase hooks
+  if (hooks_) {
+    HookContext ctx{config_, annotations_};
+    HPCC_TRY(SimDuration stop_hooks,
+             hooks_->run_phase(HookPhase::kPoststop, ctx, *costs_));
+    t += stop_hooks;
+  }
+
+  state_ = ContainerState::kStopped;
+  return t;
+}
+
+OciRuntime::OciRuntime(RuntimeKind kind, const RuntimeCosts& costs)
+    : kind_(kind), costs_(costs) {}
+
+SimDuration OciRuntime::create_overhead() const {
+  switch (kind_) {
+    case RuntimeKind::kRunc: return costs_.runc_create;
+    case RuntimeKind::kCrun: return costs_.crun_create;
+    case RuntimeKind::kCustom: return costs_.crun_create / 2;  // thin exec
+  }
+  return 0;
+}
+
+std::int64_t OciRuntime::memory_footprint_kb() const {
+  switch (kind_) {
+    case RuntimeKind::kRunc: return costs_.runc_memory_kb;
+    case RuntimeKind::kCrun: return costs_.crun_memory_kb;
+    case RuntimeKind::kCustom: return 800;
+  }
+  return 0;
+}
+
+Result<CreateResult> OciRuntime::create(SimTime now, RuntimeConfig config,
+                                        std::shared_ptr<MountedRootfs> rootfs,
+                                        RootlessMechanism mechanism,
+                                        const HostFacts& host,
+                                        const HookRegistry* hooks,
+                                        Cgroup* cgroup) {
+  if (!rootfs) return err_invalid("a container needs a rootfs mount");
+
+  auto request_for = [&host](MountKind kind) {
+    MountRequest req;
+    req.kind = kind;
+    req.image_user_writable = host.image_user_writable;
+    req.kernel_allows_userns_overlay = host.kernel_allows_userns_overlay;
+    req.user_has_cap_sys_ptrace = host.user_has_cap_sys_ptrace;
+    return req;
+  };
+
+  // Policy: the rootfs mount itself, then every additional mount.
+  HPCC_TRY_UNIT(authorize_mount(mechanism, request_for(rootfs->kind())));
+  for (const auto& m : config.mounts)
+    HPCC_TRY_UNIT(authorize_mount(mechanism, request_for(m.kind)));
+
+  if (mechanism == RootlessMechanism::kFakerootPtrace &&
+      !host.user_has_cap_sys_ptrace) {
+    return err_denied(
+        "fakeroot (ptrace) requires access to the CAP_SYS_PTRACE "
+        "capability (survey §4.1.2)");
+  }
+
+  // A user namespace needs a mapping; supply the single-user default.
+  if (config.namespaces.has(Namespace::kUser) && !config.user_mapping)
+    config.user_mapping = UserMapping::single_user(1000, 1000);
+
+  auto container = std::unique_ptr<Container>(new Container());
+  container->id_ = "ctr-" + std::to_string(next_id_++);
+  container->rootfs_ = std::move(rootfs);
+  container->mechanism_ = mechanism;
+  container->hooks_ = hooks;
+  container->cgroup_ = cgroup;
+  container->costs_ = &costs_;
+
+  SimTime t = now + create_overhead();
+  t += config.namespaces.setup_cost(costs_);
+  t += container->rootfs_->setup_cost();
+  t += costs_.pivot_root_cost;
+  t += static_cast<SimDuration>(config.mounts.size()) * costs_.bind_mount_cost;
+
+  // create-phase hooks may mutate the config before the process starts.
+  if (hooks) {
+    HookContext ctx{config, container->annotations_};
+    HPCC_TRY(SimDuration d1,
+             hooks->run_phase(HookPhase::kCreateRuntime, ctx, costs_));
+    HPCC_TRY(SimDuration d2,
+             hooks->run_phase(HookPhase::kCreateContainer, ctx, costs_));
+    HPCC_TRY(SimDuration d3,
+             hooks->run_phase(HookPhase::kPrestart, ctx, costs_));
+    t += d1 + d2 + d3;
+  }
+
+  container->config_ = std::move(config);
+
+  CreateResult result;
+  result.container = std::move(container);
+  result.ready_at = t;
+  return result;
+}
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,141 @@
+// hpcc/runtime/container.h
+//
+// The container runtime and container lifecycle.
+//
+// "The container runtime is a lower-level component that handles image
+// and process management. The runtime sets up the user namespace
+// (UserNS), thus starting the container process. The most popular
+// container runtimes include runc and crun" (§3.1). OciRuntime models
+// runc (Go: heavier binary, slower create) and crun (C: lighter,
+// faster) — the Runtime column of Table 1 — plus the engine-specific
+// custom runtimes (Shifter, Charliecloud, enroot).
+//
+// A Container combines a RuntimeConfig, a mounted rootfs, a rootless
+// mechanism and a cgroup; running a WorkloadProfile against it yields
+// the simulated completion time with every cost the survey discusses:
+// namespace setup, mounts, hooks, per-syscall fakeroot overhead, storage
+// contention through the mount model, and cgroup accounting.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "runtime/cgroup.h"
+#include "runtime/hooks.h"
+#include "runtime/mounts.h"
+#include "runtime/oci_config.h"
+#include "runtime/rootless.h"
+#include "util/result.h"
+
+namespace hpcc::runtime {
+
+enum class RuntimeKind : std::uint8_t { kRunc, kCrun, kCustom };
+
+std::string_view to_string(RuntimeKind k) noexcept;
+
+/// Facts about the host the policy layer needs (threaded into
+/// authorize_mount for every mount in the config).
+struct HostFacts {
+  bool kernel_allows_userns_overlay = true;
+  bool user_has_cap_sys_ptrace = false;
+  /// The image file's writability by the requesting user (§4.1.2's
+  /// setuid-mount precondition).
+  bool image_user_writable = false;
+};
+
+/// A synthetic application profile: how the containerized app touches
+/// the filesystem and CPU. The canned profiles mirror the survey's
+/// recurring examples.
+struct WorkloadProfile {
+  std::string name = "app";
+  /// Distinct files opened at startup (libraries, configs, modules).
+  std::uint64_t files_opened = 100;
+  /// Sequentially streamed bytes (binary + data load).
+  std::uint64_t sequential_bytes = 64ull << 20;
+  /// Latency-bound random reads after startup.
+  std::uint64_t random_reads = 0;
+  std::uint32_t random_read_size = 4096;
+  /// Pure compute time (single core).
+  SimDuration cpu_time = sec(1);
+  /// Statically linked binaries present (breaks LD_PRELOAD fakeroot).
+  bool has_static_binaries = false;
+
+  /// Total filesystem syscalls the fakeroot mechanisms intercept.
+  std::uint64_t fs_syscalls() const { return files_opened + random_reads; }
+};
+
+/// "Python-like": thousands of small files — the §4.1.4 worst case.
+WorkloadProfile python_workload();
+/// Compiled MPI application: few opens, larger streaming reads.
+WorkloadProfile compiled_mpi_workload();
+/// A tiny shell command (cold-start latency probe).
+WorkloadProfile shell_workload();
+
+enum class ContainerState : std::uint8_t {
+  kCreated,
+  kRunning,
+  kStopped,
+  kFailed,
+};
+
+std::string_view to_string(ContainerState s) noexcept;
+
+class Container {
+ public:
+  const std::string& id() const { return id_; }
+  ContainerState state() const { return state_; }
+  const RuntimeConfig& config() const { return config_; }
+  MountedRootfs& rootfs() { return *rootfs_; }
+  RootlessMechanism mechanism() const { return mechanism_; }
+
+  /// Executes `workload` starting at `now`: start hooks, filesystem
+  /// traffic through the mount model, fakeroot syscall overhead, CPU
+  /// time (charged to the cgroup), stop hooks. Returns completion time.
+  Result<SimTime> run(SimTime now, const WorkloadProfile& workload);
+
+ private:
+  friend class OciRuntime;
+  std::string id_;
+  RuntimeConfig config_;
+  std::shared_ptr<MountedRootfs> rootfs_;
+  RootlessMechanism mechanism_ = RootlessMechanism::kUserNamespace;
+  const HookRegistry* hooks_ = nullptr;  // may be null
+  Cgroup* cgroup_ = nullptr;             // may be null
+  const RuntimeCosts* costs_ = nullptr;
+  ContainerState state_ = ContainerState::kCreated;
+  std::map<std::string, std::string> annotations_;
+};
+
+struct CreateResult {
+  std::unique_ptr<Container> container;
+  SimTime ready_at = 0;  ///< when create (incl. hooks and mounts) finished
+};
+
+class OciRuntime {
+ public:
+  explicit OciRuntime(RuntimeKind kind,
+                      const RuntimeCosts& costs = default_costs());
+
+  RuntimeKind runtime_kind() const { return kind_; }
+  std::string_view name() const { return to_string(kind_); }
+  SimDuration create_overhead() const;
+  std::int64_t memory_footprint_kb() const;
+
+  /// Creates a container: authorizes every mount against the rootless
+  /// mechanism (§4.1.2 policy), sets up namespaces and mounts, runs
+  /// create-phase hooks. Fails closed on any policy violation.
+  Result<CreateResult> create(SimTime now, RuntimeConfig config,
+                              std::shared_ptr<MountedRootfs> rootfs,
+                              RootlessMechanism mechanism,
+                              const HostFacts& host,
+                              const HookRegistry* hooks = nullptr,
+                              Cgroup* cgroup = nullptr);
+
+ private:
+  RuntimeKind kind_;
+  const RuntimeCosts& costs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hpcc::runtime

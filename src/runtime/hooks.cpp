@@ -1,0 +1,42 @@
+#include "runtime/hooks.h"
+
+namespace hpcc::runtime {
+
+std::string_view to_string(HookPhase p) noexcept {
+  switch (p) {
+    case HookPhase::kPrestart: return "prestart";
+    case HookPhase::kCreateRuntime: return "createRuntime";
+    case HookPhase::kCreateContainer: return "createContainer";
+    case HookPhase::kStartContainer: return "startContainer";
+    case HookPhase::kPoststart: return "poststart";
+    case HookPhase::kPoststop: return "poststop";
+  }
+  return "?";
+}
+
+void HookRegistry::add(Hook hook) { hooks_.push_back(std::move(hook)); }
+
+std::vector<const Hook*> HookRegistry::for_phase(HookPhase phase) const {
+  std::vector<const Hook*> out;
+  for (const auto& h : hooks_)
+    if (h.phase == phase) out.push_back(&h);
+  return out;
+}
+
+Result<SimDuration> HookRegistry::run_phase(HookPhase phase, HookContext& ctx,
+                                            const RuntimeCosts& costs) const {
+  SimDuration total = 0;
+  for (const auto& h : hooks_) {
+    if (h.phase != phase) continue;
+    total += costs.hook_exec_base + h.extra_cost;
+    if (h.fn) {
+      auto r = h.fn(ctx);
+      if (!r.ok())
+        return r.error().wrap("hook '" + h.name + "' (" +
+                              std::string(to_string(phase)) + ")");
+    }
+  }
+  return total;
+}
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,78 @@
+// hpcc/runtime/hooks.h
+//
+// OCI lifecycle hooks.
+//
+// "The OCI hooks specification, which is part of the OCI runtime spec,
+// provides a vendor-independent way of installing and running such hooks
+// at defined points in the lifetime of a container without the need to
+// modify the runtime itself" (§4.1.3). Engines use hooks for GPU and
+// accelerator enablement, host library hookup and image modification
+// (Tables 1 and 3); engines without OCI hook support (Shifter,
+// Charliecloud, ENROOT) use custom frameworks modeled as the same type
+// with `oci_compliant = false`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/sim_time.h"
+#include "runtime/runtime_costs.h"
+
+namespace hpcc::runtime {
+
+/// OCI runtime-spec hook phases, in lifecycle order.
+enum class HookPhase : std::uint8_t {
+  kPrestart = 0,      // legacy but still what GPU hooks use
+  kCreateRuntime,
+  kCreateContainer,
+  kStartContainer,
+  kPoststart,
+  kPoststop,
+};
+
+std::string_view to_string(HookPhase p) noexcept;
+
+struct RuntimeConfig;  // fwd (oci_config.h)
+
+/// Mutable view handed to hooks: hooks may edit the config (add mounts,
+/// env, devices) and leave annotations for later phases.
+struct HookContext {
+  RuntimeConfig& config;
+  std::map<std::string, std::string>& annotations;
+};
+
+struct Hook {
+  std::string name;
+  HookPhase phase = HookPhase::kPrestart;
+  /// Body; failures abort container creation (per the OCI spec for
+  /// create-phase hooks).
+  std::function<Result<Unit>(HookContext&)> fn;
+  /// Extra simulated execution cost beyond the base fork/exec.
+  SimDuration extra_cost = 0;
+  /// False for engine-specific plugin frameworks (Apptainer plugins,
+  /// Shifter's scripted extensions) — tracked for Table 1.
+  bool oci_compliant = true;
+};
+
+class HookRegistry {
+ public:
+  void add(Hook hook);
+
+  std::size_t size() const { return hooks_.size(); }
+  bool empty() const { return hooks_.empty(); }
+
+  std::vector<const Hook*> for_phase(HookPhase phase) const;
+
+  /// Runs all hooks of `phase` in registration order. Returns the total
+  /// simulated cost; the first failing hook aborts.
+  Result<SimDuration> run_phase(HookPhase phase, HookContext& ctx,
+                                const RuntimeCosts& costs = default_costs()) const;
+
+ private:
+  std::vector<Hook> hooks_;
+};
+
+}  // namespace hpcc::runtime

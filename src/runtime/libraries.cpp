@@ -1,0 +1,92 @@
+#include "runtime/libraries.h"
+
+#include "util/strings.h"
+
+namespace hpcc::runtime {
+
+Version Version::parse(std::string_view text) {
+  Version v;
+  const auto parts = strings::split(text, '.');
+  auto to_int = [](const std::string& s) {
+    int out = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') break;
+      out = out * 10 + (c - '0');
+    }
+    return out;
+  };
+  if (!parts.empty()) v.major = to_int(parts[0]);
+  if (parts.size() > 1) v.minor = to_int(parts[1]);
+  if (parts.size() > 2) v.patch = to_int(parts[2]);
+  return v;
+}
+
+std::string Version::to_string() const {
+  return std::to_string(major) + "." + std::to_string(minor) + "." +
+         std::to_string(patch);
+}
+
+std::string_view to_string(AbiVerdict v) noexcept {
+  switch (v) {
+    case AbiVerdict::kCompatible: return "compatible";
+    case AbiVerdict::kRisky: return "risky";
+    case AbiVerdict::kIncompatible: return "incompatible";
+  }
+  return "?";
+}
+
+namespace {
+void worsen(AbiReport& report, AbiVerdict v, std::string finding) {
+  if (static_cast<int>(v) > static_cast<int>(report.verdict))
+    report.verdict = v;
+  report.findings.push_back(std::move(finding));
+}
+}  // namespace
+
+AbiReport check_injection(const ContainerEnvironment& container,
+                          const Library& host_lib) {
+  AbiReport report;
+
+  // The injected library runs against the *container's* glibc.
+  if (host_lib.requires_glibc > container.glibc) {
+    worsen(report, AbiVerdict::kIncompatible,
+           "host library " + host_lib.name + " requires glibc " +
+               host_lib.requires_glibc.to_string() +
+               " but the container provides " + container.glibc.to_string() +
+               " (survey §3.2: 'if a host library imported into the "
+               "container requires a newer version of glibc than present "
+               "within the container it will fail')");
+  }
+
+  for (const auto& bundled : container.libraries) {
+    if (bundled.name != host_lib.name) continue;
+    if (bundled.abi.major != host_lib.abi.major) {
+      worsen(report, AbiVerdict::kIncompatible,
+             "container bundles " + bundled.name + " ABI " +
+                 bundled.abi.to_string() + " but the host injects ABI " +
+                 host_lib.abi.to_string() + " (major version mismatch)");
+    } else if (bundled.abi.minor != host_lib.abi.minor) {
+      worsen(report, AbiVerdict::kRisky,
+             bundled.name + " minor version skew (container " +
+                 bundled.abi.to_string() + ", host " +
+                 host_lib.abi.to_string() +
+                 "): loadable, but 'a mismatch may introduce subtle "
+                 "errors' (survey §4.1.6)");
+    }
+  }
+  return report;
+}
+
+AbiReport check_hookup(const ContainerEnvironment& container,
+                       const HostEnvironment& host) {
+  AbiReport total;
+  for (const auto& lib : host.libraries) {
+    AbiReport one = check_injection(container, lib);
+    if (static_cast<int>(one.verdict) > static_cast<int>(total.verdict))
+      total.verdict = one.verdict;
+    for (auto& f : one.findings) total.findings.push_back(std::move(f));
+  }
+  return total;
+}
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,84 @@
+// hpcc/runtime/libraries.h
+//
+// Host-library hookup and ABI compatibility checking.
+//
+// §3.2/§4.1.6: "When loading host libraries for device drivers,
+// communication, etc., ABI compatibility with the container applications
+// and libraries must be ensured. Failure to do so may lead to errors
+// which are hard to detect and may possibly affect scientific results.
+// ... if a host library imported into the container requires a newer
+// version of glibc than present within the container it will fail."
+// Sarus "contain[s] explicit ABI compatibility checks on the libraries";
+// we model that checker here and wire it into the engines' library
+// hookup hooks (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hpcc::runtime {
+
+/// A semantic version triple with the usual shared-library ABI rules.
+struct Version {
+  int major = 0;
+  int minor = 0;
+  int patch = 0;
+
+  static Version parse(std::string_view text);  ///< "2.36" / "12.2.1"
+  std::string to_string() const;
+
+  friend auto operator<=>(const Version&, const Version&) = default;
+};
+
+/// A shared library as seen by the hookup machinery.
+struct Library {
+  std::string name;         ///< "libmpi", "libcuda"
+  Version abi;              ///< soname-level ABI version
+  Version requires_glibc;   ///< minimum glibc the binary was linked against
+};
+
+/// The host side of the interface: what the compute node offers.
+struct HostEnvironment {
+  Version glibc;                   ///< host glibc version
+  std::vector<Library> libraries;  ///< MPI, fabric, GPU driver libs...
+  std::string gpu_vendor;          ///< "nvidia", "amd", "" if none
+  Version gpu_driver;
+};
+
+/// The container side: its glibc and the libraries its app links.
+struct ContainerEnvironment {
+  Version glibc;
+  std::vector<Library> libraries;
+};
+
+enum class AbiVerdict : std::uint8_t {
+  kCompatible,      ///< same major, host minor >= container minor
+  kRisky,           ///< loadable but version skew may change results
+  kIncompatible,    ///< will fail to load or mislink
+};
+
+std::string_view to_string(AbiVerdict v) noexcept;
+
+struct AbiReport {
+  AbiVerdict verdict = AbiVerdict::kCompatible;
+  std::vector<std::string> findings;  ///< human-readable, one per issue
+
+  bool ok() const { return verdict != AbiVerdict::kIncompatible; }
+};
+
+/// Checks injecting `host_lib` into `container`:
+///  * host lib's glibc requirement must be satisfiable by the
+///    *container's* glibc (it runs against the container's loader);
+///  * if the container bundles the same library, major-version mismatch
+///    is incompatible and minor skew is risky.
+AbiReport check_injection(const ContainerEnvironment& container,
+                          const Library& host_lib);
+
+/// Full hookup plan: checks every host library the engine would inject
+/// (MPI/fabric/GPU), aggregating the worst verdict.
+AbiReport check_hookup(const ContainerEnvironment& container,
+                       const HostEnvironment& host);
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,323 @@
+#include "runtime/mounts.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcc::runtime {
+
+SimTime StorageBacking::meta_op(SimTime now) const {
+  if (shared) return shared->metadata_op(now);
+  if (local) return local->read(now, 0);
+  return now + 1;
+}
+
+SimTime StorageBacking::read(SimTime now, std::uint64_t bytes) const {
+  if (shared) return shared->read(now, bytes);
+  if (local) return local->read(now, bytes);
+  return now + 1;
+}
+
+namespace {
+
+/// Models the single FUSE daemon a FUSE mount funnels every request
+/// through (the serialization half of the [29] IOPS gap).
+class FuseDaemon {
+ public:
+  explicit FuseDaemon(const RuntimeCosts& costs)
+      : station_("fuse-daemon", 1), costs_(costs) {}
+
+  /// A request entering the daemon at `now`: crossing + queueing +
+  /// service.
+  SimTime request(SimTime now) {
+    return station_.submit(now + costs_.fuse_fs_op,
+                           costs_.fuse_daemon_service);
+  }
+
+ private:
+  sim::FifoStation station_;
+  const RuntimeCosts& costs_;
+};
+
+// --------------------------------------------------------------- Dir
+
+class DirRootfs final : public MountedRootfs {
+ public:
+  DirRootfs(const vfs::MemFs* tree, StorageBacking backing,
+            const RuntimeCosts& costs)
+      : tree_(tree), backing_(backing), costs_(costs) {}
+
+  MountKind kind() const override { return MountKind::kDirRootfs; }
+  std::string describe() const override {
+    return backing_.shared ? "dir on shared FS" : "dir on node-local storage";
+  }
+  SimDuration setup_cost() const override { return costs_.pivot_root_cost; }
+
+  SimTime charge_open(SimTime now) override {
+    // Path lookup hits the backing store's metadata service.
+    return backing_.meta_op(now);
+  }
+
+  SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    if (!random) return backing_.read(now, bytes);
+    // Random access: one storage op per (4K-ish) access — the pattern
+    // shared filesystems are bad at (§4.1.4). With a page cache, reads
+    // cycling a hot set are served from memory after first touch.
+    if (backing_.cache) {
+      const std::string key = backing_.cache_key + ":rndpg:" +
+                              std::to_string(rnd_counter_++ % 64);
+      if (backing_.cache->contains(key)) {
+        return now + costs_.kernel_fs_op + backing_.cache->hit_cost(bytes);
+      }
+      const SimTime t = backing_.read(now, bytes);
+      backing_.cache->insert(key, bytes);
+      return t;
+    }
+    return backing_.read(now, bytes);
+  }
+
+  Result<SimTime> read_file(SimTime now, std::string_view path,
+                            Bytes* out) override {
+    HPCC_TRY(const vfs::Stat st, tree_->stat(path));
+    SimTime t = backing_.meta_op(now);
+    const std::string key = backing_.cache_key + ":" + std::string(path);
+    if (backing_.cache && backing_.cache->contains(key)) {
+      t += backing_.cache->hit_cost(st.size);
+    } else {
+      t = backing_.read(t, st.size);
+      if (backing_.cache) backing_.cache->insert(key, st.size);
+    }
+    if (out) {
+      HPCC_TRY(*out, tree_->read_file(path));
+    }
+    return t;
+  }
+
+  bool exists(std::string_view path) const override {
+    return tree_->exists(path);
+  }
+
+ private:
+  const vfs::MemFs* tree_;
+  StorageBacking backing_;
+  const RuntimeCosts& costs_;
+  std::uint64_t rnd_counter_ = 0;
+};
+
+// ------------------------------------------------------------- Squash
+
+class SquashRootfs final : public MountedRootfs {
+ public:
+  SquashRootfs(const vfs::SquashImage* image, StorageBacking backing,
+               bool fuse, const RuntimeCosts& costs)
+      : image_(image), backing_(backing), fuse_(fuse), costs_(costs),
+        daemon_(costs) {}
+
+  MountKind kind() const override {
+    return fuse_ ? MountKind::kSquashFuse : MountKind::kSquashKernel;
+  }
+  std::string describe() const override {
+    return fuse_ ? "SquashFUSE mount" : "in-kernel squashfs mount";
+  }
+  SimDuration setup_cost() const override {
+    return fuse_ ? costs_.fuse_mount_cost : costs_.kernel_mount_cost;
+  }
+
+  SimTime charge_open(SimTime now) override {
+    // The index is memory-resident after mount; cost is the driver op.
+    return driver_op(now);
+  }
+
+  SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    const double ratio = image_->compression_ratio();
+    if (random) {
+      // Random access cycles through a hot block set. With a page cache
+      // (the [29] measurement regime) most reads hit decompressed pages:
+      // the in-kernel driver serves them at memory speed while FUSE
+      // still pays the user-kernel crossing and daemon turn per read —
+      // which is exactly where the "magnitude lower IOPS" comes from.
+      if (backing_.cache) {
+        const std::uint64_t hot_blocks =
+            std::max<std::uint64_t>(1, image_->num_blocks() / 4);
+        const std::string key = backing_.cache_key + ":rndblk:" +
+                                std::to_string(rnd_counter_++ % hot_blocks);
+        if (backing_.cache->contains(key)) {
+          return driver_op(now) + backing_.cache->hit_cost(bytes);
+        }
+        const SimTime t =
+            block_cost(driver_op(now), image_->block_size(), ratio);
+        backing_.cache->insert(key, image_->block_size());
+        return t;
+      }
+      return block_cost(driver_op(now), image_->block_size(), ratio);
+    }
+    // Sequential: readahead pipelines the block fetches into one stream —
+    // one latency, the compressed bytes over the wire, decompression CPU,
+    // and a driver op per megabyte of data handed to the reader.
+    const auto comp =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * ratio) + 1;
+    SimTime t = driver_op(now);
+    t = backing_.read(t, comp);
+    t += decompress_time(bytes);
+    const std::uint64_t mb_ops = bytes / (1 << 20);
+    for (std::uint64_t i = 0; i < mb_ops; ++i) t = driver_op(t);
+    return t;
+  }
+
+  Result<SimTime> read_file(SimTime now, std::string_view path,
+                            Bytes* out) override {
+    HPCC_TRY(const auto blocks, image_->file_blocks(path));
+    SimTime t = driver_op(now);
+    std::uint64_t remaining = blocks.file_size;
+    for (std::size_t i = 0; i < blocks.comp_lens.size(); ++i) {
+      const std::uint64_t unc =
+          std::min<std::uint64_t>(remaining, blocks.block_size);
+      const std::string key =
+          backing_.cache_key + ":" + std::string(path) + ":" + std::to_string(i);
+      if (backing_.cache && backing_.cache->contains(key)) {
+        t += backing_.cache->hit_cost(unc);
+      } else {
+        t = backing_.read(t, blocks.comp_lens[i]);
+        t += decompress_time(unc);
+        if (backing_.cache) backing_.cache->insert(key, unc);
+      }
+      if (fuse_) t = daemon_.request(t);
+      remaining -= unc;
+    }
+    if (out) {
+      HPCC_TRY(*out, image_->read_file(path));
+    }
+    return t;
+  }
+
+  bool exists(std::string_view path) const override {
+    return image_->exists(path);
+  }
+
+ private:
+  SimTime driver_op(SimTime now) {
+    if (fuse_) return daemon_.request(now);
+    return now + costs_.kernel_fs_op;
+  }
+
+  SimDuration decompress_time(std::uint64_t uncompressed) const {
+    return static_cast<SimDuration>(static_cast<double>(uncompressed) /
+                                    costs_.decompress_bandwidth) +
+           1;
+  }
+
+  SimTime block_cost(SimTime t, std::uint64_t unc_bytes, double ratio) {
+    const auto comp =
+        static_cast<std::uint64_t>(static_cast<double>(unc_bytes) * ratio) + 1;
+    t = backing_.read(t, comp);
+    t += decompress_time(unc_bytes);
+    if (fuse_) t = daemon_.request(t);
+    return t;
+  }
+
+  const vfs::SquashImage* image_;
+  StorageBacking backing_;
+  bool fuse_;
+  const RuntimeCosts& costs_;
+  FuseDaemon daemon_;
+  std::uint64_t rnd_counter_ = 0;
+};
+
+// ------------------------------------------------------------ Overlay
+
+class OverlayRootfs final : public MountedRootfs {
+ public:
+  OverlayRootfs(const vfs::OverlayFs* overlay, StorageBacking backing,
+                bool fuse, const RuntimeCosts& costs)
+      : overlay_(overlay), backing_(backing), fuse_(fuse), costs_(costs),
+        daemon_(costs) {}
+
+  MountKind kind() const override {
+    return fuse_ ? MountKind::kOverlayFuse : MountKind::kOverlayKernel;
+  }
+  std::string describe() const override {
+    return fuse_ ? "fuse-overlayfs mount" : "kernel overlayfs mount";
+  }
+  SimDuration setup_cost() const override {
+    return fuse_ ? costs_.fuse_mount_cost : costs_.kernel_mount_cost;
+  }
+
+  SimTime charge_open(SimTime now) override {
+    // Lookup walks the layer stack: one op per level until found; charge
+    // the full stack as the conservative cold-dentry cost, plus one
+    // metadata op at the backing store.
+    SimTime t = now;
+    for (std::size_t i = 0; i < overlay_->num_levels(); ++i) t = driver_op(t);
+    return backing_.meta_op(t);
+  }
+
+  SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    SimTime t = driver_op(now);
+    if (random && backing_.cache) {
+      const std::string key = backing_.cache_key + ":rndpg:" +
+                              std::to_string(rnd_counter_++ % 64);
+      if (backing_.cache->contains(key))
+        return t + backing_.cache->hit_cost(bytes);
+      t = backing_.read(t, bytes);
+      backing_.cache->insert(key, bytes);
+      return t;
+    }
+    return backing_.read(t, bytes);
+  }
+
+  Result<SimTime> read_file(SimTime now, std::string_view path,
+                            Bytes* out) override {
+    HPCC_TRY(const vfs::Stat st, overlay_->stat(path));
+    SimTime t = charge_open(now);
+    const std::string key = backing_.cache_key + ":" + std::string(path);
+    if (backing_.cache && backing_.cache->contains(key)) {
+      t += backing_.cache->hit_cost(st.size);
+    } else {
+      t = backing_.read(t, st.size);
+      if (backing_.cache) backing_.cache->insert(key, st.size);
+    }
+    if (fuse_) t = daemon_.request(t);
+    if (out) {
+      HPCC_TRY(*out, overlay_->read_file(path));
+    }
+    return t;
+  }
+
+  bool exists(std::string_view path) const override {
+    return overlay_->exists(path);
+  }
+
+ private:
+  SimTime driver_op(SimTime now) {
+    if (fuse_) return daemon_.request(now);
+    return now + costs_.kernel_fs_op;
+  }
+
+  const vfs::OverlayFs* overlay_;
+  StorageBacking backing_;
+  bool fuse_;
+  const RuntimeCosts& costs_;
+  FuseDaemon daemon_;
+  std::uint64_t rnd_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<MountedRootfs> make_dir_rootfs(const vfs::MemFs* tree,
+                                               StorageBacking backing,
+                                               const RuntimeCosts& costs) {
+  return std::make_unique<DirRootfs>(tree, backing, costs);
+}
+
+std::unique_ptr<MountedRootfs> make_squash_rootfs(
+    const vfs::SquashImage* image, StorageBacking backing, bool fuse,
+    const RuntimeCosts& costs) {
+  return std::make_unique<SquashRootfs>(image, backing, fuse, costs);
+}
+
+std::unique_ptr<MountedRootfs> make_overlay_rootfs(
+    const vfs::OverlayFs* overlay, StorageBacking backing, bool fuse,
+    const RuntimeCosts& costs) {
+  return std::make_unique<OverlayRootfs>(overlay, backing, fuse, costs);
+}
+
+}  // namespace hpcc::runtime

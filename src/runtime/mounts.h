@@ -1,0 +1,96 @@
+// hpcc/runtime/mounts.h
+//
+// Mounted-rootfs models: the cost+content bridge between the functional
+// VFS layer and the storage simulation.
+//
+// Each model corresponds to a row of the survey's rootless-FS taxonomy
+// (Table 1 "Rootless-FS" and §4.1.2):
+//  * DirRootfs          — image extracted to a directory (Charliecloud,
+//                         ENROOT; also the node-local extraction strategy)
+//  * SquashRootfs       — single-file image mounted via the in-kernel
+//                         driver (Sarus/Shifter suid path) or SquashFUSE
+//                         (Podman-HPC, Charliecloud, Singularity)
+//  * OverlayRootfs      — OCI layer stack union-mounted via kernel
+//                         overlayfs or fuse-overlayfs (Docker/Podman)
+//
+// The FUSE variants pay a user-kernel crossing per op and serialize
+// through the FUSE daemon — which is what produces the "magnitude lower
+// IOPS for random access and a much higher latency" the paper cites
+// from [29]; bench_rootless_fs measures exactly this.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/storage.h"
+#include "util/result.h"
+#include "runtime/rootless.h"
+#include "runtime/runtime_costs.h"
+#include "vfs/memfs.h"
+#include "vfs/overlay.h"
+#include "vfs/squash_image.h"
+
+namespace hpcc::runtime {
+
+/// Where the mounted image's backing bytes live. Exactly one of
+/// shared/local must be set; the page cache is optional.
+struct StorageBacking {
+  sim::SharedFilesystem* shared = nullptr;
+  sim::NodeLocalStorage* local = nullptr;
+  sim::PageCache* cache = nullptr;
+  /// Identity prefix for page-cache keys ("img:sha256:abcd").
+  std::string cache_key;
+
+  /// One metadata operation against the backing store.
+  SimTime meta_op(SimTime now) const;
+  /// A data read of `bytes` against the backing store.
+  SimTime read(SimTime now, std::uint64_t bytes) const;
+};
+
+/// A mounted container root filesystem: functional reads plus the cost
+/// ("charge_") interface used by synthetic workloads.
+class MountedRootfs {
+ public:
+  virtual ~MountedRootfs() = default;
+
+  virtual MountKind kind() const = 0;
+  virtual std::string describe() const = 0;
+
+  /// Cost of establishing the mount (driver/daemon setup).
+  virtual SimDuration setup_cost() const = 0;
+
+  /// Cost path: one open/stat of an arbitrary path at `now`; returns
+  /// completion time.
+  virtual SimTime charge_open(SimTime now) = 0;
+
+  /// Cost path: a read of `bytes`. `random` reads are latency-bound
+  /// per-op accesses (one storage op each); sequential reads stream.
+  virtual SimTime charge_read(SimTime now, std::uint64_t bytes,
+                              bool random) = 0;
+
+  /// Functional path: reads real file content and returns the completion
+  /// time, writing data to `out` when non-null.
+  virtual Result<SimTime> read_file(SimTime now, std::string_view path,
+                                    Bytes* out) = 0;
+
+  virtual bool exists(std::string_view path) const = 0;
+};
+
+/// Factory helpers. All models share `costs` (defaults) and a backing.
+
+/// Extracted-directory rootfs over `tree`.
+std::unique_ptr<MountedRootfs> make_dir_rootfs(
+    const vfs::MemFs* tree, StorageBacking backing,
+    const RuntimeCosts& costs = default_costs());
+
+/// Squash image rootfs; `fuse` selects the SquashFUSE path.
+std::unique_ptr<MountedRootfs> make_squash_rootfs(
+    const vfs::SquashImage* image, StorageBacking backing, bool fuse,
+    const RuntimeCosts& costs = default_costs());
+
+/// Overlay rootfs over a layer stack; `fuse` selects fuse-overlayfs.
+std::unique_ptr<MountedRootfs> make_overlay_rootfs(
+    const vfs::OverlayFs* overlay, StorageBacking backing, bool fuse,
+    const RuntimeCosts& costs = default_costs());
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,133 @@
+#include "runtime/namespaces.h"
+
+namespace hpcc::runtime {
+
+std::string_view to_string(Namespace ns) noexcept {
+  switch (ns) {
+    case Namespace::kUser: return "user";
+    case Namespace::kMount: return "mount";
+    case Namespace::kPid: return "pid";
+    case Namespace::kNet: return "net";
+    case Namespace::kIpc: return "ipc";
+    case Namespace::kUts: return "uts";
+    case Namespace::kCgroup: return "cgroup";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint8_t bit(Namespace ns) {
+  return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(ns));
+}
+constexpr Namespace kAll[] = {Namespace::kUser, Namespace::kMount,
+                              Namespace::kPid,  Namespace::kNet,
+                              Namespace::kIpc,  Namespace::kUts,
+                              Namespace::kCgroup};
+}  // namespace
+
+NamespaceSet NamespaceSet::full() {
+  NamespaceSet s;
+  for (Namespace ns : kAll) s.add(ns);
+  return s;
+}
+
+NamespaceSet NamespaceSet::hpc() {
+  NamespaceSet s;
+  s.add(Namespace::kUser).add(Namespace::kMount);
+  return s;
+}
+
+NamespaceSet& NamespaceSet::add(Namespace ns) {
+  bits_ |= bit(ns);
+  return *this;
+}
+
+NamespaceSet& NamespaceSet::remove(Namespace ns) {
+  bits_ &= static_cast<std::uint8_t>(~bit(ns));
+  return *this;
+}
+
+bool NamespaceSet::has(Namespace ns) const { return (bits_ & bit(ns)) != 0; }
+
+std::size_t NamespaceSet::count() const {
+  std::size_t n = 0;
+  for (Namespace ns : kAll)
+    if (has(ns)) ++n;
+  return n;
+}
+
+SimDuration NamespaceSet::setup_cost(const RuntimeCosts& costs) const {
+  SimDuration total = 0;
+  if (has(Namespace::kUser)) total += costs.userns_setup;
+  if (has(Namespace::kMount)) total += costs.mount_ns_setup;
+  for (Namespace ns : {Namespace::kPid, Namespace::kNet, Namespace::kIpc,
+                       Namespace::kUts, Namespace::kCgroup}) {
+    if (has(ns)) total += costs.other_ns_setup;
+  }
+  return total;
+}
+
+std::string NamespaceSet::describe() const {
+  if (*this == full()) return "full";
+  if (*this == hpc()) return "user and mount NS";
+  if (bits_ == 0) return "none";
+  std::string out;
+  for (Namespace ns : kAll) {
+    if (!has(ns)) continue;
+    if (!out.empty()) out += ", ";
+    out += to_string(ns);
+  }
+  out += " NS";
+  return out;
+}
+
+UserMapping UserMapping::single_user(std::uint32_t host_uid,
+                                     std::uint32_t host_gid) {
+  UserMapping m;
+  m.host_uid_ = host_uid;
+  m.host_gid_ = host_gid;
+  // Container root and the user's own id both map to the host user —
+  // the "fakeroot inside, yourself outside" model.
+  m.uid_maps_ = {{0, host_uid, 1}, {host_uid, host_uid, 1}};
+  m.gid_maps_ = {{0, host_gid, 1}, {host_gid, host_gid, 1}};
+  return m;
+}
+
+UserMapping UserMapping::subuid_range(std::uint32_t host_uid,
+                                      std::uint32_t host_gid,
+                                      std::uint32_t subuid_base,
+                                      std::uint32_t count) {
+  UserMapping m;
+  m.host_uid_ = host_uid;
+  m.host_gid_ = host_gid;
+  // Container root -> the user; everything else -> the subuid range.
+  m.uid_maps_ = {{0, host_uid, 1}, {1, subuid_base, count}};
+  m.gid_maps_ = {{0, host_gid, 1}, {1, subuid_base, count}};
+  return m;
+}
+
+Result<std::uint32_t> UserMapping::map_through(
+    const std::vector<IdMapping>& maps, std::uint32_t id) {
+  for (const auto& m : maps) {
+    if (id >= m.container_start && id < m.container_start + m.length)
+      return m.host_start + (id - m.container_start);
+  }
+  return err_denied("container id " + std::to_string(id) +
+                    " is not mapped in this user namespace");
+}
+
+Result<std::uint32_t> UserMapping::map_uid(std::uint32_t container_uid) const {
+  return map_through(uid_maps_, container_uid);
+}
+
+Result<std::uint32_t> UserMapping::map_gid(std::uint32_t container_gid) const {
+  return map_through(gid_maps_, container_gid);
+}
+
+bool UserMapping::is_single_user() const {
+  for (const auto& m : uid_maps_)
+    if (m.length > 1) return false;
+  return true;
+}
+
+}  // namespace hpcc::runtime

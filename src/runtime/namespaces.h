@@ -1,0 +1,120 @@
+// hpcc/runtime/namespaces.h
+//
+// Linux namespace and uid/gid-mapping models.
+//
+// The survey's HPC-requirements analysis (§3.2) turns on which
+// namespaces an engine sets up: HPC engines create user+mount namespaces
+// ("a setup which offers more isolation than a simple chroot, but less
+// than full container isolation") and deliberately skip network/IPC
+// namespaces ("unused isolations ... are not set up to reduce complexity
+// and attack surface, or because they may interfere with HPC
+// applications"). Table 2's "Namespacing on Execution" column is
+// generated from NamespaceSet values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/sim_time.h"
+#include "runtime/runtime_costs.h"
+
+namespace hpcc::runtime {
+
+enum class Namespace : std::uint8_t {
+  kUser = 0,
+  kMount,
+  kPid,
+  kNet,
+  kIpc,
+  kUts,
+  kCgroup,
+};
+
+std::string_view to_string(Namespace ns) noexcept;
+
+/// The set of namespaces a container is launched with.
+class NamespaceSet {
+ public:
+  static NamespaceSet none() { return NamespaceSet{}; }
+
+  /// Full cloud-style isolation: all seven namespaces (Docker/Podman
+  /// default, "full" in Table 2).
+  static NamespaceSet full();
+
+  /// The HPC profile: user + mount only ("user and mount NS" in
+  /// Table 2).
+  static NamespaceSet hpc();
+
+  NamespaceSet& add(Namespace ns);
+  NamespaceSet& remove(Namespace ns);
+  bool has(Namespace ns) const;
+  std::size_t count() const;
+
+  /// Time to construct these namespaces at container create.
+  SimDuration setup_cost(const RuntimeCosts& costs = default_costs()) const;
+
+  /// Rendering used for the Table 2 column ("full", "user and mount NS",
+  /// "none", or an explicit list).
+  std::string describe() const;
+
+  /// Network isolation interferes with HPC fabrics: a container with a
+  /// net namespace cannot use the host's high-speed interconnect
+  /// directly (§3.2 "strict container isolation may break access to HPC
+  /// hardware such as interconnects").
+  bool blocks_host_interconnect() const { return has(Namespace::kNet); }
+
+  friend bool operator==(const NamespaceSet&, const NamespaceSet&) = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+/// One uid (or gid) mapping range: container ids [container_start,
+/// container_start+length) map to host ids [host_start, ...).
+struct IdMapping {
+  std::uint32_t container_start = 0;
+  std::uint32_t host_start = 0;
+  std::uint32_t length = 1;
+};
+
+/// The uid/gid mapping of a user namespace.
+///
+/// HPC engines use a single-user mapping "to ensure files created by
+/// processes in the container have the UID/GID of the user launching the
+/// job" (§3.2); cloud engines map a whole /etc/subuid range.
+class UserMapping {
+ public:
+  /// Single-user mapping: container uid 0 (and the user's own uid) both
+  /// act as `host_uid` — the HPC model.
+  static UserMapping single_user(std::uint32_t host_uid, std::uint32_t host_gid);
+
+  /// Range mapping: container [0, count) -> host [subuid_base, ...) —
+  /// the rootless-cloud model.
+  static UserMapping subuid_range(std::uint32_t host_uid, std::uint32_t host_gid,
+                                  std::uint32_t subuid_base,
+                                  std::uint32_t count);
+
+  /// Maps a container uid to the host uid. kPermissionDenied if the id
+  /// is not mapped (files would appear as the overflow id 65534).
+  Result<std::uint32_t> map_uid(std::uint32_t container_uid) const;
+  Result<std::uint32_t> map_gid(std::uint32_t container_gid) const;
+
+  bool is_single_user() const;
+  std::uint32_t host_uid() const { return host_uid_; }
+  std::uint32_t host_gid() const { return host_gid_; }
+
+  const std::vector<IdMapping>& uid_maps() const { return uid_maps_; }
+
+ private:
+  static Result<std::uint32_t> map_through(const std::vector<IdMapping>& maps,
+                                           std::uint32_t id);
+  std::uint32_t host_uid_ = 0;
+  std::uint32_t host_gid_ = 0;
+  std::vector<IdMapping> uid_maps_;
+  std::vector<IdMapping> gid_maps_;
+};
+
+}  // namespace hpcc::runtime

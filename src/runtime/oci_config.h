@@ -1,0 +1,49 @@
+// hpcc/runtime/oci_config.h
+//
+// The runtime configuration bundle — hpcc's analog of the OCI runtime
+// spec's config.json. Engines assemble one of these per container
+// (process, namespaces, uid/gid mappings, mounts, annotations); hooks
+// mutate it; the runtime consumes it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/namespaces.h"
+#include "runtime/rootless.h"
+
+namespace hpcc::runtime {
+
+/// One mount line of the config.
+struct MountSpec {
+  MountKind kind = MountKind::kBind;
+  std::string source;       ///< host path / image path
+  std::string destination;  ///< container path
+  bool read_only = true;
+};
+
+/// The container process.
+struct ProcessSpec {
+  std::vector<std::string> argv = {"/bin/sh"};
+  std::map<std::string, std::string> env;
+  std::string cwd = "/";
+  std::uint32_t uid = 0;  ///< in-container uid
+  std::uint32_t gid = 0;
+};
+
+struct RuntimeConfig {
+  ProcessSpec process;
+  NamespaceSet namespaces = NamespaceSet::hpc();
+  /// Present when a user namespace is used.
+  std::optional<UserMapping> user_mapping;
+  std::vector<MountSpec> mounts;
+  /// Free-form annotations; the hook mechanism's side channel.
+  std::map<std::string, std::string> annotations;
+  /// Cgroup the container is placed into ("/slurm/job42/step0").
+  std::string cgroup_path;
+};
+
+}  // namespace hpcc::runtime

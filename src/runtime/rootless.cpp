@@ -1,0 +1,109 @@
+#include "runtime/rootless.h"
+
+namespace hpcc::runtime {
+
+std::string_view to_string(RootlessMechanism m) noexcept {
+  switch (m) {
+    case RootlessMechanism::kRootDaemon: return "root-daemon";
+    case RootlessMechanism::kUserNamespace: return "UserNS";
+    case RootlessMechanism::kSetuidHelper: return "suid";
+    case RootlessMechanism::kFakerootPreload: return "fakeroot (LD_PRELOAD)";
+    case RootlessMechanism::kFakerootPtrace: return "fakeroot (ptrace)";
+  }
+  return "?";
+}
+
+bool is_rootless(RootlessMechanism m) noexcept {
+  switch (m) {
+    case RootlessMechanism::kRootDaemon:
+      return false;
+    case RootlessMechanism::kSetuidHelper:
+      // Borderline in the survey's framing: no root *daemon*, but a
+      // setuid binary runs with root privileges on the user's behalf.
+      // We classify it rootless-with-caveats; the adaptive scorer
+      // penalizes it separately.
+      return true;
+    case RootlessMechanism::kUserNamespace:
+    case RootlessMechanism::kFakerootPreload:
+    case RootlessMechanism::kFakerootPtrace:
+      return true;
+  }
+  return false;
+}
+
+std::string_view to_string(MountKind k) noexcept {
+  switch (k) {
+    case MountKind::kBind: return "bind";
+    case MountKind::kDirRootfs: return "dir";
+    case MountKind::kSquashKernel: return "squashfs (kernel)";
+    case MountKind::kSquashFuse: return "SquashFUSE";
+    case MountKind::kOverlayKernel: return "overlayfs (kernel)";
+    case MountKind::kOverlayFuse: return "fuse-overlayfs";
+    case MountKind::kTmpfs: return "tmpfs";
+  }
+  return "?";
+}
+
+Result<Unit> authorize_mount(RootlessMechanism mechanism,
+                             const MountRequest& request) {
+  // A root daemon may mount anything — which is precisely the privilege
+  // HPC sites refuse to hand out (§3.2).
+  if (mechanism == RootlessMechanism::kRootDaemon) return ok_unit();
+
+  switch (request.kind) {
+    case MountKind::kBind:
+    case MountKind::kDirRootfs:
+    case MountKind::kTmpfs:
+      return ok_unit();
+
+    case MountKind::kSquashKernel:
+      if (mechanism == RootlessMechanism::kUserNamespace ||
+          mechanism == RootlessMechanism::kFakerootPreload ||
+          mechanism == RootlessMechanism::kFakerootPtrace) {
+        return err_denied(
+            "in-kernel squashfs mount denied in a user namespace: kernel "
+            "drivers are not hardened against maliciously crafted "
+            "block-device data (survey §4.1.2)");
+      }
+      // Setuid helper: allowed only if the user cannot manipulate the
+      // image while (or before) it is mounted.
+      if (request.image_user_writable) {
+        return err_denied(
+            "setuid-root squashfs mount denied: the image is "
+            "user-writeable, so the user could inject a malicious "
+            "filesystem image (survey §4.1.2)");
+      }
+      return ok_unit();
+
+    case MountKind::kSquashFuse:
+    case MountKind::kOverlayFuse:
+      // "the FUSE user-kernel interface can be assumed to be audited."
+      return ok_unit();
+
+    case MountKind::kOverlayKernel:
+      if (mechanism == RootlessMechanism::kSetuidHelper) return ok_unit();
+      if (!request.kernel_allows_userns_overlay) {
+        return err_denied(
+            "kernel overlayfs in a user namespace requires a kernel that "
+            "permits unprivileged overlay mounts (survey §4.1.4: 'may not "
+            "be enabled on the compute nodes, or may require root "
+            "privileges depending on the kernel version')");
+      }
+      return ok_unit();
+  }
+  return err_internal("unhandled mount kind");
+}
+
+SimDuration syscall_overhead(RootlessMechanism m, const RuntimeCosts& costs) {
+  switch (m) {
+    case RootlessMechanism::kFakerootPreload: return costs.preload_intercept;
+    case RootlessMechanism::kFakerootPtrace: return costs.ptrace_intercept;
+    default: return 0;
+  }
+}
+
+bool supports_static_binaries(RootlessMechanism m) noexcept {
+  return m != RootlessMechanism::kFakerootPreload;
+}
+
+}  // namespace hpcc::runtime

@@ -1,0 +1,86 @@
+// hpcc/runtime/rootless.h
+//
+// Rootless execution mechanisms and the mount-authorization policy.
+//
+// This encodes §4.1.2 of the survey as executable rules:
+//  * In a user namespace a user may pivot_root but "it does not permit
+//    mounting block devices or files acting as such via kernel drivers,
+//    since kernel drivers are not hardened against maliciously crafted
+//    block-device data." A SquashFS image therefore mounts via a
+//    setuid-root helper, via FUSE, or not at all (unpack to a dir).
+//  * With the setuid approach "the resulting image must not be
+//    user-writeable."
+//  * "An OverlayFS mount does not suffer from the same risks as a
+//    SquashFS mount, since the OverlayFS does not access raw block
+//    device data" — kernel overlay mounts in a UserNS are allowed on
+//    modern kernels (configurable, as the capability is kernel-version
+//    dependent per §4.1.4).
+//  * fakeroot via LD_PRELOAD "fails with static binaries"; the ptrace
+//    variant "introduces a significant performance penalty and the user
+//    requires access to the CAP_SYS_PTRACE capability."
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/sim_time.h"
+#include "runtime/runtime_costs.h"
+
+namespace hpcc::runtime {
+
+enum class RootlessMechanism : std::uint8_t {
+  kRootDaemon,      ///< classic dockerd: not rootless at all
+  kUserNamespace,   ///< unprivileged UserNS (the HPC default)
+  kSetuidHelper,    ///< setuid-root binary performs privileged steps
+  kFakerootPreload, ///< LD_PRELOAD syscall interception
+  kFakerootPtrace,  ///< ptrace syscall interception
+};
+
+std::string_view to_string(RootlessMechanism m) noexcept;
+
+/// True if the mechanism avoids running anything as (effective) root in
+/// the initial namespace — the survey's core rootless criterion.
+bool is_rootless(RootlessMechanism m) noexcept;
+
+enum class MountKind : std::uint8_t {
+  kBind,           ///< host dir into container (library hookup)
+  kDirRootfs,      ///< extracted directory tree, no driver involved
+  kSquashKernel,   ///< filesystem image via in-kernel driver
+  kSquashFuse,     ///< filesystem image via SquashFUSE
+  kOverlayKernel,  ///< union mount via kernel overlayfs
+  kOverlayFuse,    ///< union mount via fuse-overlayfs
+  kTmpfs,
+};
+
+std::string_view to_string(MountKind k) noexcept;
+
+/// Facts about the host and the image needed for the policy decision.
+struct MountRequest {
+  MountKind kind = MountKind::kDirRootfs;
+  /// Can the requesting user write to the image file? Kernel-mounting a
+  /// user-writable image hands the user a kernel attack surface.
+  bool image_user_writable = false;
+  /// Host kernel allows unprivileged overlayfs in a UserNS (>= 5.11).
+  bool kernel_allows_userns_overlay = true;
+  /// The requesting user holds CAP_SYS_PTRACE (needed for fakeroot-ptrace).
+  bool user_has_cap_sys_ptrace = false;
+};
+
+/// Decides whether `mechanism` may perform `request`. Errors carry the
+/// survey's reasoning in the message so the decision-document generator
+/// (adaptive/) can quote them.
+Result<Unit> authorize_mount(RootlessMechanism mechanism,
+                             const MountRequest& request);
+
+/// Per-intercepted-syscall overhead of a mechanism (zero except for the
+/// fakeroot variants), used by the container cost model and
+/// bench_fakeroot.
+SimDuration syscall_overhead(RootlessMechanism m,
+                             const RuntimeCosts& costs = default_costs());
+
+/// Whether a workload containing statically linked binaries can run
+/// under the mechanism (LD_PRELOAD interception cannot see into them).
+bool supports_static_binaries(RootlessMechanism m) noexcept;
+
+}  // namespace hpcc::runtime

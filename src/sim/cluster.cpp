@@ -1,0 +1,48 @@
+#include "sim/cluster.h"
+
+namespace hpcc::sim {
+
+std::string_view to_string(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::kUp: return "up";
+    case NodeState::kDraining: return "draining";
+    case NodeState::kDown: return "down";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), network_(config.num_nodes, config.network),
+      shared_fs_(config.shared_fs) {
+  nodes_.reserve(config.num_nodes);
+  local_storage_.reserve(config.num_nodes);
+  page_caches_.reserve(config.num_nodes);
+  for (std::uint32_t i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(Node{i, config.node_spec, NodeState::kUp});
+    local_storage_.emplace_back(config.local_storage);
+    page_caches_.emplace_back(config.page_cache);
+  }
+}
+
+Result<Unit> Cluster::reprovision(NodeId id, std::function<void()> on_up) {
+  if (id >= nodes_.size())
+    return err_not_found("no node " + std::to_string(id));
+  Node& n = nodes_[id];
+  if (n.state == NodeState::kDown)
+    return err_precondition("node " + std::to_string(id) + " already down");
+  n.state = NodeState::kDown;
+  ++reprovisions_;
+  events_.schedule_after(config_.reprovision_time,
+                         [this, id, cb = std::move(on_up)]() {
+                           nodes_[id].state = NodeState::kUp;
+                           page_caches_[id].invalidate_all();
+                           if (cb) cb();
+                         });
+  return ok_unit();
+}
+
+void Cluster::set_state(NodeId id, NodeState state) {
+  nodes_.at(id).state = state;
+}
+
+}  // namespace hpcc::sim

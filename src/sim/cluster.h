@@ -1,0 +1,94 @@
+// hpcc/sim/cluster.h
+//
+// The compute cluster: N nodes with cores/memory/GPUs, a shared cluster
+// filesystem, node-local scratch, per-node page caches, and the
+// high-speed network. This is the substrate every experiment runs on —
+// the WLM allocates its nodes, engines stage images onto its storage,
+// and the Kubernetes scenarios of §6 reconfigure it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace hpcc::sim {
+
+struct NodeSpec {
+  unsigned cores = 64;
+  std::uint64_t memory = 256ull << 30;  ///< bytes
+  unsigned gpus = 0;
+  std::string gpu_vendor;               ///< "nvidia", "amd", "" if none
+};
+
+enum class NodeState : std::uint8_t {
+  kUp,        ///< available to its current owner (WLM or K8s)
+  kDraining,  ///< finishing work before ownership change
+  kDown,      ///< offline / rebooting
+};
+
+std::string_view to_string(NodeState s) noexcept;
+
+struct Node {
+  NodeId id = 0;
+  NodeSpec spec;
+  NodeState state = NodeState::kUp;
+};
+
+struct ClusterConfig {
+  std::uint32_t num_nodes = 16;
+  NodeSpec node_spec;
+  NetworkConfig network;
+  SharedFsConfig shared_fs;
+  LocalStorageConfig local_storage;
+  PageCacheConfig page_cache;
+  /// Time for a node to reboot/reprovision into a different personality
+  /// (the §6.1 on-demand reallocation cost).
+  SimDuration reprovision_time = minutes(3);
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  EventQueue& events() { return events_; }
+  SimTime now() const { return events_.now(); }
+
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+
+  Network& network() { return network_; }
+  SharedFilesystem& shared_fs() { return shared_fs_; }
+  NodeLocalStorage& local_storage(NodeId id) { return local_storage_.at(id); }
+  PageCache& page_cache(NodeId id) { return page_caches_.at(id); }
+
+  /// Takes a node down, reprovisions it, and calls `on_up` when it comes
+  /// back (the §6.1 node-reallocation dance). The page cache is cold
+  /// afterwards.
+  Result<Unit> reprovision(NodeId id, std::function<void()> on_up);
+
+  /// Marks a node down/up immediately (failure injection in tests).
+  void set_state(NodeId id, NodeState state);
+
+  const ClusterConfig& config() const { return config_; }
+  std::uint64_t reprovision_count() const { return reprovisions_; }
+
+ private:
+  ClusterConfig config_;
+  EventQueue events_;
+  std::vector<Node> nodes_;
+  Network network_;
+  SharedFilesystem shared_fs_;
+  std::vector<NodeLocalStorage> local_storage_;
+  std::vector<PageCache> page_caches_;
+  std::uint64_t reprovisions_ = 0;
+};
+
+}  // namespace hpcc::sim

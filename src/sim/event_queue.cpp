@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace hpcc::sim {
+
+void EventQueue::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(SimDuration delay, Callback fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (shared_ptr-backed std::function copy).
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+std::size_t EventQueue::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().time <= t) {
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace hpcc::sim

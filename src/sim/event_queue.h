@@ -1,0 +1,70 @@
+// hpcc/sim/event_queue.h
+//
+// The discrete-event simulation (DES) kernel.
+//
+// Everything architectural in this reproduction — container cold starts,
+// shared-filesystem contention, WLM scheduling, Kubernetes pod placement
+// (Figure 1) — runs on one logical clock advanced by this queue. Events
+// are (time, sequence, callback) tuples; ties in time break by insertion
+// order, which makes every simulation fully deterministic (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace hpcc::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Scheduling in the past is an
+  /// event-at-now (clamped), never time travel.
+  void schedule_at(SimTime t, Callback fn);
+
+  /// Schedules `fn` `delay` microseconds from now.
+  void schedule_after(SimDuration delay, Callback fn);
+
+  /// Runs the single next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with time <= `t`, then sets the clock to `t` (even if
+  /// no event landed exactly there). Returns the number of events run.
+  std::size_t run_until(SimTime t);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Total events executed since construction (observability for tests).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpcc::sim

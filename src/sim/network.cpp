@@ -1,0 +1,63 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace hpcc::sim {
+
+Network::Network(std::uint32_t num_nodes, NetworkConfig config)
+    : config_(config), wan_("wan-uplink", 1) {
+  nics_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    nics_.emplace_back("nic-" + std::to_string(i), 1);
+  }
+}
+
+SimTime Network::transfer(SimTime now, NodeId src, NodeId dst,
+                          std::uint64_t bytes) {
+  assert(src < nics_.size() && dst < nics_.size());
+  bytes_moved_ += bytes;
+  const auto wire_time = static_cast<SimDuration>(
+      static_cast<double>(bytes) / config_.nic_bandwidth);
+  if (src == dst) return now + 1;  // loopback: negligible
+  // Serialize out of the source NIC, cross the fabric, land in the
+  // destination NIC. Receive-side serialization contends with other
+  // traffic into `dst`.
+  const SimTime sent = nics_[src].submit(now, wire_time);
+  const SimTime arrived = sent + config_.fabric_latency;
+  return nics_[dst].submit(arrived, wire_time);
+}
+
+SimTime Network::overlay_transfer(SimTime now, NodeId src, NodeId dst,
+                                  std::uint64_t bytes) {
+  assert(src < nics_.size() && dst < nics_.size());
+  bytes_moved_ += bytes;
+  if (src == dst) return now + config_.overlay_latency;
+  const double bw = config_.nic_bandwidth * config_.overlay_bandwidth_fraction;
+  const auto wire_time =
+      static_cast<SimDuration>(static_cast<double>(bytes) / bw);
+  // Encapsulate, serialize out, cross the fabric, decapsulate, serialize
+  // in — both per-message latencies are paid in the container's network
+  // namespace, not the host's.
+  const SimTime sent =
+      nics_[src].submit(now + config_.overlay_latency, wire_time);
+  const SimTime arrived = sent + config_.fabric_latency;
+  return nics_[dst].submit(arrived, wire_time) + config_.overlay_latency;
+}
+
+SimTime Network::wan_transfer(SimTime now, NodeId node, std::uint64_t bytes) {
+  assert(node < nics_.size());
+  wan_bytes_ += bytes;
+  const auto nic_time = static_cast<SimDuration>(
+      static_cast<double>(bytes) / config_.nic_bandwidth);
+  const auto wan_time = static_cast<SimDuration>(
+      static_cast<double>(bytes) / config_.wan_bandwidth);
+  const SimTime through_nic = nics_[node].submit(now, nic_time);
+  return wan_.submit(through_nic, wan_time) + config_.wan_latency;
+}
+
+SimTime Network::message(SimTime now, NodeId src, NodeId dst) {
+  if (src == dst) return now + 1;
+  return transfer(now, src, dst, 256) ;  // small control payload
+}
+
+}  // namespace hpcc::sim

@@ -1,0 +1,73 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+namespace hpcc::sim {
+
+FifoStation::FifoStation(std::string name, unsigned servers)
+    : name_(std::move(name)), free_at_(std::max(1u, servers), 0) {}
+
+SimTime FifoStation::submit(SimTime arrival, SimDuration service) {
+  if (service < 0) service = 0;
+  // Pick the server that frees up first.
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const SimTime start = std::max(arrival, *it);
+  const SimTime done = start + service;
+  *it = done;
+  ++requests_;
+  busy_time_ += service;
+  return done;
+}
+
+SimDuration FifoStation::queue_delay(SimTime arrival) const {
+  const SimTime earliest = *std::min_element(free_at_.begin(), free_at_.end());
+  return earliest > arrival ? earliest - arrival : 0;
+}
+
+void FifoStation::reset() {
+  std::fill(free_at_.begin(), free_at_.end(), 0);
+  requests_ = 0;
+  busy_time_ = 0;
+}
+
+RateLimiter::RateLimiter(std::uint64_t limit, SimDuration window)
+    : limit_(limit), window_(window > 0 ? window : 1),
+      tokens_(static_cast<double>(limit)) {}
+
+void RateLimiter::refill(SimTime now) {
+  if (now <= last_refill_) return;
+  const double rate = static_cast<double>(limit_) / static_cast<double>(window_);
+  tokens_ = std::min(static_cast<double>(limit_),
+                     tokens_ + rate * static_cast<double>(now - last_refill_));
+  last_refill_ = now;
+}
+
+bool RateLimiter::try_acquire(SimTime now) {
+  if (limit_ == 0) {
+    ++admitted_;
+    return true;
+  }
+  refill(now);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++admitted_;
+    return true;
+  }
+  ++throttled_;
+  return false;
+}
+
+SimTime RateLimiter::next_admission(SimTime now) const {
+  if (limit_ == 0) return now;
+  // Compute tokens at `now` without mutating.
+  const double rate = static_cast<double>(limit_) / static_cast<double>(window_);
+  double tokens = tokens_;
+  if (now > last_refill_)
+    tokens = std::min(static_cast<double>(limit_),
+                      tokens + rate * static_cast<double>(now - last_refill_));
+  if (tokens >= 1.0) return now;
+  const double deficit = 1.0 - tokens;
+  return now + static_cast<SimDuration>(deficit / rate + 0.999999);
+}
+
+}  // namespace hpcc::sim

@@ -1,0 +1,83 @@
+// hpcc/sim/resource.h
+//
+// Queueing-station primitives used to model contended resources:
+// metadata servers, data movers, NICs, FUSE daemon threads, registry
+// frontends, DockerHub rate limits.
+//
+// FifoStation is a c-server FIFO queue evaluated analytically inside the
+// DES: a request arriving at time `t` with service demand `d` completes
+// at max(t, earliest-free-server) + d. This captures the convoy effects
+// the survey describes (many nodes hammering the cluster filesystem's
+// metadata server on container start, §3.2/§4.1.4) without simulating
+// every queue slot as an event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace hpcc::sim {
+
+/// A FIFO service station with `servers` parallel servers.
+class FifoStation {
+ public:
+  explicit FifoStation(std::string name, unsigned servers = 1);
+
+  /// Admits a request arriving at `arrival` needing `service` time on one
+  /// server. Returns the completion time and updates queue state.
+  SimTime submit(SimTime arrival, SimDuration service);
+
+  /// Time a request arriving at `arrival` would spend waiting before
+  /// service starts (0 if a server is free). Does not mutate state.
+  SimDuration queue_delay(SimTime arrival) const;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t requests() const { return requests_; }
+
+  /// Total busy time accumulated across servers (for utilization stats).
+  SimDuration busy_time() const { return busy_time_; }
+
+  /// Resets counters and frees all servers (between bench repetitions).
+  void reset();
+
+ private:
+  std::string name_;
+  std::vector<SimTime> free_at_;  // earliest idle time per server
+  std::uint64_t requests_ = 0;
+  SimDuration busy_time_ = 0;
+};
+
+/// A token-bucket rate limiter (requests per window), the DockerHub pull
+/// limit model of §5.1.3. Unlike FifoStation it rejects rather than
+/// queues: callers see kResourceExhausted-style throttling and must retry
+/// or route through a caching proxy.
+class RateLimiter {
+ public:
+  /// `limit` requests per `window` of simulated time. limit == 0 means
+  /// unlimited.
+  RateLimiter(std::uint64_t limit, SimDuration window);
+
+  /// Attempts to admit a request at `now`. Returns true if admitted.
+  bool try_acquire(SimTime now);
+
+  /// Time at which the next request would be admitted (== now if tokens
+  /// are available).
+  SimTime next_admission(SimTime now) const;
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t throttled() const { return throttled_; }
+
+ private:
+  void refill(SimTime now);
+
+  std::uint64_t limit_;
+  SimDuration window_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace hpcc::sim

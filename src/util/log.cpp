@@ -1,0 +1,64 @@
+#include "util/log.h"
+
+namespace hpcc {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+LogSink& LogSink::instance() {
+  static LogSink sink;
+  return sink;
+}
+
+void LogSink::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel LogSink::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void LogSink::set_capture(bool capture) {
+  std::lock_guard lock(mu_);
+  capture_ = capture;
+  if (!capture) records_.clear();
+}
+
+std::vector<LogRecord> LogSink::drain() {
+  std::lock_guard lock(mu_);
+  std::vector<LogRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+void LogSink::set_print(bool print) {
+  std::lock_guard lock(mu_);
+  print_ = print;
+}
+
+void LogSink::write(LogLevel level, std::string_view component,
+                    std::string_view message) {
+  std::lock_guard lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (capture_) {
+    records_.push_back(
+        LogRecord{level, std::string(component), std::string(message)});
+  }
+  if (print_) {
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(to_string(level).size()), to_string(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  }
+}
+
+}  // namespace hpcc

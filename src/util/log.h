@@ -1,0 +1,75 @@
+// hpcc/util/log.h
+//
+// Minimal leveled logger. Components log through a named Logger; the
+// global sink collects records so tests can assert on emitted warnings
+// (e.g. the ABI-compatibility checker warns rather than fails on minor
+// version skew). Logging is off by default at Debug level to keep bench
+// output clean.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+struct LogRecord {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+/// Process-wide log state. Thread-safe.
+class LogSink {
+ public:
+  static LogSink& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// When capturing, records are kept in memory (for tests) instead of
+  /// (in addition to) being printed.
+  void set_capture(bool capture);
+  std::vector<LogRecord> drain();
+
+  /// Emit to stderr? Default true for Warn+.
+  void set_print(bool print);
+
+  void write(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  LogSink() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  bool capture_ = false;
+  bool print_ = true;
+  std::vector<LogRecord> records_;
+};
+
+/// A named logger handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  void debug(std::string_view msg) const { log(LogLevel::kDebug, msg); }
+  void info(std::string_view msg) const { log(LogLevel::kInfo, msg); }
+  void warn(std::string_view msg) const { log(LogLevel::kWarn, msg); }
+  void error(std::string_view msg) const { log(LogLevel::kError, msg); }
+
+  const std::string& component() const { return component_; }
+
+ private:
+  void log(LogLevel level, std::string_view msg) const {
+    LogSink::instance().write(level, component_, msg);
+  }
+  std::string component_;
+};
+
+}  // namespace hpcc

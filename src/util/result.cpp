@@ -1,0 +1,36 @@
+#include "util/result.h"
+
+namespace hpcc {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kIntegrity: return "integrity";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out(hpcc::to_string(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Error Error::wrap(std::string_view context) const {
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Error(code_, std::move(msg));
+}
+
+}  // namespace hpcc

@@ -1,0 +1,169 @@
+// hpcc/util/result.h
+//
+// Error handling primitives for the hpcc library.
+//
+// The library does not throw exceptions across public API boundaries
+// (see DESIGN.md §5). Fallible operations return Result<T>, a small
+// std::expected-style sum type of a value and an Error. Error carries a
+// coarse machine-readable code plus a human-readable message that is
+// expected to be propagated up to operator-facing reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hpcc {
+
+/// Coarse error categories used across all hpcc modules. Codes are
+/// deliberately few: callers branch on the category, humans read the
+/// message. Mirrors the failure classes that appear in the container
+/// stack the survey analyzes (permission problems, missing objects,
+/// integrity failures, resource exhaustion, ...).
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad path, bad spec, bad digest)
+  kNotFound,          ///< object does not exist (file, image, tag, job)
+  kAlreadyExists,     ///< uniqueness violated (tag, job id, mount point)
+  kPermissionDenied,  ///< caller lacks privilege (rootless violations, ACLs)
+  kUnsupported,       ///< feature not provided by this engine/registry
+  kIntegrity,         ///< digest/signature mismatch, corrupt image
+  kResourceExhausted, ///< quota, rate limit, out of nodes/memory
+  kFailedPrecondition,///< operation not valid in current state
+  kUnavailable,       ///< transient: service down, node offline
+  kInternal,          ///< invariant violation inside hpcc itself
+};
+
+/// Returns a stable lowercase identifier for an ErrorCode ("not_found").
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// An error: category + message. Cheap to move, comparable by code.
+class [[nodiscard]] Error {
+ public:
+  Error() : code_(ErrorCode::kInternal) {}
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "permission_denied: rootless engines may not mount block devices"
+  std::string to_string() const;
+
+  /// Prefix the message with additional context while keeping the code.
+  /// Used when propagating an error up through layers:
+  ///   return err.wrap("pulling image " + ref);
+  Error wrap(std::string_view context) const;
+
+  friend bool operator==(const Error& a, const Error& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a T or an Error. Monostate-friendly: Result<void> is
+/// spelled Result<Unit>.
+///
+/// Usage:
+///   Result<Digest> d = store.put(blob);
+///   if (!d.ok()) return d.error().wrap("storing layer");
+///   use(d.value());
+struct Unit {
+  friend bool operator==(Unit, Unit) noexcept { return true; }
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return error;`.
+  Result(T value) : v_(std::move(value)) {}
+  Result(Error error) : v_(std::move(error)) {}
+  Result(ErrorCode code, std::string message)
+      : v_(Error(code, std::move(message))) {}
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Precondition: ok(). (Checked in debug builds via the variant.)
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Precondition: !ok().
+  const Error& error() const& { return std::get<Error>(v_); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  /// Maps the value through `fn` if ok; propagates the error otherwise.
+  template <typename Fn>
+  auto map(Fn&& fn) const& -> Result<decltype(fn(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return fn(value());
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Convenience constructors mirroring the common failure classes.
+inline Error err_invalid(std::string msg) {
+  return Error(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Error err_not_found(std::string msg) {
+  return Error(ErrorCode::kNotFound, std::move(msg));
+}
+inline Error err_exists(std::string msg) {
+  return Error(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Error err_denied(std::string msg) {
+  return Error(ErrorCode::kPermissionDenied, std::move(msg));
+}
+inline Error err_unsupported(std::string msg) {
+  return Error(ErrorCode::kUnsupported, std::move(msg));
+}
+inline Error err_integrity(std::string msg) {
+  return Error(ErrorCode::kIntegrity, std::move(msg));
+}
+inline Error err_exhausted(std::string msg) {
+  return Error(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Error err_precondition(std::string msg) {
+  return Error(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Error err_unavailable(std::string msg) {
+  return Error(ErrorCode::kUnavailable, std::move(msg));
+}
+inline Error err_internal(std::string msg) {
+  return Error(ErrorCode::kInternal, std::move(msg));
+}
+
+inline Result<Unit> ok_unit() { return Unit{}; }
+
+/// HPCC_TRY: propagate the error of a Result-returning expression, binding
+/// the value otherwise. Kept as a macro because C++ lacks try-propagation.
+///   HPCC_TRY(auto blob, store.get(digest));
+#define HPCC_CONCAT_INNER_(a, b) a##b
+#define HPCC_CONCAT_(a, b) HPCC_CONCAT_INNER_(a, b)
+#define HPCC_TRY_IMPL_(tmp, decl, expr) \
+  auto&& tmp = (expr);                  \
+  if (!tmp.ok()) return tmp.error();    \
+  decl = std::move(tmp).value()
+#define HPCC_TRY(decl, expr) \
+  HPCC_TRY_IMPL_(HPCC_CONCAT_(hpcc_try_tmp_, __LINE__), decl, expr)
+
+/// HPCC_TRY_UNIT: propagate the error of a Result<Unit> expression.
+#define HPCC_TRY_UNIT(expr)                          \
+  do {                                               \
+    auto&& hpcc_try_u = (expr);                      \
+    if (!hpcc_try_u.ok()) return hpcc_try_u.error(); \
+  } while (0)
+
+}  // namespace hpcc

@@ -1,0 +1,55 @@
+// hpcc/util/rng.h
+//
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in hpcc (workload generation, latency jitter,
+// synthetic file contents) flows through Rng so that every test and bench
+// is reproducible from a single seed (DESIGN.md §5). The generator is
+// xoshiro256** 1.0 (Blackman & Vigna), chosen for speed and statistical
+// quality; it is NOT a cryptographic RNG and the crypto module does not
+// use it for key material in any security-relevant way (hpcc crypto is
+// simulation-grade anyway, see crypto/sign.h).
+#pragma once
+
+#include <cstdint>
+
+namespace hpcc {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64, the
+  /// initialization recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Uses rejection sampling
+  /// to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of jobs/pods in the workload generator).
+  double next_exponential(double mean);
+
+  /// Normally distributed value (Box-Muller); used for latency jitter.
+  double next_normal(double mean, double stddev);
+
+  /// Splits off an independently-seeded child generator. Deterministic:
+  /// the child's seed is derived from this generator's stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hpcc

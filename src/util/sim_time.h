@@ -1,0 +1,34 @@
+// hpcc/util/sim_time.h
+//
+// Simulated-time types. The discrete-event simulator (sim/event_queue.h)
+// advances a single logical clock measured in integer microseconds.
+// Microsecond resolution covers everything the survey's experiments need
+// (syscall overheads are modeled in the hundreds of nanoseconds and
+// rounded up; cluster events span milliseconds to minutes) while keeping
+// arithmetic exact and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpcc {
+
+/// A point in simulated time, microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in simulated microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration usec(std::int64_t n) { return n; }
+constexpr SimDuration msec(std::int64_t n) { return n * 1000; }
+constexpr SimDuration sec(std::int64_t n) { return n * 1000 * 1000; }
+constexpr SimDuration minutes(std::int64_t n) { return n * 60ll * 1000 * 1000; }
+
+/// Converts fractional seconds to a duration (rounded to the nearest us).
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6 + 0.5);
+}
+
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace hpcc

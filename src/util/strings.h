@@ -1,0 +1,48 @@
+// hpcc/util/strings.h
+//
+// Small string utilities (split/join/trim/predicates/hex) used across
+// the stack: path handling, image reference parsing, spec file parsing,
+// table rendering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcc::strings {
+
+/// Splits `s` on `sep`, keeping empty fields ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping empty fields ("/a//b/" -> {"a","b"}).
+/// This is the path-component split used by the VFS.
+std::vector<std::string> split_nonempty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+bool contains(std::string_view s, std::string_view needle);
+
+std::string to_lower(std::string_view s);
+
+/// Lowercase hex encoding of raw bytes; the format used in digests.
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decodes lowercase/uppercase hex. Returns false on odd length or
+/// non-hex characters; `out` is cleared in that case.
+bool hex_decode(std::string_view hex, std::vector<std::uint8_t>& out);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Formats microseconds with adaptive units ("12.3 ms", "4.5 s").
+std::string human_usec(std::uint64_t usec);
+
+}  // namespace hpcc::strings

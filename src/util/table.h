@@ -1,0 +1,47 @@
+// hpcc/util/table.h
+//
+// Plain-text table renderer.
+//
+// The survey's evaluation artifacts are comparison tables (Tables 1-5).
+// Our reproduction *generates* those tables from the live feature sets of
+// the engine and registry implementations; this renderer produces the
+// aligned, pipe-delimited output the bench binaries print so the rows can
+// be diffed against the paper (EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcc {
+
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with "";
+  /// longer rows extend the column count (headers padded with "").
+  void add_row(std::vector<std::string> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Renders with aligned columns:
+  ///   | Engine | Rootless | ... |
+  ///   |--------|----------|-----|
+  ///   | Docker | UserNS   | ... |
+  std::string render() const;
+
+  /// Renders as comma-separated values (for downstream plotting).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcc

@@ -1,0 +1,101 @@
+// hpcc/util/wire.h
+//
+// Tiny binary wire-format helpers shared by the serializable types
+// (manifests, registry records, image metadata). Little-endian, length-
+// prefixed strings; a Reader that fails soft on truncation so callers
+// can return kIntegrity with context.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace hpcc::wire {
+
+inline void put_string(Bytes& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+}
+
+inline void put_map(Bytes& out, const std::map<std::string, std::string>& m) {
+  append_u32(out, static_cast<std::uint32_t>(m.size()));
+  for (const auto& [k, v] : m) {
+    put_string(out, k);
+    put_string(out, v);
+  }
+}
+
+/// Sequential reader over a byte view. All getters return false on
+/// truncation and leave the reader in a failed state.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  bool get_u8(std::uint8_t& v) {
+    if (!need(1)) return false;
+    v = data_[off_++];
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) {
+    if (!need(4)) return false;
+    v = read_u32(data_, off_);
+    off_ += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) {
+    if (!need(8)) return false;
+    v = read_u64(data_, off_);
+    off_ += 8;
+    return true;
+  }
+  bool get_string(std::string& v) {
+    std::uint32_t len = 0;
+    if (!get_u32(len) || !need(len)) return false;
+    v = to_string(BytesView(data_.data() + off_, len));
+    off_ += len;
+    return true;
+  }
+  bool get_bytes(Bytes& v) {
+    std::uint64_t len = 0;
+    if (!get_u64(len) || !need(len)) return false;
+    v.assign(data_.begin() + off_, data_.begin() + off_ + len);
+    off_ += len;
+    return true;
+  }
+  bool get_map(std::map<std::string, std::string>& m) {
+    std::uint32_t count = 0;
+    if (!get_u32(count)) return false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string k, v;
+      if (!get_string(k) || !get_string(v)) return false;
+      m[k] = v;
+    }
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  bool done() const { return off_ == data_.size(); }
+  std::size_t offset() const { return off_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (off_ + n > data_.size()) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  BytesView data_;
+  std::size_t off_ = 0;
+  bool failed_ = false;
+};
+
+inline void put_bytes(Bytes& out, BytesView b) {
+  append_u64(out, b.size());
+  append(out, b);
+}
+
+}  // namespace hpcc::wire

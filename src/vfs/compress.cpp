@@ -1,0 +1,140 @@
+#include "vfs/compress.h"
+
+#include <array>
+#include <cstring>
+
+namespace hpcc::vfs {
+
+namespace {
+constexpr std::size_t kWindow = 4096;      // 12-bit distances
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;      // kMinMatch + 15
+constexpr std::size_t kHashSize = 1 << 13;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes.
+  const std::uint32_t v =
+      std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) | (std::uint32_t(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - 13);
+}
+}  // namespace
+
+Bytes lzss_compress(BytesView input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  append_u64(out, input.size());
+
+  // Hash chains: head[h] = most recent position with hash h.
+  std::array<std::int64_t, kHashSize> head;
+  head.fill(-1);
+  std::vector<std::int64_t> prev(input.size(), -1);
+
+  std::size_t pos = 0;
+  std::size_t flag_pos = 0;
+  int flag_bit = 8;  // force new flag byte on first token
+
+  auto begin_token = [&](bool literal) {
+    if (flag_bit == 8) {
+      flag_pos = out.size();
+      out.push_back(0);
+      flag_bit = 0;
+    }
+    if (literal) out[flag_pos] |= static_cast<std::uint8_t>(1u << flag_bit);
+    ++flag_bit;
+  };
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (pos + kMinMatch <= input.size()) {
+      const std::uint32_t h = hash3(input.data() + pos);
+      std::int64_t cand = head[h];
+      int chain = 32;  // bounded chain walk keeps compression O(n)
+      while (cand >= 0 && chain-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t dist = pos - static_cast<std::size_t>(cand);
+        const std::size_t limit = std::min(kMaxMatch, input.size() - pos);
+        std::size_t len = 0;
+        while (len < limit && input[cand + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[cand];
+      }
+      // Insert current position into the chain.
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(/*literal=*/false);
+      const std::uint16_t dist_code = static_cast<std::uint16_t>(best_dist - 1);
+      const std::uint8_t len_code = static_cast<std::uint8_t>(best_len - kMinMatch);
+      out.push_back(static_cast<std::uint8_t>(dist_code & 0xff));
+      out.push_back(static_cast<std::uint8_t>(((dist_code >> 8) & 0x0f) |
+                                              (len_code << 4)));
+      // Register skipped positions in the hash chains for better matches.
+      for (std::size_t k = 1; k < best_len && pos + k + kMinMatch <= input.size();
+           ++k) {
+        const std::uint32_t h2 = hash3(input.data() + pos + k);
+        prev[pos + k] = head[h2];
+        head[h2] = static_cast<std::int64_t>(pos + k);
+      }
+      pos += best_len;
+    } else {
+      begin_token(/*literal=*/true);
+      out.push_back(input[pos]);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+Result<std::uint64_t> lzss_declared_size(BytesView input) {
+  if (input.size() < 8) return err_invalid("lzss: buffer too short for header");
+  return read_u64(input, 0);
+}
+
+Result<Bytes> lzss_decompress(BytesView input) {
+  HPCC_TRY(const std::uint64_t expected, lzss_declared_size(input));
+  Bytes out;
+  out.reserve(expected);
+
+  std::size_t pos = 8;
+  std::uint8_t flags = 0;
+  int flag_bit = 8;
+
+  while (out.size() < expected) {
+    if (flag_bit == 8) {
+      if (pos >= input.size()) return err_integrity("lzss: truncated stream");
+      flags = input[pos++];
+      flag_bit = 0;
+    }
+    const bool literal = (flags >> flag_bit) & 1;
+    ++flag_bit;
+    if (literal) {
+      if (pos >= input.size()) return err_integrity("lzss: truncated literal");
+      out.push_back(input[pos++]);
+    } else {
+      if (pos + 2 > input.size()) return err_integrity("lzss: truncated match");
+      const std::uint8_t b0 = input[pos];
+      const std::uint8_t b1 = input[pos + 1];
+      pos += 2;
+      const std::size_t dist = (std::size_t(b0) | (std::size_t(b1 & 0x0f) << 8)) + 1;
+      const std::size_t len = std::size_t(b1 >> 4) + kMinMatch;
+      if (dist > out.size())
+        return err_integrity("lzss: match reference before window start");
+      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+      // reproduce run-length behaviour.
+      const std::size_t start = out.size() - dist;
+      for (std::size_t i = 0; i < len && out.size() < expected; ++i)
+        out.push_back(out[start + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcc::vfs

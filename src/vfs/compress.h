@@ -1,0 +1,33 @@
+// hpcc/vfs/compress.h
+//
+// LZSS compression (4 KiB sliding window, 3..18-byte matches), the codec
+// behind hpcc's compressed artifacts: squash image blocks, layer blobs
+// and flat-image payloads. A real dictionary coder, not a stub — the
+// survey's cost discussion ("trading memory and CPU (decompression) for
+// disk IO", §3.2) needs compression that actually does work proportional
+// to data size and achieves real ratios on compressible input.
+//
+// Format: a token stream. Each group of 8 tokens is preceded by a flag
+// byte (bit i set => token i is a literal byte; clear => a 2-byte
+// match reference: 12-bit distance-1, 4-bit length-3). The stream is
+// prefixed with the uncompressed size (u64 LE).
+#pragma once
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace hpcc::vfs {
+
+/// Compresses `input`. Output is never catastrophically larger than the
+/// input (worst case: 9/8 + 9 bytes).
+Bytes lzss_compress(BytesView input);
+
+/// Decompresses a buffer produced by lzss_compress. Returns kIntegrity
+/// on malformed input (truncation, references before window start).
+Result<Bytes> lzss_decompress(BytesView input);
+
+/// Declared size of the decompressed payload without decompressing
+/// (reads the header). kInvalidArgument if too short.
+Result<std::uint64_t> lzss_declared_size(BytesView input);
+
+}  // namespace hpcc::vfs

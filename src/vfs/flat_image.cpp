@@ -1,0 +1,199 @@
+#include "vfs/flat_image.h"
+
+namespace hpcc::vfs {
+
+namespace {
+constexpr std::string_view kMagic = "HPCSIF1";
+
+void append_string(Bytes& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+}
+
+bool read_string(BytesView blob, std::size_t& off, std::string& out) {
+  if (off + 4 > blob.size()) return false;
+  const std::uint32_t len = read_u32(blob, off);
+  off += 4;
+  if (off + len > blob.size()) return false;
+  out = hpcc::to_string(BytesView(blob.data() + off, len));
+  off += len;
+  return true;
+}
+}  // namespace
+
+Result<FlatImage> FlatImage::create(const MemFs& rootfs, FlatImageInfo info,
+                                    CreateOptions options) {
+  FlatImage img;
+  img.info_ = std::move(info);
+  const SquashImage squash = SquashImage::build(rootfs, options.block_size);
+  // The digest always covers the *plaintext* payload, so a signature
+  // made before encryption stays valid after (and vice versa).
+  img.payload_digest_ = squash.digest();
+  if (options.encrypt_passphrase) {
+    img.encrypted_ = true;
+    const auto key = crypto::derive_key(*options.encrypt_passphrase);
+    img.payload_ = crypto::seal(key, squash.blob()).blob;
+  } else {
+    img.payload_ = squash.blob();
+  }
+  return img;
+}
+
+Result<SquashImage> FlatImage::open_payload(
+    std::optional<std::string> passphrase) const {
+  if (encrypted_) {
+    if (!passphrase)
+      return err_denied("image '" + info_.name +
+                        "' is encrypted; a passphrase is required");
+    const auto key = crypto::derive_key(*passphrase);
+    crypto::SealedBox box;
+    box.blob = payload_;
+    HPCC_TRY(Bytes plain, crypto::open(key, box));
+    HPCC_TRY_UNIT(crypto::verify_digest(plain, payload_digest_));
+    return SquashImage::open(std::move(plain));
+  }
+  HPCC_TRY_UNIT(crypto::verify_digest(payload_, payload_digest_));
+  return SquashImage::open(payload_);
+}
+
+void FlatImage::sign(const crypto::KeyPair& keypair,
+                     const std::string& identity) {
+  crypto::SignatureRecord rec;
+  rec.signer_identity = identity;
+  rec.key_fingerprint = keypair.public_key().fingerprint();
+  rec.payload_digest = payload_digest_.to_string();
+  rec.signature = keypair.sign(std::string_view(rec.payload_digest));
+  signatures_.push_back(std::move(rec));
+}
+
+Result<Unit> FlatImage::verify(const crypto::Keyring& ring) const {
+  if (signatures_.empty())
+    return err_precondition("image '" + info_.name + "' carries no signatures");
+  for (const auto& rec : signatures_) {
+    if (rec.payload_digest != payload_digest_.to_string())
+      return err_integrity("signature covers a different payload digest");
+    HPCC_TRY_UNIT(crypto::verify_record(ring, rec));
+  }
+  return ok_unit();
+}
+
+void FlatImage::set_overlay(const Layer& overlay) {
+  overlay_blob_ = overlay.serialize();
+}
+
+Result<Layer> FlatImage::overlay() const {
+  if (overlay_blob_.empty())
+    return err_not_found("image '" + info_.name + "' has no overlay partition");
+  return Layer::deserialize(overlay_blob_);
+}
+
+Bytes FlatImage::serialize() const {
+  Bytes out;
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(kMagic.data()),
+                        kMagic.size()));
+  out.push_back(0);
+  append_string(out, info_.name);
+  append_string(out, info_.arch);
+  append_string(out, info_.build_spec);
+  append_u64(out, static_cast<std::uint64_t>(info_.created));
+  append_u32(out, static_cast<std::uint32_t>(info_.labels.size()));
+  for (const auto& [k, v] : info_.labels) {
+    append_string(out, k);
+    append_string(out, v);
+  }
+  out.push_back(encrypted_ ? 1 : 0);
+  append_string(out, payload_digest_.empty() ? "" : payload_digest_.to_string());
+  append_u64(out, payload_.size());
+  append(out, payload_);
+  append_u64(out, overlay_blob_.size());
+  append(out, overlay_blob_);
+  append_u32(out, static_cast<std::uint32_t>(signatures_.size()));
+  for (const auto& rec : signatures_) {
+    append_string(out, rec.signer_identity);
+    append_string(out, rec.key_fingerprint);
+    append_string(out, rec.payload_digest);
+    append(out, rec.signature.serialize());
+  }
+  return out;
+}
+
+Result<FlatImage> FlatImage::deserialize(BytesView blob) {
+  FlatImage img;
+  std::size_t off = kMagic.size() + 1;
+  if (blob.size() < off) return err_integrity("flat image truncated");
+  if (hpcc::to_string(BytesView(blob.data(), kMagic.size())) != kMagic)
+    return err_integrity("bad flat image magic");
+
+  if (!read_string(blob, off, img.info_.name) ||
+      !read_string(blob, off, img.info_.arch) ||
+      !read_string(blob, off, img.info_.build_spec))
+    return err_integrity("flat image header truncated");
+  if (off + 8 + 4 > blob.size()) return err_integrity("flat image truncated");
+  img.info_.created = static_cast<SimTime>(read_u64(blob, off));
+  off += 8;
+  const std::uint32_t nlabels = read_u32(blob, off);
+  off += 4;
+  for (std::uint32_t i = 0; i < nlabels; ++i) {
+    std::string k, v;
+    if (!read_string(blob, off, k) || !read_string(blob, off, v))
+      return err_integrity("flat image labels truncated");
+    img.info_.labels[k] = v;
+  }
+  if (off + 1 > blob.size()) return err_integrity("flat image truncated");
+  img.encrypted_ = blob[off] != 0;
+  off += 1;
+  std::string digest_str;
+  if (!read_string(blob, off, digest_str))
+    return err_integrity("flat image digest truncated");
+  if (!digest_str.empty()) {
+    HPCC_TRY(img.payload_digest_, crypto::Digest::parse(digest_str));
+  }
+  if (off + 8 > blob.size()) return err_integrity("flat image truncated");
+  const std::uint64_t payload_len = read_u64(blob, off);
+  off += 8;
+  if (off + payload_len > blob.size())
+    return err_integrity("flat image payload truncated");
+  img.payload_.assign(blob.begin() + off, blob.begin() + off + payload_len);
+  off += payload_len;
+  if (off + 8 > blob.size()) return err_integrity("flat image truncated");
+  const std::uint64_t overlay_len = read_u64(blob, off);
+  off += 8;
+  if (off + overlay_len > blob.size())
+    return err_integrity("flat image overlay truncated");
+  img.overlay_blob_.assign(blob.begin() + off, blob.begin() + off + overlay_len);
+  off += overlay_len;
+  if (off + 4 > blob.size()) return err_integrity("flat image truncated");
+  const std::uint32_t nsigs = read_u32(blob, off);
+  off += 4;
+  for (std::uint32_t i = 0; i < nsigs; ++i) {
+    crypto::SignatureRecord rec;
+    if (!read_string(blob, off, rec.signer_identity) ||
+        !read_string(blob, off, rec.key_fingerprint) ||
+        !read_string(blob, off, rec.payload_digest))
+      return err_integrity("flat image signature truncated");
+    if (off + 16 > blob.size())
+      return err_integrity("flat image signature truncated");
+    HPCC_TRY(rec.signature, crypto::KeyPair::Signature::deserialize(
+                                BytesView(blob.data() + off, 16)));
+    off += 16;
+    img.signatures_.push_back(std::move(rec));
+  }
+  return img;
+}
+
+std::uint64_t FlatImage::size() const {
+  // Header + payload + overlay + signatures; serialize() is cheap enough
+  // to call but we avoid the copy for the common size query.
+  std::uint64_t sz = kMagic.size() + 1 + 12 + info_.name.size() +
+                     info_.arch.size() + info_.build_spec.size() + 8 + 4;
+  for (const auto& [k, v] : info_.labels) sz += 8 + k.size() + v.size();
+  sz += 1 + 4 + (payload_digest_.empty() ? 0 : 71);
+  sz += 8 + payload_.size() + 8 + overlay_blob_.size() + 4;
+  for (const auto& rec : signatures_)
+    sz += 12 + rec.signer_identity.size() + rec.key_fingerprint.size() +
+          rec.payload_digest.size() + 16;
+  return sz;
+}
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,104 @@
+// hpcc/vfs/flat_image.h
+//
+// The FlatImage: hpcc's analog of the Singularity Image Format (SIF).
+//
+// "The Singularity Definition file .def is similar to RPM specs, and all
+// commands to build the container can be placed in a single section, as
+// layering is not available in the flat Singularity Image Format. SIF
+// integrates writable overlay data, which may be useful to bundle either
+// models or output data with the code using or generating it" (§4.1.4).
+//
+// A FlatImage is a single-file container holding:
+//  * descriptive metadata (name, arch, labels, the build spec text),
+//  * a SquashImage payload — optionally encrypted (Table 2: "Encrypted
+//    Container Support ... SIF only, via kernel driver"),
+//  * embedded signature records over the payload digest (Table 2:
+//    "GPG (SIF containers)" — signatures travel *inside* the image,
+//    unlike the detached registry attachments of the OCI world),
+//  * an optional writable overlay partition (a Layer bundling outputs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/cipher.h"
+#include "crypto/digest.h"
+#include "crypto/keyring.h"
+#include "crypto/sign.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "vfs/layer.h"
+#include "vfs/squash_image.h"
+
+namespace hpcc::vfs {
+
+struct FlatImageInfo {
+  std::string name;                         ///< "lammps-2023"
+  std::string arch = "x86_64";
+  std::string build_spec;                   ///< the .def text, if built
+  std::map<std::string, std::string> labels;
+  SimTime created = 0;
+};
+
+struct FlatImageOptions {
+  std::uint32_t block_size = SquashImage::kDefaultBlockSize;
+  /// When set, the payload partition is sealed with a key derived from
+  /// this passphrase; open_payload() then requires it.
+  std::optional<std::string> encrypt_passphrase;
+};
+
+class FlatImage {
+ public:
+  using CreateOptions = FlatImageOptions;
+
+  /// Builds a flat image from a rootfs.
+  static Result<FlatImage> create(const MemFs& rootfs, FlatImageInfo info,
+                                  CreateOptions options = {});
+
+  const FlatImageInfo& info() const { return info_; }
+  bool encrypted() const { return encrypted_; }
+  bool is_signed() const { return !signatures_.empty(); }
+
+  /// Digest of the payload partition — the thing signatures cover.
+  const crypto::Digest& payload_digest() const { return payload_digest_; }
+
+  /// Opens the payload as a readable SquashImage. For encrypted images
+  /// the passphrase is required; a wrong one fails with kIntegrity.
+  Result<SquashImage> open_payload(
+      std::optional<std::string> passphrase = std::nullopt) const;
+
+  // ----- signing
+  /// Appends an embedded signature by `identity` over the payload digest.
+  void sign(const crypto::KeyPair& keypair, const std::string& identity);
+
+  /// Verifies every embedded signature against `ring`. Unsigned images
+  /// fail with kFailedPrecondition (callers decide whether unsigned is
+  /// acceptable — engines expose that as policy).
+  Result<Unit> verify(const crypto::Keyring& ring) const;
+
+  const std::vector<crypto::SignatureRecord>& signatures() const {
+    return signatures_;
+  }
+
+  // ----- writable overlay partition
+  void set_overlay(const Layer& overlay);
+  bool has_overlay() const { return !overlay_blob_.empty(); }
+  Result<Layer> overlay() const;
+
+  // ----- serialization
+  Bytes serialize() const;
+  static Result<FlatImage> deserialize(BytesView blob);
+  std::uint64_t size() const;
+
+ private:
+  FlatImageInfo info_;
+  bool encrypted_ = false;
+  Bytes payload_;  ///< squash blob, sealed if encrypted_
+  crypto::Digest payload_digest_;
+  Bytes overlay_blob_;
+  std::vector<crypto::SignatureRecord> signatures_;
+};
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,303 @@
+#include "vfs/layer.h"
+
+#include <unordered_map>
+
+#include "vfs/path.h"
+
+namespace hpcc::vfs {
+
+namespace {
+constexpr std::string_view kMagic = "HPCCAR1";
+
+struct TreeEntry {
+  Stat stat;
+  const Bytes* data;
+  const std::string* target;
+};
+
+std::map<std::string, TreeEntry> snapshot(const MemFs& fs) {
+  std::map<std::string, TreeEntry> out;
+  fs.walk_data([&out](const std::string& p, const Stat& s, const Bytes* data,
+                      const std::string* target) {
+    out.emplace(p, TreeEntry{s, data, target});
+  });
+  return out;
+}
+}  // namespace
+
+std::string_view to_string(LayerEntryKind k) noexcept {
+  switch (k) {
+    case LayerEntryKind::kDir: return "dir";
+    case LayerEntryKind::kFile: return "file";
+    case LayerEntryKind::kSymlink: return "symlink";
+    case LayerEntryKind::kWhiteout: return "whiteout";
+    case LayerEntryKind::kOpaqueDir: return "opaque_dir";
+  }
+  return "?";
+}
+
+void Layer::add_dir(std::string path, FileMeta meta) {
+  LayerEntry e;
+  e.kind = LayerEntryKind::kDir;
+  e.meta = meta;
+  entries_[normalize(path)] = std::move(e);
+}
+
+void Layer::add_file(std::string path, Bytes data, FileMeta meta) {
+  LayerEntry e;
+  e.kind = LayerEntryKind::kFile;
+  e.meta = meta;
+  e.data = std::move(data);
+  entries_[normalize(path)] = std::move(e);
+}
+
+void Layer::add_file(std::string path, std::string_view text, FileMeta meta) {
+  add_file(std::move(path), to_bytes(text), meta);
+}
+
+void Layer::add_symlink(std::string path, std::string target, FileMeta meta) {
+  LayerEntry e;
+  e.kind = LayerEntryKind::kSymlink;
+  e.meta = meta;
+  e.symlink_target = std::move(target);
+  entries_[normalize(path)] = std::move(e);
+}
+
+void Layer::add_whiteout(std::string path) {
+  LayerEntry e;
+  e.kind = LayerEntryKind::kWhiteout;
+  entries_[normalize(path)] = std::move(e);
+}
+
+void Layer::add_opaque_dir(std::string path, FileMeta meta) {
+  LayerEntry e;
+  e.kind = LayerEntryKind::kOpaqueDir;
+  e.meta = meta;
+  entries_[normalize(path)] = std::move(e);
+}
+
+Layer Layer::diff(const MemFs& base, const MemFs& updated) {
+  Layer out;
+  const auto before = snapshot(base);
+  const auto after = snapshot(updated);
+
+  for (const auto& [p, e] : after) {
+    auto it = before.find(p);
+    bool changed = false;
+    if (it == before.end()) {
+      changed = true;
+    } else {
+      const TreeEntry& b = it->second;
+      if (b.stat.type != e.stat.type || !(b.stat.meta == e.stat.meta)) {
+        changed = true;
+      } else if (e.stat.type == FileType::kFile && *b.data != *e.data) {
+        changed = true;
+      } else if (e.stat.type == FileType::kSymlink && *b.target != *e.target) {
+        changed = true;
+      }
+    }
+    if (!changed) continue;
+    switch (e.stat.type) {
+      case FileType::kDir: out.add_dir(p, e.stat.meta); break;
+      case FileType::kFile: out.add_file(p, *e.data, e.stat.meta); break;
+      case FileType::kSymlink: out.add_symlink(p, *e.target, e.stat.meta); break;
+    }
+  }
+
+  // Whiteouts: removed paths, topmost only (sorted map => ancestor paths
+  // visit first; skip descendants of already-whiteouted paths).
+  std::string last_whiteout;
+  for (const auto& [p, e] : before) {
+    if (after.contains(p)) continue;
+    if (!last_whiteout.empty() && is_within(p, last_whiteout)) continue;
+    out.add_whiteout(p);
+    last_whiteout = p;
+  }
+  return out;
+}
+
+Layer Layer::from_fs(const MemFs& fs) {
+  MemFs empty;
+  return diff(empty, fs);
+}
+
+Result<Unit> Layer::apply_to(MemFs& fs) const {
+  for (const auto& [p, e] : entries_) {
+    switch (e.kind) {
+      case LayerEntryKind::kWhiteout: {
+        HPCC_TRY(auto removed, fs.remove_all(p));
+        (void)removed;
+        break;
+      }
+      case LayerEntryKind::kOpaqueDir: {
+        HPCC_TRY(auto removed, fs.remove_all(p));
+        (void)removed;
+        HPCC_TRY_UNIT(fs.mkdir(p, e.meta, /*parents=*/true));
+        break;
+      }
+      case LayerEntryKind::kDir: {
+        const auto st = fs.lstat(p);
+        if (st.ok() && st.value().type != FileType::kDir) {
+          HPCC_TRY(auto removed, fs.remove_all(p));
+          (void)removed;
+        }
+        if (!fs.exists(p)) {
+          HPCC_TRY_UNIT(fs.mkdir(p, e.meta, /*parents=*/true));
+        } else {
+          HPCC_TRY_UNIT(fs.chmod(p, e.meta.mode));
+          HPCC_TRY_UNIT(fs.chown(p, e.meta.uid, e.meta.gid));
+        }
+        break;
+      }
+      case LayerEntryKind::kFile: {
+        const auto st = fs.lstat(p);
+        if (st.ok() && st.value().type != FileType::kFile) {
+          HPCC_TRY(auto removed, fs.remove_all(p));
+          (void)removed;
+        }
+        if (!fs.exists(parent(p))) {
+          HPCC_TRY_UNIT(fs.mkdir(parent(p), {0, 0, 0755, 0}, /*parents=*/true));
+        }
+        HPCC_TRY_UNIT(fs.write_file(p, e.data, e.meta));
+        HPCC_TRY_UNIT(fs.chmod(p, e.meta.mode));
+        HPCC_TRY_UNIT(fs.chown(p, e.meta.uid, e.meta.gid));
+        break;
+      }
+      case LayerEntryKind::kSymlink: {
+        if (fs.lstat(p).ok()) {
+          HPCC_TRY(auto removed, fs.remove_all(p));
+          (void)removed;
+        }
+        if (!fs.exists(parent(p))) {
+          HPCC_TRY_UNIT(fs.mkdir(parent(p), {0, 0, 0755, 0}, /*parents=*/true));
+        }
+        HPCC_TRY_UNIT(fs.symlink(e.symlink_target, p, e.meta));
+        break;
+      }
+    }
+  }
+  return ok_unit();
+}
+
+OverlayLower Layer::extract_lower() const {
+  OverlayLower out;
+  for (const auto& [p, e] : entries_) {
+    switch (e.kind) {
+      case LayerEntryKind::kWhiteout:
+        out.whiteouts.insert(p);
+        break;
+      case LayerEntryKind::kOpaqueDir:
+        out.opaque_dirs.insert(p);
+        (void)out.fs.mkdir(p, e.meta, /*parents=*/true);
+        break;
+      case LayerEntryKind::kDir:
+        (void)out.fs.mkdir(p, e.meta, /*parents=*/true);
+        break;
+      case LayerEntryKind::kFile:
+        if (!out.fs.exists(parent(p)))
+          (void)out.fs.mkdir(parent(p), {0, 0, 0755, 0}, /*parents=*/true);
+        (void)out.fs.write_file(p, e.data, e.meta);
+        break;
+      case LayerEntryKind::kSymlink:
+        if (!out.fs.exists(parent(p)))
+          (void)out.fs.mkdir(parent(p), {0, 0, 0755, 0}, /*parents=*/true);
+        (void)out.fs.symlink(e.symlink_target, p, e.meta);
+        break;
+    }
+  }
+  return out;
+}
+
+Bytes Layer::serialize() const {
+  Bytes out;
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(kMagic.data()),
+                        kMagic.size()));
+  out.push_back(0);  // NUL terminator of magic
+  append_u64(out, entries_.size());
+  for (const auto& [p, e] : entries_) {
+    out.push_back(static_cast<std::uint8_t>(e.kind));
+    append_u32(out, static_cast<std::uint32_t>(p.size()));
+    append(out, BytesView(reinterpret_cast<const std::uint8_t*>(p.data()),
+                          p.size()));
+    append_u32(out, e.meta.uid);
+    append_u32(out, e.meta.gid);
+    append_u32(out, e.meta.mode);
+    append_u64(out, static_cast<std::uint64_t>(e.meta.mtime));
+    if (e.kind == LayerEntryKind::kFile) {
+      append_u64(out, e.data.size());
+      append(out, e.data);
+    } else if (e.kind == LayerEntryKind::kSymlink) {
+      append_u32(out, static_cast<std::uint32_t>(e.symlink_target.size()));
+      append(out, BytesView(reinterpret_cast<const std::uint8_t*>(
+                                e.symlink_target.data()),
+                            e.symlink_target.size()));
+    }
+  }
+  return out;
+}
+
+Result<Layer> Layer::deserialize(BytesView blob) {
+  const std::size_t header = kMagic.size() + 1 + 8;
+  if (blob.size() < header) return err_integrity("layer archive truncated");
+  if (hpcc::to_string(BytesView(blob.data(), kMagic.size())) != kMagic)
+    return err_integrity("bad layer archive magic");
+
+  Layer out;
+  const std::uint64_t count = read_u64(blob, kMagic.size() + 1);
+  std::size_t off = header;
+
+  auto need = [&](std::size_t n) -> bool { return off + n <= blob.size(); };
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!need(1 + 4)) return err_integrity("layer archive truncated at entry");
+    const auto kind = static_cast<LayerEntryKind>(blob[off]);
+    off += 1;
+    const std::uint32_t path_len = read_u32(blob, off);
+    off += 4;
+    if (!need(path_len + 20))
+      return err_integrity("layer archive truncated in path");
+    std::string p = hpcc::to_string(BytesView(blob.data() + off, path_len));
+    off += path_len;
+
+    LayerEntry e;
+    e.kind = kind;
+    e.meta.uid = read_u32(blob, off);
+    e.meta.gid = read_u32(blob, off + 4);
+    e.meta.mode = read_u32(blob, off + 8);
+    e.meta.mtime = static_cast<SimTime>(read_u64(blob, off + 12));
+    off += 20;
+
+    if (kind == LayerEntryKind::kFile) {
+      if (!need(8)) return err_integrity("layer archive truncated at size");
+      const std::uint64_t len = read_u64(blob, off);
+      off += 8;
+      if (!need(len)) return err_integrity("layer archive truncated in data");
+      e.data.assign(blob.begin() + off, blob.begin() + off + len);
+      off += len;
+    } else if (kind == LayerEntryKind::kSymlink) {
+      if (!need(4)) return err_integrity("layer archive truncated at target");
+      const std::uint32_t len = read_u32(blob, off);
+      off += 4;
+      if (!need(len)) return err_integrity("layer archive truncated in target");
+      e.symlink_target = hpcc::to_string(BytesView(blob.data() + off, len));
+      off += len;
+    } else if (kind != LayerEntryKind::kDir &&
+               kind != LayerEntryKind::kWhiteout &&
+               kind != LayerEntryKind::kOpaqueDir) {
+      return err_integrity("layer archive: unknown entry kind " +
+                           std::to_string(static_cast<int>(kind)));
+    }
+    out.entries_[normalize(p)] = std::move(e);
+  }
+  return out;
+}
+
+crypto::Digest Layer::digest() const { return crypto::Digest::of(serialize()); }
+
+std::uint64_t Layer::content_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [p, e] : entries_) total += e.data.size();
+  return total;
+}
+
+}  // namespace hpcc::vfs

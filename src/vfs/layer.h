@@ -1,0 +1,107 @@
+// hpcc/vfs/layer.h
+//
+// Container image layers.
+//
+// "A layer captures changes in the filesystem compared to the previous
+// layer, and is identified by a hash calculated from the data in that
+// layer" (§3.1). A Layer is an ordered set of entries — dirs, files,
+// symlinks — plus OCI-style deletion markers (whiteouts and opaque
+// dirs). Layers serialize to a tar-like archive whose digest is the
+// layer identity used for content-addressable storage and registry
+// deduplication.
+//
+// Three consumers:
+//  * Layer::apply_to(MemFs&)  — flattening: squash a layer stack into a
+//    single rootfs (what Sarus/Shifter/Charliecloud/ENROOT do on HPC).
+//  * Layer::extract_lower()   — produce an overlay lower dir +
+//    structured whiteout sets for union mounting (Docker/Podman path).
+//  * Layer::diff(base, next)  — compute the layer a build step produced.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "crypto/digest.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "vfs/memfs.h"
+
+namespace hpcc::vfs {
+
+enum class LayerEntryKind : std::uint8_t {
+  kDir = 0,
+  kFile = 1,
+  kSymlink = 2,
+  kWhiteout = 3,   ///< delete the path when applying
+  kOpaqueDir = 4,  ///< dir exists but hides all lower content beneath it
+};
+
+std::string_view to_string(LayerEntryKind k) noexcept;
+
+struct LayerEntry {
+  LayerEntryKind kind = LayerEntryKind::kFile;
+  FileMeta meta;
+  Bytes data;                 ///< kFile payload
+  std::string symlink_target; ///< kSymlink target
+};
+
+/// An extracted overlay lower directory: the layer's visible tree plus
+/// its deletion markers in structured form (real engines encode these as
+/// ".wh.<name>" files inside the tarball; we keep them first-class).
+struct OverlayLower {
+  MemFs fs;
+  std::set<std::string> whiteouts;
+  std::set<std::string> opaque_dirs;
+};
+
+class Layer {
+ public:
+  Layer() = default;
+
+  // ----- construction
+  void add_dir(std::string path, FileMeta meta = {0, 0, 0755, 0});
+  void add_file(std::string path, Bytes data, FileMeta meta = {});
+  void add_file(std::string path, std::string_view text, FileMeta meta = {});
+  void add_symlink(std::string path, std::string target,
+                   FileMeta meta = {0, 0, 0777, 0});
+  void add_whiteout(std::string path);
+  void add_opaque_dir(std::string path, FileMeta meta = {0, 0, 0755, 0});
+
+  /// The layer that transforms `base` into `updated`: new/changed
+  /// entries plus whiteouts for removed paths (topmost removed path
+  /// only — removing a tree emits one whiteout).
+  static Layer diff(const MemFs& base, const MemFs& updated);
+
+  /// A layer containing the full tree of `fs` (diff against empty).
+  static Layer from_fs(const MemFs& fs);
+
+  // ----- consumption
+  /// Applies this layer on top of `fs` (flattening path). Type conflicts
+  /// resolve in favour of the layer, as with tar extraction.
+  Result<Unit> apply_to(MemFs& fs) const;
+
+  /// Extracts to an overlay lower dir (union-mount path).
+  OverlayLower extract_lower() const;
+
+  // ----- serialization / identity
+  Bytes serialize() const;
+  static Result<Layer> deserialize(BytesView blob);
+
+  /// Digest of the serialized archive — the layer's identity.
+  crypto::Digest digest() const;
+
+  // ----- introspection
+  std::size_t num_entries() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// Sum of file payload bytes.
+  std::uint64_t content_bytes() const;
+  const std::map<std::string, LayerEntry>& entries() const { return entries_; }
+
+ private:
+  // Keyed by normalized path; map order == application order (parents
+  // sort before children).
+  std::map<std::string, LayerEntry> entries_;
+};
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,362 @@
+#include "vfs/memfs.h"
+
+#include "vfs/path.h"
+
+namespace hpcc::vfs {
+
+namespace {
+constexpr int kMaxSymlinkDepth = 40;
+}
+
+std::string_view to_string(FileType t) noexcept {
+  switch (t) {
+    case FileType::kFile: return "file";
+    case FileType::kDir: return "dir";
+    case FileType::kSymlink: return "symlink";
+  }
+  return "?";
+}
+
+MemFs::MemFs() : root_(std::make_shared<Inode>()) {
+  root_->type = FileType::kDir;
+  root_->meta = FileMeta{0, 0, 0755, 0};
+}
+
+MemFs::InodePtr MemFs::clone_node(const InodePtr& node) {
+  auto copy = std::make_shared<Inode>();
+  copy->type = node->type;
+  copy->meta = node->meta;
+  copy->data = node->data;
+  copy->target = node->target;
+  for (const auto& [name, child] : node->children)
+    copy->children.emplace(name, clone_node(child));
+  return copy;
+}
+
+MemFs MemFs::clone() const {
+  MemFs out;
+  out.root_ = clone_node(root_);
+  return out;
+}
+
+Stat MemFs::stat_of(const InodePtr& node) {
+  Stat s;
+  s.type = node->type;
+  s.meta = node->meta;
+  switch (node->type) {
+    case FileType::kFile: s.size = node->data.size(); break;
+    case FileType::kDir: s.size = node->children.size(); break;
+    case FileType::kSymlink: s.size = node->target.size(); break;
+  }
+  return s;
+}
+
+Result<MemFs::InodePtr> MemFs::resolve(std::string_view path, bool follow_last,
+                                       std::string* canonical) const {
+  // Restart-based resolution: whenever a symlink is hit, substitute its
+  // target into the path lexically (".." handled by normalize(), which
+  // can never escape the root — chroot semantics) and walk again from
+  // the root. A depth counter bounds symlink chains.
+  std::string cur = normalize(path);
+  int depth = 0;
+  while (true) {
+    InodePtr node = root_;
+    std::string walked = "/";
+    const auto comps = components(cur);
+    bool restarted = false;
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      if (node->type != FileType::kDir)
+        return err_invalid("not a directory: " + walked);
+      auto it = node->children.find(comps[i]);
+      if (it == node->children.end())
+        return err_not_found("no such path: " + join(walked, comps[i]));
+      InodePtr next = it->second;
+      const std::string next_path = join(walked, comps[i]);
+      const bool is_last = (i + 1 == comps.size());
+      if (next->type == FileType::kSymlink && (!is_last || follow_last)) {
+        if (++depth > kMaxSymlinkDepth)
+          return err_invalid("too many levels of symbolic links: " + next_path);
+        std::string rest;
+        for (std::size_t j = i + 1; j < comps.size(); ++j) {
+          rest += '/';
+          rest += comps[j];
+        }
+        if (next->target.starts_with('/')) {
+          cur = normalize(next->target + rest);
+        } else {
+          cur = normalize(walked + "/" + next->target + rest);
+        }
+        restarted = true;
+        break;
+      }
+      node = next;
+      walked = next_path;
+    }
+    if (restarted) continue;
+    if (canonical) *canonical = walked;
+    return node;
+  }
+}
+
+Result<std::pair<MemFs::InodePtr, std::string>> MemFs::resolve_parent(
+    std::string_view path) const {
+  const std::string norm = normalize(path);
+  if (norm == "/") return err_invalid("cannot operate on '/' itself");
+  HPCC_TRY(InodePtr dir, resolve(parent(norm), /*follow_last=*/true));
+  if (dir->type != FileType::kDir)
+    return err_invalid("parent is not a directory: " + parent(norm));
+  return std::make_pair(dir, basename(norm));
+}
+
+Result<Unit> MemFs::mkdir(std::string_view path, FileMeta meta, bool parents) {
+  const std::string norm = normalize(path);
+  if (norm == "/") return ok_unit();
+  if (parents) {
+    std::string built = "/";
+    for (const auto& comp : components(norm)) {
+      built = join(built, comp);
+      auto r = resolve(built, true);
+      if (r.ok()) {
+        if (r.value()->type != FileType::kDir)
+          return err_exists("path component is not a directory: " + built);
+        continue;
+      }
+      HPCC_TRY_UNIT(mkdir(built, meta, /*parents=*/false));
+    }
+    return ok_unit();
+  }
+  HPCC_TRY(auto pr, resolve_parent(norm));
+  auto& [dir, name] = pr;
+  if (dir->children.contains(name)) return err_exists("exists: " + norm);
+  auto node = std::make_shared<Inode>();
+  node->type = FileType::kDir;
+  node->meta = meta;
+  dir->children.emplace(name, std::move(node));
+  return ok_unit();
+}
+
+Result<Unit> MemFs::write_file(std::string_view path, Bytes data, FileMeta meta) {
+  HPCC_TRY(auto pr, resolve_parent(path));
+  auto& [dir, name] = pr;
+  auto it = dir->children.find(name);
+  if (it != dir->children.end()) {
+    // Follow a final symlink like open(2) would.
+    InodePtr node = it->second;
+    if (node->type == FileType::kSymlink) {
+      std::string canonical;
+      HPCC_TRY(node, resolve(normalize(path), true, &canonical));
+    }
+    if (node->type != FileType::kFile)
+      return err_invalid("not a regular file: " + normalize(path));
+    node->data = std::move(data);
+    node->meta.mtime = meta.mtime;
+    return ok_unit();
+  }
+  auto node = std::make_shared<Inode>();
+  node->type = FileType::kFile;
+  node->meta = meta;
+  node->data = std::move(data);
+  dir->children.emplace(name, std::move(node));
+  return ok_unit();
+}
+
+Result<Unit> MemFs::write_file(std::string_view path, std::string_view text,
+                               FileMeta meta) {
+  return write_file(path, to_bytes(text), meta);
+}
+
+Result<Unit> MemFs::append_file(std::string_view path, BytesView data) {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  if (node->type != FileType::kFile)
+    return err_invalid("not a regular file: " + normalize(path));
+  append(node->data, data);
+  return ok_unit();
+}
+
+Result<Unit> MemFs::symlink(std::string_view target, std::string_view linkpath,
+                            FileMeta meta) {
+  HPCC_TRY(auto pr, resolve_parent(linkpath));
+  auto& [dir, name] = pr;
+  if (dir->children.contains(name))
+    return err_exists("exists: " + normalize(linkpath));
+  auto node = std::make_shared<Inode>();
+  node->type = FileType::kSymlink;
+  node->meta = meta;
+  node->target = std::string(target);
+  dir->children.emplace(name, std::move(node));
+  return ok_unit();
+}
+
+Result<Unit> MemFs::unlink(std::string_view path) {
+  HPCC_TRY(auto pr, resolve_parent(path));
+  auto& [dir, name] = pr;
+  auto it = dir->children.find(name);
+  if (it == dir->children.end())
+    return err_not_found("no such path: " + normalize(path));
+  if (it->second->type == FileType::kDir)
+    return err_invalid("is a directory (use rmdir): " + normalize(path));
+  dir->children.erase(it);
+  return ok_unit();
+}
+
+Result<Unit> MemFs::rmdir(std::string_view path) {
+  HPCC_TRY(auto pr, resolve_parent(path));
+  auto& [dir, name] = pr;
+  auto it = dir->children.find(name);
+  if (it == dir->children.end())
+    return err_not_found("no such path: " + normalize(path));
+  if (it->second->type != FileType::kDir)
+    return err_invalid("not a directory: " + normalize(path));
+  if (!it->second->children.empty())
+    return err_precondition("directory not empty: " + normalize(path));
+  dir->children.erase(it);
+  return ok_unit();
+}
+
+Result<std::uint64_t> MemFs::remove_all(std::string_view path) {
+  const std::string norm = normalize(path);
+  if (norm == "/") {
+    std::uint64_t n = num_inodes();
+    root_->children.clear();
+    return n;
+  }
+  HPCC_TRY(auto pr, resolve_parent(norm));
+  auto& [dir, name] = pr;
+  auto it = dir->children.find(name);
+  if (it == dir->children.end()) return std::uint64_t{0};
+  std::uint64_t inodes = 0, bytes = 0;
+  count(it->second, inodes, bytes);
+  dir->children.erase(it);
+  return inodes;
+}
+
+Result<Unit> MemFs::rename(std::string_view from, std::string_view to) {
+  HPCC_TRY(auto src, resolve_parent(from));
+  auto& [src_dir, src_name] = src;
+  auto it = src_dir->children.find(src_name);
+  if (it == src_dir->children.end())
+    return err_not_found("no such path: " + normalize(from));
+  HPCC_TRY(auto dst, resolve_parent(to));
+  auto& [dst_dir, dst_name] = dst;
+  if (dst_dir->children.contains(dst_name))
+    return err_exists("destination exists: " + normalize(to));
+  // Reject moving a directory into itself.
+  if (it->second->type == FileType::kDir &&
+      is_within(normalize(to), normalize(from)))
+    return err_invalid("cannot move a directory into itself");
+  InodePtr node = it->second;
+  src_dir->children.erase(it);
+  dst_dir->children.emplace(dst_name, std::move(node));
+  return ok_unit();
+}
+
+Result<Unit> MemFs::chmod(std::string_view path, std::uint32_t mode) {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  node->meta.mode = mode;
+  return ok_unit();
+}
+
+Result<Unit> MemFs::chown(std::string_view path, std::uint32_t uid,
+                          std::uint32_t gid) {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  node->meta.uid = uid;
+  node->meta.gid = gid;
+  return ok_unit();
+}
+
+Result<Stat> MemFs::stat(std::string_view path) const {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  return stat_of(node);
+}
+
+Result<Stat> MemFs::lstat(std::string_view path) const {
+  HPCC_TRY(InodePtr node, resolve(path, false));
+  return stat_of(node);
+}
+
+bool MemFs::exists(std::string_view path) const {
+  return resolve(path, true).ok();
+}
+
+Result<Bytes> MemFs::read_file(std::string_view path) const {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  if (node->type != FileType::kFile)
+    return err_invalid("not a regular file: " + normalize(path));
+  return node->data;
+}
+
+Result<std::string> MemFs::read_file_text(std::string_view path) const {
+  HPCC_TRY(Bytes data, read_file(path));
+  return hpcc::to_string(BytesView(data));
+}
+
+Result<std::string> MemFs::read_link(std::string_view path) const {
+  HPCC_TRY(InodePtr node, resolve(path, false));
+  if (node->type != FileType::kSymlink)
+    return err_invalid("not a symlink: " + normalize(path));
+  return node->target;
+}
+
+Result<std::vector<std::string>> MemFs::list_dir(std::string_view path) const {
+  HPCC_TRY(InodePtr node, resolve(path, true));
+  if (node->type != FileType::kDir)
+    return err_invalid("not a directory: " + normalize(path));
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;
+}
+
+Result<std::string> MemFs::realpath(std::string_view path) const {
+  std::string canonical;
+  HPCC_TRY(InodePtr node, resolve(path, true, &canonical));
+  (void)node;
+  return canonical;
+}
+
+void MemFs::walk(
+    const std::function<void(const std::string&, const Stat&)>& fn) const {
+  walk_node(root_, "/",
+            [&fn](const std::string& p, const Stat& s, const Bytes*,
+                  const std::string*) { fn(p, s); });
+}
+
+void MemFs::walk_data(
+    const std::function<void(const std::string&, const Stat&, const Bytes*,
+                             const std::string*)>& fn) const {
+  walk_node(root_, "/", fn);
+}
+
+void MemFs::walk_node(
+    const InodePtr& node, const std::string& prefix,
+    const std::function<void(const std::string&, const Stat&, const Bytes*,
+                             const std::string*)>& fn) const {
+  for (const auto& [name, child] : node->children) {
+    const std::string p = join(prefix, name);
+    const Stat s = stat_of(child);
+    fn(p, s, child->type == FileType::kFile ? &child->data : nullptr,
+       child->type == FileType::kSymlink ? &child->target : nullptr);
+    if (child->type == FileType::kDir) walk_node(child, p, fn);
+  }
+}
+
+void MemFs::count(const InodePtr& node, std::uint64_t& inodes,
+                  std::uint64_t& bytes) {
+  inodes += 1;
+  if (node->type == FileType::kFile) bytes += node->data.size();
+  for (const auto& [name, child] : node->children) count(child, inodes, bytes);
+}
+
+std::uint64_t MemFs::num_inodes() const {
+  std::uint64_t inodes = 0, bytes = 0;
+  count(root_, inodes, bytes);
+  return inodes - 1;  // exclude the root itself
+}
+
+std::uint64_t MemFs::total_bytes() const {
+  std::uint64_t inodes = 0, bytes = 0;
+  count(root_, inodes, bytes);
+  return bytes;
+}
+
+}  // namespace hpcc::vfs

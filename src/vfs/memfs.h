@@ -1,0 +1,167 @@
+// hpcc/vfs/memfs.h
+//
+// An in-memory POSIX-ish filesystem: the substrate for container root
+// filesystems, extracted layer directories, host OS trees, and overlay
+// upper dirs. Supports files, directories, symlinks, ownership and mode
+// bits (the uid/gid mapping discussion of §3.2 needs real metadata to
+// act on), deep copies (layer snapshots) and preorder walks (diffing,
+// serialization).
+//
+// This is the *functional* model; access timing lives in sim/storage.h
+// and the runtime's mount models.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace hpcc::vfs {
+
+enum class FileType : std::uint8_t { kFile, kDir, kSymlink };
+
+std::string_view to_string(FileType t) noexcept;
+
+/// Ownership and permissions. Mode uses the usual octal permission bits
+/// (0755 etc.); setuid is bit 04000 — the survey cares deeply about
+/// which binaries are setuid-root (§4.1.2).
+struct FileMeta {
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint32_t mode = 0644;
+  SimTime mtime = 0;
+
+  bool is_setuid() const { return (mode & 04000) != 0; }
+  friend bool operator==(const FileMeta&, const FileMeta&) = default;
+};
+
+struct Stat {
+  FileType type = FileType::kFile;
+  std::uint64_t size = 0;  ///< file: data bytes; dir: #children; symlink: target length
+  FileMeta meta;
+};
+
+class MemFs {
+ public:
+  MemFs();
+
+  // Non-copyable (use clone()); movable.
+  MemFs(const MemFs&) = delete;
+  MemFs& operator=(const MemFs&) = delete;
+  MemFs(MemFs&&) = default;
+  MemFs& operator=(MemFs&&) = default;
+
+  /// Deep copy of the whole tree.
+  MemFs clone() const;
+
+  // ----- modification
+
+  /// Creates a directory. With `parents`, creates missing ancestors
+  /// (like mkdir -p) using `meta` for each created directory.
+  Result<Unit> mkdir(std::string_view path, FileMeta meta = {0, 0, 0755, 0},
+                     bool parents = false);
+
+  /// Creates or truncates a regular file with `data`.
+  Result<Unit> write_file(std::string_view path, Bytes data, FileMeta meta = {});
+  Result<Unit> write_file(std::string_view path, std::string_view text,
+                          FileMeta meta = {});
+
+  /// Appends to an existing regular file.
+  Result<Unit> append_file(std::string_view path, BytesView data);
+
+  /// Creates a symlink at `linkpath` pointing to `target` (not resolved
+  /// at creation time, like POSIX).
+  Result<Unit> symlink(std::string_view target, std::string_view linkpath,
+                       FileMeta meta = {0, 0, 0777, 0});
+
+  /// Removes a file or symlink. Directories need rmdir/remove_all.
+  Result<Unit> unlink(std::string_view path);
+
+  /// Removes an empty directory.
+  Result<Unit> rmdir(std::string_view path);
+
+  /// Removes a file/symlink/directory recursively. Returns the number of
+  /// entries removed (0 with ok() if the path did not exist).
+  Result<std::uint64_t> remove_all(std::string_view path);
+
+  /// Renames a file/dir/symlink; destination must not exist.
+  Result<Unit> rename(std::string_view from, std::string_view to);
+
+  Result<Unit> chmod(std::string_view path, std::uint32_t mode);
+  Result<Unit> chown(std::string_view path, std::uint32_t uid, std::uint32_t gid);
+
+  // ----- queries
+
+  /// Stats following symlinks.
+  Result<Stat> stat(std::string_view path) const;
+  /// Stats without following a final symlink.
+  Result<Stat> lstat(std::string_view path) const;
+
+  /// True if the path exists (following symlinks).
+  bool exists(std::string_view path) const;
+
+  /// Reads a regular file (follows symlinks).
+  Result<Bytes> read_file(std::string_view path) const;
+  Result<std::string> read_file_text(std::string_view path) const;
+
+  /// Reads a symlink's target (no resolution).
+  Result<std::string> read_link(std::string_view path) const;
+
+  /// Sorted child names of a directory.
+  Result<std::vector<std::string>> list_dir(std::string_view path) const;
+
+  /// Resolves symlinks to the canonical path of an existing object.
+  Result<std::string> realpath(std::string_view path) const;
+
+  /// Preorder walk over all entries (excluding the root dir itself);
+  /// paths are normalized and visited in sorted order.
+  void walk(const std::function<void(const std::string& path, const Stat&)>& fn) const;
+
+  /// Like walk but also exposes file data (serialization, diffing).
+  void walk_data(const std::function<void(const std::string& path, const Stat&,
+                                          const Bytes* data,
+                                          const std::string* symlink_target)>& fn) const;
+
+  /// Number of inodes excluding the root directory.
+  std::uint64_t num_inodes() const;
+  /// Total regular-file payload bytes.
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct Inode;
+  using InodePtr = std::shared_ptr<Inode>;
+  struct Inode {
+    FileType type = FileType::kDir;
+    FileMeta meta;
+    Bytes data;               // kFile
+    std::string target;       // kSymlink
+    std::map<std::string, InodePtr> children;  // kDir
+  };
+
+  /// Resolves `path` to an inode. `follow_last`: resolve a final symlink.
+  /// Symlink chains longer than 40 return ELOOP-style errors.
+  Result<InodePtr> resolve(std::string_view path, bool follow_last,
+                           std::string* canonical = nullptr) const;
+
+  /// Resolves the parent directory of `path`, returning (dir inode, name).
+  Result<std::pair<InodePtr, std::string>> resolve_parent(
+      std::string_view path) const;
+
+  static InodePtr clone_node(const InodePtr& node);
+  static void count(const InodePtr& node, std::uint64_t& inodes,
+                    std::uint64_t& bytes);
+  void walk_node(const InodePtr& node, const std::string& prefix,
+                 const std::function<void(const std::string&, const Stat&,
+                                          const Bytes*, const std::string*)>& fn) const;
+  static Stat stat_of(const InodePtr& node);
+
+  InodePtr root_;
+};
+
+}  // namespace hpcc::vfs

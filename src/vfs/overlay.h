@@ -1,0 +1,100 @@
+// hpcc/vfs/overlay.h
+//
+// An OverlayFS-style union mount over extracted layer directories.
+//
+// "These layers are mounted via a union mount filesystem approach —
+// usually the Linux based OverlayFS driver — into a consistent
+// filesystem view with only a new upper layer being writable" (§4.1.4).
+// This is the mount model of the cloud-industry engines (Docker/Podman
+// with fuse-overlayfs); the HPC engines flatten instead
+// (Layer::apply_to), and bench_rootless_fs compares the two paths.
+//
+// Semantics implemented (matching kernel overlayfs):
+//  * lookup walks levels top (upper) to bottom; whiteouts hide exact
+//    paths, opaque dirs hide everything beneath them in lower levels,
+//    and a non-directory entry shadows any lower tree under its path.
+//  * writes land in the upper layer; modifying a lower file copies it
+//    up first (copy-up is counted — it is a real cost the survey's FUSE
+//    discussion cares about).
+//  * unlink of lower content records a whiteout; recreating a directory
+//    over a whiteout marks it opaque.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "vfs/layer.h"
+#include "vfs/memfs.h"
+
+namespace hpcc::vfs {
+
+class OverlayFs {
+ public:
+  /// Constructs over `lowers` in bottom-to-top order; an empty writable
+  /// upper level is added on top.
+  explicit OverlayFs(std::vector<OverlayLower> lowers);
+
+  // ----- reads (merged view)
+  Result<Stat> stat(std::string_view path) const;
+  bool exists(std::string_view path) const;
+  Result<Bytes> read_file(std::string_view path) const;
+  Result<std::string> read_file_text(std::string_view path) const;
+  Result<std::vector<std::string>> list_dir(std::string_view path) const;
+
+  // ----- writes (upper level)
+  Result<Unit> write_file(std::string_view path, Bytes data, FileMeta meta = {});
+  Result<Unit> write_file(std::string_view path, std::string_view text,
+                          FileMeta meta = {});
+  /// Appends to a file; if the file lives in a lower level it is copied
+  /// up first.
+  Result<Unit> append_file(std::string_view path, BytesView data);
+  Result<Unit> mkdir(std::string_view path, FileMeta meta = {0, 0, 0755, 0},
+                     bool parents = false);
+  Result<Unit> symlink(std::string_view target, std::string_view linkpath);
+  Result<Unit> unlink(std::string_view path);
+  Result<Unit> remove_all(std::string_view path);
+
+  /// Explicit copy-up of a lower file into the upper level (what
+  /// open(O_WRONLY) triggers in real overlayfs).
+  Result<Unit> copy_up(std::string_view path);
+
+  // ----- introspection
+  /// Materializes the merged view into a standalone MemFs (flattening —
+  /// also how engines convert a pulled OCI bundle to a single rootfs).
+  MemFs flatten() const;
+
+  std::size_t num_levels() const { return levels_.size(); }
+  const OverlayLower& upper() const { return levels_.back(); }
+  std::uint64_t copy_up_count() const { return copy_ups_; }
+  std::uint64_t copy_up_bytes() const { return copy_up_bytes_; }
+
+ private:
+  struct Found {
+    std::size_t level;
+    Stat stat;
+  };
+
+  /// Masking-aware single-path lookup (no final-symlink following).
+  std::optional<Found> lookup_raw(const std::string& path) const;
+
+  /// Full resolution walking components through the merged view,
+  /// following symlinks (bounded).
+  Result<Found> resolve(std::string_view path, bool follow_last,
+                        std::string* canonical = nullptr) const;
+
+  /// Ensures every ancestor dir of `path` exists in the upper level,
+  /// replicating lower metadata.
+  Result<Unit> ensure_upper_dirs(const std::string& path);
+
+  OverlayLower& upper_mut() { return levels_.back(); }
+
+  std::vector<OverlayLower> levels_;  // bottom..top, back() is upper
+  std::uint64_t copy_ups_ = 0;
+  std::uint64_t copy_up_bytes_ = 0;
+};
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,58 @@
+#include "vfs/path.h"
+
+#include "util/strings.h"
+
+namespace hpcc::vfs {
+
+std::string normalize(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const auto& comp : strings::split_nonempty(path, '/')) {
+    if (comp == ".") continue;
+    if (comp == "..") {
+      if (!stack.empty()) stack.pop_back();
+      continue;  // ".." at root stays at root (chroot semantics)
+    }
+    stack.push_back(comp);
+  }
+  if (stack.empty()) return "/";
+  std::string out;
+  for (const auto& comp : stack) {
+    out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+std::vector<std::string> components(std::string_view path) {
+  return strings::split_nonempty(normalize(path), '/');
+}
+
+std::string parent(std::string_view path) {
+  const std::string norm = normalize(path);
+  const auto pos = norm.rfind('/');
+  if (pos == 0) return "/";
+  return norm.substr(0, pos);
+}
+
+std::string basename(std::string_view path) {
+  const std::string norm = normalize(path);
+  if (norm == "/") return "";
+  return norm.substr(norm.rfind('/') + 1);
+}
+
+std::string join(std::string_view dir, std::string_view name) {
+  std::string out = normalize(dir);
+  if (out != "/") out += '/';
+  out += name;
+  return normalize(out);
+}
+
+bool is_within(std::string_view path, std::string_view ancestor) {
+  if (ancestor == "/") return true;
+  if (path == ancestor) return true;
+  return path.size() > ancestor.size() &&
+         strings::starts_with(path, ancestor) &&
+         path[ancestor.size()] == '/';
+}
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,39 @@
+// hpcc/vfs/path.h
+//
+// Path handling for the virtual filesystem. All VFS paths are absolute,
+// '/'-separated, normalized (no ".", "..", duplicate or trailing
+// slashes). Normalization resolves ".." lexically — like chroot'd path
+// walking, it can never escape the root, which is the property the
+// container runtime relies on (§3.2: the engine "executes a change of
+// the filesystem root via chroot or pivot_root").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcc::vfs {
+
+/// Normalizes any path to canonical absolute form:
+///   "usr//lib/" -> "/usr/lib",  "/a/b/../c" -> "/a/c",  "" -> "/"
+std::string normalize(std::string_view path);
+
+/// Splits a normalized path into components ("/usr/lib" -> {"usr","lib"},
+/// "/" -> {}).
+std::vector<std::string> components(std::string_view path);
+
+/// Parent of a normalized path ("/usr/lib" -> "/usr", "/" -> "/").
+std::string parent(std::string_view path);
+
+/// Final component ("/usr/lib" -> "lib", "/" -> "").
+std::string basename(std::string_view path);
+
+/// Joins a normalized directory and a relative name ("/usr", "lib") ->
+/// "/usr/lib". The name must be a single component.
+std::string join(std::string_view dir, std::string_view name);
+
+/// True if `path` equals `ancestor` or lies beneath it.
+/// is_within("/usr/lib", "/usr") == true; both must be normalized.
+bool is_within(std::string_view path, std::string_view ancestor);
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,329 @@
+#include "vfs/squash_image.h"
+
+#include "vfs/compress.h"
+#include "vfs/path.h"
+
+namespace hpcc::vfs {
+
+namespace {
+constexpr std::string_view kMagic = "HPCSQSH1";
+constexpr int kMaxSymlinkDepth = 40;
+
+void append_string(Bytes& out, std::string_view s) {
+  append_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                        s.size()));
+}
+}  // namespace
+
+SquashImage SquashImage::build(const MemFs& fs, std::uint32_t block_size) {
+  SquashImage img;
+  img.block_size_ = block_size == 0 ? kDefaultBlockSize : block_size;
+
+  // Collect nodes and compress file data into blocks.
+  Bytes data_region;
+  fs.walk_data([&img, &data_region](const std::string& p, const Stat& s,
+                                    const Bytes* data,
+                                    const std::string* target) {
+    Node n;
+    n.type = s.type;
+    n.meta = s.meta;
+    if (s.type == FileType::kSymlink) n.symlink_target = *target;
+    if (s.type == FileType::kFile) {
+      ++img.num_files_;
+      n.file_size = data->size();
+      n.first_block = img.blocks_.size();
+      img.uncompressed_bytes_ += data->size();
+      std::size_t off = 0;
+      while (off < data->size()) {
+        const std::size_t len =
+            std::min<std::size_t>(img.block_size_, data->size() - off);
+        const Bytes comp =
+            lzss_compress(BytesView(data->data() + off, len));
+        img.blocks_.push_back(BlockRef{data_region.size(), comp.size()});
+        append(data_region, comp);
+        off += len;
+        ++n.block_count;
+      }
+    }
+    img.index_[p] = std::move(n);
+  });
+
+  // Serialize: header + index + block table + data.
+  Bytes out;
+  append(out, BytesView(reinterpret_cast<const std::uint8_t*>(kMagic.data()),
+                        kMagic.size()));
+  append_u32(out, img.block_size_);
+
+  Bytes index_bytes;
+  append_u64(index_bytes, img.index_.size());
+  for (const auto& [p, n] : img.index_) {
+    index_bytes.push_back(static_cast<std::uint8_t>(n.type));
+    append_string(index_bytes, p);
+    append_u32(index_bytes, n.meta.uid);
+    append_u32(index_bytes, n.meta.gid);
+    append_u32(index_bytes, n.meta.mode);
+    append_u64(index_bytes, static_cast<std::uint64_t>(n.meta.mtime));
+    if (n.type == FileType::kSymlink) {
+      append_string(index_bytes, n.symlink_target);
+    } else if (n.type == FileType::kFile) {
+      append_u64(index_bytes, n.file_size);
+      append_u64(index_bytes, n.first_block);
+      append_u64(index_bytes, n.block_count);
+    }
+  }
+  append_u64(out, index_bytes.size());
+  append(out, index_bytes);
+
+  append_u64(out, img.blocks_.size());
+  for (const auto& b : img.blocks_) {
+    append_u64(out, b.offset);
+    append_u64(out, b.comp_len);
+  }
+  img.data_region_ = out.size();
+  append(out, data_region);
+  img.blob_ = std::move(out);
+  return img;
+}
+
+Result<SquashImage> SquashImage::open(Bytes blob) {
+  SquashImage img;
+  const std::size_t hdr = kMagic.size() + 4 + 8;
+  if (blob.size() < hdr) return err_integrity("squash image truncated");
+  if (hpcc::to_string(BytesView(blob.data(), kMagic.size())) != kMagic)
+    return err_integrity("bad squash image magic");
+  img.block_size_ = read_u32(blob, kMagic.size());
+  const std::uint64_t index_len = read_u64(blob, kMagic.size() + 4);
+  std::size_t off = hdr;
+  if (off + index_len + 8 > blob.size())
+    return err_integrity("squash image index truncated");
+
+  // Parse index.
+  const std::size_t index_end = off + index_len;
+  if (index_len < 8) return err_integrity("squash image index too short");
+  const std::uint64_t count = read_u64(blob, off);
+  off += 8;
+  auto need = [&](std::size_t n) { return off + n <= index_end; };
+  auto read_string = [&](std::string& out) -> bool {
+    if (!need(4)) return false;
+    const std::uint32_t len = read_u32(blob, off);
+    off += 4;
+    if (!need(len)) return false;
+    out = hpcc::to_string(BytesView(blob.data() + off, len));
+    off += len;
+    return true;
+  };
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!need(1)) return err_integrity("squash index truncated at entry");
+    Node n;
+    n.type = static_cast<FileType>(blob[off]);
+    off += 1;
+    std::string p;
+    if (!read_string(p)) return err_integrity("squash index truncated in path");
+    if (!need(20)) return err_integrity("squash index truncated in meta");
+    n.meta.uid = read_u32(blob, off);
+    n.meta.gid = read_u32(blob, off + 4);
+    n.meta.mode = read_u32(blob, off + 8);
+    n.meta.mtime = static_cast<SimTime>(read_u64(blob, off + 12));
+    off += 20;
+    if (n.type == FileType::kSymlink) {
+      if (!read_string(n.symlink_target))
+        return err_integrity("squash index truncated in symlink");
+    } else if (n.type == FileType::kFile) {
+      if (!need(24)) return err_integrity("squash index truncated in file ref");
+      n.file_size = read_u64(blob, off);
+      n.first_block = read_u64(blob, off + 8);
+      n.block_count = read_u64(blob, off + 16);
+      off += 24;
+      img.uncompressed_bytes_ += n.file_size;
+      ++img.num_files_;
+    }
+    img.index_[normalize(p)] = std::move(n);
+  }
+  off = index_end;
+
+  // Block table.
+  if (off + 8 > blob.size()) return err_integrity("squash block table missing");
+  const std::uint64_t nblocks = read_u64(blob, off);
+  off += 8;
+  if (off + nblocks * 16 > blob.size())
+    return err_integrity("squash block table truncated");
+  img.blocks_.reserve(nblocks);
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    img.blocks_.push_back(BlockRef{read_u64(blob, off), read_u64(blob, off + 8)});
+    off += 16;
+  }
+  img.data_region_ = off;
+  img.blob_ = std::move(blob);
+  // Validate block extents.
+  for (const auto& b : img.blocks_) {
+    if (img.data_region_ + b.offset + b.comp_len > img.blob_.size())
+      return err_integrity("squash block extends past end of image");
+  }
+  return img;
+}
+
+Result<SquashImage::Node> SquashImage::resolve(std::string_view path,
+                                               bool follow_last,
+                                               std::string* canonical) const {
+  std::string cur = normalize(path);
+  int depth = 0;
+  while (true) {
+    if (cur == "/") {
+      Node root;
+      root.type = FileType::kDir;
+      if (canonical) *canonical = "/";
+      return root;
+    }
+    auto it = index_.find(cur);
+    if (it == index_.end()) return err_not_found("no such path: " + cur);
+    if (it->second.type == FileType::kSymlink && follow_last) {
+      if (++depth > kMaxSymlinkDepth)
+        return err_invalid("too many levels of symbolic links: " + cur);
+      const std::string& target = it->second.symlink_target;
+      cur = target.starts_with('/') ? normalize(target)
+                                    : normalize(parent(cur) + "/" + target);
+      continue;
+    }
+    if (canonical) *canonical = cur;
+    return it->second;
+  }
+}
+
+Result<Stat> SquashImage::stat(std::string_view path) const {
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/true));
+  Stat s;
+  s.type = n.type;
+  s.meta = n.meta;
+  s.size = n.type == FileType::kFile ? n.file_size : 0;
+  return s;
+}
+
+bool SquashImage::exists(std::string_view path) const {
+  return resolve(path, true).ok();
+}
+
+Result<std::vector<std::string>> SquashImage::list_dir(
+    std::string_view path) const {
+  std::string canonical;
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/true, &canonical));
+  if (n.type != FileType::kDir)
+    return err_invalid("not a directory: " + canonical);
+  std::vector<std::string> names;
+  // Children of `canonical` in the sorted index: iterate the prefix range.
+  const std::string prefix = canonical == "/" ? "/" : canonical + "/";
+  for (auto it = index_.lower_bound(prefix); it != index_.end(); ++it) {
+    if (!it->first.starts_with(prefix)) break;
+    const std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+Result<std::string> SquashImage::read_link(std::string_view path) const {
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/false));
+  if (n.type != FileType::kSymlink)
+    return err_invalid("not a symlink: " + normalize(path));
+  return n.symlink_target;
+}
+
+Result<Bytes> SquashImage::decompress_block(std::uint64_t idx) const {
+  if (idx >= blocks_.size())
+    return err_internal("block index out of range: " + std::to_string(idx));
+  const BlockRef& b = blocks_[idx];
+  ++blocks_decompressed_;
+  return lzss_decompress(
+      BytesView(blob_.data() + data_region_ + b.offset, b.comp_len));
+}
+
+Result<Bytes> SquashImage::read_file(std::string_view path) const {
+  std::string canonical;
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/true, &canonical));
+  if (n.type != FileType::kFile)
+    return err_invalid("not a regular file: " + canonical);
+  Bytes out;
+  out.reserve(n.file_size);
+  for (std::uint64_t i = 0; i < n.block_count; ++i) {
+    HPCC_TRY(Bytes block, decompress_block(n.first_block + i));
+    append(out, block);
+  }
+  if (out.size() != n.file_size)
+    return err_integrity("decompressed size mismatch for " + canonical);
+  return out;
+}
+
+Result<Bytes> SquashImage::read_range(std::string_view path,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) const {
+  std::string canonical;
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/true, &canonical));
+  if (n.type != FileType::kFile)
+    return err_invalid("not a regular file: " + canonical);
+  if (offset >= n.file_size) return Bytes{};
+  length = std::min(length, n.file_size - offset);
+
+  const std::uint64_t first = offset / block_size_;
+  const std::uint64_t last = (offset + length - 1) / block_size_;
+  Bytes out;
+  out.reserve(length);
+  for (std::uint64_t bi = first; bi <= last && bi < n.block_count; ++bi) {
+    HPCC_TRY(Bytes block, decompress_block(n.first_block + bi));
+    const std::uint64_t block_start = bi * block_size_;
+    const std::uint64_t lo =
+        offset > block_start ? offset - block_start : 0;
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(block.size(), offset + length - block_start);
+    if (lo < hi)
+      out.insert(out.end(), block.begin() + lo, block.begin() + hi);
+  }
+  return out;
+}
+
+Result<SquashImage::FileBlocks> SquashImage::file_blocks(
+    std::string_view path) const {
+  std::string canonical;
+  HPCC_TRY(const Node n, resolve(path, /*follow_last=*/true, &canonical));
+  if (n.type != FileType::kFile)
+    return err_invalid("not a regular file: " + canonical);
+  FileBlocks out;
+  out.file_size = n.file_size;
+  out.block_size = block_size_;
+  out.comp_lens.reserve(n.block_count);
+  for (std::uint64_t i = 0; i < n.block_count; ++i)
+    out.comp_lens.push_back(blocks_[n.first_block + i].comp_len);
+  return out;
+}
+
+double SquashImage::compression_ratio() const {
+  if (uncompressed_bytes_ == 0) return 1.0;
+  return static_cast<double>(blob_.size()) /
+         static_cast<double>(uncompressed_bytes_);
+}
+
+Result<MemFs> SquashImage::unpack() const {
+  MemFs out;
+  for (const auto& [p, n] : index_) {
+    switch (n.type) {
+      case FileType::kDir:
+        HPCC_TRY_UNIT(out.mkdir(p, n.meta, /*parents=*/true));
+        break;
+      case FileType::kSymlink:
+        if (!out.exists(parent(p))) {
+          HPCC_TRY_UNIT(out.mkdir(parent(p), {0, 0, 0755, 0}, true));
+        }
+        HPCC_TRY_UNIT(out.symlink(n.symlink_target, p, n.meta));
+        break;
+      case FileType::kFile: {
+        if (!out.exists(parent(p))) {
+          HPCC_TRY_UNIT(out.mkdir(parent(p), {0, 0, 0755, 0}, true));
+        }
+        HPCC_TRY(Bytes data, read_file(p));
+        HPCC_TRY_UNIT(out.write_file(p, std::move(data), n.meta));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,112 @@
+// hpcc/vfs/squash_image.h
+//
+// A SquashFS-style single-file image: a read-only, block-compressed
+// serialization of a filesystem tree with an index enabling random
+// access without unpacking.
+//
+// This is the format behind the survey's flattened-image story (§3.2):
+// "container filesystems are (re-)packaged as single-file images to
+// avoid small-file load and latency, potentially providing a speedup
+// against traditional application execution by trading memory and CPU
+// (decompression) for disk IO". Sarus and Podman-HPC convert OCI bundles
+// to this; Singularity's SIF wraps one as its payload (flat_image.h).
+//
+// Reads decompress only the blocks they touch; blocks_decompressed() is
+// the CPU-cost observable the mount models (runtime/mounts.h) charge
+// for, including the kernel-vs-FUSE driver distinction of §4.1.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "vfs/memfs.h"
+
+namespace hpcc::vfs {
+
+class SquashImage {
+ public:
+  static constexpr std::uint32_t kDefaultBlockSize = 128 * 1024;
+
+  /// Serializes `fs` into a squash image.
+  static SquashImage build(const MemFs& fs,
+                           std::uint32_t block_size = kDefaultBlockSize);
+
+  /// Opens a serialized image, validating structure (not contents —
+  /// content integrity is the digest's job at the transport layer).
+  static Result<SquashImage> open(Bytes blob);
+
+  /// The serialized single-file form (what lands on the cluster FS).
+  const Bytes& blob() const { return blob_; }
+  std::uint64_t size() const { return blob_.size(); }
+  crypto::Digest digest() const { return crypto::Digest::of(blob_); }
+
+  // ----- read-only filesystem view
+  Result<Stat> stat(std::string_view path) const;
+  bool exists(std::string_view path) const;
+  Result<std::vector<std::string>> list_dir(std::string_view path) const;
+  Result<std::string> read_link(std::string_view path) const;
+  Result<Bytes> read_file(std::string_view path) const;
+  /// Random access within a file; decompresses only covering blocks.
+  Result<Bytes> read_range(std::string_view path, std::uint64_t offset,
+                           std::uint64_t length) const;
+
+  /// Unpacks the whole image into a MemFs (the extract-to-node-local-dir
+  /// strategy of §4.1.2).
+  Result<MemFs> unpack() const;
+
+  /// Per-file block layout, exposed so mount cost models can charge the
+  /// exact compressed bytes and decompression work a read performs.
+  struct FileBlocks {
+    std::uint64_t file_size = 0;
+    std::uint32_t block_size = 0;
+    std::vector<std::uint64_t> comp_lens;  ///< compressed size per block
+  };
+  Result<FileBlocks> file_blocks(std::string_view path) const;
+
+  /// Whole-image compression ratio (compressed/uncompressed), used to
+  /// estimate transfer sizes for synthetic reads.
+  double compression_ratio() const;
+
+  // ----- cost observables
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint64_t num_blocks() const { return blocks_.size(); }
+  std::uint64_t uncompressed_bytes() const { return uncompressed_bytes_; }
+  std::uint64_t num_files() const { return num_files_; }
+  /// Cumulative count of block decompressions served (mutable cost
+  /// counter; reads are logically const).
+  std::uint64_t blocks_decompressed() const { return blocks_decompressed_; }
+
+ private:
+  struct Node {
+    FileType type = FileType::kDir;
+    FileMeta meta;
+    std::string symlink_target;
+    std::uint64_t file_size = 0;
+    std::uint64_t first_block = 0;
+    std::uint64_t block_count = 0;
+  };
+  struct BlockRef {
+    std::uint64_t offset = 0;  ///< into the data region
+    std::uint64_t comp_len = 0;
+  };
+
+  Result<Node> resolve(std::string_view path, bool follow_last,
+                       std::string* canonical = nullptr) const;
+  Result<Bytes> decompress_block(std::uint64_t idx) const;
+
+  Bytes blob_;
+  std::uint32_t block_size_ = kDefaultBlockSize;
+  std::map<std::string, Node> index_;
+  std::vector<BlockRef> blocks_;
+  std::uint64_t data_region_ = 0;  ///< offset of data region in blob_
+  std::uint64_t uncompressed_bytes_ = 0;
+  std::uint64_t num_files_ = 0;
+  mutable std::uint64_t blocks_decompressed_ = 0;
+};
+
+}  // namespace hpcc::vfs

@@ -1,0 +1,344 @@
+#include "wlm/slurm.h"
+
+#include "util/log.h"
+
+namespace hpcc::wlm {
+
+namespace {
+Logger log_("wlm/slurm");
+}
+
+std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kTimeout: return "timeout";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+SlurmWlm::SlurmWlm(sim::Cluster* cluster, WlmConfig config)
+    : cluster_(cluster), config_(config) {
+  cgroups_.reserve(cluster_->num_nodes());
+  for (std::uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    auto tree = std::make_unique<runtime::CgroupTree>(
+        runtime::CgroupVersion::kV2);
+    (void)tree->create("/slurm");
+    (void)tree->delegate("/slurm");
+    cgroups_.push_back(std::move(tree));
+  }
+}
+
+runtime::CgroupTree& SlurmWlm::node_cgroups(sim::NodeId node) {
+  return *cgroups_.at(node);
+}
+
+std::vector<sim::NodeId> SlurmWlm::free_nodes() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId i = 0; i < cluster_->num_nodes(); ++i) {
+    if (allocated_.contains(i) || draining_.contains(i) ||
+        drained_.contains(i))
+      continue;
+    if (cluster_->node(i).state != sim::NodeState::kUp) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t SlurmWlm::available_nodes() const { return free_nodes().size(); }
+
+JobId SlurmWlm::submit(JobSpec spec) {
+  JobRecord rec;
+  rec.id = next_id_++;
+  rec.spec = std::move(spec);
+  rec.submitted = cluster_->now();
+  const JobId id = rec.id;
+  jobs_.emplace(id, std::move(rec));
+  queue_.push_back(id);
+  request_schedule();
+  return id;
+}
+
+Result<Unit> SlurmWlm::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return err_not_found("no job " + std::to_string(id));
+  JobRecord& rec = it->second;
+  if (rec.state == JobState::kPending) {
+    std::erase(queue_, id);
+    rec.state = JobState::kCancelled;
+    rec.ended = cluster_->now();
+    if (rec.spec.on_end) rec.spec.on_end(id, JobState::kCancelled);
+    return ok_unit();
+  }
+  if (rec.state == JobState::kRunning) {
+    end_job(id, JobState::kCancelled);
+    return ok_unit();
+  }
+  return err_precondition("job " + std::to_string(id) + " already " +
+                          std::string(to_string(rec.state)));
+}
+
+std::vector<const JobRecord*> SlurmWlm::all_jobs() const {
+  std::vector<const JobRecord*> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) out.push_back(&rec);
+  return out;
+}
+
+Result<const JobRecord*> SlurmWlm::job(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return err_not_found("no job " + std::to_string(id));
+  return &it->second;
+}
+
+Result<Unit> SlurmWlm::drain(sim::NodeId node,
+                             std::function<void()> on_drained) {
+  if (node >= cluster_->num_nodes())
+    return err_not_found("no node " + std::to_string(node));
+  if (drained_.contains(node) || draining_.contains(node))
+    return err_precondition("node already draining/drained");
+  if (!allocated_.contains(node)) {
+    drained_.insert(node);
+    if (on_drained) on_drained();
+    return ok_unit();
+  }
+  draining_.insert(node);
+  if (on_drained) drain_callbacks_[node] = std::move(on_drained);
+  return ok_unit();
+}
+
+Result<Unit> SlurmWlm::undrain(sim::NodeId node) {
+  if (!drained_.erase(node) && !draining_.erase(node))
+    return err_precondition("node " + std::to_string(node) + " not drained");
+  request_schedule();
+  return ok_unit();
+}
+
+bool SlurmWlm::is_drained(sim::NodeId node) const {
+  return drained_.contains(node);
+}
+
+Result<Unit> SlurmWlm::node_failed(sim::NodeId node) {
+  if (node >= cluster_->num_nodes())
+    return err_not_found("no node " + std::to_string(node));
+  cluster_->set_state(node, sim::NodeState::kDown);
+  drained_.insert(node);
+  draining_.erase(node);
+  // Kill the job occupying the node, if any.
+  for (JobId id : std::vector<JobId>(running_.begin(), running_.end())) {
+    const JobRecord& rec = jobs_.at(id);
+    if (std::find(rec.nodes.begin(), rec.nodes.end(), node) !=
+        rec.nodes.end()) {
+      end_job(id, JobState::kFailed);
+    }
+  }
+  return ok_unit();
+}
+
+void SlurmWlm::register_spank(SpankPlugin plugin) {
+  spank_.push_back(std::move(plugin));
+}
+
+void SlurmWlm::request_schedule() {
+  if (schedule_requested_) return;
+  schedule_requested_ = true;
+  cluster_->events().schedule_after(config_.sched_interval, [this] {
+    schedule_requested_ = false;
+    schedule_pass();
+  });
+}
+
+SimTime SlurmWlm::earliest_fit_time(std::uint32_t nodes_needed) const {
+  // When will `nodes_needed` nodes be free, assuming running jobs end at
+  // their time limits (the guaranteed bound EASY backfill reserves
+  // against)?
+  std::vector<SimTime> end_times;
+  for (JobId id : running_) {
+    const JobRecord& rec = jobs_.at(id);
+    const SimTime bound = rec.started + rec.spec.time_limit;
+    for (std::size_t i = 0; i < rec.nodes.size(); ++i)
+      end_times.push_back(bound);
+  }
+  std::sort(end_times.begin(), end_times.end());
+  std::size_t free_now = free_nodes().size();
+  if (free_now >= nodes_needed) return cluster_->now();
+  const std::size_t deficit = nodes_needed - free_now;
+  if (deficit > end_times.size()) return -1;  // can never fit
+  return end_times[deficit - 1];
+}
+
+void SlurmWlm::schedule_pass() {
+  bool started_any = true;
+  while (started_any) {
+    started_any = false;
+    if (queue_.empty()) return;
+
+    auto free = free_nodes();
+    // FIFO head.
+    const JobId head_id = queue_.front();
+    JobRecord& head = jobs_.at(head_id);
+    if (head.spec.nodes <= free.size()) {
+      std::vector<sim::NodeId> alloc(free.begin(),
+                                     free.begin() + head.spec.nodes);
+      queue_.pop_front();
+      start_job(head, std::move(alloc));
+      started_any = true;
+      continue;
+    }
+    if (!config_.backfill) return;
+
+    // EASY backfill: the head job gets a reservation at shadow time;
+    // later jobs may start now if they fit and finish (by limit) before
+    // the shadow, or use nodes beyond the head's need.
+    const SimTime shadow = earliest_fit_time(head.spec.nodes);
+    for (auto it = queue_.begin() + 1; it != queue_.end();) {
+      JobRecord& cand = jobs_.at(*it);
+      auto free2 = free_nodes();
+      if (cand.spec.nodes > free2.size()) {
+        ++it;
+        continue;
+      }
+      // Time-based shadow reservation: a backfilled job must be bounded
+      // (by its limit) to finish before the head job could start.
+      const bool fits_before_shadow =
+          shadow < 0 || cluster_->now() + cand.spec.time_limit <= shadow;
+      if (!fits_before_shadow) {
+        ++it;
+        continue;
+      }
+      std::vector<sim::NodeId> alloc(free2.begin(),
+                                     free2.begin() + cand.spec.nodes);
+      const JobId id = *it;
+      it = queue_.erase(it);
+      start_job(jobs_.at(id), std::move(alloc));
+      started_any = true;
+    }
+    if (!started_any) return;
+  }
+}
+
+void SlurmWlm::start_job(JobRecord& rec, std::vector<sim::NodeId> nodes) {
+  // Utilization integral update before occupancy changes.
+  (void)utilization();
+
+  rec.state = JobState::kRunning;
+  rec.started = cluster_->now() + config_.prolog;
+  rec.nodes = std::move(nodes);
+  for (auto n : rec.nodes) {
+    allocated_.insert(n);
+    (void)cgroups_[n]->create("/slurm/job" + std::to_string(rec.id));
+  }
+  running_.insert(rec.id);
+
+  for (const auto& plugin : spank_) {
+    if (plugin.at_job_start) {
+      auto r = plugin.at_job_start(rec);
+      if (!r.ok())
+        log_.warn("spank plugin " + plugin.name + ": " + r.error().to_string());
+    }
+  }
+
+  const JobId id = rec.id;
+  cluster_->events().schedule_after(config_.prolog, [this, id] {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::kRunning) return;
+    JobRecord& r = it->second;
+    if (r.spec.on_start) r.spec.on_start(id, r.nodes);
+    // Schedule natural end (run_time 0 = run until cancelled/limit).
+    const SimDuration natural =
+        r.spec.run_time > 0 ? r.spec.run_time : r.spec.time_limit;
+    const bool hits_limit = r.spec.run_time == 0 ||
+                            r.spec.run_time >= r.spec.time_limit;
+    const SimDuration until = std::min(natural, r.spec.time_limit);
+    cluster_->events().schedule_after(until, [this, id, hits_limit] {
+      auto jt = jobs_.find(id);
+      if (jt == jobs_.end() || jt->second.state != JobState::kRunning) return;
+      end_job(id, hits_limit ? JobState::kTimeout : JobState::kCompleted);
+    });
+  });
+}
+
+void SlurmWlm::account(const JobRecord& rec) {
+  if (rec.started < 0 || rec.ended < rec.started) return;
+  const SimDuration wall = rec.ended - rec.started;
+  const SimDuration cpu =
+      wall * static_cast<SimDuration>(rec.nodes.size()) *
+      static_cast<SimDuration>(cluster_->config().node_spec.cores);
+  user_cpu_[rec.spec.user] += cpu;
+}
+
+void SlurmWlm::end_job(JobId id, JobState final_state) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  JobRecord& rec = it->second;
+  (void)utilization();  // close the busy interval
+
+  rec.state = final_state;
+  rec.ended = cluster_->now();
+  running_.erase(id);
+  if (final_state == JobState::kCompleted) ++completed_;
+  account(rec);
+
+  for (const auto& plugin : spank_) {
+    if (plugin.at_job_end) (void)plugin.at_job_end(rec);
+  }
+
+  for (auto n : rec.nodes) {
+    allocated_.erase(n);
+    (void)cgroups_[n]->remove("/slurm/job" + std::to_string(id));
+    if (draining_.erase(n)) {
+      drained_.insert(n);
+      auto cb = drain_callbacks_.find(n);
+      if (cb != drain_callbacks_.end()) {
+        auto fn = std::move(cb->second);
+        drain_callbacks_.erase(cb);
+        if (fn) fn();
+      }
+    }
+  }
+  if (rec.spec.on_end) {
+    // Epilog runs before the callback fires.
+    cluster_->events().schedule_after(
+        config_.epilog,
+        [cb = rec.spec.on_end, id, final_state] { cb(id, final_state); });
+  }
+  request_schedule();
+}
+
+SimDuration SlurmWlm::user_cpu_time(const std::string& user) const {
+  auto it = user_cpu_.find(user);
+  return it == user_cpu_.end() ? 0 : it->second;
+}
+
+SimDuration SlurmWlm::total_cpu_time() const {
+  SimDuration total = 0;
+  for (const auto& [user, cpu] : user_cpu_) total += cpu;
+  return total;
+}
+
+double SlurmWlm::utilization() const {
+  const SimTime now = cluster_->now();
+  busy_node_usec_ += static_cast<double>(allocated_.size()) *
+                     static_cast<double>(now - last_util_update_);
+  last_util_update_ = now;
+  if (now == 0) return 0.0;
+  return busy_node_usec_ /
+         (static_cast<double>(cluster_->num_nodes()) * static_cast<double>(now));
+}
+
+SimDuration SlurmWlm::mean_wait_time() const {
+  SimDuration total = 0;
+  std::uint64_t n = 0;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.started >= 0) {
+      total += rec.wait_time();
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : total / static_cast<SimDuration>(n);
+}
+
+}  // namespace hpcc::wlm

@@ -1,0 +1,115 @@
+// Cost-model sensitivity (DESIGN.md §5): the qualitative orderings the
+// paper asserts must survive ±2× perturbation of the calibrated cost
+// constants. Each property is evaluated under a parameterized scale
+// factor applied to the runtime cost model.
+#include <gtest/gtest.h>
+
+#include "runtime/container.h"
+#include "runtime/mounts.h"
+#include "runtime/rootless.h"
+#include "vfs/squash_image.h"
+
+namespace hpcc::runtime {
+namespace {
+
+/// Scales the FUSE-side constants (the calibration with the most
+/// uncertainty) by `factor`.
+RuntimeCosts scaled_costs(double factor) {
+  RuntimeCosts costs;
+  costs.fuse_fs_op = static_cast<SimDuration>(costs.fuse_fs_op * factor);
+  costs.fuse_daemon_service =
+      static_cast<SimDuration>(costs.fuse_daemon_service * factor);
+  costs.kernel_fs_op =
+      std::max<SimDuration>(1, static_cast<SimDuration>(costs.kernel_fs_op * factor));
+  costs.decompress_bandwidth *= factor;  // also stress the CPU term
+  return costs;
+}
+
+class CostSensitivity : public ::testing::TestWithParam<double> {
+ protected:
+  CostSensitivity() {
+    (void)tree.mkdir("/d", {}, true);
+    Bytes blob(1 << 20);
+    for (std::size_t i = 0; i < blob.size(); ++i)
+      blob[i] = static_cast<std::uint8_t>(i % 97);
+    (void)tree.write_file("/d/blob", blob);
+    squash = std::make_unique<vfs::SquashImage>(vfs::SquashImage::build(tree));
+  }
+
+  StorageBacking backing() {
+    StorageBacking b;
+    b.shared = &shared;
+    b.cache_key = "x";
+    return b;
+  }
+
+  vfs::MemFs tree;
+  std::unique_ptr<vfs::SquashImage> squash;
+  sim::SharedFilesystem shared;
+};
+
+// [29]: SquashFUSE random IOPS below in-kernel squashfs — at any
+// plausible calibration.
+TEST_P(CostSensitivity, FuseRandomIopsBelowKernel) {
+  const RuntimeCosts costs = scaled_costs(GetParam());
+  auto kernel = make_squash_rootfs(squash.get(), backing(), false, costs);
+  auto fuse = make_squash_rootfs(squash.get(), backing(), true, costs);
+  SimTime tk = 0, tf = 0;
+  for (int i = 0; i < 500; ++i) {
+    tk = kernel->charge_read(tk, 4096, true);
+    tf = fuse->charge_read(tf, 4096, true);
+  }
+  EXPECT_GT(tf, tk);
+}
+
+// §3.2: per-file opens on the shared FS dwarf image-index opens.
+TEST_P(CostSensitivity, SharedDirOpensSlowerThanImageOpens) {
+  const RuntimeCosts costs = scaled_costs(GetParam());
+  auto dir = make_dir_rootfs(&tree, backing(), costs);
+  auto img = make_squash_rootfs(squash.get(), backing(), false, costs);
+  SimTime td = 0, ti = 0;
+  for (int i = 0; i < 500; ++i) {
+    td = dir->charge_open(td);
+    ti = img->charge_open(ti);
+  }
+  EXPECT_GT(td, ti);
+}
+
+// §4.1.2: ptrace costs more per syscall than LD_PRELOAD at any scale.
+TEST_P(CostSensitivity, PtraceAboveLdPreload) {
+  RuntimeCosts costs;
+  costs.preload_intercept =
+      static_cast<SimDuration>(costs.preload_intercept * GetParam());
+  costs.ptrace_intercept =
+      static_cast<SimDuration>(costs.ptrace_intercept * GetParam());
+  EXPECT_GT(syscall_overhead(RootlessMechanism::kFakerootPtrace, costs),
+            syscall_overhead(RootlessMechanism::kFakerootPreload, costs));
+}
+
+// Table 1: runc creation heavier than crun at any scale.
+TEST_P(CostSensitivity, RuncHeavierThanCrun) {
+  RuntimeCosts costs;
+  costs.runc_create = static_cast<SimDuration>(costs.runc_create * GetParam());
+  costs.crun_create = static_cast<SimDuration>(costs.crun_create * GetParam());
+  OciRuntime runc(RuntimeKind::kRunc, costs);
+  OciRuntime crun(RuntimeKind::kCrun, costs);
+  EXPECT_GT(runc.create_overhead(), crun.create_overhead());
+}
+
+// FUSE mounts always pay more setup than kernel mounts (daemon spawn).
+TEST_P(CostSensitivity, FuseSetupAboveKernelSetup) {
+  const RuntimeCosts costs = scaled_costs(GetParam());
+  auto kernel = make_squash_rootfs(squash.get(), backing(), false, costs);
+  auto fuse = make_squash_rootfs(squash.get(), backing(), true, costs);
+  EXPECT_GT(fuse->setup_cost(), kernel->setup_cost());
+}
+
+INSTANTIATE_TEST_SUITE_P(Perturbation, CostSensitivity,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.5, 2.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           const int pct = static_cast<int>(info.param * 100);
+                           return "scale_" + std::to_string(pct) + "pct";
+                         });
+
+}  // namespace
+}  // namespace hpcc::runtime

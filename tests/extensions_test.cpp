@@ -1,0 +1,203 @@
+// Tests for the §7/§4.1.7 extensions: lazy-pulling images (eStargz/
+// EroFS-style) and shpc-style module-system integration.
+#include <gtest/gtest.h>
+
+#include "adaptive/modules.h"
+#include "image/build.h"
+#include "registry/lazy.h"
+#include "util/strings.h"
+
+namespace hpcc {
+namespace {
+
+// ------------------------------------------------------------- lazy pull
+
+class LazyImageTest : public ::testing::Test {
+ protected:
+  LazyImageTest() : net(4), reg("registry.site") {
+    (void)reg.create_project("apps", "ci");
+    Rng rng(7);
+    (void)tree.mkdir("/opt/app/bin", {}, true);
+    (void)tree.write_file("/opt/app/bin/app",
+                          image::synthetic_file_content(rng, 2 << 20),
+                          {0, 0, 0755, 0});
+    (void)tree.write_file("/opt/app/data.bin",
+                          image::synthetic_file_content(rng, 24 << 20));
+    squash = std::make_unique<vfs::SquashImage>(
+        vfs::SquashImage::build(tree, 128 * 1024));
+    EXPECT_TRUE(registry::publish_lazy(reg, "ci", "apps", *squash).ok());
+  }
+
+  registry::LazyMountConfig config(bool wan = false) {
+    registry::LazyMountConfig c;
+    c.registry = &reg;
+    c.network = &net;
+    c.node = 1;
+    c.cache = &cache;
+    c.over_wan = wan;
+    return c;
+  }
+
+  sim::Network net;
+  registry::OciRegistry reg;
+  sim::PageCache cache;
+  vfs::MemFs tree;
+  std::unique_ptr<vfs::SquashImage> squash;
+};
+
+TEST_F(LazyImageTest, PublishStoresBlobByDigest) {
+  EXPECT_TRUE(reg.has_blob(squash->digest()));
+}
+
+TEST_F(LazyImageTest, MountRequiresDependencies) {
+  registry::LazyMountConfig bad;
+  EXPECT_FALSE(registry::make_lazy_rootfs(squash.get(), bad).ok());
+  EXPECT_FALSE(registry::make_lazy_rootfs(nullptr, config()).ok());
+}
+
+TEST_F(LazyImageTest, SetupCostIsIndexSizedNotImageSized) {
+  auto lazy = registry::make_lazy_rootfs(squash.get(), config()).value();
+  // Beyond the fixed FUSE-daemon spawn, the mount transfers only the
+  // index — a small fraction of the image.
+  const double site_bw = 12000.0;  // bytes/us, the model's site class
+  const auto full_transfer = static_cast<SimDuration>(
+      static_cast<double>(squash->size()) / site_bw);
+  const SimDuration transfer_part =
+      lazy->setup_cost() - runtime::default_costs().fuse_mount_cost;
+  EXPECT_LT(transfer_part, full_transfer / 2);
+  EXPECT_EQ(lazy->kind(), runtime::MountKind::kSquashFuse);
+}
+
+TEST_F(LazyImageTest, FirstTouchFetchesSecondTouchHitsCache) {
+  auto lazy = registry::make_lazy_rootfs(squash.get(), config()).value();
+  Bytes out;
+  const auto cold = lazy->read_file(0, "/opt/app/bin/app", &out);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(out.size(), 2u << 20);
+  const SimTime cold_cost = cold.value();
+
+  const auto warm = lazy->read_file(cold_cost, "/opt/app/bin/app", nullptr);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm.value() - cold_cost, cold_cost / 5);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST_F(LazyImageTest, PartialWorkloadBeatsFullPullTransfer) {
+  // Touching 10% of the image must move ~10% of the bytes.
+  auto lazy = registry::make_lazy_rootfs(squash.get(), config()).value();
+  Bytes out;
+  ASSERT_TRUE(lazy->read_file(0, "/opt/app/bin/app", &out).ok());  // 2 MiB
+  // The registry egress saw only the touched blocks plus slack, far
+  // below the whole artifact.
+  EXPECT_LT(net.bytes_moved(), squash->size() / 4);
+}
+
+TEST_F(LazyImageTest, WanBackedIsSlowerThanSiteBacked) {
+  sim::PageCache cache2;
+  auto site_cfg = config(false);
+  auto wan_cfg = config(true);
+  wan_cfg.cache = &cache2;
+  auto site = registry::make_lazy_rootfs(squash.get(), site_cfg).value();
+  auto wan = registry::make_lazy_rootfs(squash.get(), wan_cfg).value();
+  const SimTime t_site = site->read_file(0, "/opt/app/data.bin", nullptr).value();
+  const SimTime t_wan = wan->read_file(0, "/opt/app/data.bin", nullptr).value();
+  EXPECT_GT(t_wan, t_site);
+}
+
+TEST_F(LazyImageTest, ChargeInterfacesBehave) {
+  auto lazy = registry::make_lazy_rootfs(squash.get(), config()).value();
+  SimTime t = lazy->charge_open(0);
+  EXPECT_GT(t, 0);
+  const SimTime cold = lazy->charge_read(t, 1 << 20, /*random=*/false);
+  EXPECT_GT(cold, t);
+  // Random reads over the hot set converge to cache speed.
+  SimTime r = cold;
+  for (int i = 0; i < 400; ++i) r = lazy->charge_read(r, 4096, true);
+  const SimTime warm_start = r;
+  for (int i = 0; i < 400; ++i) r = lazy->charge_read(r, 4096, true);
+  EXPECT_LT(r - warm_start, warm_start - cold);
+}
+
+// ---------------------------------------------------------------- modules
+
+class ModuleTest : public ::testing::Test {
+ protected:
+  ModuleTest() {
+    ref = image::ImageReference::parse("registry.site/bio/samtools:1.17").value();
+    config.entrypoint = {"/opt/samtools/bin/samtools"};
+    config.env["HTSLIB_REF_CACHE"] = "/scratch/ref";
+    config.labels["org.bio.tool"] = "samtools";
+  }
+  image::ImageReference ref;
+  image::ImageConfig config;
+};
+
+TEST_F(ModuleTest, DerivesCommandFromEntrypoint) {
+  const auto bundle =
+      adaptive::generate_module(ref, config, engine::EngineKind::kApptainer);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().module_path(), "bio/samtools/1.17");
+  ASSERT_EQ(bundle.value().wrappers.size(), 1u);
+  EXPECT_TRUE(bundle.value().wrappers.contains("samtools"));
+}
+
+TEST_F(ModuleTest, WrapperInvokesTheChosenEngine) {
+  for (auto kind : engine::all_engine_kinds()) {
+    const auto bundle = adaptive::generate_module(ref, config, kind);
+    ASSERT_TRUE(bundle.ok()) << engine::to_string(kind);
+    const std::string& script = bundle.value().wrappers.at("samtools");
+    EXPECT_TRUE(strings::starts_with(script, "#!/bin/sh"))
+        << engine::to_string(kind);
+    EXPECT_TRUE(strings::contains(script, "\"$@\""))
+        << engine::to_string(kind);
+    EXPECT_TRUE(strings::contains(script, ref.repository))
+        << engine::to_string(kind);
+  }
+  // Spot checks on the engine-specific invocations.
+  const auto sarus =
+      adaptive::generate_module(ref, config, engine::EngineKind::kSarus);
+  EXPECT_TRUE(strings::contains(sarus.value().wrappers.at("samtools"),
+                                "sarus run"));
+  const auto charlie =
+      adaptive::generate_module(ref, config, engine::EngineKind::kCharliecloud);
+  EXPECT_TRUE(strings::contains(charlie.value().wrappers.at("samtools"),
+                                "ch-convert"));  // the two-step wrapper
+  EXPECT_TRUE(strings::contains(charlie.value().wrappers.at("samtools"),
+                                "ch-run"));
+}
+
+TEST_F(ModuleTest, ModulefileExportsEnvAndMetadata) {
+  const auto bundle =
+      adaptive::generate_module(ref, config, engine::EngineKind::kPodmanHpc);
+  ASSERT_TRUE(bundle.ok());
+  const std::string& lua = bundle.value().modulefile;
+  EXPECT_TRUE(strings::contains(lua, "whatis(\"Version: 1.17\")"));
+  EXPECT_TRUE(strings::contains(
+      lua, "setenv(\"HTSLIB_REF_CACHE\", \"/scratch/ref\")"));
+  EXPECT_TRUE(strings::contains(lua, "Label: org.bio.tool=samtools"));
+  EXPECT_TRUE(strings::contains(lua, "prepend_path(\"PATH\""));
+}
+
+TEST_F(ModuleTest, ExplicitCommandsAndGpuFlag) {
+  adaptive::ModuleOptions options;
+  options.commands = {"samtools", "bcftools", "tabix"};
+  options.gpu = true;
+  const auto bundle = adaptive::generate_module(
+      ref, config, engine::EngineKind::kSingularityCe, options);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle.value().wrappers.size(), 3u);
+  EXPECT_TRUE(
+      strings::contains(bundle.value().wrappers.at("bcftools"), "--nv"));
+}
+
+TEST_F(ModuleTest, NoEntrypointNoCommandsFails) {
+  image::ImageConfig empty;
+  empty.entrypoint.clear();
+  const auto r =
+      adaptive::generate_module(ref, empty, engine::EngineKind::kApptainer);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcc

@@ -1,0 +1,212 @@
+// Cross-module integration tests: the full paths a site actually
+// exercises — build → push → mirror → proxy-pull → engine-run inside a
+// Slurm job; the adaptive plan driving a real engine run; a Kubernetes
+// pod executing through the engine pipeline inside a WLM allocation;
+// and multi-node concurrent cold starts contending on the shared FS.
+#include <gtest/gtest.h>
+
+#include "adaptive/containerize.h"
+#include "engine/engine.h"
+#include "image/build.h"
+#include "k8s/k8s.h"
+#include "registry/client.h"
+#include "registry/proxy.h"
+#include "util/log.h"
+#include "wlm/slurm.h"
+
+namespace hpcc {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : reg("registry.site") {
+    LogSink::instance().set_print(false);
+    sim::ClusterConfig cfg;
+    cfg.num_nodes = 8;
+    cfg.node_spec.cores = 16;
+    cluster = std::make_unique<sim::Cluster>(cfg);
+    (void)reg.create_project("apps", "ci");
+
+    image::ImageConfig base_cfg;
+    auto base = image::synthetic_base_os("hpccos", 3, 3, 4 << 20, &base_cfg);
+    image::ImageBuilder builder(9);
+    auto built = builder
+                     .build(image::BuildSpec::parse_containerfile(
+                                "FROM b\nRUN install solver 12 32768\n")
+                                .value(),
+                            base, base_cfg)
+                     .value();
+    std::vector<vfs::Layer> layers;
+    layers.push_back(vfs::Layer::from_fs(base));
+    for (auto& l : built.layers) layers.push_back(std::move(l));
+
+    registry::RegistryClient pusher(&cluster->network(), 0);
+    ref = image::ImageReference::parse("registry.site/apps/solver:1").value();
+    EXPECT_TRUE(pusher.push(0, reg, "ci", ref, built.config, layers).ok());
+  }
+
+  ~IntegrationTest() override { LogSink::instance().set_print(true); }
+
+  engine::EngineContext ctx(sim::NodeId node) {
+    engine::EngineContext c;
+    c.cluster = cluster.get();
+    c.node = node;
+    c.registry = &reg;
+    c.site = &site;
+    c.user = "user";
+    return c;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  registry::OciRegistry reg;
+  engine::SiteState site;
+  image::ImageReference ref;
+};
+
+TEST_F(IntegrationTest, BuildMirrorProxyRunChain) {
+  // Mirror the repo to the site registry, front it with a proxy, run
+  // the image through an engine wired to the proxy.
+  registry::OciRegistry mirror("mirror.site");
+  ASSERT_TRUE(mirror.create_project("apps", "svc").ok());
+  ASSERT_TRUE(
+      registry::mirror_repository(reg, mirror, "registry.site/apps/solver",
+                                  "svc")
+          .ok());
+  registry::PullThroughProxy proxy("proxy.site", &mirror);
+
+  auto c = ctx(2);
+  c.registry = nullptr;
+  c.proxy = &proxy;
+  auto apptainer = engine::make_engine(engine::EngineKind::kApptainer, c);
+  const auto outcome = apptainer->run_image(0, ref);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+  EXPECT_GT(proxy.upstream_fetches(), 0u);
+  EXPECT_GT(outcome.value().finished, outcome.value().create_done);
+}
+
+TEST_F(IntegrationTest, AdaptivePlanDrivesEngineRun) {
+  // The adaptive layer picks the stack; the chosen engine actually runs.
+  adaptive::SiteRequirements reqs = adaptive::pragmatic_hpc_site();
+  reqs.gpu_vendor.clear();  // our test cluster declares no GPUs
+  adaptive::AdaptiveContainerizer containerizer(reqs);
+  adaptive::AppSpec app;
+  app.workload = runtime::compiled_mpi_workload();
+  const auto plan = containerizer.plan(app);
+  ASSERT_TRUE(plan.ok());
+
+  auto eng = engine::make_engine(plan.value().engine, ctx(1));
+  engine::RunOptions options;
+  options.workload = app.workload;
+  const auto outcome = eng->run_image(0, ref, options);
+  ASSERT_TRUE(outcome.ok())
+      << engine::to_string(plan.value().engine) << ": "
+      << outcome.error().to_string();
+}
+
+TEST_F(IntegrationTest, PodRunsThroughEngineInsideAllocation) {
+  // Figure 1 end to end with the real engine pipeline as pod runner.
+  wlm::SlurmWlm slurm(cluster.get());
+  k8s::ControlPlane cp(&cluster->events(), k8s::ControlPlaneKind::kK3s);
+  cp.start(0, nullptr);
+
+  auto eng = engine::make_engine(engine::EngineKind::kPodmanHpc, ctx(3));
+  std::unique_ptr<k8s::Kubelet> kubelet;
+  bool cgroup_checked = false;
+
+  wlm::JobSpec agent;
+  agent.user = "k8s-tenant";
+  agent.nodes = 1;
+  agent.run_time = 0;
+  agent.time_limit = minutes(60);
+  agent.on_start = [&](wlm::JobId id, const std::vector<sim::NodeId>& nodes) {
+    k8s::Kubelet::Config kc;
+    kc.node_name = "agent";
+    kc.capacity_cores = 16;
+    kc.sim_node = nodes[0];
+    kc.cgroup_ready_check = [&, id, n = nodes[0]] {
+      cgroup_checked = true;
+      return slurm.node_cgroups(n).rootless_ready("/slurm/job" +
+                                                  std::to_string(id));
+    };
+    kubelet = std::make_unique<k8s::Kubelet>(
+        &cp.api(), kc, [&](SimTime now, const k8s::Pod& pod) {
+          engine::RunOptions opts;
+          opts.workload = pod.spec.workload;
+          auto outcome = eng->run_image(now, ref, opts);
+          if (!outcome.ok()) return Result<SimTime>(outcome.error());
+          return Result<SimTime>(outcome.value().finished);
+        });
+    EXPECT_TRUE(kubelet->start(cluster->now()).ok());
+  };
+  const auto job_id = slurm.submit(agent);
+
+  cluster->events().schedule_at(sec(20), [&] {
+    k8s::PodSpec spec;
+    spec.cpu_request = 4;
+    spec.workload = runtime::shell_workload();
+    (void)cp.api().create_pod("pipeline-step", spec);
+  });
+
+  cluster->events().run_until(minutes(10));
+  const auto pod = cp.api().pod("pipeline-step");
+  ASSERT_TRUE(pod.ok());
+  EXPECT_EQ(pod.value()->phase, k8s::PodPhase::kSucceeded);
+  EXPECT_TRUE(cgroup_checked);
+  // Slurm accounted the tenant's allocation.
+  (void)slurm.cancel(job_id);
+  cluster->events().run_until(minutes(11));
+  EXPECT_GT(slurm.user_cpu_time("k8s-tenant"), 0);
+}
+
+TEST_F(IntegrationTest, ConcurrentColdStartsContendOnSharedFs) {
+  // Eight nodes cold-start the same image at once (engines share the
+  // site state, so conversion happens once, but pulls/reads contend).
+  std::vector<std::unique_ptr<engine::ContainerEngine>> engines;
+  std::vector<SimTime> ready;
+  for (sim::NodeId n = 0; n < 8; ++n) {
+    engines.push_back(engine::make_engine(engine::EngineKind::kSarus, ctx(n)));
+  }
+  for (auto& eng : engines) {
+    auto outcome = eng->run_image(0, ref);
+    ASSERT_TRUE(outcome.ok());
+    ready.push_back(outcome.value().create_done);
+  }
+  // The first starter converts; the rest hit the shared Sarus cache and
+  // must not be slower than the converter.
+  const SimTime first = ready.front();
+  for (std::size_t i = 1; i < ready.size(); ++i) EXPECT_LE(ready[i], first);
+  EXPECT_GT(cluster->shared_fs().metadata_ops(), 0u);
+}
+
+TEST_F(IntegrationTest, SpankPluginPrimesImageForJob) {
+  // WLM integration: a SPANK plugin pulls the image during the prolog
+  // so the job's container starts warm (the Shifter/ENROOT pattern).
+  wlm::SlurmWlm slurm(cluster.get());
+  auto eng = engine::make_engine(engine::EngineKind::kEnroot, ctx(0));
+  slurm.register_spank(wlm::SpankPlugin{
+      "prime-image",
+      [&](const wlm::JobRecord& rec) -> Result<Unit> {
+        HPCC_TRY(auto done, eng->pull(rec.started, ref));
+        (void)done;
+        return ok_unit();
+      },
+      nullptr});
+
+  SimDuration container_latency = 0;
+  wlm::JobSpec job;
+  job.nodes = 1;
+  job.run_time = minutes(1);
+  job.on_start = [&](wlm::JobId, const std::vector<sim::NodeId>&) {
+    const SimTime t0 = cluster->now();
+    auto outcome = eng->run_image(t0, ref);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().pull_skipped);  // primed by the plugin
+    container_latency = outcome.value().create_done - t0;
+  };
+  (void)slurm.submit(job);
+  cluster->events().run();
+  EXPECT_GT(container_latency, 0);
+}
+
+}  // namespace
+}  // namespace hpcc

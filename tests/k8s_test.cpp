@@ -1,0 +1,262 @@
+// Tests for hpcc_k8s: API-server object store and watches, scheduler
+// binding with capacity tracking, kubelet lifecycle (registration,
+// pod execution, cgroup-delegation precondition), and control-plane
+// bring-up profiles (K8s vs K3s).
+#include <gtest/gtest.h>
+
+#include "k8s/k8s.h"
+#include "util/log.h"
+
+namespace hpcc::k8s {
+namespace {
+
+/// A trivial runner: every pod takes 10 simulated seconds.
+PodRunner fixed_runner(SimDuration duration = sec(10)) {
+  return [duration](SimTime now, const Pod&) -> Result<SimTime> {
+    return now + duration;
+  };
+}
+
+class K8sTest : public ::testing::Test {
+ protected:
+  sim::EventQueue events;
+};
+
+// -------------------------------------------------------------- ApiServer
+
+TEST_F(K8sTest, PodLifecycle) {
+  ApiServer api(&events);
+  ASSERT_TRUE(api.create_pod("p1", PodSpec{}).ok());
+  EXPECT_EQ(api.create_pod("p1", PodSpec{}).error().code(),
+            ErrorCode::kAlreadyExists);
+  EXPECT_EQ(api.pod("p1").value()->phase, PodPhase::kPending);
+  EXPECT_FALSE(api.pod("nope").ok());
+
+  NodeStatus n;
+  n.name = "node0";
+  n.capacity_cores = 4;
+  n.ready = true;
+  ASSERT_TRUE(api.register_node(n).ok());
+  ASSERT_TRUE(api.bind_pod("p1", "node0").ok());
+  EXPECT_EQ(api.pod("p1").value()->phase, PodPhase::kScheduled);
+  // Double bind rejected.
+  EXPECT_EQ(api.bind_pod("p1", "node0").error().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(api.bind_pod("p1", "ghost").error().code(),
+            ErrorCode::kFailedPrecondition);
+
+  ASSERT_TRUE(api.set_pod_phase("p1", PodPhase::kRunning).ok());
+  events.run();
+  EXPECT_GE(api.pod("p1").value()->started, 0);
+}
+
+TEST_F(K8sTest, WatchersNotifiedAfterApiLatency) {
+  ApiServer api(&events, msec(5));
+  std::vector<std::string> seen;
+  api.watch([&](const WatchEvent& e) { seen.push_back(e.object_name); });
+  ASSERT_TRUE(api.create_pod("p1", PodSpec{}).ok());
+  EXPECT_TRUE(seen.empty());  // not synchronous
+  events.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "p1");
+  EXPECT_EQ(events.now(), msec(5));
+}
+
+TEST_F(K8sTest, CapacityReservation) {
+  ApiServer api(&events);
+  NodeStatus n;
+  n.name = "node0";
+  n.capacity_cores = 4;
+  n.ready = true;
+  ASSERT_TRUE(api.register_node(n).ok());
+  ASSERT_TRUE(api.reserve("node0", 3).ok());
+  EXPECT_EQ(api.node("node0").value()->free_cores(), 1u);
+  EXPECT_EQ(api.reserve("node0", 2).error().code(),
+            ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(api.release("node0", 3).ok());
+  EXPECT_EQ(api.node("node0").value()->free_cores(), 4u);
+}
+
+// -------------------------------------------------------------- Scheduler
+
+TEST_F(K8sTest, SchedulerBindsToNodeWithMostFreeCores) {
+  ApiServer api(&events);
+  Scheduler sched(&api);
+  for (int i = 0; i < 2; ++i) {
+    NodeStatus n;
+    n.name = "node" + std::to_string(i);
+    n.capacity_cores = 8;
+    n.ready = true;
+    ASSERT_TRUE(api.register_node(n).ok());
+  }
+  ASSERT_TRUE(api.reserve("node0", 6).ok());  // node1 has more room
+
+  PodSpec spec;
+  spec.cpu_request = 4;
+  ASSERT_TRUE(api.create_pod("p1", spec).ok());
+  events.run();
+  EXPECT_EQ(api.pod("p1").value()->node, "node1");
+  EXPECT_EQ(sched.bindings(), 1u);
+}
+
+TEST_F(K8sTest, PodStaysPendingWithoutCapacity) {
+  ApiServer api(&events);
+  Scheduler sched(&api);
+  NodeStatus n;
+  n.name = "node0";
+  n.capacity_cores = 2;
+  n.ready = true;
+  ASSERT_TRUE(api.register_node(n).ok());
+
+  PodSpec big;
+  big.cpu_request = 8;
+  ASSERT_TRUE(api.create_pod("big", big).ok());
+  events.run();
+  EXPECT_EQ(api.pod("big").value()->phase, PodPhase::kPending);
+  EXPECT_EQ(sched.bindings(), 0u);
+
+  // Capacity appears -> pod binds.
+  NodeStatus fat;
+  fat.name = "node1";
+  fat.capacity_cores = 16;
+  fat.ready = true;
+  ASSERT_TRUE(api.register_node(fat).ok());
+  events.run();
+  EXPECT_EQ(api.pod("big").value()->phase, PodPhase::kScheduled);
+}
+
+// ---------------------------------------------------------------- Kubelet
+
+TEST_F(K8sTest, KubeletRunsPodsEndToEnd) {
+  ApiServer api(&events);
+  Scheduler sched(&api);
+  Kubelet::Config cfg;
+  cfg.node_name = "nid000001";
+  cfg.capacity_cores = 8;
+  Kubelet kubelet(&api, cfg, fixed_runner(sec(10)));
+  ASSERT_TRUE(kubelet.start(0).ok());
+
+  PodSpec spec;
+  spec.cpu_request = 2;
+  ASSERT_TRUE(api.create_pod("work", spec).ok());
+  events.run();
+
+  const Pod* pod = api.pod("work").value();
+  EXPECT_EQ(pod->phase, PodPhase::kSucceeded);
+  EXPECT_GE(pod->start_latency(), cfg.register_latency);
+  EXPECT_GE(pod->finished - pod->started, sec(10));
+  EXPECT_EQ(kubelet.pods_run(), 1u);
+  // Cores released after completion.
+  EXPECT_EQ(api.node("nid000001").value()->free_cores(), 8u);
+}
+
+TEST_F(K8sTest, KubeletStopDerigstersNode) {
+  ApiServer api(&events);
+  Kubelet::Config cfg;
+  cfg.node_name = "n1";
+  Kubelet kubelet(&api, cfg, fixed_runner());
+  ASSERT_TRUE(kubelet.start(0).ok());
+  events.run();
+  EXPECT_EQ(api.num_nodes(), 1u);
+  kubelet.stop();
+  EXPECT_EQ(api.num_nodes(), 0u);
+  EXPECT_FALSE(kubelet.running());
+  EXPECT_FALSE(kubelet.start(0).ok() && false);  // restartable state machine
+}
+
+TEST_F(K8sTest, RootlessKubeletNeedsCgroupDelegation) {
+  ApiServer api(&events);
+  Kubelet::Config cfg;
+  cfg.node_name = "n1";
+  cfg.cgroup_ready_check = [] { return false; };
+  Kubelet kubelet(&api, cfg, fixed_runner());
+  const auto r = kubelet.start(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kFailedPrecondition);
+
+  Kubelet::Config ok_cfg;
+  ok_cfg.node_name = "n2";
+  ok_cfg.cgroup_ready_check = [] { return true; };
+  Kubelet ok_kubelet(&api, ok_cfg, fixed_runner());
+  EXPECT_TRUE(ok_kubelet.start(0).ok());
+}
+
+TEST_F(K8sTest, FailedRunnerMarksPodFailed) {
+  ApiServer api(&events);
+  Scheduler sched(&api);
+  Kubelet::Config cfg;
+  cfg.node_name = "n1";
+  Kubelet kubelet(&api, cfg,
+                  [](SimTime, const Pod&) -> Result<SimTime> {
+                    return err_unavailable("image pull backoff");
+                  });
+  ASSERT_TRUE(kubelet.start(0).ok());
+  ASSERT_TRUE(api.create_pod("doomed", PodSpec{}).ok());
+  hpcc::LogSink::instance().set_print(false);
+  events.run();
+  hpcc::LogSink::instance().set_print(true);
+  EXPECT_EQ(api.pod("doomed").value()->phase, PodPhase::kFailed);
+  EXPECT_EQ(api.node("n1").value()->free_cores(), 64u);  // released
+}
+
+TEST_F(K8sTest, MultiplePodsAcrossKubelets) {
+  ApiServer api(&events);
+  Scheduler sched(&api);
+  std::vector<std::unique_ptr<Kubelet>> kubelets;
+  for (int i = 0; i < 3; ++i) {
+    Kubelet::Config cfg;
+    cfg.node_name = "n" + std::to_string(i);
+    cfg.capacity_cores = 2;
+    kubelets.push_back(
+        std::make_unique<Kubelet>(&api, cfg, fixed_runner(sec(5))));
+    ASSERT_TRUE(kubelets.back()->start(0).ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    PodSpec spec;
+    spec.cpu_request = 1;
+    ASSERT_TRUE(api.create_pod("p" + std::to_string(i), spec).ok());
+  }
+  events.run();
+  EXPECT_EQ(api.pods_in_phase(PodPhase::kSucceeded).size(), 6u);
+  // Work spread across all kubelets.
+  for (const auto& k : kubelets) EXPECT_GT(k->pods_run(), 0u);
+}
+
+// ------------------------------------------------------------ ControlPlane
+
+TEST_F(K8sTest, K3sStartsFasterThanFullK8s) {
+  ControlPlane full(&events, ControlPlaneKind::kFullK8s);
+  ControlPlane k3s(&events, ControlPlaneKind::kK3s);
+  EXPECT_GT(full.startup_time(), k3s.startup_time() * 2);
+}
+
+TEST_F(K8sTest, ControlPlaneReadyAfterStartup) {
+  ControlPlane cp(&events, ControlPlaneKind::kK3s);
+  bool ready_fired = false;
+  cp.start(0, [&] { ready_fired = true; });
+  EXPECT_FALSE(cp.ready());
+  events.run();
+  EXPECT_TRUE(cp.ready());
+  EXPECT_TRUE(ready_fired);
+  EXPECT_EQ(events.now(), cp.startup_time());
+}
+
+TEST_F(K8sTest, EndToEndThroughControlPlane) {
+  ControlPlane cp(&events, ControlPlaneKind::kK3s);
+  std::unique_ptr<Kubelet> kubelet;
+  cp.start(0, [&] {
+    Kubelet::Config cfg;
+    cfg.node_name = "agent0";
+    kubelet = std::make_unique<Kubelet>(&cp.api(), cfg, fixed_runner(sec(3)));
+    (void)kubelet->start(events.now());
+    (void)cp.api().create_pod("hello", PodSpec{});
+  });
+  events.run();
+  const Pod* pod = cp.api().pod("hello").value();
+  EXPECT_EQ(pod->phase, PodPhase::kSucceeded);
+  // Total latency includes control-plane bring-up.
+  EXPECT_GT(pod->finished, cp.startup_time());
+}
+
+}  // namespace
+}  // namespace hpcc::k8s

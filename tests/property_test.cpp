@@ -1,0 +1,301 @@
+// Property-based suites over randomized (seeded, reproducible) inputs:
+//  * layer diff/apply round-trips arbitrary filesystem transitions,
+//  * overlay-mounting a random layer stack equals flattening it,
+//  * squash images round-trip arbitrary trees,
+//  * flat images survive serialize/deserialize,
+//  * the WLM conserves jobs, never double-allocates a node, and
+//    accounts exactly allocated node-time,
+//  * random pod/node churn leaves the K8s API consistent.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "image/build.h"
+#include "k8s/k8s.h"
+#include "util/rng.h"
+#include "vfs/flat_image.h"
+#include "vfs/overlay.h"
+#include "vfs/path.h"
+#include "vfs/squash_image.h"
+#include "wlm/slurm.h"
+
+namespace hpcc {
+namespace {
+
+// ----------------------------------------------------- random tree tools
+
+/// Applies `ops` random mutations to `fs`, keeping a directory pool so
+/// mutations are well-formed.
+void mutate_tree(vfs::MemFs& fs, Rng& rng, int ops) {
+  std::vector<std::string> dirs = {"/"};
+  std::vector<std::string> files;
+  // Discover existing structure.
+  fs.walk([&](const std::string& p, const vfs::Stat& s) {
+    if (s.type == vfs::FileType::kDir) dirs.push_back(p);
+    if (s.type == vfs::FileType::kFile) files.push_back(p);
+  });
+
+  for (int i = 0; i < ops; ++i) {
+    const auto roll = rng.next_below(10);
+    if (roll < 4 || files.empty()) {
+      // Create/overwrite a file.
+      const auto& dir = dirs[rng.next_below(dirs.size())];
+      const std::string p =
+          vfs::join(dir, "f" + std::to_string(rng.next_below(40)));
+      Bytes data = image::synthetic_file_content(rng, 16 + rng.next_below(4000));
+      if (fs.write_file(p, std::move(data)).ok()) files.push_back(p);
+    } else if (roll < 6) {
+      // New directory.
+      const auto& dir = dirs[rng.next_below(dirs.size())];
+      const std::string p =
+          vfs::join(dir, "d" + std::to_string(rng.next_below(20)));
+      if (fs.mkdir(p).ok()) dirs.push_back(p);
+    } else if (roll < 8) {
+      // Delete something.
+      const auto& victim = files[rng.next_below(files.size())];
+      (void)fs.remove_all(victim);
+    } else {
+      // Symlink to a random file.
+      const auto& target = files[rng.next_below(files.size())];
+      const auto& dir = dirs[rng.next_below(dirs.size())];
+      (void)fs.symlink(target,
+                       vfs::join(dir, "l" + std::to_string(rng.next_below(20))));
+    }
+  }
+}
+
+/// Canonical (path, kind, content-digest) fingerprint of a tree.
+std::map<std::string, std::string> fingerprint(const vfs::MemFs& fs) {
+  std::map<std::string, std::string> out;
+  fs.walk_data([&](const std::string& p, const vfs::Stat& s, const Bytes* data,
+                   const std::string* target) {
+    switch (s.type) {
+      case vfs::FileType::kDir: out[p] = "dir"; break;
+      case vfs::FileType::kFile:
+        out[p] = "file:" + crypto::Digest::of(*data).short_form();
+        break;
+      case vfs::FileType::kSymlink: out[p] = "sym:" + *target; break;
+    }
+  });
+  return out;
+}
+
+class TreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ------------------------------------------------ layer diff/apply round
+
+TEST_P(TreeProperty, DiffApplyReconstructsTarget) {
+  Rng rng(GetParam());
+  vfs::MemFs before;
+  mutate_tree(before, rng, 30);
+  vfs::MemFs after = before.clone();
+  mutate_tree(after, rng, 30);
+
+  const vfs::Layer layer = vfs::Layer::diff(before, after);
+  vfs::MemFs rebuilt = before.clone();
+  ASSERT_TRUE(layer.apply_to(rebuilt).ok());
+  EXPECT_EQ(fingerprint(rebuilt), fingerprint(after));
+}
+
+TEST_P(TreeProperty, LayerSerializationRoundTrip) {
+  Rng rng(GetParam() + 1000);
+  vfs::MemFs a, b;
+  mutate_tree(a, rng, 25);
+  b = a.clone();
+  mutate_tree(b, rng, 25);
+  const vfs::Layer layer = vfs::Layer::diff(a, b);
+  const auto back = vfs::Layer::deserialize(layer.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().digest(), layer.digest());
+}
+
+// ------------------------------------------- overlay == flatten property
+
+TEST_P(TreeProperty, OverlayEqualsFlatten) {
+  Rng rng(GetParam() + 2000);
+  // Build a 4-layer stack of successive mutations.
+  std::vector<vfs::Layer> layers;
+  vfs::MemFs current;
+  for (int i = 0; i < 4; ++i) {
+    vfs::MemFs next = current.clone();
+    mutate_tree(next, rng, 20);
+    layers.push_back(vfs::Layer::diff(current, next));
+    current = std::move(next);
+  }
+  // `current` is the flattened truth. Overlay-mount the stack:
+  std::vector<vfs::OverlayLower> lowers;
+  for (const auto& layer : layers) lowers.push_back(layer.extract_lower());
+  vfs::OverlayFs overlay(std::move(lowers));
+
+  // Every path in the flattened tree resolves identically in the merged
+  // view (modulo symlinks, which flatten() resolves).
+  std::size_t checked = 0;
+  current.walk_data([&](const std::string& p, const vfs::Stat& s,
+                        const Bytes* data, const std::string*) {
+    if (s.type == vfs::FileType::kFile) {
+      const auto got = overlay.read_file(p);
+      ASSERT_TRUE(got.ok()) << p;
+      EXPECT_EQ(got.value(), *data) << p;
+      ++checked;
+    } else if (s.type == vfs::FileType::kDir) {
+      EXPECT_TRUE(overlay.exists(p)) << p;
+    }
+  });
+  EXPECT_GT(checked, 0u);
+
+  // And nothing extra: every file in the merged view exists in truth.
+  const vfs::MemFs merged = overlay.flatten();
+  merged.walk_data([&](const std::string& p, const vfs::Stat& s, const Bytes*,
+                       const std::string*) {
+    if (s.type == vfs::FileType::kFile) {
+      EXPECT_TRUE(current.stat(p).ok()) << "extra path " << p;
+    }
+  });
+}
+
+// ------------------------------------------------- image format round trips
+
+TEST_P(TreeProperty, SquashRoundTrip) {
+  Rng rng(GetParam() + 3000);
+  vfs::MemFs tree;
+  mutate_tree(tree, rng, 40);
+  const auto block = static_cast<std::uint32_t>(1u << (10 + rng.next_below(8)));
+  const vfs::SquashImage img = vfs::SquashImage::build(tree, block);
+  const auto reopened = vfs::SquashImage::open(img.blob());
+  ASSERT_TRUE(reopened.ok());
+  const auto unpacked = reopened.value().unpack();
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(fingerprint(unpacked.value()), fingerprint(tree));
+}
+
+TEST_P(TreeProperty, FlatImageRoundTrip) {
+  Rng rng(GetParam() + 4000);
+  vfs::MemFs tree;
+  mutate_tree(tree, rng, 30);
+  vfs::FlatImageInfo info;
+  info.name = "prop-" + std::to_string(GetParam());
+  info.labels["seed"] = std::to_string(GetParam());
+  auto img = vfs::FlatImage::create(tree, info).value();
+  const auto kp = crypto::KeyPair::generate(GetParam());
+  img.sign(kp, "prop@test");
+
+  const auto back = vfs::FlatImage::deserialize(img.serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().payload_digest(), img.payload_digest());
+  const auto payload = back.value().open_payload();
+  ASSERT_TRUE(payload.ok());
+  const auto unpacked = payload.value().unpack();
+  ASSERT_TRUE(unpacked.ok());
+  EXPECT_EQ(fingerprint(unpacked.value()), fingerprint(tree));
+  crypto::Keyring ring;
+  ring.trust("prop@test", kp.public_key());
+  EXPECT_TRUE(back.value().verify(ring).ok());
+}
+
+// --------------------------------------------------------- WLM invariants
+
+TEST_P(TreeProperty, WlmConservationAndExclusivity) {
+  Rng rng(GetParam() + 5000);
+  sim::ClusterConfig cfg;
+  cfg.num_nodes = 4 + static_cast<std::uint32_t>(rng.next_below(8));
+  cfg.node_spec.cores = 8;
+  sim::Cluster cluster(cfg);
+  wlm::SlurmWlm wlm(&cluster);
+
+  // Random job soup.
+  const int n_jobs = 20 + static_cast<int>(rng.next_below(20));
+  std::vector<wlm::JobId> ids;
+  std::map<sim::NodeId, std::vector<std::pair<SimTime, SimTime>>> occupancy;
+  for (int i = 0; i < n_jobs; ++i) {
+    wlm::JobSpec spec;
+    spec.user = "u" + std::to_string(rng.next_below(3));
+    spec.nodes = 1 + static_cast<std::uint32_t>(rng.next_below(cfg.num_nodes));
+    spec.run_time = minutes(1 + rng.next_below(15));
+    spec.time_limit = spec.run_time + minutes(1 + rng.next_below(10));
+    cluster.events().schedule_at(
+        static_cast<SimTime>(rng.next_below(minutes(30))),
+        [&wlm, spec, &ids] { ids.push_back(wlm.submit(spec)); });
+  }
+  cluster.events().run();
+
+  // Conservation: every job reached a terminal state.
+  std::size_t terminal = 0;
+  SimDuration accounted_expect = 0;
+  for (auto id : ids) {
+    const auto rec = wlm.job(id);
+    ASSERT_TRUE(rec.ok());
+    const auto& r = *rec.value();
+    EXPECT_NE(r.state, wlm::JobState::kPending);
+    EXPECT_NE(r.state, wlm::JobState::kRunning);
+    ++terminal;
+    if (r.started >= 0) {
+      for (auto n : r.nodes)
+        occupancy[n].push_back({r.started, r.ended});
+      accounted_expect += (r.ended - r.started) *
+                          static_cast<SimDuration>(r.nodes.size()) * 8;
+    }
+  }
+  EXPECT_EQ(terminal, ids.size());
+
+  // Exclusivity: no node hosts two overlapping jobs.
+  for (auto& [node, intervals] : occupancy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_LE(intervals[i - 1].second, intervals[i].first)
+          << "node " << node << " double-booked";
+    }
+  }
+
+  // Accounting: total equals allocated node-time × cores.
+  EXPECT_EQ(wlm.total_cpu_time(), accounted_expect);
+}
+
+// ------------------------------------------------------- K8s consistency
+
+TEST_P(TreeProperty, K8sChurnStaysConsistent) {
+  Rng rng(GetParam() + 6000);
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  k8s::Scheduler scheduler(&api);
+  std::vector<std::unique_ptr<k8s::Kubelet>> kubelets;
+  const int n_nodes = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < n_nodes; ++i) {
+    k8s::Kubelet::Config cfg;
+    cfg.node_name = "n" + std::to_string(i);
+    cfg.capacity_cores = 8;
+    kubelets.push_back(std::make_unique<k8s::Kubelet>(
+        &api, cfg, [&rng](SimTime now, const k8s::Pod&) -> Result<SimTime> {
+          return now + sec(1 + static_cast<SimDuration>(rng.next_below(30)));
+        }));
+    ASSERT_TRUE(kubelets.back()->start(0).ok());
+  }
+  const int n_pods = 10 + static_cast<int>(rng.next_below(30));
+  for (int i = 0; i < n_pods; ++i) {
+    k8s::PodSpec spec;
+    spec.cpu_request = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    events.schedule_at(static_cast<SimTime>(rng.next_below(minutes(5))),
+                       [&api, i, spec] {
+                         (void)api.create_pod("p" + std::to_string(i), spec);
+                       });
+  }
+  events.run();
+
+  // All pods terminal, all capacity released.
+  EXPECT_EQ(api.pods_in_phase(k8s::PodPhase::kSucceeded).size(),
+            static_cast<std::size_t>(n_pods));
+  for (int i = 0; i < n_nodes; ++i) {
+    const auto node = api.node("n" + std::to_string(i));
+    ASSERT_TRUE(node.ok());
+    EXPECT_EQ(node.value()->allocated_cores, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hpcc

@@ -1,0 +1,354 @@
+// Unit tests for hpcc_sim: DES kernel ordering, FIFO station queueing,
+// rate limiting, storage contention, page cache LRU, network transfer
+// and cluster reprovisioning.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/resource.h"
+#include "sim/storage.h"
+
+namespace hpcc::sim {
+namespace {
+
+// ------------------------------------------------------------ EventQueue
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(100, [&order, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, SchedulingInThePastClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.schedule_at(50, [&] {
+    q.schedule_at(10, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_after(5, chain);
+  };
+  q.schedule_at(0, chain);
+  q.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), 45);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(100, [&] { ++fired; });
+  const auto n = q.run_until(50);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 50);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+// ----------------------------------------------------------- FifoStation
+
+TEST(FifoStationTest, IdleServerServesImmediately) {
+  FifoStation s("x", 1);
+  EXPECT_EQ(s.submit(100, 50), 150);
+}
+
+TEST(FifoStationTest, BackToBackRequestsQueue) {
+  FifoStation s("x", 1);
+  EXPECT_EQ(s.submit(0, 100), 100);
+  EXPECT_EQ(s.submit(0, 100), 200);   // waits for first
+  EXPECT_EQ(s.submit(50, 100), 300);  // still queued behind
+  EXPECT_EQ(s.requests(), 3u);
+  EXPECT_EQ(s.busy_time(), 300);
+}
+
+TEST(FifoStationTest, MultipleServersServeInParallel) {
+  FifoStation s("x", 2);
+  EXPECT_EQ(s.submit(0, 100), 100);
+  EXPECT_EQ(s.submit(0, 100), 100);  // second server
+  EXPECT_EQ(s.submit(0, 100), 200);  // queues
+}
+
+TEST(FifoStationTest, QueueDelayObservation) {
+  FifoStation s("x", 1);
+  s.submit(0, 100);
+  EXPECT_EQ(s.queue_delay(0), 100);
+  EXPECT_EQ(s.queue_delay(60), 40);
+  EXPECT_EQ(s.queue_delay(150), 0);
+}
+
+TEST(FifoStationTest, LateArrivalDoesNotWait) {
+  FifoStation s("x", 1);
+  s.submit(0, 10);
+  EXPECT_EQ(s.submit(1000, 10), 1010);
+}
+
+TEST(FifoStationTest, ResetClearsState) {
+  FifoStation s("x", 1);
+  s.submit(0, 500);
+  s.reset();
+  EXPECT_EQ(s.submit(0, 10), 10);
+  EXPECT_EQ(s.requests(), 1u);
+}
+
+// ----------------------------------------------------------- RateLimiter
+
+TEST(RateLimiterTest, AdmitsUpToLimit) {
+  RateLimiter rl(5, sec(1));
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(rl.try_acquire(0));
+  EXPECT_FALSE(rl.try_acquire(0));
+  EXPECT_EQ(rl.admitted(), 5u);
+  EXPECT_EQ(rl.throttled(), 1u);
+}
+
+TEST(RateLimiterTest, TokensRefillOverTime) {
+  RateLimiter rl(10, sec(1));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(rl.try_acquire(0));
+  EXPECT_FALSE(rl.try_acquire(0));
+  // After 100ms one token (10/s) has refilled.
+  EXPECT_TRUE(rl.try_acquire(msec(100)));
+  EXPECT_FALSE(rl.try_acquire(msec(100)));
+}
+
+TEST(RateLimiterTest, NextAdmissionPredicts) {
+  RateLimiter rl(10, sec(1));
+  for (int i = 0; i < 10; ++i) rl.try_acquire(0);
+  const SimTime next = rl.next_admission(0);
+  EXPECT_GT(next, 0);
+  EXPECT_LE(next, msec(101));
+  EXPECT_TRUE(rl.try_acquire(next));
+}
+
+TEST(RateLimiterTest, ZeroLimitMeansUnlimited) {
+  RateLimiter rl(0, sec(1));
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(rl.try_acquire(0));
+  EXPECT_EQ(rl.next_admission(123), 123);
+}
+
+// ---------------------------------------------------------------- Storage
+
+TEST(SharedFsTest, MetadataContentionGrowsWithConcurrency) {
+  SharedFsConfig cfg;
+  cfg.meta_servers = 2;
+  cfg.meta_op_service = usec(100);
+  SharedFilesystem fs(cfg);
+  // 10 simultaneous opens through 2 servers: last completes at 5*100.
+  SimTime last = 0;
+  for (int i = 0; i < 10; ++i) last = std::max(last, fs.metadata_op(0));
+  EXPECT_EQ(last, 500);
+  EXPECT_EQ(fs.metadata_ops(), 10u);
+}
+
+TEST(SharedFsTest, LargeReadAmortizesLatency) {
+  SharedFilesystem fs;
+  // Per-byte cost of one big read must be far below 4096 tiny reads.
+  const SimTime big = fs.read(0, 4096 * 4096);
+  SharedFilesystem fs2;
+  SimTime last = 0;
+  for (int i = 0; i < 64; ++i) last = std::max(last, fs2.read(0, 4096));
+  const double big_per_byte = static_cast<double>(big) / (4096.0 * 4096.0);
+  const double small_per_byte = static_cast<double>(last) / (64.0 * 4096.0);
+  EXPECT_LT(big_per_byte * 4, small_per_byte);
+}
+
+TEST(SharedFsTest, TracksBytes) {
+  SharedFilesystem fs;
+  fs.read(0, 1000);
+  fs.write(0, 500);
+  EXPECT_EQ(fs.bytes_read(), 1000u);
+  EXPECT_EQ(fs.bytes_written(), 500u);
+  fs.reset_stats();
+  EXPECT_EQ(fs.bytes_read(), 0u);
+}
+
+TEST(LocalStorageTest, CapacityReservation) {
+  LocalStorageConfig cfg;
+  cfg.capacity = 1000;
+  NodeLocalStorage s(cfg);
+  EXPECT_TRUE(s.reserve(600));
+  EXPECT_FALSE(s.reserve(600));
+  s.release(600);
+  EXPECT_TRUE(s.reserve(1000));
+  EXPECT_EQ(s.used(), 1000u);
+}
+
+TEST(LocalStorageTest, FasterThanSharedFsForSmallOps) {
+  NodeLocalStorage local;
+  SharedFilesystem shared;
+  const SimTime l = local.read(0, 4096);
+  // shared: metadata + data op
+  const SimTime s = shared.read(shared.metadata_op(0), 4096);
+  EXPECT_LT(l, s);
+}
+
+TEST(PageCacheTest, LruEviction) {
+  PageCacheConfig cfg;
+  cfg.capacity_bytes = 300;
+  PageCache pc(cfg);
+  pc.insert("a", 100);
+  pc.insert("b", 100);
+  pc.insert("c", 100);
+  EXPECT_TRUE(pc.contains("a"));  // touch a -> b is now LRU
+  pc.insert("d", 100);            // evicts b
+  EXPECT_FALSE(pc.contains("b"));
+  EXPECT_TRUE(pc.contains("a"));
+  EXPECT_TRUE(pc.contains("c"));
+  EXPECT_TRUE(pc.contains("d"));
+}
+
+TEST(PageCacheTest, OversizedEntryIgnored) {
+  PageCacheConfig cfg;
+  cfg.capacity_bytes = 100;
+  PageCache pc(cfg);
+  pc.insert("huge", 1000);
+  EXPECT_FALSE(pc.contains("huge"));
+  EXPECT_EQ(pc.used(), 0u);
+}
+
+TEST(PageCacheTest, HitMissCounters) {
+  PageCache pc;
+  EXPECT_FALSE(pc.contains("x"));
+  pc.insert("x", 10);
+  EXPECT_TRUE(pc.contains("x"));
+  EXPECT_EQ(pc.hits(), 1u);
+  EXPECT_EQ(pc.misses(), 1u);
+}
+
+TEST(PageCacheTest, ReinsertUpdatesSize) {
+  PageCacheConfig cfg;
+  cfg.capacity_bytes = 100;
+  PageCache pc(cfg);
+  pc.insert("x", 50);
+  pc.insert("x", 80);
+  EXPECT_EQ(pc.used(), 80u);
+}
+
+TEST(PageCacheTest, HitCostScalesWithBytes) {
+  PageCache pc;
+  EXPECT_LT(pc.hit_cost(4096), pc.hit_cost(4096 * 1000));
+  EXPECT_GE(pc.hit_cost(0), 1);
+}
+
+// ---------------------------------------------------------------- Network
+
+TEST(NetworkTest, TransferIncludesBothNicsAndFabric) {
+  NetworkConfig cfg;
+  cfg.nic_bandwidth = 1000.0;  // 1000 bytes/us
+  cfg.fabric_latency = usec(5);
+  Network net(4, cfg);
+  // 10000 bytes: 10us out + 5us fabric + 10us in = 25us.
+  EXPECT_EQ(net.transfer(0, 0, 1, 10000), 25);
+}
+
+TEST(NetworkTest, ReceiverNicContends) {
+  NetworkConfig cfg;
+  cfg.nic_bandwidth = 1000.0;
+  cfg.fabric_latency = usec(0);
+  Network net(4, cfg);
+  // Two senders to the same destination: second serializes behind first
+  // at the receiving NIC.
+  const SimTime t1 = net.transfer(0, 0, 2, 10000);
+  const SimTime t2 = net.transfer(0, 1, 2, 10000);
+  EXPECT_EQ(t1, 20);
+  EXPECT_EQ(t2, 30);  // 10 (own nic) .. waits, finishes at 30
+}
+
+TEST(NetworkTest, LoopbackIsCheap) {
+  Network net(2);
+  EXPECT_EQ(net.transfer(100, 1, 1, 1 << 20), 101);
+}
+
+TEST(NetworkTest, WanIsMuchSlowerThanFabric) {
+  Network net(2);
+  const std::uint64_t mb = 1 << 20;
+  const SimTime hsn = net.transfer(0, 0, 1, mb);
+  Network net2(2);
+  const SimTime wan = net2.wan_transfer(0, 0, mb);
+  EXPECT_GT(wan, hsn * 10);
+  EXPECT_EQ(net2.wan_bytes(), mb);
+}
+
+// ---------------------------------------------------------------- Cluster
+
+TEST(ClusterTest, ConstructsNodes) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.node_spec.gpus = 4;
+  cfg.node_spec.gpu_vendor = "nvidia";
+  Cluster c(cfg);
+  EXPECT_EQ(c.num_nodes(), 8u);
+  EXPECT_EQ(c.node(3).spec.gpus, 4u);
+  EXPECT_EQ(c.node(3).state, NodeState::kUp);
+}
+
+TEST(ClusterTest, ReprovisionTakesConfiguredTimeAndColdsCache) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.reprovision_time = sec(10);
+  Cluster c(cfg);
+  c.page_cache(1).insert("warm", 100);
+
+  bool up = false;
+  ASSERT_TRUE(c.reprovision(1, [&] { up = true; }).ok());
+  EXPECT_EQ(c.node(1).state, NodeState::kDown);
+
+  c.events().run();
+  EXPECT_TRUE(up);
+  EXPECT_EQ(c.now(), sec(10));
+  EXPECT_EQ(c.node(1).state, NodeState::kUp);
+  EXPECT_FALSE(c.page_cache(1).contains("warm"));
+  EXPECT_EQ(c.reprovision_count(), 1u);
+}
+
+TEST(ClusterTest, ReprovisionInvalidNode) {
+  Cluster c;
+  EXPECT_EQ(c.reprovision(999, nullptr).error().code(), ErrorCode::kNotFound);
+}
+
+TEST(ClusterTest, ReprovisionWhileDownFails) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  Cluster c(cfg);
+  ASSERT_TRUE(c.reprovision(0, nullptr).ok());
+  EXPECT_EQ(c.reprovision(0, nullptr).error().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(ClusterTest, NodeStateToString) {
+  EXPECT_EQ(to_string(NodeState::kUp), "up");
+  EXPECT_EQ(to_string(NodeState::kDraining), "draining");
+  EXPECT_EQ(to_string(NodeState::kDown), "down");
+}
+
+}  // namespace
+}  // namespace hpcc::sim

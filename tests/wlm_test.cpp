@@ -1,0 +1,273 @@
+// Tests for hpcc_wlm: FIFO scheduling, exclusive allocation, EASY
+// backfill, time limits and cancellation, drain/undrain, SPANK plugins,
+// accounting conservation, utilization and cgroup lifecycle.
+#include <gtest/gtest.h>
+
+#include "wlm/slurm.h"
+
+namespace hpcc::wlm {
+namespace {
+
+class WlmTest : public ::testing::Test {
+ protected:
+  WlmTest() {
+    sim::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.node_spec.cores = 8;
+    cluster = std::make_unique<sim::Cluster>(cfg);
+    wlm = std::make_unique<SlurmWlm>(cluster.get());
+  }
+
+  JobSpec quick_job(const std::string& user, std::uint32_t nodes,
+                    SimDuration run = minutes(5),
+                    SimDuration limit = minutes(10)) {
+    JobSpec spec;
+    spec.name = "j";
+    spec.user = user;
+    spec.nodes = nodes;
+    spec.run_time = run;
+    spec.time_limit = limit;
+    return spec;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<SlurmWlm> wlm;
+};
+
+TEST_F(WlmTest, SingleJobLifecycle) {
+  std::vector<sim::NodeId> got_nodes;
+  JobState final_state = JobState::kPending;
+  JobSpec spec = quick_job("alice", 2);
+  spec.on_start = [&](JobId, const std::vector<sim::NodeId>& nodes) {
+    got_nodes = nodes;
+  };
+  spec.on_end = [&](JobId, JobState s) { final_state = s; };
+
+  const JobId id = wlm->submit(spec);
+  cluster->events().run();
+
+  const auto rec = wlm->job(id);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value()->state, JobState::kCompleted);
+  EXPECT_EQ(got_nodes.size(), 2u);
+  EXPECT_EQ(final_state, JobState::kCompleted);
+  EXPECT_EQ(wlm->jobs_completed(), 1u);
+  EXPECT_GE(rec.value()->ended - rec.value()->started, minutes(5));
+}
+
+TEST_F(WlmTest, ExclusiveAllocationQueues) {
+  // 3 jobs × 2 nodes on a 4-node cluster: two run, one waits.
+  const JobId a = wlm->submit(quick_job("u", 2));
+  const JobId b = wlm->submit(quick_job("u", 2));
+  const JobId c = wlm->submit(quick_job("u", 2));
+  cluster->events().run_until(sec(2));
+  EXPECT_EQ(wlm->job(a).value()->state, JobState::kRunning);
+  EXPECT_EQ(wlm->job(b).value()->state, JobState::kRunning);
+  EXPECT_EQ(wlm->job(c).value()->state, JobState::kPending);
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(c).value()->state, JobState::kCompleted);
+  EXPECT_GT(wlm->job(c).value()->wait_time(), minutes(4));
+}
+
+TEST_F(WlmTest, BackfillLetsSmallJobJumpAhead) {
+  // Head: 4-node job blocked behind a 2-node job. A 1-node short job
+  // backfills into the idle nodes.
+  const JobId running = wlm->submit(quick_job("u", 2, minutes(20), minutes(30)));
+  cluster->events().run_until(sec(1));
+  ASSERT_EQ(wlm->job(running).value()->state, JobState::kRunning);
+
+  const JobId big = wlm->submit(quick_job("u", 4, minutes(5), minutes(10)));
+  const JobId small =
+      wlm->submit(quick_job("u", 1, minutes(2), minutes(3)));
+  cluster->events().run_until(sec(2));
+  EXPECT_EQ(wlm->job(big).value()->state, JobState::kPending);
+  EXPECT_EQ(wlm->job(small).value()->state, JobState::kRunning)
+      << "short bounded job should backfill";
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(big).value()->state, JobState::kCompleted);
+}
+
+TEST_F(WlmTest, BackfillRespectsShadowReservation) {
+  // A long candidate (limit > shadow) must NOT backfill ahead of the
+  // blocked head.
+  wlm->submit(quick_job("u", 2, minutes(20), minutes(30)));
+  cluster->events().run_until(sec(1));
+  const JobId big = wlm->submit(quick_job("u", 4, minutes(5), minutes(10)));
+  const JobId long_small =
+      wlm->submit(quick_job("u", 1, minutes(50), minutes(60)));
+  cluster->events().run_until(sec(2));
+  EXPECT_EQ(wlm->job(long_small).value()->state, JobState::kPending);
+  EXPECT_EQ(wlm->job(big).value()->state, JobState::kPending);
+}
+
+TEST_F(WlmTest, NoBackfillWhenDisabled) {
+  WlmConfig cfg;
+  cfg.backfill = false;
+  SlurmWlm fifo(cluster.get(), cfg);
+  fifo.submit(quick_job("u", 2, minutes(20), minutes(30)));
+  cluster->events().run_until(sec(1));
+  const JobId big = fifo.submit(quick_job("u", 4, minutes(5), minutes(10)));
+  const JobId small = fifo.submit(quick_job("u", 1, minutes(2), minutes(3)));
+  cluster->events().run_until(sec(2));
+  EXPECT_EQ(fifo.job(big).value()->state, JobState::kPending);
+  EXPECT_EQ(fifo.job(small).value()->state, JobState::kPending);
+}
+
+TEST_F(WlmTest, TimeLimitKillsJob) {
+  const JobId id = wlm->submit(quick_job("u", 1, minutes(20), minutes(5)));
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kTimeout);
+  const auto* rec = wlm->job(id).value();
+  EXPECT_LE(rec->ended - rec->started, minutes(5) + sec(1));
+}
+
+TEST_F(WlmTest, ServiceJobRunsUntilCancelled) {
+  JobSpec svc = quick_job("u", 1, /*run=*/0, /*limit=*/minutes(60));
+  const JobId id = wlm->submit(svc);
+  cluster->events().run_until(minutes(10));
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kRunning);
+  ASSERT_TRUE(wlm->cancel(id).ok());
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kCancelled);
+  cluster->events().run_until(minutes(11));
+  EXPECT_EQ(wlm->available_nodes(), 4u);
+}
+
+TEST_F(WlmTest, CancelPendingJob) {
+  wlm->submit(quick_job("u", 4, minutes(20)));
+  const JobId waiting = wlm->submit(quick_job("u", 4));
+  cluster->events().run_until(sec(1));
+  ASSERT_TRUE(wlm->cancel(waiting).ok());
+  EXPECT_EQ(wlm->job(waiting).value()->state, JobState::kCancelled);
+  EXPECT_FALSE(wlm->cancel(waiting).ok());
+  EXPECT_FALSE(wlm->cancel(9999).ok());
+}
+
+TEST_F(WlmTest, DrainRemovesNodeFromService) {
+  ASSERT_TRUE(wlm->drain(0).ok());
+  EXPECT_TRUE(wlm->is_drained(0));
+  EXPECT_EQ(wlm->available_nodes(), 3u);
+  // A 4-node job cannot start while a node is drained.
+  const JobId id = wlm->submit(quick_job("u", 4));
+  cluster->events().run_until(minutes(1));
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kPending);
+  ASSERT_TRUE(wlm->undrain(0).ok());
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kCompleted);
+}
+
+TEST_F(WlmTest, DrainWaitsForRunningJob) {
+  const JobId id = wlm->submit(quick_job("u", 4, minutes(5)));
+  cluster->events().run_until(sec(1));
+  ASSERT_EQ(wlm->job(id).value()->state, JobState::kRunning);
+
+  bool drained_fired = false;
+  ASSERT_TRUE(wlm->drain(2, [&] { drained_fired = true; }).ok());
+  EXPECT_FALSE(wlm->is_drained(2));  // still draining
+  EXPECT_FALSE(drained_fired);
+  cluster->events().run();
+  EXPECT_TRUE(wlm->is_drained(2));
+  EXPECT_TRUE(drained_fired);
+}
+
+TEST_F(WlmTest, SpankPluginsFire) {
+  std::vector<std::string> events;
+  SpankPlugin plugin;
+  plugin.name = "container-setup";
+  plugin.at_job_start = [&](const JobRecord& rec) -> Result<Unit> {
+    events.push_back("start:" + rec.spec.name);
+    return ok_unit();
+  };
+  plugin.at_job_end = [&](const JobRecord& rec) -> Result<Unit> {
+    events.push_back("end:" + rec.spec.name);
+    return ok_unit();
+  };
+  wlm->register_spank(plugin);
+  auto spec = quick_job("u", 1, minutes(1));
+  spec.name = "ctr";
+  wlm->submit(spec);
+  cluster->events().run();
+  EXPECT_EQ(events, (std::vector<std::string>{"start:ctr", "end:ctr"}));
+}
+
+TEST_F(WlmTest, AccountingTracksUserCpuTime) {
+  wlm->submit(quick_job("alice", 2, minutes(10)));
+  wlm->submit(quick_job("bob", 1, minutes(10)));
+  cluster->events().run();
+  // alice: 2 nodes × 8 cores × 10 min; bob: 1 × 8 × 10.
+  EXPECT_EQ(wlm->user_cpu_time("alice"), 2 * 8 * minutes(10));
+  EXPECT_EQ(wlm->user_cpu_time("bob"), 1 * 8 * minutes(10));
+  EXPECT_EQ(wlm->total_cpu_time(),
+            wlm->user_cpu_time("alice") + wlm->user_cpu_time("bob"));
+  EXPECT_EQ(wlm->user_cpu_time("carol"), 0);
+}
+
+TEST_F(WlmTest, UtilizationReflectsLoad) {
+  // Full cluster for 10 of 20 minutes => ~50%.
+  wlm->submit(quick_job("u", 4, minutes(10), minutes(15)));
+  cluster->events().run();
+  cluster->events().run_until(minutes(20));
+  const double util = wlm->utilization();
+  EXPECT_GT(util, 0.4);
+  EXPECT_LT(util, 0.6);
+}
+
+TEST_F(WlmTest, CgroupCreatedPerJobNodeAndDelegated) {
+  JobSpec spec = quick_job("u", 1, minutes(1));
+  JobId captured = 0;
+  sim::NodeId node = 0;
+  bool delegated_ready = false;
+  spec.on_start = [&](JobId id, const std::vector<sim::NodeId>& nodes) {
+    captured = id;
+    node = nodes[0];
+    delegated_ready = wlm->node_cgroups(node).rootless_ready(
+        "/slurm/job" + std::to_string(id));
+  };
+  wlm->submit(spec);
+  cluster->events().run();
+  EXPECT_TRUE(delegated_ready)
+      << "job cgroups inherit v2 delegation (rootless-k8s precondition)";
+  // Cgroup removed after the job.
+  EXPECT_FALSE(wlm->node_cgroups(node)
+                   .find("/slurm/job" + std::to_string(captured))
+                   .ok());
+}
+
+TEST_F(WlmTest, MeanWaitTimeGrowsWithContention) {
+  for (int i = 0; i < 6; ++i) wlm->submit(quick_job("u", 4, minutes(5)));
+  cluster->events().run();
+  EXPECT_GT(wlm->mean_wait_time(), minutes(5));
+}
+
+TEST_F(WlmTest, NodeFailureKillsJobAndRemovesNode) {
+  const JobId id = wlm->submit(quick_job("u", 2, minutes(20), minutes(30)));
+  cluster->events().run_until(sec(1));
+  ASSERT_EQ(wlm->job(id).value()->state, JobState::kRunning);
+  const sim::NodeId victim = wlm->job(id).value()->nodes[0];
+
+  ASSERT_TRUE(wlm->node_failed(victim).ok());
+  EXPECT_EQ(wlm->job(id).value()->state, JobState::kFailed);
+  EXPECT_TRUE(wlm->is_drained(victim));
+  EXPECT_EQ(cluster->node(victim).state, sim::NodeState::kDown);
+
+  // The cluster keeps scheduling around the dead node.
+  const JobId next = wlm->submit(quick_job("u", 3, minutes(1)));
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(next).value()->state, JobState::kCompleted);
+  for (auto n : wlm->job(next).value()->nodes) EXPECT_NE(n, victim);
+
+  // Repair: bring the hardware back, then undrain.
+  cluster->set_state(victim, sim::NodeState::kUp);
+  ASSERT_TRUE(wlm->undrain(victim).ok());
+  EXPECT_EQ(wlm->available_nodes(), 4u);
+}
+
+TEST_F(WlmTest, NodeFailureOnIdleNodeJustDrains) {
+  ASSERT_TRUE(wlm->node_failed(2).ok());
+  EXPECT_TRUE(wlm->is_drained(2));
+  EXPECT_EQ(wlm->available_nodes(), 3u);
+  EXPECT_FALSE(wlm->node_failed(99).ok());
+}
+
+}  // namespace
+}  // namespace hpcc::wlm
+

@@ -1,0 +1,217 @@
+// Tests for the DAG workflow engine (orch/workflow_dag.h): validation
+// (cycles, unknown deps), execution ordering on both backends (WLM jobs
+// and Kubernetes pods), parallelism of independent stages, critical-path
+// computation, failure propagation — plus the §3.2 overlay-network
+// penalty model it motivates.
+#include <gtest/gtest.h>
+
+#include "orch/workflow_dag.h"
+#include "util/log.h"
+
+namespace hpcc::orch {
+namespace {
+
+WorkflowStage stage(const std::string& name, std::vector<std::string> after,
+                    SimDuration cpu = minutes(2)) {
+  WorkflowStage s;
+  s.name = name;
+  s.after = std::move(after);
+  s.image = "registry.site/wf/" + name + ":1";
+  s.workload = runtime::shell_workload();
+  s.workload.cpu_time = cpu;
+  s.nodes = 1;
+  s.cpu_cores = 4;
+  return s;
+}
+
+/// The canonical diamond: a -> (b, c) -> d.
+WorkflowDag diamond() {
+  WorkflowDag dag;
+  dag.name = "diamond";
+  dag.stages = {stage("a", {}), stage("b", {"a"}), stage("c", {"a"}),
+                stage("d", {"b", "c"})};
+  return dag;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(WorkflowDagTest, ValidatesCleanDag) {
+  EXPECT_TRUE(diamond().validate().ok());
+}
+
+TEST(WorkflowDagTest, RejectsBadDags) {
+  WorkflowDag empty;
+  EXPECT_FALSE(empty.validate().ok());
+
+  WorkflowDag dup = diamond();
+  dup.stages.push_back(stage("a", {}));
+  EXPECT_FALSE(dup.validate().ok());
+
+  WorkflowDag unknown = diamond();
+  unknown.stages.push_back(stage("e", {"ghost"}));
+  EXPECT_FALSE(unknown.validate().ok());
+
+  WorkflowDag self_dep;
+  self_dep.stages = {stage("a", {"a"})};
+  EXPECT_FALSE(self_dep.validate().ok());
+
+  WorkflowDag cycle;
+  cycle.stages = {stage("a", {"c"}), stage("b", {"a"}), stage("c", {"b"})};
+  const auto r = cycle.validate();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message().find("cycle"), std::string::npos);
+}
+
+// ------------------------------------------------------------ WLM backend
+
+class WorkflowWlmTest : public ::testing::Test {
+ protected:
+  WorkflowWlmTest() {
+    LogSink::instance().set_print(false);
+    sim::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cluster = std::make_unique<sim::Cluster>(cfg);
+    wlm = std::make_unique<wlm::SlurmWlm>(cluster.get());
+  }
+  ~WorkflowWlmTest() override { LogSink::instance().set_print(true); }
+
+  StageLauncher simple_launcher() {
+    return [](SimTime now, const WorkflowStage& s) -> Result<SimTime> {
+      return now + sec(2) + s.workload.cpu_time;
+    };
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<hpcc::wlm::SlurmWlm> wlm;
+};
+
+TEST_F(WorkflowWlmTest, DiamondRespectsOrdering) {
+  const auto report =
+      run_on_wlm(diamond(), *cluster, *wlm, simple_launcher());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const auto& r = report.value();
+  ASSERT_EQ(r.stages.size(), 4u);
+
+  const auto a = r.stage("a").value();
+  const auto b = r.stage("b").value();
+  const auto c = r.stage("c").value();
+  const auto d = r.stage("d").value();
+  EXPECT_LE(a->finished, b->started);
+  EXPECT_LE(a->finished, c->started);
+  EXPECT_LE(b->finished, d->started);
+  EXPECT_LE(c->finished, d->started);
+  EXPECT_EQ(r.makespan, d->finished);
+}
+
+TEST_F(WorkflowWlmTest, IndependentStagesOverlap) {
+  const auto report =
+      run_on_wlm(diamond(), *cluster, *wlm, simple_launcher());
+  ASSERT_TRUE(report.ok());
+  const auto b = report.value().stage("b").value();
+  const auto c = report.value().stage("c").value();
+  // b and c have no mutual dependency and the cluster has room: they
+  // must overlap in time.
+  EXPECT_LT(std::max(b->started, c->started),
+            std::min(b->finished, c->finished));
+}
+
+TEST_F(WorkflowWlmTest, CriticalPathIsLongestChain) {
+  WorkflowDag dag;
+  dag.name = "skew";
+  dag.stages = {stage("a", {}, minutes(1)), stage("slow", {"a"}, minutes(10)),
+                stage("fast", {"a"}, minutes(1)),
+                stage("z", {"slow", "fast"}, minutes(1))};
+  const auto report = run_on_wlm(dag, *cluster, *wlm, simple_launcher());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().critical_path,
+            (std::vector<std::string>{"a", "slow", "z"}));
+}
+
+TEST_F(WorkflowWlmTest, StageFailurePropagates) {
+  auto failing = [](SimTime, const WorkflowStage& s) -> Result<SimTime> {
+    if (s.name == "c") return err_unavailable("image pull failed");
+    return sec(10);
+  };
+  const auto report = run_on_wlm(diamond(), *cluster, *wlm, failing);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message().find("stage 'c'"), std::string::npos);
+}
+
+TEST_F(WorkflowWlmTest, StagesAreWlmAccounted) {
+  ASSERT_TRUE(
+      run_on_wlm(diamond(), *cluster, *wlm, simple_launcher(), "bio-user")
+          .ok());
+  EXPECT_GT(wlm->user_cpu_time("bio-user"), 0);
+}
+
+TEST_F(WorkflowWlmTest, WideWorkflowQueuesOnSmallCluster) {
+  // 8 independent 1-node stages on 4 nodes: at most 4 run concurrently.
+  WorkflowDag wide;
+  wide.name = "wide";
+  for (int i = 0; i < 8; ++i)
+    wide.stages.push_back(stage("s" + std::to_string(i), {}, minutes(5)));
+  const auto report = run_on_wlm(wide, *cluster, *wlm, simple_launcher());
+  ASSERT_TRUE(report.ok());
+  // Makespan must reflect at least two waves.
+  EXPECT_GE(report.value().makespan, 2 * minutes(5));
+}
+
+// ------------------------------------------------------------ K8s backend
+
+TEST(WorkflowK8sTest, DiamondRunsOnPods) {
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  k8s::Scheduler scheduler(&api);
+  k8s::Kubelet::Config kc;
+  kc.node_name = "n0";
+  kc.capacity_cores = 16;
+  k8s::Kubelet kubelet(&api, kc,
+                       [](SimTime now, const k8s::Pod& pod) -> Result<SimTime> {
+                         return now + sec(2) + pod.spec.workload.cpu_time;
+                       });
+  ASSERT_TRUE(kubelet.start(0).ok());
+
+  const auto report = run_on_k8s(diamond(), events, api);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const auto& r = report.value();
+  ASSERT_EQ(r.stages.size(), 4u);
+  EXPECT_LE(r.stage("a").value()->finished, r.stage("d").value()->started);
+  EXPECT_EQ(r.critical_path.front(), "a");
+  EXPECT_EQ(r.critical_path.back(), "d");
+}
+
+TEST(WorkflowK8sTest, RejectsInvalidDag) {
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  WorkflowDag cycle;
+  cycle.stages = {stage("a", {"b"}), stage("b", {"a"})};
+  EXPECT_FALSE(run_on_k8s(cycle, events, api).ok());
+}
+
+// ------------------------------------------- overlay network (§3.2 cost)
+
+TEST(OverlayNetworkTest, OverlaySlowerThanHostNetwork) {
+  sim::Network net(4);
+  const std::uint64_t msg = 1 << 20;
+  const SimTime host = net.transfer(0, 0, 1, msg);
+  sim::Network net2(4);
+  const SimTime overlay = net2.overlay_transfer(0, 0, 1, msg);
+  EXPECT_GT(overlay, host * 2);  // bandwidth haircut dominates large msgs
+}
+
+TEST(OverlayNetworkTest, SmallMessageLatencyPenalty) {
+  sim::Network host_net(4), overlay_net(4);
+  // 64-byte latency-bound message (an MPI ping): the overlay pays the
+  // encapsulation latency on both ends.
+  const SimTime host = host_net.transfer(0, 0, 1, 64);
+  const SimTime overlay = overlay_net.overlay_transfer(0, 0, 1, 64);
+  EXPECT_GT(overlay, host + usec(50));
+}
+
+TEST(OverlayNetworkTest, LoopbackStillPaysEncapsulation) {
+  sim::Network net(2);
+  EXPECT_GT(net.overlay_transfer(0, 1, 1, 1024), net.transfer(0, 1, 1, 1024));
+}
+
+}  // namespace
+}  // namespace hpcc::orch
