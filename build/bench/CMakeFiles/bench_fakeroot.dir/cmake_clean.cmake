@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fakeroot.dir/bench_fakeroot.cpp.o"
+  "CMakeFiles/bench_fakeroot.dir/bench_fakeroot.cpp.o.d"
+  "bench_fakeroot"
+  "bench_fakeroot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fakeroot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_kubelet_in_wlm.dir/bench_figure1_kubelet_in_wlm.cpp.o"
+  "CMakeFiles/bench_figure1_kubelet_in_wlm.dir/bench_figure1_kubelet_in_wlm.cpp.o.d"
+  "bench_figure1_kubelet_in_wlm"
+  "bench_figure1_kubelet_in_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_kubelet_in_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

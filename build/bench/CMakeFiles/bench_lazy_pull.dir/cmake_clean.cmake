@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_pull.dir/bench_lazy_pull.cpp.o"
+  "CMakeFiles/bench_lazy_pull.dir/bench_lazy_pull.cpp.o.d"
+  "bench_lazy_pull"
+  "bench_lazy_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_registry_proxy.dir/bench_registry_proxy.cpp.o"
+  "CMakeFiles/bench_registry_proxy.dir/bench_registry_proxy.cpp.o.d"
+  "bench_registry_proxy"
+  "bench_registry_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_registry_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rootless_fs.dir/bench_rootless_fs.cpp.o"
+  "CMakeFiles/bench_rootless_fs.dir/bench_rootless_fs.cpp.o.d"
+  "bench_rootless_fs"
+  "bench_rootless_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rootless_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

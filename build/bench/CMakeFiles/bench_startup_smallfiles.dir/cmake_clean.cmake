@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_startup_smallfiles.dir/bench_startup_smallfiles.cpp.o"
+  "CMakeFiles/bench_startup_smallfiles.dir/bench_startup_smallfiles.cpp.o.d"
+  "bench_startup_smallfiles"
+  "bench_startup_smallfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_startup_smallfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_integrations.dir/bench_table3_integrations.cpp.o"
+  "CMakeFiles/bench_table3_integrations.dir/bench_table3_integrations.cpp.o.d"
+  "bench_table3_integrations"
+  "bench_table3_integrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_integrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_registries.dir/bench_table4_registries.cpp.o"
+  "CMakeFiles/bench_table4_registries.dir/bench_table4_registries.cpp.o.d"
+  "bench_table4_registries"
+  "bench_table4_registries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_registries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

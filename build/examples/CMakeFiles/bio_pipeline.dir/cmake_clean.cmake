@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_pipeline.dir/bio_pipeline.cpp.o"
+  "CMakeFiles/bio_pipeline.dir/bio_pipeline.cpp.o.d"
+  "bio_pipeline"
+  "bio_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

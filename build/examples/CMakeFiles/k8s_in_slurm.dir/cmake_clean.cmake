@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k8s_in_slurm.dir/k8s_in_slurm.cpp.o"
+  "CMakeFiles/k8s_in_slurm.dir/k8s_in_slurm.cpp.o.d"
+  "k8s_in_slurm"
+  "k8s_in_slurm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k8s_in_slurm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for k8s_in_slurm.
+# This may be replaced when dependencies are built.

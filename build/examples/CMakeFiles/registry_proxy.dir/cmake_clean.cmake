@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_proxy.dir/registry_proxy.cpp.o"
+  "CMakeFiles/registry_proxy.dir/registry_proxy.cpp.o.d"
+  "registry_proxy"
+  "registry_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

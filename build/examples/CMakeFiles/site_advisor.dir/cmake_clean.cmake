@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_advisor.dir/site_advisor.cpp.o"
+  "CMakeFiles/site_advisor.dir/site_advisor.cpp.o.d"
+  "site_advisor"
+  "site_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("sim")
+subdirs("vfs")
+subdirs("runtime")
+subdirs("image")
+subdirs("registry")
+subdirs("engine")
+subdirs("wlm")
+subdirs("k8s")
+subdirs("orch")
+subdirs("adaptive")

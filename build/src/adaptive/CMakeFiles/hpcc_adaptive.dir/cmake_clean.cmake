@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_adaptive.dir/containerize.cpp.o"
+  "CMakeFiles/hpcc_adaptive.dir/containerize.cpp.o.d"
+  "CMakeFiles/hpcc_adaptive.dir/decision.cpp.o"
+  "CMakeFiles/hpcc_adaptive.dir/decision.cpp.o.d"
+  "CMakeFiles/hpcc_adaptive.dir/modules.cpp.o"
+  "CMakeFiles/hpcc_adaptive.dir/modules.cpp.o.d"
+  "CMakeFiles/hpcc_adaptive.dir/requirements.cpp.o"
+  "CMakeFiles/hpcc_adaptive.dir/requirements.cpp.o.d"
+  "libhpcc_adaptive.a"
+  "libhpcc_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

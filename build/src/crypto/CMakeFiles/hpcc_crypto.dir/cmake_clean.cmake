@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/digest.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/digest.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/keyring.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/keyring.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/hpcc_crypto.dir/sign.cpp.o"
+  "CMakeFiles/hpcc_crypto.dir/sign.cpp.o.d"
+  "libhpcc_crypto.a"
+  "libhpcc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_engine.dir/engine.cpp.o"
+  "CMakeFiles/hpcc_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/hpcc_engine.dir/profiles.cpp.o"
+  "CMakeFiles/hpcc_engine.dir/profiles.cpp.o.d"
+  "libhpcc_engine.a"
+  "libhpcc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_image.dir/build.cpp.o"
+  "CMakeFiles/hpcc_image.dir/build.cpp.o.d"
+  "CMakeFiles/hpcc_image.dir/convert.cpp.o"
+  "CMakeFiles/hpcc_image.dir/convert.cpp.o.d"
+  "CMakeFiles/hpcc_image.dir/manifest.cpp.o"
+  "CMakeFiles/hpcc_image.dir/manifest.cpp.o.d"
+  "CMakeFiles/hpcc_image.dir/reference.cpp.o"
+  "CMakeFiles/hpcc_image.dir/reference.cpp.o.d"
+  "CMakeFiles/hpcc_image.dir/store.cpp.o"
+  "CMakeFiles/hpcc_image.dir/store.cpp.o.d"
+  "libhpcc_image.a"
+  "libhpcc_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcc_image.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_k8s.dir/k8s.cpp.o"
+  "CMakeFiles/hpcc_k8s.dir/k8s.cpp.o.d"
+  "libhpcc_k8s.a"
+  "libhpcc_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_orch.dir/scenarios.cpp.o"
+  "CMakeFiles/hpcc_orch.dir/scenarios.cpp.o.d"
+  "CMakeFiles/hpcc_orch.dir/workflow_dag.cpp.o"
+  "CMakeFiles/hpcc_orch.dir/workflow_dag.cpp.o.d"
+  "CMakeFiles/hpcc_orch.dir/workload.cpp.o"
+  "CMakeFiles/hpcc_orch.dir/workload.cpp.o.d"
+  "libhpcc_orch.a"
+  "libhpcc_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/auth.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/auth.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/auth.cpp.o.d"
+  "/root/repo/src/registry/client.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/client.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/client.cpp.o.d"
+  "/root/repo/src/registry/lazy.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/lazy.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/lazy.cpp.o.d"
+  "/root/repo/src/registry/profiles.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/profiles.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/profiles.cpp.o.d"
+  "/root/repo/src/registry/proxy.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/proxy.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/proxy.cpp.o.d"
+  "/root/repo/src/registry/registry.cpp" "src/registry/CMakeFiles/hpcc_registry.dir/registry.cpp.o" "gcc" "src/registry/CMakeFiles/hpcc_registry.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hpcc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hpcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hpcc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

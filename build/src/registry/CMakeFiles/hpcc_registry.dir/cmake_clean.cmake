@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_registry.dir/auth.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/auth.cpp.o.d"
+  "CMakeFiles/hpcc_registry.dir/client.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/client.cpp.o.d"
+  "CMakeFiles/hpcc_registry.dir/lazy.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/lazy.cpp.o.d"
+  "CMakeFiles/hpcc_registry.dir/profiles.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/profiles.cpp.o.d"
+  "CMakeFiles/hpcc_registry.dir/proxy.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/proxy.cpp.o.d"
+  "CMakeFiles/hpcc_registry.dir/registry.cpp.o"
+  "CMakeFiles/hpcc_registry.dir/registry.cpp.o.d"
+  "libhpcc_registry.a"
+  "libhpcc_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

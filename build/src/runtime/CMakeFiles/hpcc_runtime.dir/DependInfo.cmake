@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cgroup.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/cgroup.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/cgroup.cpp.o.d"
+  "/root/repo/src/runtime/container.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/container.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/container.cpp.o.d"
+  "/root/repo/src/runtime/hooks.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/hooks.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/hooks.cpp.o.d"
+  "/root/repo/src/runtime/libraries.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/libraries.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/libraries.cpp.o.d"
+  "/root/repo/src/runtime/mounts.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/mounts.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/mounts.cpp.o.d"
+  "/root/repo/src/runtime/namespaces.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/namespaces.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/namespaces.cpp.o.d"
+  "/root/repo/src/runtime/rootless.cpp" "src/runtime/CMakeFiles/hpcc_runtime.dir/rootless.cpp.o" "gcc" "src/runtime/CMakeFiles/hpcc_runtime.dir/rootless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hpcc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_runtime.dir/cgroup.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/cgroup.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/container.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/container.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/hooks.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/hooks.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/libraries.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/libraries.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/mounts.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/mounts.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/namespaces.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/namespaces.cpp.o.d"
+  "CMakeFiles/hpcc_runtime.dir/rootless.cpp.o"
+  "CMakeFiles/hpcc_runtime.dir/rootless.cpp.o.d"
+  "libhpcc_runtime.a"
+  "libhpcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

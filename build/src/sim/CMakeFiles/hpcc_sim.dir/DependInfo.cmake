@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/hpcc_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/hpcc_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/hpcc_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/hpcc_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hpcc_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hpcc_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/hpcc_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/hpcc_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/storage.cpp" "src/sim/CMakeFiles/hpcc_sim.dir/storage.cpp.o" "gcc" "src/sim/CMakeFiles/hpcc_sim.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

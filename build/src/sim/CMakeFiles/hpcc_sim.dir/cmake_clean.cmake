@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_sim.dir/cluster.cpp.o"
+  "CMakeFiles/hpcc_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/hpcc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/hpcc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/hpcc_sim.dir/network.cpp.o"
+  "CMakeFiles/hpcc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hpcc_sim.dir/resource.cpp.o"
+  "CMakeFiles/hpcc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/hpcc_sim.dir/storage.cpp.o"
+  "CMakeFiles/hpcc_sim.dir/storage.cpp.o.d"
+  "libhpcc_sim.a"
+  "libhpcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

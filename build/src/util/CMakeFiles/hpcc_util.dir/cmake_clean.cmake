@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_util.dir/log.cpp.o"
+  "CMakeFiles/hpcc_util.dir/log.cpp.o.d"
+  "CMakeFiles/hpcc_util.dir/result.cpp.o"
+  "CMakeFiles/hpcc_util.dir/result.cpp.o.d"
+  "CMakeFiles/hpcc_util.dir/rng.cpp.o"
+  "CMakeFiles/hpcc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcc_util.dir/strings.cpp.o"
+  "CMakeFiles/hpcc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hpcc_util.dir/table.cpp.o"
+  "CMakeFiles/hpcc_util.dir/table.cpp.o.d"
+  "libhpcc_util.a"
+  "libhpcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/compress.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/compress.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/compress.cpp.o.d"
+  "/root/repo/src/vfs/flat_image.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/flat_image.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/flat_image.cpp.o.d"
+  "/root/repo/src/vfs/layer.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/layer.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/layer.cpp.o.d"
+  "/root/repo/src/vfs/memfs.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/memfs.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/memfs.cpp.o.d"
+  "/root/repo/src/vfs/overlay.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/overlay.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/overlay.cpp.o.d"
+  "/root/repo/src/vfs/path.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/path.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/path.cpp.o.d"
+  "/root/repo/src/vfs/squash_image.cpp" "src/vfs/CMakeFiles/hpcc_vfs.dir/squash_image.cpp.o" "gcc" "src/vfs/CMakeFiles/hpcc_vfs.dir/squash_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

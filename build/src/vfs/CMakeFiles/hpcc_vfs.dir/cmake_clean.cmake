@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_vfs.dir/compress.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/compress.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/flat_image.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/flat_image.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/layer.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/layer.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/memfs.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/memfs.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/overlay.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/overlay.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/path.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/path.cpp.o.d"
+  "CMakeFiles/hpcc_vfs.dir/squash_image.cpp.o"
+  "CMakeFiles/hpcc_vfs.dir/squash_image.cpp.o.d"
+  "libhpcc_vfs.a"
+  "libhpcc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcc_wlm.dir/slurm.cpp.o"
+  "CMakeFiles/hpcc_wlm.dir/slurm.cpp.o.d"
+  "libhpcc_wlm.a"
+  "libhpcc_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcc_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

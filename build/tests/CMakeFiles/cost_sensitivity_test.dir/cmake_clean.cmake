@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_sensitivity_test.dir/cost_sensitivity_test.cpp.o"
+  "CMakeFiles/cost_sensitivity_test.dir/cost_sensitivity_test.cpp.o.d"
+  "cost_sensitivity_test"
+  "cost_sensitivity_test.pdb"
+  "cost_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

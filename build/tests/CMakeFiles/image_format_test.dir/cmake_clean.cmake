@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_format_test.dir/image_format_test.cpp.o"
+  "CMakeFiles/image_format_test.dir/image_format_test.cpp.o.d"
+  "image_format_test"
+  "image_format_test.pdb"
+  "image_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

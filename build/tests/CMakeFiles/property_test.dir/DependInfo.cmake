@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hpcc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wlm/CMakeFiles/hpcc_wlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/hpcc_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/hpcc_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hpcc_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hpcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hpcc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hpcc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
