@@ -1,0 +1,154 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+
+namespace hpcc::audit {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+// ----- RuleRegistry --------------------------------------------------------
+
+void RuleRegistry::add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+const Rule* RuleRegistry::find(std::string_view id) const {
+  for (const auto& r : rules_)
+    if (r.id == id) return &r;
+  return nullptr;
+}
+
+RuleRegistry::Override* RuleRegistry::find_override(std::string_view id) {
+  for (auto& [rule_id, o] : overrides_)
+    if (rule_id == id) return &o;
+  overrides_.emplace_back(std::string(id), Override{});
+  return &overrides_.back().second;
+}
+
+void RuleRegistry::disable(std::string_view id) {
+  find_override(id)->disabled = true;
+}
+
+void RuleRegistry::enable(std::string_view id) {
+  find_override(id)->disabled = false;
+}
+
+bool RuleRegistry::enabled(std::string_view id) const {
+  for (const auto& [rule_id, o] : overrides_)
+    if (rule_id == id) return !o.disabled;
+  return true;
+}
+
+void RuleRegistry::set_severity(std::string_view id, Severity s) {
+  find_override(id)->severity = s;
+}
+
+Severity RuleRegistry::effective_severity(const Rule& rule) const {
+  for (const auto& [rule_id, o] : overrides_)
+    if (rule_id == rule.id && o.severity) return *o.severity;
+  return rule.severity;
+}
+
+Result<Unit> RuleRegistry::configure(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return err_invalid("malformed rule override '" + std::string(entry) +
+                         "' (expected RULE=off|info|warn|error)");
+    }
+    const std::string_view id = entry.substr(0, eq);
+    const std::string_view value = entry.substr(eq + 1);
+    if (!find(id)) {
+      return err_not_found("unknown audit rule '" + std::string(id) + "'");
+    }
+    if (value == "off") {
+      disable(id);
+    } else if (value == "info") {
+      set_severity(id, Severity::kInfo);
+    } else if (value == "warn") {
+      set_severity(id, Severity::kWarn);
+    } else if (value == "error") {
+      set_severity(id, Severity::kError);
+    } else {
+      return err_invalid("unknown severity '" + std::string(value) +
+                         "' for rule '" + std::string(id) +
+                         "' (expected off|info|warn|error)");
+    }
+  }
+  return ok_unit();
+}
+
+// ----- AuditReport ---------------------------------------------------------
+
+int AuditReport::count(Severity s) const {
+  int n = 0;
+  for (const auto& f : findings) n += (f.severity == s) ? 1 : 0;
+  return n;
+}
+
+bool AuditReport::has(std::string_view rule_id) const {
+  return find(rule_id) != nullptr;
+}
+
+const Finding* AuditReport::find(std::string_view rule_id) const {
+  for (const auto& f : findings)
+    if (f.rule == rule_id) return &f;
+  return nullptr;
+}
+
+// ----- Auditor -------------------------------------------------------------
+
+Auditor::Auditor(RuleRegistry registry) : registry_(std::move(registry)) {}
+
+AuditReport Auditor::run(const AuditInput& input) const {
+  AuditReport report;
+  for (const auto& rule : registry_.rules()) {
+    if (!registry_.enabled(rule.id)) continue;
+    std::vector<Finding> emitted;
+    rule.check(input, emitted);
+    const Severity sev = registry_.effective_severity(rule);
+    for (auto& f : emitted) {
+      f.severity = sev;
+      report.findings.push_back(std::move(f));
+    }
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.severity != b.severity)
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     return a.rule < b.rule;
+                   });
+  return report;
+}
+
+AuditReport Auditor::fix(AuditInput& input, int max_passes) const {
+  AuditReport report = run(input);
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool applied = false;
+    for (const auto& f : report.findings) {
+      if (!f.has_fix()) continue;
+      f.fix(input);
+      applied = true;
+    }
+    if (!applied) break;
+    report = run(input);
+    // Converged when nothing fixable is left.
+    bool fixable_left = false;
+    for (const auto& f : report.findings) fixable_left |= f.has_fix();
+    if (!fixable_left) break;
+  }
+  return report;
+}
+
+}  // namespace hpcc::audit

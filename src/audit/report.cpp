@@ -1,0 +1,85 @@
+#include "audit/report.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace hpcc::audit {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_field(std::string& out, std::string_view key, std::string_view value,
+                  bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(value);
+  out += '"';
+}
+
+}  // namespace
+
+std::string render_text(const AuditReport& report) {
+  Table table({"Rule", "Severity", "Object", "Finding", "Ref", "Fix"});
+  for (const auto& f : report.findings) {
+    table.add_row({f.rule, std::string(to_string(f.severity)), f.object,
+                   f.message, f.paper_ref,
+                   f.has_fix() ? f.fix_hint
+                               : (f.fix_hint.empty() ? "-"
+                                                     : f.fix_hint + " (manual)")});
+  }
+  std::string out = report.findings.empty() ? std::string("no findings\n")
+                                            : table.render();
+  out += std::to_string(report.errors()) + " error(s), " +
+         std::to_string(report.warnings()) + " warning(s), " +
+         std::to_string(report.count(Severity::kInfo)) + " info(s)\n";
+  return out;
+}
+
+std::string render_json(const AuditReport& report) {
+  std::string out = "{\"findings\":[";
+  bool first_finding = true;
+  for (const auto& f : report.findings) {
+    if (!first_finding) out += ',';
+    first_finding = false;
+    out += '{';
+    append_field(out, "rule", f.rule, /*first=*/true);
+    append_field(out, "severity", to_string(f.severity));
+    append_field(out, "object", f.object);
+    append_field(out, "message", f.message);
+    append_field(out, "paper_ref", f.paper_ref);
+    append_field(out, "fix_hint", f.fix_hint);
+    out += ",\"fixable\":";
+    out += f.has_fix() ? "true" : "false";
+    out += '}';
+  }
+  out += "],\"errors\":" + std::to_string(report.errors()) +
+         ",\"warnings\":" + std::to_string(report.warnings()) +
+         ",\"infos\":" + std::to_string(report.count(Severity::kInfo)) + "}";
+  return out;
+}
+
+}  // namespace hpcc::audit

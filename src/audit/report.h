@@ -1,0 +1,25 @@
+// hpcc/audit/report.h
+//
+// Rendering of audit reports: an aligned text table (operators,
+// terminals, diffs against golden output) and a line-oriented JSON
+// document (tooling, CI annotations). Both render the same findings in
+// the report's order (severity descending, then rule id).
+#pragma once
+
+#include <string>
+
+#include "audit/audit.h"
+
+namespace hpcc::audit {
+
+/// Aligned table via util/table plus a one-line summary tail:
+///   | Rule | Severity | Object | Finding | Ref | Fix |
+///   ...
+///   2 error(s), 1 warning(s), 0 info(s)
+std::string render_text(const AuditReport& report);
+
+/// {"findings":[{"rule":"SEC001","severity":"error",...}],
+///  "errors":2,"warnings":1,"infos":0}
+std::string render_json(const AuditReport& report);
+
+}  // namespace hpcc::audit

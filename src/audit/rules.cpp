@@ -1,0 +1,613 @@
+// hpcc/audit/rules.cpp
+//
+// The built-in rule set. Every rule cites the survey clause it
+// enforces (DESIGN.md §6 maps ids to clauses); checks share the exact
+// policy code the runtime enforces (runtime::authorize_mount) so the
+// static analysis cannot drift from execution-time behaviour.
+#include "audit/audit.h"
+
+#include <array>
+
+#include "runtime/rootless.h"
+
+namespace hpcc::audit {
+
+namespace {
+
+using runtime::MountKind;
+using runtime::MountRequest;
+using runtime::MountSpec;
+using runtime::RootlessMechanism;
+
+/// Host paths whose bind-mounting is the §4.1.6 library-hookup
+/// mechanism; writable versions hand the container the host's loader
+/// path as an attack surface.
+bool is_host_library_path(std::string_view path) {
+  static constexpr std::array<std::string_view, 6> kPrefixes = {
+      "/lib", "/lib64", "/usr/lib", "/usr/lib64", "/usr/local/cuda",
+      "/opt/cray"};
+  for (auto prefix : kPrefixes) {
+    if (path == prefix) return true;
+    if (path.size() > prefix.size() && path.substr(0, prefix.size()) == prefix &&
+        path[prefix.size()] == '/')
+      return true;
+  }
+  return false;
+}
+
+std::string mount_object(const MountSpec& m) {
+  return "mount " + (m.source.empty() ? m.destination : m.source) + " -> " +
+         m.destination;
+}
+
+/// The §4.1.2 mount-authorization request corresponding to one mount of
+/// the config on this host.
+MountRequest request_for(const AuditInput& in, MountKind kind) {
+  MountRequest req;
+  req.kind = kind;
+  req.image_user_writable = in.host.image_user_writable;
+  req.kernel_allows_userns_overlay = in.host.kernel_allows_userns_overlay;
+  req.user_has_cap_sys_ptrace = in.host.user_has_cap_sys_ptrace;
+  return req;
+}
+
+MountKind mount_kind_of(engine::MountStrategy s) {
+  switch (s) {
+    case engine::MountStrategy::kOverlayKernel: return MountKind::kOverlayKernel;
+    case engine::MountStrategy::kOverlayFuse: return MountKind::kOverlayFuse;
+    case engine::MountStrategy::kSquashFuse: return MountKind::kSquashFuse;
+    case engine::MountStrategy::kSquashKernelSuid: return MountKind::kSquashKernel;
+    case engine::MountStrategy::kDirExtract: return MountKind::kDirRootfs;
+  }
+  return MountKind::kDirRootfs;
+}
+
+/// For-each over the config's mounts of one kind, with the index bound
+/// into the fix-it.
+template <typename Fn>
+void for_each_mount(const AuditInput& in, MountKind kind, Fn&& fn) {
+  for (std::size_t i = 0; i < in.config.mounts.size(); ++i) {
+    if (in.config.mounts[i].kind == kind) fn(i, in.config.mounts[i]);
+  }
+}
+
+FixFn set_mount_kind(std::size_t index, MountKind kind) {
+  return [index, kind](AuditInput& in) {
+    if (index < in.config.mounts.size()) in.config.mounts[index].kind = kind;
+  };
+}
+
+FixFn set_mechanism(RootlessMechanism m) {
+  return [m](AuditInput& in) { in.mechanism = m; };
+}
+
+// ---------------------------------------------------------------------------
+// SEC — security rules (§4.1, §3.2)
+// ---------------------------------------------------------------------------
+
+void sec001(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.mechanism != RootlessMechanism::kSetuidHelper) return;
+  if (!in.host.image_user_writable) return;
+  for_each_mount(in, MountKind::kSquashKernel, [&](std::size_t i,
+                                                   const MountSpec& m) {
+    Finding f;
+    f.rule = "SEC001";
+    f.object = mount_object(m);
+    f.message =
+        "setuid-root helper kernel-mounts a user-writeable SquashFS image: "
+        "\"the resulting image must not be user-writeable\" — a writeable "
+        "image lets the user feed crafted block-device data to the kernel "
+        "driver (§4.1.2)";
+    f.paper_ref = "§4.1.2";
+    f.fix_hint = "mount the image via SquashFUSE (audited user-kernel "
+                 "interface) instead of the in-kernel driver";
+    f.fix = set_mount_kind(i, MountKind::kSquashFuse);
+    out.push_back(std::move(f));
+  });
+}
+
+void sec002(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.mechanism != RootlessMechanism::kUserNamespace &&
+      in.mechanism != RootlessMechanism::kFakerootPreload &&
+      in.mechanism != RootlessMechanism::kFakerootPtrace)
+    return;
+  for_each_mount(in, MountKind::kSquashKernel, [&](std::size_t i,
+                                                   const MountSpec& m) {
+    Finding f;
+    f.rule = "SEC002";
+    f.object = mount_object(m);
+    f.message =
+        "in-kernel SquashFS mount inside a user namespace: a UserNS \"does "
+        "not permit mounting block devices or files acting as such via "
+        "kernel drivers, since kernel drivers are not hardened against "
+        "maliciously crafted block-device data\" (§4.1.2)";
+    f.paper_ref = "§4.1.2";
+    f.fix_hint = "mount via SquashFUSE, or unpack to a directory rootfs";
+    f.fix = set_mount_kind(i, MountKind::kSquashFuse);
+    out.push_back(std::move(f));
+  });
+}
+
+void sec003(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.mechanism != RootlessMechanism::kFakerootPtrace) return;
+  if (in.host.user_has_cap_sys_ptrace) return;
+  Finding f;
+  f.rule = "SEC003";
+  f.object = "mechanism fakeroot (ptrace)";
+  f.message =
+      "ptrace-based fakeroot selected but \"the user requires access to "
+      "the CAP_SYS_PTRACE capability\", which this user does not hold "
+      "(§4.1.2): the container would fail to start";
+  f.paper_ref = "§4.1.2";
+  f.fix_hint = "fall back to a plain user namespace (no root emulation)";
+  f.fix = set_mechanism(RootlessMechanism::kUserNamespace);
+  out.push_back(std::move(f));
+}
+
+void sec004(const AuditInput& in, std::vector<Finding>& out) {
+  for_each_mount(in, MountKind::kBind, [&](std::size_t i, const MountSpec& m) {
+    if (m.read_only || !is_host_library_path(m.source)) return;
+    Finding f;
+    f.rule = "SEC004";
+    f.object = mount_object(m);
+    f.message =
+        "writable bind mount of host library path '" + m.source +
+        "': library hookup injects host libraries into the container "
+        "(§4.1.6); a writable mapping lets container code replace loader "
+        "paths every host process trusts";
+    f.paper_ref = "§4.1.6";
+    f.fix_hint = "bind host library paths read-only";
+    f.fix = [i](AuditInput& in2) {
+      if (i < in2.config.mounts.size()) in2.config.mounts[i].read_only = true;
+    };
+    out.push_back(std::move(f));
+  });
+}
+
+void sec005(const AuditInput& in, std::vector<Finding>& out) {
+  for_each_mount(in, MountKind::kOverlayKernel, [&](std::size_t i,
+                                                    const MountSpec& m) {
+    // Delegate to the runtime's own policy so the analyzer cannot drift.
+    auto verdict = runtime::authorize_mount(
+        in.mechanism, request_for(in, MountKind::kOverlayKernel));
+    if (verdict.ok()) return;
+    Finding f;
+    f.rule = "SEC005";
+    f.object = mount_object(m);
+    f.message = "kernel OverlayFS mount would be refused at create time: " +
+                verdict.error().message();
+    f.paper_ref = "§4.1.4";
+    f.fix_hint = "use fuse-overlayfs, which needs no kernel privilege";
+    f.fix = set_mount_kind(i, MountKind::kOverlayFuse);
+    out.push_back(std::move(f));
+  });
+}
+
+void sec006(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.mechanism != RootlessMechanism::kFakerootPreload) return;
+  if (!in.workload.has_static_binaries) return;
+  Finding f;
+  f.rule = "SEC006";
+  f.object = "workload " + in.workload.name;
+  f.message =
+      "LD_PRELOAD-based fakeroot \"fails with static binaries\" (§4.1.2) "
+      "and the workload declares statically linked binaries: interception "
+      "silently misses their syscalls";
+  f.paper_ref = "§4.1.2";
+  f.fix_hint = "use ptrace-based fakeroot (if CAP_SYS_PTRACE is held) or a "
+               "plain user namespace";
+  const bool has_ptrace = in.host.user_has_cap_sys_ptrace;
+  f.fix = set_mechanism(has_ptrace ? RootlessMechanism::kFakerootPtrace
+                                   : RootlessMechanism::kUserNamespace);
+  out.push_back(std::move(f));
+}
+
+void sec007(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site) return;
+  if (runtime::is_rootless(in.mechanism)) return;
+  if (!in.site->rootless_mandatory && in.site->allow_root_daemons) return;
+  Finding f;
+  f.rule = "SEC007";
+  f.object = "mechanism " + std::string(runtime::to_string(in.mechanism));
+  f.message =
+      "site '" + in.site->site_name +
+      "' mandates rootless execution (\"alternative container execution "
+      "models such as rootless [are] a requirement\", §3.2) but the "
+      "configuration runs through a root daemon";
+  f.paper_ref = "§3.2";
+  f.fix_hint = "switch to an unprivileged user namespace";
+  f.fix = set_mechanism(RootlessMechanism::kUserNamespace);
+  out.push_back(std::move(f));
+}
+
+void sec008(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || in.site->allow_setuid_helpers) return;
+  if (in.mechanism != RootlessMechanism::kSetuidHelper) return;
+  Finding f;
+  f.rule = "SEC008";
+  f.object = "mechanism suid";
+  f.message =
+      "site '" + in.site->site_name +
+      "' refuses setuid-root helper binaries, but the configuration relies "
+      "on one; sites that do tolerate them accept \"shrink[ing] the attack "
+      "surface debate to one audited binary\" — this site has not (§4.1.1)";
+  f.paper_ref = "§4.1.1";
+  f.fix_hint = "switch to an unprivileged user namespace";
+  f.fix = set_mechanism(RootlessMechanism::kUserNamespace);
+  out.push_back(std::move(f));
+}
+
+void sec009(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.config.namespaces.has(runtime::Namespace::kUser)) return;
+  if (in.config.user_mapping.has_value()) return;
+  Finding f;
+  f.rule = "SEC009";
+  f.object = "user namespace";
+  f.message =
+      "user namespace configured without a uid/gid mapping: files created "
+      "in the container would surface as the overflow id instead of \"the "
+      "UID/GID of the user launching the job\" (§3.2)";
+  f.paper_ref = "§3.2";
+  f.fix_hint = "install the single-user mapping HPC engines use";
+  f.fix = [](AuditInput& in2) {
+    in2.config.user_mapping = runtime::UserMapping::single_user(1000, 1000);
+  };
+  out.push_back(std::move(f));
+}
+
+void sec010(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->require_signature_verification) return;
+  if (!in.engine_behavior || in.engine_behavior->can_verify_signatures) return;
+  Finding f;
+  f.rule = "SEC010";
+  f.object = in.engine_features ? "engine " + in.engine_features->name
+                                : "engine";
+  f.message =
+      "site '" + in.site->site_name +
+      "' requires signature verification before running images, but the "
+      "selected engine cannot verify signatures (Table 2 'Signatures' "
+      "column): unsigned images would run unchecked";
+  f.paper_ref = "Table 2 / §4.1.5";
+  f.fix_hint = "select an engine with signature support (Podman, Apptainer, "
+               "SingularityCE, ...)";
+  out.push_back(std::move(f));
+}
+
+void sec011(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->require_encrypted_images) return;
+  if (!in.engine_behavior || in.engine_behavior->supports_encrypted_images)
+    return;
+  Finding f;
+  f.rule = "SEC011";
+  f.object = in.engine_features ? "engine " + in.engine_features->name
+                                : "engine";
+  f.message =
+      "site '" + in.site->site_name +
+      "' requires encrypted containers (restricted data on a shared "
+      "system) but the selected engine has no encrypted-container support "
+      "(Table 2 'Encrypted Containers' column)";
+  f.paper_ref = "Table 2 / §4.1.5";
+  f.fix_hint = "select an engine with encrypted-container support (Podman, "
+               "Apptainer, SingularityCE)";
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// PERF — performance rules (§4.1.2 [29], §3.2/§4.1.4)
+// ---------------------------------------------------------------------------
+
+void perf001(const AuditInput& in, std::vector<Finding>& out) {
+  for_each_mount(in, MountKind::kSquashFuse, [&](std::size_t i,
+                                                 const MountSpec& m) {
+    // Only flag when the in-kernel mount would actually be authorized
+    // for this mechanism on this host (setuid helper, non-writeable
+    // image) — otherwise FUSE is the correct choice, not a pessimism.
+    auto verdict = runtime::authorize_mount(
+        in.mechanism, request_for(in, MountKind::kSquashKernel));
+    if (!verdict.ok()) return;
+    Finding f;
+    f.rule = "PERF001";
+    f.object = mount_object(m);
+    f.message =
+        "SquashFUSE mount where the in-kernel SquashFS driver is "
+        "admissible: SquashFUSE has \"a magnitude lower IOPS for random "
+        "access and much higher latency\" than the in-kernel driver "
+        "(§4.1.2, [29])";
+    f.paper_ref = "§4.1.2 [29]";
+    f.fix_hint = "mount through the in-kernel driver via the setuid helper";
+    f.fix = set_mount_kind(i, MountKind::kSquashKernel);
+    out.push_back(std::move(f));
+  });
+}
+
+void perf002(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->shared_filesystem || in.site->node_local_storage)
+    return;
+  if (in.workload.files_opened < 1000) return;
+  for_each_mount(in, MountKind::kDirRootfs, [&](std::size_t i,
+                                                const MountSpec& m) {
+    Finding f;
+    f.rule = "PERF002";
+    f.object = mount_object(m);
+    f.message =
+        "directory rootfs on the shared cluster filesystem for a workload "
+        "opening " + std::to_string(in.workload.files_opened) +
+        " files, with no node-local storage to extract to: containers' "
+        "\"many small files strain the shared cluster filesystem and slow "
+        "startup\" (§3.2)";
+    f.paper_ref = "§3.2 / §4.1.4";
+    f.fix_hint = "serve the image as a single SquashFS file (one shared-FS "
+                 "object) mounted via SquashFUSE";
+    f.fix = set_mount_kind(i, MountKind::kSquashFuse);
+    out.push_back(std::move(f));
+  });
+}
+
+void perf003(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.mechanism != RootlessMechanism::kFakerootPtrace) return;
+  if (in.workload.fs_syscalls() < 10000) return;
+  Finding f;
+  f.rule = "PERF003";
+  f.object = "workload " + in.workload.name;
+  f.message =
+      "ptrace-based fakeroot intercepts every syscall with two context "
+      "switches and this workload issues " +
+      std::to_string(in.workload.fs_syscalls()) +
+      " filesystem syscalls: the mechanism \"introduces a significant "
+      "performance penalty\" (§4.1.2)";
+  f.paper_ref = "§4.1.2";
+  f.fix_hint = "if root emulation is only needed at build time, run the job "
+               "itself in a plain user namespace";
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// CFG — engine / registry / site consistency (Tables 1-5, §5, §6)
+// ---------------------------------------------------------------------------
+
+void cfg001(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.engine_features) return;
+  if (in.engine_features->hooks != engine::HookSupport::kOciManualRoot) return;
+  if (in.mechanism == RootlessMechanism::kRootDaemon ||
+      in.mechanism == RootlessMechanism::kSetuidHelper)
+    return;
+  Finding f;
+  f.rule = "CFG001";
+  f.object = "engine " + in.engine_features->name;
+  f.message =
+      "engine supports OCI hooks only \"manually, requires root\" "
+      "(Table 1) but runs under mechanism " +
+      std::string(runtime::to_string(in.mechanism)) +
+      ": hook-based GPU/MPI/WLM integration is silently unavailable in "
+      "this configuration";
+  f.paper_ref = "Table 1 / §4.1.6";
+  f.fix_hint = "run the engine's setuid installation, or use an engine with "
+               "unprivileged OCI hook support";
+  out.push_back(std::move(f));
+}
+
+void cfg002(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.plan || !in.plan->gpu_hook) return;
+  if (!in.engine_features || in.engine_features->gpu != engine::GpuSupport::kNo)
+    return;
+  Finding f;
+  f.rule = "CFG002";
+  f.object = "engine " + in.engine_features->name;
+  f.message =
+      "the plan requests GPU enablement but the selected engine's Table 3 "
+      "'GPU Support' entry is 'no': the device would never appear in the "
+      "container";
+  f.paper_ref = "Table 3 / §4.1.6";
+  f.fix_hint = "select an engine with native or hook-based GPU support";
+  out.push_back(std::move(f));
+}
+
+void cfg003(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->need_host_interconnect) return;
+  if (!in.config.namespaces.blocks_host_interconnect()) return;
+  Finding f;
+  f.rule = "CFG003";
+  f.object = "namespaces " + in.config.namespaces.describe();
+  f.message =
+      "network namespace isolation configured on a site that needs direct "
+      "host-interconnect access: \"strict container isolation may break "
+      "access to HPC hardware such as interconnects\" (§3.2)";
+  f.paper_ref = "§3.2";
+  f.fix_hint = "drop the network namespace (HPC engines set up user and "
+               "mount namespaces only)";
+  f.fix = [](AuditInput& in2) {
+    in2.config.namespaces.remove(runtime::Namespace::kNet);
+  };
+  out.push_back(std::move(f));
+}
+
+void cfg004(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.registry_product) return;
+  if (in.site->users_bring_oci_images && !in.registry_product->supports_oci()) {
+    Finding f;
+    f.rule = "CFG004";
+    f.object = "registry " + in.registry_product->name;
+    f.message =
+        "users arrive with OCI images but the site registry speaks only "
+        "the Library API (Table 4 'Protocol'): standard `docker push` / "
+        "OCI distribution clients cannot store images there";
+    f.paper_ref = "Table 4 / §5.2";
+    f.fix_hint = "deploy an OCI distribution registry (or a product "
+                 "speaking both protocols)";
+    out.push_back(std::move(f));
+  }
+  if (in.site->users_bring_sif_images &&
+      !in.registry_product->supports_library_api()) {
+    Finding f;
+    f.rule = "CFG004";
+    f.object = "registry " + in.registry_product->name;
+    f.message =
+        "users arrive with SIF images but the site registry has no "
+        "Library API (Table 4 'Protocol'): `singularity push` has no "
+        "endpoint to talk to";
+    f.paper_ref = "Table 4 / §5.2";
+    f.fix_hint = "add a Library-API registry (shpc, Hinkskalle) or store "
+                 "SIF as ORAS artifacts where supported";
+    out.push_back(std::move(f));
+  }
+}
+
+void cfg005(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->air_gapped) return;
+  if (!in.plan || in.plan->use_site_proxy) return;
+  Finding f;
+  f.rule = "CFG005";
+  f.object = "plan for engine " +
+             std::string(engine::to_string(in.plan->engine));
+  f.message =
+      "air-gapped site but the plan pulls directly from upstream "
+      "registries: compute nodes without internet access must pull "
+      "through the site's caching proxy (§5.1.3)";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint = "route pulls through the site pull-through proxy";
+  f.fix = [](AuditInput& in2) {
+    if (in2.plan) in2.plan->use_site_proxy = true;
+  };
+  out.push_back(std::move(f));
+}
+
+void cfg006(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.site || !in.site->accounting_required) return;
+  if (!in.config.cgroup_path.empty()) return;
+  Finding f;
+  f.rule = "CFG006";
+  f.object = "cgroup";
+  f.message =
+      "site requires WLM accounting of all compute but the container is "
+      "not placed into any cgroup: its usage would escape the job's "
+      "accounting (§6.5's motivation — \"Slurm accounts everything\")";
+  f.paper_ref = "§6.5";
+  f.fix_hint = "attach the container to the job step's delegated cgroup "
+               "(e.g. /slurm/job<id>/step<n>)";
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// ADAPT — admissibility of adaptive-containerizer decisions (§7)
+// ---------------------------------------------------------------------------
+
+void adapt001(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.plan) return;
+  const MountKind kind = mount_kind_of(in.plan->mount);
+  auto verdict =
+      runtime::authorize_mount(in.plan->mechanism, request_for(in, kind));
+  if (verdict.ok()) return;
+  Finding f;
+  f.rule = "ADAPT001";
+  f.object = "plan mount " + std::string(engine::to_string(in.plan->mount)) +
+             " under " + std::string(runtime::to_string(in.plan->mechanism));
+  f.message = "the adaptive plan's mount is not admissible under the "
+              "mount-authorization policy it would face at create time: " +
+              verdict.error().message();
+  f.paper_ref = "§4.1.2";
+  f.fix_hint = "downgrade to the FUSE variant of the chosen filesystem";
+  f.fix = [](AuditInput& in2) {
+    if (!in2.plan) return;
+    switch (in2.plan->mount) {
+      case engine::MountStrategy::kSquashKernelSuid:
+        in2.plan->mount = engine::MountStrategy::kSquashFuse;
+        break;
+      case engine::MountStrategy::kOverlayKernel:
+        in2.plan->mount = engine::MountStrategy::kOverlayFuse;
+        break;
+      default:
+        break;
+    }
+  };
+  out.push_back(std::move(f));
+}
+
+void adapt002(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.plan || !in.plan->prefetch_node_local) return;
+  if (!in.site || in.site->node_local_storage) return;
+  Finding f;
+  f.rule = "ADAPT002";
+  f.object = "plan prefetch";
+  f.message =
+      "the plan stages the image to node-local storage but site '" +
+      in.site->site_name +
+      "' declares no node-local storage: the prefetch has nowhere to land "
+      "(§4.1.4's extraction optimization requires local disks)";
+  f.paper_ref = "§4.1.4";
+  f.fix_hint = "serve the image from the shared filesystem instead";
+  f.fix = [](AuditInput& in2) {
+    if (in2.plan) in2.plan->prefetch_node_local = false;
+  };
+  out.push_back(std::move(f));
+}
+
+}  // namespace
+
+RuleRegistry RuleRegistry::builtin() {
+  RuleRegistry reg;
+  const auto add = [&reg](std::string id, Severity sev, std::string title,
+                          std::string ref, RuleCheck check) {
+    reg.add(Rule{std::move(id), sev, std::move(title), std::move(ref),
+                 std::move(check)});
+  };
+  add("SEC001", Severity::kError,
+      "user-writeable SquashFS image kernel-mounted via setuid helper",
+      "§4.1.2", sec001);
+  add("SEC002", Severity::kError,
+      "in-kernel SquashFS mount inside a user namespace", "§4.1.2", sec002);
+  add("SEC003", Severity::kError,
+      "ptrace fakeroot without CAP_SYS_PTRACE", "§4.1.2", sec003);
+  add("SEC004", Severity::kError,
+      "writable bind mount of a host library path", "§4.1.6", sec004);
+  add("SEC005", Severity::kError,
+      "kernel OverlayFS in a UserNS on a kernel that forbids it", "§4.1.4",
+      sec005);
+  add("SEC006", Severity::kError,
+      "LD_PRELOAD fakeroot with statically linked binaries", "§4.1.2",
+      sec006);
+  add("SEC007", Severity::kError,
+      "root daemon on a rootless-mandatory site", "§3.2", sec007);
+  add("SEC008", Severity::kError,
+      "setuid helper on a site that refuses setuid binaries", "§4.1.1",
+      sec008);
+  add("SEC009", Severity::kError,
+      "user namespace without a uid/gid mapping", "§3.2", sec009);
+  add("SEC010", Severity::kError,
+      "signature verification required but engine cannot verify",
+      "Table 2 / §4.1.5", sec010);
+  add("SEC011", Severity::kError,
+      "encrypted images required but engine lacks support",
+      "Table 2 / §4.1.5", sec011);
+  add("PERF001", Severity::kWarn,
+      "SquashFUSE where the in-kernel driver is admissible", "§4.1.2 [29]",
+      perf001);
+  add("PERF002", Severity::kWarn,
+      "directory rootfs small-file storm on the shared filesystem",
+      "§3.2 / §4.1.4", perf002);
+  add("PERF003", Severity::kWarn,
+      "ptrace fakeroot under a syscall-heavy workload", "§4.1.2", perf003);
+  add("CFG001", Severity::kWarn,
+      "OCI hooks require manual root but mechanism is unprivileged",
+      "Table 1 / §4.1.6", cfg001);
+  add("CFG002", Severity::kError,
+      "GPU requested from an engine without GPU support", "Table 3 / §4.1.6",
+      cfg002);
+  add("CFG003", Severity::kWarn,
+      "network namespace blocks the host interconnect", "§3.2", cfg003);
+  add("CFG004", Severity::kError,
+      "registry protocol cannot serve the users' image format",
+      "Table 4 / §5.2", cfg004);
+  add("CFG005", Severity::kWarn,
+      "air-gapped site pulling without the site proxy", "§5.1.3", cfg005);
+  add("CFG006", Severity::kWarn,
+      "accounting required but container in no cgroup", "§6.5", cfg006);
+  add("ADAPT001", Severity::kError,
+      "adaptive plan mount inadmissible under the mount policy", "§4.1.2",
+      adapt001);
+  add("ADAPT002", Severity::kError,
+      "adaptive plan prefetches to nonexistent node-local storage",
+      "§4.1.4", adapt002);
+  return reg;
+}
+
+}  // namespace hpcc::audit

@@ -1,0 +1,109 @@
+#include "audit/scenarios.h"
+
+namespace hpcc::audit {
+
+namespace {
+
+using engine::MountStrategy;
+using runtime::MountKind;
+using runtime::MountSpec;
+
+/// The rootfs mount an engine's MountStrategy produces.
+MountSpec rootfs_mount(MountStrategy strategy) {
+  MountSpec m;
+  m.destination = "/";
+  m.read_only = true;
+  switch (strategy) {
+    case MountStrategy::kOverlayKernel:
+      m.kind = MountKind::kOverlayKernel;
+      m.source = "/var/lib/engine/overlay";
+      break;
+    case MountStrategy::kOverlayFuse:
+      m.kind = MountKind::kOverlayFuse;
+      m.source = "/home/user/.local/share/engine/overlay";
+      break;
+    case MountStrategy::kSquashFuse:
+      m.kind = MountKind::kSquashFuse;
+      m.source = "/cluster/images/app.sqsh";
+      break;
+    case MountStrategy::kSquashKernelSuid:
+      m.kind = MountKind::kSquashKernel;
+      m.source = "/cluster/images/app.sqsh";
+      break;
+    case MountStrategy::kDirExtract:
+      m.kind = MountKind::kDirRootfs;
+      m.source = "/cluster/images/app.rootfs";
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+adaptive::SiteRequirements permissive_site() {
+  adaptive::SiteRequirements site;
+  site.site_name = "permissive";
+  site.rootless_mandatory = false;
+  site.allow_setuid_helpers = true;
+  site.allow_root_daemons = true;
+  return site;
+}
+
+AuditInput input_for_engine(engine::EngineKind kind,
+                            adaptive::SiteRequirements site) {
+  auto instance = engine::make_engine(kind, engine::EngineContext{});
+  const engine::EngineBehavior& behavior = instance->behavior();
+
+  AuditInput in;
+  in.engine_features = instance->features();
+  in.engine_behavior = behavior;
+  in.site = std::move(site);
+  in.mechanism = behavior.mechanism;
+
+  in.config.namespaces = behavior.namespaces;
+  if (in.config.namespaces.has(runtime::Namespace::kUser)) {
+    in.config.user_mapping = runtime::UserMapping::single_user(1000, 1000);
+  }
+  in.config.mounts.push_back(rootfs_mount(behavior.mount));
+  // Library hookup (§4.1.6): host MPI/interconnect libraries, read-only.
+  MountSpec libs;
+  libs.kind = MountKind::kBind;
+  libs.source = "/usr/lib64";
+  libs.destination = "/usr/lib64/host";
+  libs.read_only = true;
+  in.config.mounts.push_back(libs);
+  MountSpec tmp;
+  tmp.kind = MountKind::kTmpfs;
+  tmp.source = "tmpfs";
+  tmp.destination = "/tmp";
+  tmp.read_only = false;
+  in.config.mounts.push_back(tmp);
+  in.config.cgroup_path = "/slurm/job1/step0";
+  return in;
+}
+
+Result<AuditInput> input_for_plan(const adaptive::SiteRequirements& site,
+                                  const adaptive::AppSpec& app) {
+  adaptive::AdaptiveContainerizer containerizer(site);
+  HPCC_TRY(adaptive::ContainerizationPlan plan, containerizer.plan(app));
+
+  AuditInput in = input_for_engine(plan.engine, site);
+  in.mechanism = plan.mechanism;
+  in.config.mounts[0] = rootfs_mount(plan.mount);
+  in.workload = app.workload;
+  in.plan = std::move(plan);
+  return in;
+}
+
+AuditInput k8s_in_slurm_input() {
+  // examples/k8s_in_slurm: Podman-HPC runs workflow pods inside a Slurm
+  // allocation; the kubelet verified its delegated cgroups-v2 subtree.
+  adaptive::SiteRequirements site = adaptive::cloud_leaning_site();
+  AuditInput in = input_for_engine(engine::EngineKind::kPodmanHpc,
+                                   std::move(site));
+  in.config.cgroup_path = "/slurm/job2/step0";
+  in.workload = runtime::shell_workload();
+  return in;
+}
+
+}  // namespace hpcc::audit

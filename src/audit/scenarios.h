@@ -1,0 +1,37 @@
+// hpcc/audit/scenarios.h
+//
+// AuditInput builders for the configurations the repo already ships:
+// the nine engine profiles (Tables 1-3 ground truth), the site_advisor
+// example's adaptive plans, and the k8s_in_slurm Figure-1 scenario.
+// Used by tools/hpcc-audit and the audit test sweep.
+#pragma once
+
+#include "audit/audit.h"
+
+namespace hpcc::audit {
+
+/// A site with no policy vetoes (root daemons and setuid helpers
+/// tolerated): the baseline for auditing an engine profile's *internal*
+/// consistency without site-policy findings.
+adaptive::SiteRequirements permissive_site();
+
+/// The configuration engine `kind` would hand the runtime, derived from
+/// its shipped EngineBehavior: its rootless mechanism, its rootfs mount
+/// strategy, the HPC namespace/uid-mapping setup, a read-only library
+/// hookup bind, and a WLM cgroup placement.
+AuditInput input_for_engine(engine::EngineKind kind,
+                            adaptive::SiteRequirements site = permissive_site());
+
+/// The site_advisor scenario: run the adaptive containerizer for
+/// (site, app) and package the resulting plan — engine profile, mount,
+/// mechanism, workload — for admissibility auditing. Propagates the
+/// containerizer's error when no engine satisfies the site.
+Result<AuditInput> input_for_plan(const adaptive::SiteRequirements& site,
+                                  const adaptive::AppSpec& app);
+
+/// The k8s_in_slurm scenario (Figure 1): Podman-HPC running workflow
+/// pods inside a Slurm allocation's delegated cgroup on a
+/// Kubernetes-enabled site.
+AuditInput k8s_in_slurm_input();
+
+}  // namespace hpcc::audit

@@ -44,7 +44,7 @@ class DirRootfs final : public MountedRootfs {
  public:
   DirRootfs(const vfs::MemFs* tree, StorageBacking backing,
             const RuntimeCosts& costs)
-      : tree_(tree), backing_(backing), costs_(costs) {}
+      : tree_(tree), backing_(std::move(backing)), costs_(costs) {}
 
   MountKind kind() const override { return MountKind::kDirRootfs; }
   std::string describe() const override {
@@ -109,7 +109,7 @@ class SquashRootfs final : public MountedRootfs {
  public:
   SquashRootfs(const vfs::SquashImage* image, StorageBacking backing,
                bool fuse, const RuntimeCosts& costs)
-      : image_(image), backing_(backing), fuse_(fuse), costs_(costs),
+      : image_(image), backing_(std::move(backing)), fuse_(fuse), costs_(costs),
         daemon_(costs) {}
 
   MountKind kind() const override {
@@ -228,7 +228,7 @@ class OverlayRootfs final : public MountedRootfs {
  public:
   OverlayRootfs(const vfs::OverlayFs* overlay, StorageBacking backing,
                 bool fuse, const RuntimeCosts& costs)
-      : overlay_(overlay), backing_(backing), fuse_(fuse), costs_(costs),
+      : overlay_(overlay), backing_(std::move(backing)), fuse_(fuse), costs_(costs),
         daemon_(costs) {}
 
   MountKind kind() const override {
@@ -305,19 +305,19 @@ class OverlayRootfs final : public MountedRootfs {
 std::unique_ptr<MountedRootfs> make_dir_rootfs(const vfs::MemFs* tree,
                                                StorageBacking backing,
                                                const RuntimeCosts& costs) {
-  return std::make_unique<DirRootfs>(tree, backing, costs);
+  return std::make_unique<DirRootfs>(tree, std::move(backing), costs);
 }
 
 std::unique_ptr<MountedRootfs> make_squash_rootfs(
     const vfs::SquashImage* image, StorageBacking backing, bool fuse,
     const RuntimeCosts& costs) {
-  return std::make_unique<SquashRootfs>(image, backing, fuse, costs);
+  return std::make_unique<SquashRootfs>(image, std::move(backing), fuse, costs);
 }
 
 std::unique_ptr<MountedRootfs> make_overlay_rootfs(
     const vfs::OverlayFs* overlay, StorageBacking backing, bool fuse,
     const RuntimeCosts& costs) {
-  return std::make_unique<OverlayRootfs>(overlay, backing, fuse, costs);
+  return std::make_unique<OverlayRootfs>(overlay, std::move(backing), fuse, costs);
 }
 
 }  // namespace hpcc::runtime

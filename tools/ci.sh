@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI entry point: builds the normal and sanitizer configurations
+# and runs the full test suite under both.
+#
+#   tools/ci.sh             # build + ctest, normal then ASan/UBSan
+#   SKIP_SAN=1 tools/ci.sh  # normal configuration only
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"; shift
+  echo "== configure $build_dir ($*)"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
+  echo "== build $build_dir"
+  cmake --build "$build_dir" -j "$jobs"
+  echo "== test $build_dir"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+run_config "$repo_root/build"
+
+if [[ "${SKIP_SAN:-}" != "1" ]]; then
+  run_config "$repo_root/build-asan" -DHPCC_SANITIZE=address,undefined
+fi
+
+echo "== ci.sh: all configurations passed"

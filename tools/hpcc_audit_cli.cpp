@@ -1,0 +1,216 @@
+// tools/hpcc-audit — static security & configuration auditing from the
+// command line.
+//
+//   hpcc-audit list-rules                      all rules with severities
+//   hpcc-audit engine <name|all> [options]     audit an engine profile
+//   hpcc-audit site-advisor [profile] [options] audit the adaptive plan
+//                                              for a site profile
+//   hpcc-audit k8s-in-slurm [options]          audit the Figure-1 scenario
+//
+// Options:
+//   --json            JSON report instead of the text table
+//   --fix             apply machine fix-its, re-audit, print the result
+//   --rules SPEC      per-rule overrides, e.g. SEC004=off,PERF001=error
+//   --site NAME       site profile for `engine` audits
+//                     (permissive | conservative | pragmatic | cloud |
+//                      secure | gpu | bio)
+//
+// Exit code: 0 when the (final) report has no errors, 1 otherwise,
+// 2 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/report.h"
+#include "audit/scenarios.h"
+#include "util/log.h"
+
+using namespace hpcc;
+using namespace hpcc::audit;
+
+namespace {
+
+struct Options {
+  bool json = false;
+  bool apply_fixes = false;
+  std::string rules_spec;
+  std::string site = "permissive";
+  std::vector<std::string> positional;
+};
+
+std::string ascii_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+Result<adaptive::SiteRequirements> site_by_name(const std::string& name) {
+  if (name == "permissive") return permissive_site();
+  if (name == "conservative") return adaptive::conservative_hpc_site();
+  if (name == "pragmatic") return adaptive::pragmatic_hpc_site();
+  if (name == "cloud") return adaptive::cloud_leaning_site();
+  if (name == "secure") return adaptive::secure_data_site();
+  if (name == "gpu") return adaptive::gpu_ai_site();
+  if (name == "bio") return adaptive::bioinformatics_site();
+  return err_invalid("unknown site '" + name +
+                     "' (expected permissive | conservative | pragmatic | "
+                     "cloud | secure | gpu | bio)");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hpcc-audit <list-rules | engine <name|all> | "
+               "site-advisor [profile] | k8s-in-slurm>\n"
+               "       [--json] [--fix] [--rules SPEC] [--site NAME]\n");
+  return 2;
+}
+
+/// Audits one input (optionally fixing), prints the report, returns the
+/// process exit code contribution.
+int audit_and_print(const Auditor& auditor, AuditInput input,
+                    const std::string& label, const Options& opts) {
+  AuditReport report = auditor.run(input);
+  if (opts.apply_fixes && !report.findings.empty()) {
+    if (!opts.json) {
+      std::printf("== %s (before fixes) ==\n%s\n", label.c_str(),
+                  render_text(report).c_str());
+    }
+    report = auditor.fix(input);
+  }
+  if (opts.json) {
+    std::printf("%s\n", render_json(report).c_str());
+  } else {
+    std::printf("== %s ==\n%s\n", label.c_str(), render_text(report).c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+int run_list_rules(const Auditor& auditor, const Options& opts) {
+  if (opts.json) {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& r : auditor.registry().rules()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"id\":\"" + r.id + "\",\"severity\":\"" +
+             std::string(to_string(auditor.registry().effective_severity(r))) +
+             "\",\"title\":\"" + r.title + "\",\"paper_ref\":\"" +
+             r.paper_ref + "\",\"enabled\":" +
+             (auditor.registry().enabled(r.id) ? "true" : "false") + "}";
+    }
+    out += "]";
+    std::printf("%s\n", out.c_str());
+    return 0;
+  }
+  for (const auto& r : auditor.registry().rules()) {
+    std::printf("%-9s %-6s %-10s %s%s\n", r.id.c_str(),
+                std::string(to_string(auditor.registry().effective_severity(r)))
+                    .c_str(),
+                r.paper_ref.c_str(), r.title.c_str(),
+                auditor.registry().enabled(r.id) ? "" : " [disabled]");
+  }
+  return 0;
+}
+
+int run_engine(const Auditor& auditor, const Options& opts) {
+  if (opts.positional.empty()) return usage();
+  const std::string which = ascii_lower(opts.positional[0]);
+  auto site = site_by_name(opts.site);
+  if (!site.ok()) {
+    std::fprintf(stderr, "--site: %s\n", site.error().to_string().c_str());
+    return 2;
+  }
+  int rc = 0;
+  for (auto kind : engine::all_engine_kinds()) {
+    const std::string name(engine::to_string(kind));
+    if (which != "all" && which != ascii_lower(name)) continue;
+    rc |= audit_and_print(auditor, input_for_engine(kind, site.value()),
+                          "engine " + name + " @ " + opts.site, opts);
+    if (which != "all") return rc;
+  }
+  if (which != "all") {
+    std::string names;
+    for (auto kind : engine::all_engine_kinds()) {
+      if (!names.empty()) names += " | ";
+      names += std::string(engine::to_string(kind));
+    }
+    std::fprintf(stderr, "unknown engine '%s' (expected all | %s)\n",
+                 opts.positional[0].c_str(), names.c_str());
+    return 2;
+  }
+  return rc;
+}
+
+int run_site_advisor(const Auditor& auditor, const Options& opts) {
+  const std::string profile =
+      opts.positional.empty() ? "bio" : ascii_lower(opts.positional[0]);
+  auto site = site_by_name(profile);
+  if (!site.ok()) {
+    std::fprintf(stderr, "site-advisor: %s\n",
+                 site.error().to_string().c_str());
+    return 2;
+  }
+  adaptive::AppSpec app;
+  app.name = "variant-calling";
+  app.workload = runtime::python_workload();
+  app.image_files = 45000;
+  auto input = input_for_plan(site.value(), app);
+  if (!input.ok()) {
+    std::fprintf(stderr, "site-advisor: %s\n",
+                 input.error().to_string().c_str());
+    return 1;
+  }
+  return audit_and_print(auditor, std::move(input).value(),
+                         "site-advisor plan @ " + profile, opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LogSink::instance().set_print(false);
+
+  Options opts;
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--fix") {
+      opts.apply_fixes = true;
+    } else if (arg == "--rules" && i + 1 < argc) {
+      opts.rules_spec = argv[++i];
+    } else if (arg == "--site" && i + 1 < argc) {
+      opts.site = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  if (command.empty()) return usage();
+
+  RuleRegistry registry = RuleRegistry::builtin();
+  if (!opts.rules_spec.empty()) {
+    auto configured = registry.configure(opts.rules_spec);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "--rules: %s\n",
+                   configured.error().to_string().c_str());
+      return 2;
+    }
+  }
+  const Auditor auditor(std::move(registry));
+
+  if (command == "list-rules") return run_list_rules(auditor, opts);
+  if (command == "engine") return run_engine(auditor, opts);
+  if (command == "site-advisor") return run_site_advisor(auditor, opts);
+  if (command == "k8s-in-slurm") {
+    return audit_and_print(auditor, k8s_in_slurm_input(), "k8s-in-slurm",
+                           opts);
+  }
+  return usage();
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the hpcc
+# sources using the compile database of an existing build tree.
+#
+#   tools/run-clang-tidy.sh [build-dir] [path-filter...]
+#
+# Examples:
+#   tools/run-clang-tidy.sh                   # whole src/ against ./build
+#   tools/run-clang-tidy.sh build src/runtime # one module only
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+tidy_bin="$(command -v clang-tidy || true)"
+if [[ -z "$tidy_bin" ]]; then
+  echo "run-clang-tidy.sh: clang-tidy not found on PATH; install it (e.g." >&2
+  echo "  apt install clang-tidy) and re-run. The configuration it will" >&2
+  echo "  apply lives in .clang-tidy at the repo root." >&2
+  exit 127
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run-clang-tidy.sh: $build_dir/compile_commands.json missing;" >&2
+  echo "  configure with: cmake -B $build_dir -S $repo_root" \
+       "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+filters=("$@")
+if [[ ${#filters[@]} -eq 0 ]]; then
+  filters=(src)
+fi
+
+mapfile -t sources < <(
+  for f in "${filters[@]}"; do
+    find "$repo_root/$f" -name '*.cpp' -not -path '*/build*'
+  done | sort -u
+)
+
+echo "clang-tidy over ${#sources[@]} file(s) with $build_dir/compile_commands.json"
+status=0
+for src in "${sources[@]}"; do
+  "$tidy_bin" -p "$build_dir" --quiet "$src" || status=1
+done
+exit $status
