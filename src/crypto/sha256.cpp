@@ -38,6 +38,12 @@ void Sha256::reset() {
   total_len_ = 0;
 }
 
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t n) {
+  // One call per bulk update instead of one per 64-byte block: the
+  // compiler keeps the state words in registers across iterations.
+  for (std::size_t i = 0; i < n; ++i) process_block(data + i * 64);
+}
+
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
@@ -87,6 +93,8 @@ void Sha256::process_block(const std::uint8_t* block) {
 void Sha256::update(BytesView data) {
   total_len_ += data.size();
   std::size_t off = 0;
+  // Stage into buffer_ only for a partial leading block; block-aligned
+  // input below is hashed in place with no copy.
   if (buffer_len_ > 0) {
     const std::size_t take = std::min(data.size(), 64 - buffer_len_);
     std::memcpy(buffer_ + buffer_len_, data.data(), take);
@@ -97,9 +105,10 @@ void Sha256::update(BytesView data) {
       buffer_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    process_block(data.data() + off);
-    off += 64;
+  if (off + 64 <= data.size()) {
+    const std::size_t blocks = (data.size() - off) / 64;
+    process_blocks(data.data() + off, blocks);
+    off += blocks * 64;
   }
   if (off < data.size()) {
     std::memcpy(buffer_, data.data() + off, data.size() - off);

@@ -38,6 +38,7 @@ class Sha256 {
 
  private:
   void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t n);
 
   std::uint32_t h_[8];
   std::uint8_t buffer_[64];

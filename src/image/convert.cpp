@@ -21,9 +21,19 @@ Result<vfs::MemFs> flatten_layers(const std::vector<vfs::Layer>& layers) {
 }
 
 Result<vfs::SquashImage> layers_to_squash(const std::vector<vfs::Layer>& layers,
-                                          std::uint32_t block_size) {
+                                          std::uint32_t block_size,
+                                          util::ThreadPool* pool) {
   HPCC_TRY(vfs::MemFs fs, flatten_layers(layers));
-  return vfs::SquashImage::build(fs, block_size);
+  return vfs::SquashImage::build(fs, block_size, pool);
+}
+
+std::vector<crypto::Digest> digest_layers(const std::vector<vfs::Layer>& layers,
+                                          util::ThreadPool* pool) {
+  std::vector<crypto::Digest> out(layers.size());
+  util::parallel_for(pool, layers.size(), [&](std::size_t i) {
+    out[i] = layers[i].digest();
+  });
+  return out;
 }
 
 Result<vfs::FlatImage> layers_to_flat(const std::vector<vfs::Layer>& layers,

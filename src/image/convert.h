@@ -21,6 +21,7 @@
 #include "image/manifest.h"
 #include "util/result.h"
 #include "util/sim_time.h"
+#include "util/thread_pool.h"
 #include "vfs/flat_image.h"
 #include "vfs/layer.h"
 #include "vfs/squash_image.h"
@@ -38,13 +39,23 @@ std::string_view to_string(ImageFormat f) noexcept;
 
 // ----- functional conversions
 
-/// Applies `layers` in order onto an empty tree (flattening).
+/// Applies `layers` in order onto an empty tree (flattening). Strictly
+/// sequential: layer application order is the image's semantics.
 Result<vfs::MemFs> flatten_layers(const std::vector<vfs::Layer>& layers);
 
-/// Flatten + pack into a squash image.
+/// Flatten + pack into a squash image. A pool parallelizes the
+/// per-block compression pass of the pack step (byte-identical output
+/// either way); flattening itself stays ordered.
 Result<vfs::SquashImage> layers_to_squash(
     const std::vector<vfs::Layer>& layers,
-    std::uint32_t block_size = vfs::SquashImage::kDefaultBlockSize);
+    std::uint32_t block_size = vfs::SquashImage::kDefaultBlockSize,
+    util::ThreadPool* pool = nullptr);
+
+/// Digests each layer's serialized archive, in parallel on `pool`
+/// (inline when null). Returns digests in layer order — the identity
+/// list a manifest or CAS index needs.
+std::vector<crypto::Digest> digest_layers(const std::vector<vfs::Layer>& layers,
+                                          util::ThreadPool* pool = nullptr);
 
 /// Flatten + pack into a flat (SIF-style) image.
 Result<vfs::FlatImage> layers_to_flat(const std::vector<vfs::Layer>& layers,

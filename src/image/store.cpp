@@ -1,44 +1,110 @@
 #include "image/store.h"
 
+#include "util/thread_pool.h"
+
 namespace hpcc::image {
 
-crypto::Digest BlobStore::put(Bytes blob) {
-  const crypto::Digest digest = crypto::Digest::of(blob);
-  logical_bytes_ += blob.size();
-  auto it = blobs_.find(digest);
-  if (it != blobs_.end()) {
-    ++dedup_hits_;
-    return digest;
+BlobStore::BlobStore(const BlobStore& other) { *this = other; }
+
+BlobStore::BlobStore(BlobStore&& other) noexcept { *this = std::move(other); }
+
+BlobStore& BlobStore::operator=(const BlobStore& other) {
+  if (this == &other) return *this;
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    std::scoped_lock lk(other.shards_[i].mu);
+    shards_[i].blobs = other.shards_[i].blobs;
   }
-  stored_bytes_ += blob.size();
-  blobs_.emplace(digest, std::move(blob));
+  stored_bytes_.store(other.stored_bytes_.load());
+  logical_bytes_.store(other.logical_bytes_.load());
+  dedup_hits_.store(other.dedup_hits_.load());
+  return *this;
+}
+
+BlobStore& BlobStore::operator=(BlobStore&& other) noexcept {
+  if (this == &other) return *this;
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    std::scoped_lock lk(other.shards_[i].mu);
+    shards_[i].blobs = std::move(other.shards_[i].blobs);
+    other.shards_[i].blobs.clear();
+  }
+  stored_bytes_.store(other.stored_bytes_.exchange(0));
+  logical_bytes_.store(other.logical_bytes_.exchange(0));
+  dedup_hits_.store(other.dedup_hits_.exchange(0));
+  return *this;
+}
+
+void BlobStore::put_with_digest(Bytes blob, const crypto::Digest& digest) {
+  const std::uint64_t size = blob.size();
+  logical_bytes_.fetch_add(size, std::memory_order_relaxed);
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lk(shard.mu);
+  const auto [it, inserted] = shard.blobs.try_emplace(digest, std::move(blob));
+  (void)it;
+  if (inserted) {
+    stored_bytes_.fetch_add(size, std::memory_order_relaxed);
+  } else {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+crypto::Digest BlobStore::put(Bytes blob) {
+  // Hash outside any lock: this is the CPU-heavy part parallel callers
+  // want to overlap.
+  const crypto::Digest digest = crypto::Digest::of(blob);
+  put_with_digest(std::move(blob), digest);
   return digest;
 }
 
 Result<crypto::Digest> BlobStore::put_verified(Bytes blob,
                                                const crypto::Digest& expected) {
   HPCC_TRY_UNIT(crypto::verify_digest(blob, expected));
-  return put(std::move(blob));
+  // The verified digest is the storage key; no second hash pass.
+  put_with_digest(std::move(blob), expected);
+  return expected;
+}
+
+std::vector<crypto::Digest> BlobStore::put_many(std::vector<Bytes> blobs,
+                                                util::ThreadPool* pool) {
+  std::vector<crypto::Digest> out(blobs.size());
+  util::parallel_for(pool, blobs.size(), [&](std::size_t i) {
+    out[i] = put(std::move(blobs[i]));
+  });
+  return out;
 }
 
 Result<const Bytes*> BlobStore::get(const crypto::Digest& digest) const {
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end())
+  const Shard& shard = shard_for(digest);
+  std::scoped_lock lk(shard.mu);
+  auto it = shard.blobs.find(digest);
+  if (it == shard.blobs.end())
     return err_not_found("no blob " + digest.to_string());
   return &it->second;
 }
 
 bool BlobStore::contains(const crypto::Digest& digest) const {
-  return blobs_.contains(digest);
+  const Shard& shard = shard_for(digest);
+  std::scoped_lock lk(shard.mu);
+  return shard.blobs.contains(digest);
 }
 
 Result<Unit> BlobStore::remove(const crypto::Digest& digest) {
-  auto it = blobs_.find(digest);
-  if (it == blobs_.end())
+  Shard& shard = shard_for(digest);
+  std::scoped_lock lk(shard.mu);
+  auto it = shard.blobs.find(digest);
+  if (it == shard.blobs.end())
     return err_not_found("no blob " + digest.to_string());
-  stored_bytes_ -= it->second.size();
-  blobs_.erase(it);
+  stored_bytes_.fetch_sub(it->second.size(), std::memory_order_relaxed);
+  shard.blobs.erase(it);
   return ok_unit();
+}
+
+std::uint64_t BlobStore::num_blobs() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lk(shard.mu);
+    total += shard.blobs.size();
+  }
+  return total;
 }
 
 std::string ImageStore::tag_key(const ImageReference& ref) {

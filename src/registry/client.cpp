@@ -2,6 +2,51 @@
 
 namespace hpcc::registry {
 
+// Phase 2 of a pull: the per-layer CPU work (digest verification, archive
+// decode, CAS insert), parallel across layers when a pool is set. Layer
+// blobs are independent, so scheduling order cannot change any output;
+// results are assembled in manifest order and the first error in that
+// order wins, matching the sequential pipeline. `fetched[i]` holds the
+// wire bytes of layer i, or nullopt for a local-cache hit; only the
+// first `layers_reached` layers were reached by the fetch phase.
+Result<Unit> RegistryClient::finish_layers(
+    const image::OciManifest& manifest,
+    std::vector<std::optional<Bytes>>& fetched, std::size_t layers_reached,
+    image::BlobStore* local, PullResult& out) {
+  std::vector<Result<vfs::Layer>> decoded(
+      layers_reached, Result<vfs::Layer>(err_internal("layer not processed")));
+  util::parallel_for(pool_, layers_reached, [&](std::size_t i) {
+    const crypto::Digest& digest = manifest.layer_digests[i];
+    if (!fetched[i].has_value()) {
+      // Cache hit. The pointer returned by get() stays valid while
+      // sibling tasks insert into other shards/nodes of the store.
+      auto cached = local->get(digest);
+      if (!cached.ok()) {
+        decoded[i] = cached.error();
+        return;
+      }
+      decoded[i] = vfs::Layer::deserialize(*cached.value());
+      return;
+    }
+    Bytes blob = std::move(*fetched[i]);
+    auto verified = crypto::verify_digest(blob, digest);
+    if (!verified.ok()) {
+      decoded[i] = verified.error();
+      return;
+    }
+    decoded[i] = vfs::Layer::deserialize(blob);
+    // The digest was verified above, so the CAS can index without
+    // re-hashing.
+    if (decoded[i].ok() && local != nullptr)
+      local->put_with_digest(std::move(blob), digest);
+  });
+  for (std::size_t i = 0; i < layers_reached; ++i) {
+    if (!decoded[i].ok()) return decoded[i].error();
+    out.layers.push_back(std::move(decoded[i]).value());
+  }
+  return ok_unit();
+}
+
 Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
                                         const image::ImageReference& ref,
                                         image::BlobStore* local) {
@@ -21,27 +66,38 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   t = network_->wan_transfer(t, node_, config_blob.size());
   out.bytes_transferred += config_blob.size();
   HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
-  if (local) (void)local->put(std::move(config_blob));
+  if (local)
+    local->put_with_digest(std::move(config_blob), out.manifest.config_digest);
 
-  // Layers, skipping locally cached ones.
-  for (const auto& digest : out.manifest.layer_digests) {
+  // Phase 1 (strictly sequential, manifest order): cache checks, blob
+  // fetches and every timed interaction — frontend service, registry
+  // egress, WAN transfer. This is what keeps `done`/`bytes_transferred`
+  // and the registry's queueing state identical whether or not phase 2
+  // runs on a pool.
+  const std::size_t n = out.manifest.layer_digests.size();
+  std::vector<std::optional<Bytes>> fetched(n);
+  std::optional<Error> fetch_error;
+  std::size_t reached = 0;
+  for (std::size_t i = 0; i < n; ++i, ++reached) {
+    const auto& digest = out.manifest.layer_digests[i];
     if (local && local->contains(digest)) {
       ++out.layers_skipped;
-      HPCC_TRY(const Bytes* cached, local->get(digest));
-      HPCC_TRY(auto layer, vfs::Layer::deserialize(*cached));
-      out.layers.push_back(std::move(layer));
-      continue;
+      continue;  // fetched[i] stays empty: decode from the local store
     }
     t = reg.serve_request(t);
-    HPCC_TRY(Bytes blob, reg.get_blob(digest));
-    HPCC_TRY_UNIT(crypto::verify_digest(blob, digest));
-    t = reg.serve_transfer(t, blob.size());
-    t = network_->wan_transfer(t, node_, blob.size());
-    out.bytes_transferred += blob.size();
-    HPCC_TRY(auto layer, vfs::Layer::deserialize(blob));
-    out.layers.push_back(std::move(layer));
-    if (local) (void)local->put(std::move(blob));
+    auto blob = reg.get_blob(digest);
+    if (!blob.ok()) {
+      fetch_error = blob.error();
+      break;
+    }
+    t = reg.serve_transfer(t, blob.value().size());
+    t = network_->wan_transfer(t, node_, blob.value().size());
+    out.bytes_transferred += blob.value().size();
+    fetched[i] = std::move(blob).value();
   }
+
+  HPCC_TRY_UNIT(finish_layers(out.manifest, fetched, reached, local, out));
+  if (fetch_error) return *fetch_error;
   out.done = t;
   return out;
 }
@@ -59,23 +115,32 @@ Result<PullResult> RegistryClient::pull_via_proxy(
   out.bytes_transferred += cres.blob.size();
   HPCC_TRY(out.config, image::ImageConfig::deserialize(cres.blob));
 
-  for (const auto& digest : out.manifest.layer_digests) {
+  // Phase 1: proxy fetches and site-network transfers, in manifest order
+  // (the proxy's cache and queue state mutate per fetch).
+  const std::size_t n = out.manifest.layer_digests.size();
+  std::vector<std::optional<Bytes>> fetched(n);
+  std::optional<Error> fetch_error;
+  std::size_t reached = 0;
+  for (std::size_t i = 0; i < n; ++i, ++reached) {
+    const auto& digest = out.manifest.layer_digests[i];
     if (local && local->contains(digest)) {
       ++out.layers_skipped;
-      HPCC_TRY(const Bytes* cached, local->get(digest));
-      HPCC_TRY(auto layer, vfs::Layer::deserialize(*cached));
-      out.layers.push_back(std::move(layer));
       continue;
     }
-    HPCC_TRY(const auto bres, proxy.fetch_blob(t, digest));
-    HPCC_TRY_UNIT(crypto::verify_digest(bres.blob, digest));
+    auto bres = proxy.fetch_blob(t, digest);
+    if (!bres.ok()) {
+      fetch_error = bres.error();
+      break;
+    }
     // Proxy lives on the site network: node-to-node speed, not WAN.
-    t = network_->transfer(bres.done, 0, node_, bres.blob.size());
-    out.bytes_transferred += bres.blob.size();
-    HPCC_TRY(auto layer, vfs::Layer::deserialize(bres.blob));
-    out.layers.push_back(std::move(layer));
-    if (local) (void)local->put(bres.blob);
+    t = network_->transfer(bres.value().done, 0, node_,
+                           bres.value().blob.size());
+    out.bytes_transferred += bres.value().blob.size();
+    fetched[i] = std::move(bres.value().blob);
   }
+
+  HPCC_TRY_UNIT(finish_layers(out.manifest, fetched, reached, local, out));
+  if (fetch_error) return *fetch_error;
   out.done = t;
   return out;
 }
@@ -98,15 +163,27 @@ Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
   HPCC_TRY(manifest.config_digest,
            reg.push_blob(user, project, std::move(config_blob)));
 
-  for (const auto& layer : layers) {
-    Bytes blob = layer.serialize();
-    const std::uint64_t size = blob.size();
+  // Serialize and digest the layer archives in parallel: this is the
+  // push-side CPU hot path. Transfers and registry interactions below
+  // stay sequential in layer order.
+  struct Prepared {
+    Bytes blob;
+    crypto::Digest digest;
+  };
+  std::vector<Prepared> prepared(layers.size());
+  util::parallel_for(pool_, layers.size(), [&](std::size_t i) {
+    prepared[i].blob = layers[i].serialize();
+    prepared[i].digest = crypto::Digest::of(prepared[i].blob);
+  });
+
+  for (auto& p : prepared) {
+    const std::uint64_t size = p.blob.size();
     // Existing blobs are not re-transferred (cross-user dedup on push).
-    if (!reg.has_blob(crypto::Digest::of(blob))) {
+    if (!reg.has_blob(p.digest)) {
       t = network_->wan_transfer(t, node_, size);
       out.bytes_transferred += size;
     }
-    HPCC_TRY(auto digest, reg.push_blob(user, project, std::move(blob)));
+    HPCC_TRY(auto digest, reg.push_blob(user, project, std::move(p.blob)));
     manifest.layer_digests.push_back(digest);
     manifest.layer_sizes.push_back(size);
   }

@@ -5,6 +5,14 @@
 // against its manifest digest (the integrity check content addressing
 // buys, §3.1); layers already present in the local store are skipped —
 // the incremental-pull behaviour layered images exist for (§4.1.4).
+//
+// When constructed with a ThreadPool, the CPU side of a pull — SHA-256
+// verification, layer-archive decode, CAS insertion — runs concurrently
+// across layers (they are independent by construction), and a push
+// serializes+digests its layers in parallel. The *timed* side (request
+// service, egress, WAN transfer) stays strictly sequential and in
+// manifest order, so simulated costs and all outputs are byte-identical
+// with and without a pool (the determinism contract, DESIGN.md §7).
 #pragma once
 
 #include <optional>
@@ -17,6 +25,7 @@
 #include "registry/registry.h"
 #include "sim/network.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "vfs/layer.h"
 
 namespace hpcc::registry {
@@ -39,9 +48,13 @@ struct PushResult {
 class RegistryClient {
  public:
   /// `node` is where this client runs; transfers cross that node's NIC
-  /// and the WAN uplink.
-  RegistryClient(sim::Network* network, sim::NodeId node)
-      : network_(network), node_(node) {}
+  /// and the WAN uplink. `pool` (optional) parallelizes the verify/
+  /// decode/store work across layers; null keeps everything sequential.
+  RegistryClient(sim::Network* network, sim::NodeId node,
+                 util::ThreadPool* pool = nullptr)
+      : network_(network), node_(node), pool_(pool) {}
+
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
   /// Timed pull of a full image. Rate-limited upstreams surface
   /// kResourceExhausted (with the §5.1.3 "toomanyrequests" semantics);
@@ -64,8 +77,16 @@ class RegistryClient {
                           const std::vector<vfs::Layer>& layers);
 
  private:
+  // Shared tail of both pull paths: verify, decode and locally store the
+  // fetched layer blobs concurrently, then assemble in manifest order.
+  Result<Unit> finish_layers(const image::OciManifest& manifest,
+                             std::vector<std::optional<Bytes>>& fetched,
+                             std::size_t layers_reached,
+                             image::BlobStore* local, PullResult& out);
+
   sim::Network* network_;
   sim::NodeId node_;
+  util::ThreadPool* pool_;
 };
 
 }  // namespace hpcc::registry

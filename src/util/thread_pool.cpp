@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hpcc::util {
+
+namespace {
+// Set while a thread is executing pool tasks; nested parallel_for on a
+// worker runs inline instead of re-entering the (bounded) queue.
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
+unsigned ThreadPool::default_threads() {
+  if (const char* env = std::getenv("HPCC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity) {
+  if (threads == 0) threads = default_threads();
+  capacity_ = queue_capacity == 0 ? 2 * threads + 16 : queue_capacity;
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lk(mu_);
+    stop_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [this] { return stop_ || queue_.size() < capacity_; });
+    if (stop_) return;  // shutting down; the task's future stays unready
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      not_empty_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || tls_in_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Work-sharing loop: helpers and the caller race on one atomic index.
+  // All helper futures are joined before returning, so capturing `fn`
+  // and `next` by reference/shared_ptr is safe.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto run = [next, n, &fn] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) futs.push_back(submit(run));
+
+  std::exception_ptr first_error;
+  try {
+    run();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hpcc::util

@@ -101,7 +101,13 @@ Result<std::uint64_t> lzss_declared_size(BytesView input) {
 Result<Bytes> lzss_decompress(BytesView input) {
   HPCC_TRY(const std::uint64_t expected, lzss_declared_size(input));
   Bytes out;
-  out.reserve(expected);
+  // Reserve the full declared size up front (no reallocation churn on
+  // large blobs), but never more than the format's maximum expansion of
+  // the remaining stream — a corrupt header must not trigger a giant
+  // allocation before the truncation checks below reject it.
+  const std::uint64_t max_expansion =
+      static_cast<std::uint64_t>(input.size()) * kMaxMatch;
+  out.reserve(static_cast<std::size_t>(std::min(expected, max_expansion)));
 
   std::size_t pos = 8;
   std::uint8_t flags = 0;
@@ -127,11 +133,19 @@ Result<Bytes> lzss_decompress(BytesView input) {
       const std::size_t len = std::size_t(b1 >> 4) + kMinMatch;
       if (dist > out.size())
         return err_integrity("lzss: match reference before window start");
-      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
-      // reproduce run-length behaviour.
       const std::size_t start = out.size() - dist;
-      for (std::size_t i = 0; i < len && out.size() < expected; ++i)
-        out.push_back(out[start + i]);
+      const std::size_t take =
+          std::min<std::uint64_t>(len, expected - out.size());
+      if (dist >= take) {
+        // Non-overlapping: one bulk append (the common case).
+        const std::size_t old_size = out.size();
+        out.resize(old_size + take);
+        std::memcpy(out.data() + old_size, out.data() + start, take);
+      } else {
+        // Overlapping matches (dist < len) are legal and reproduce
+        // run-length behaviour; they must copy byte-by-byte.
+        for (std::size_t i = 0; i < take; ++i) out.push_back(out[start + i]);
+      }
     }
   }
   return out;

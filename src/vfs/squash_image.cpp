@@ -1,5 +1,6 @@
 #include "vfs/squash_image.h"
 
+#include "util/thread_pool.h"
 #include "vfs/compress.h"
 #include "vfs/path.h"
 
@@ -16,15 +17,67 @@ void append_string(Bytes& out, std::string_view s) {
 }
 }  // namespace
 
-SquashImage SquashImage::build(const MemFs& fs, std::uint32_t block_size) {
+SquashImage::SquashImage(const SquashImage& other)
+    : blob_(other.blob_),
+      block_size_(other.block_size_),
+      index_(other.index_),
+      blocks_(other.blocks_),
+      data_region_(other.data_region_),
+      uncompressed_bytes_(other.uncompressed_bytes_),
+      num_files_(other.num_files_),
+      blocks_decompressed_(other.blocks_decompressed_.load()) {}
+
+SquashImage::SquashImage(SquashImage&& other) noexcept
+    : blob_(std::move(other.blob_)),
+      block_size_(other.block_size_),
+      index_(std::move(other.index_)),
+      blocks_(std::move(other.blocks_)),
+      data_region_(other.data_region_),
+      uncompressed_bytes_(other.uncompressed_bytes_),
+      num_files_(other.num_files_),
+      blocks_decompressed_(other.blocks_decompressed_.load()) {}
+
+SquashImage& SquashImage::operator=(const SquashImage& other) {
+  if (this == &other) return *this;
+  blob_ = other.blob_;
+  block_size_ = other.block_size_;
+  index_ = other.index_;
+  blocks_ = other.blocks_;
+  data_region_ = other.data_region_;
+  uncompressed_bytes_ = other.uncompressed_bytes_;
+  num_files_ = other.num_files_;
+  blocks_decompressed_.store(other.blocks_decompressed_.load());
+  return *this;
+}
+
+SquashImage& SquashImage::operator=(SquashImage&& other) noexcept {
+  if (this == &other) return *this;
+  blob_ = std::move(other.blob_);
+  block_size_ = other.block_size_;
+  index_ = std::move(other.index_);
+  blocks_ = std::move(other.blocks_);
+  data_region_ = other.data_region_;
+  uncompressed_bytes_ = other.uncompressed_bytes_;
+  num_files_ = other.num_files_;
+  blocks_decompressed_.store(other.blocks_decompressed_.load());
+  return *this;
+}
+
+SquashImage SquashImage::build(const MemFs& fs, std::uint32_t block_size,
+                               util::ThreadPool* pool) {
   SquashImage img;
   img.block_size_ = block_size == 0 ? kDefaultBlockSize : block_size;
 
-  // Collect nodes and compress file data into blocks.
-  Bytes data_region;
-  fs.walk_data([&img, &data_region](const std::string& p, const Stat& s,
-                                    const Bytes* data,
-                                    const std::string* target) {
+  // Pass 1 (sequential): collect nodes and slice file data into
+  // fixed-size block jobs. The data pointers point into `fs`, which
+  // outlives the build.
+  struct BlockJob {
+    const std::uint8_t* data;
+    std::size_t len;
+  };
+  std::vector<BlockJob> jobs;
+  fs.walk_data([&img, &jobs](const std::string& p, const Stat& s,
+                             const Bytes* data, const std::string* target) {
     Node n;
     n.type = s.type;
     n.meta = s.meta;
@@ -32,22 +85,35 @@ SquashImage SquashImage::build(const MemFs& fs, std::uint32_t block_size) {
     if (s.type == FileType::kFile) {
       ++img.num_files_;
       n.file_size = data->size();
-      n.first_block = img.blocks_.size();
+      n.first_block = jobs.size();
       img.uncompressed_bytes_ += data->size();
       std::size_t off = 0;
       while (off < data->size()) {
         const std::size_t len =
             std::min<std::size_t>(img.block_size_, data->size() - off);
-        const Bytes comp =
-            lzss_compress(BytesView(data->data() + off, len));
-        img.blocks_.push_back(BlockRef{data_region.size(), comp.size()});
-        append(data_region, comp);
+        jobs.push_back(BlockJob{data->data() + off, len});
         off += len;
         ++n.block_count;
       }
     }
     img.index_[p] = std::move(n);
   });
+
+  // Pass 2 (parallel): per-block LZSS. Blocks are independent by format,
+  // so this is the compression hot path the pool speeds up.
+  std::vector<Bytes> compressed(jobs.size());
+  util::parallel_for(pool, jobs.size(), [&](std::size_t i) {
+    compressed[i] = lzss_compress(BytesView(jobs[i].data, jobs[i].len));
+  });
+
+  // Pass 3 (sequential): concatenate in block order — output is
+  // byte-identical to the single-threaded build.
+  Bytes data_region;
+  img.blocks_.reserve(jobs.size());
+  for (const Bytes& comp : compressed) {
+    img.blocks_.push_back(BlockRef{data_region.size(), comp.size()});
+    append(data_region, comp);
+  }
 
   // Serialize: header + index + block table + data.
   Bytes out;
@@ -231,7 +297,7 @@ Result<Bytes> SquashImage::decompress_block(std::uint64_t idx) const {
   if (idx >= blocks_.size())
     return err_internal("block index out of range: " + std::to_string(idx));
   const BlockRef& b = blocks_[idx];
-  ++blocks_decompressed_;
+  blocks_decompressed_.fetch_add(1, std::memory_order_relaxed);
   return lzss_decompress(
       BytesView(blob_.data() + data_region_ + b.offset, b.comp_len));
 }
@@ -300,8 +366,22 @@ double SquashImage::compression_ratio() const {
          static_cast<double>(uncompressed_bytes_);
 }
 
-Result<MemFs> SquashImage::unpack() const {
+Result<MemFs> SquashImage::unpack(util::ThreadPool* pool) const {
+  // Decompress all file contents first — concurrently when a pool is
+  // given; per-file reads only touch disjoint blocks. Tree
+  // materialization below stays sequential in index (path) order, so
+  // the unpacked tree is identical with any thread count.
+  std::vector<const std::string*> file_paths;
+  for (const auto& [p, n] : index_)
+    if (n.type == FileType::kFile) file_paths.push_back(&p);
+  std::vector<Result<Bytes>> contents(
+      file_paths.size(), Result<Bytes>(err_internal("file not read")));
+  util::parallel_for(pool, file_paths.size(), [&](std::size_t i) {
+    contents[i] = read_file(*file_paths[i]);
+  });
+
   MemFs out;
+  std::size_t file_idx = 0;
   for (const auto& [p, n] : index_) {
     switch (n.type) {
       case FileType::kDir:
@@ -317,7 +397,7 @@ Result<MemFs> SquashImage::unpack() const {
         if (!out.exists(parent(p))) {
           HPCC_TRY_UNIT(out.mkdir(parent(p), {0, 0, 0755, 0}, true));
         }
-        HPCC_TRY(Bytes data, read_file(p));
+        HPCC_TRY(Bytes data, std::move(contents[file_idx++]));
         HPCC_TRY_UNIT(out.write_file(p, std::move(data), n.meta));
         break;
       }

@@ -16,6 +16,7 @@
 // for, including the kernel-vs-FUSE driver distinction of §4.1.2.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -26,15 +27,30 @@
 #include "util/result.h"
 #include "vfs/memfs.h"
 
+namespace hpcc::util {
+class ThreadPool;
+}
+
 namespace hpcc::vfs {
 
 class SquashImage {
  public:
   static constexpr std::uint32_t kDefaultBlockSize = 128 * 1024;
 
-  /// Serializes `fs` into a squash image.
+  SquashImage() = default;
+  SquashImage(const SquashImage& other);
+  SquashImage(SquashImage&& other) noexcept;
+  SquashImage& operator=(const SquashImage& other);
+  SquashImage& operator=(SquashImage&& other) noexcept;
+
+  /// Serializes `fs` into a squash image. Fixed-size blocks are
+  /// LZSS-compressed independently, so a pool parallelizes the
+  /// compression pass; the serialized image is byte-identical with any
+  /// thread count (blocks are emitted in file order regardless of which
+  /// worker compressed them).
   static SquashImage build(const MemFs& fs,
-                           std::uint32_t block_size = kDefaultBlockSize);
+                           std::uint32_t block_size = kDefaultBlockSize,
+                           util::ThreadPool* pool = nullptr);
 
   /// Opens a serialized image, validating structure (not contents —
   /// content integrity is the digest's job at the transport layer).
@@ -56,8 +72,10 @@ class SquashImage {
                            std::uint64_t length) const;
 
   /// Unpacks the whole image into a MemFs (the extract-to-node-local-dir
-  /// strategy of §4.1.2).
-  Result<MemFs> unpack() const;
+  /// strategy of §4.1.2). With a pool, per-file block decompression runs
+  /// concurrently (the §3.2 CPU cost); tree materialization stays
+  /// sequential and the resulting tree is identical either way.
+  Result<MemFs> unpack(util::ThreadPool* pool = nullptr) const;
 
   /// Per-file block layout, exposed so mount cost models can charge the
   /// exact compressed bytes and decompression work a read performs.
@@ -78,8 +96,10 @@ class SquashImage {
   std::uint64_t uncompressed_bytes() const { return uncompressed_bytes_; }
   std::uint64_t num_files() const { return num_files_; }
   /// Cumulative count of block decompressions served (mutable cost
-  /// counter; reads are logically const).
-  std::uint64_t blocks_decompressed() const { return blocks_decompressed_; }
+  /// counter; reads are logically const and may run concurrently).
+  std::uint64_t blocks_decompressed() const {
+    return blocks_decompressed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Node {
@@ -106,7 +126,9 @@ class SquashImage {
   std::uint64_t data_region_ = 0;  ///< offset of data region in blob_
   std::uint64_t uncompressed_bytes_ = 0;
   std::uint64_t num_files_ = 0;
-  mutable std::uint64_t blocks_decompressed_ = 0;
+  // Atomic so concurrent reads (parallel unpack) count exactly; forces
+  // the user-declared copy/move members above.
+  mutable std::atomic<std::uint64_t> blocks_decompressed_{0};
 };
 
 }  // namespace hpcc::vfs

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Local CI entry point: builds the normal and sanitizer configurations
-# and runs the full test suite under both.
+# and runs the full test suite under both, plus a ThreadSanitizer pass
+# over the concurrency tests and a quick parallel-pipeline bench smoke.
 #
-#   tools/ci.sh             # build + ctest, normal then ASan/UBSan
-#   SKIP_SAN=1 tools/ci.sh  # normal configuration only
+#   tools/ci.sh              # build + ctest, ASan/UBSan, TSan, bench smoke
+#   SKIP_SAN=1 tools/ci.sh   # skip the ASan/UBSan configuration
+#   SKIP_TSAN=1 tools/ci.sh  # skip the ThreadSanitizer configuration
+#   SKIP_BENCH=1 tools/ci.sh # skip the bench smoke
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +26,30 @@ run_config "$repo_root/build"
 
 if [[ "${SKIP_SAN:-}" != "1" ]]; then
   run_config "$repo_root/build-asan" -DHPCC_SANITIZE=address,undefined
+fi
+
+# ThreadSanitizer over the execution-layer tests only: TSan is ~5-15x
+# slower than native, and the sequential suites exercise no cross-thread
+# interleavings TSan could observe.
+if [[ "${SKIP_TSAN:-}" != "1" ]]; then
+  tsan_dir="$repo_root/build-tsan"
+  echo "== configure $tsan_dir (-DHPCC_SANITIZE=thread)"
+  cmake -B "$tsan_dir" -S "$repo_root" -DHPCC_SANITIZE=thread
+  echo "== build $tsan_dir (concurrency_test)"
+  cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test
+  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline)"
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|Concurrent|Pipeline'
+fi
+
+# Quick smoke of the sequential-vs-parallel pipeline bench; fails the
+# run on any determinism violation and leaves a machine-readable
+# summary at build/BENCH_parallel_pipeline.json.
+if [[ "${SKIP_BENCH:-}" != "1" ]]; then
+  echo "== bench smoke (bench_parallel_pipeline --quick)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_parallel_pipeline
+  "$repo_root/build/bench/bench_parallel_pipeline" --quick \
+    --json "$repo_root/build/BENCH_parallel_pipeline.json"
 fi
 
 echo "== ci.sh: all configurations passed"
