@@ -1,0 +1,249 @@
+// bench_cache_hierarchy — the §8 tiered data path quantified: mean
+// first-access latency through a lazy mount when the chain is cold,
+// when sequential-next prefetch warms it ahead of the reader (inline
+// and on a thread pool), when an NVMe staging tier sits between DRAM
+// and the origin, and when the chain is fully warm.
+//
+// Also checks the §7/§8 determinism contract the way CI can gate on:
+// every configuration must produce byte-identical functional reads
+// (same content digest), and the pool-backed prefetch run must match
+// the inline run's simulated times exactly.
+//
+// A plain driver (not google-benchmark) so it can emit the
+// machine-readable summary CI tracks:
+//
+//   bench_cache_hierarchy [--quick] [--reps N]
+//                         [--json PATH]   # write BENCH_cache_hierarchy.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.h"
+#include "image/build.h"
+#include "registry/lazy.h"
+#include "registry/registry.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+#include "storage/cache_hierarchy.h"
+#include "storage/tiers.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace hpcc;
+
+struct Workload {
+  vfs::MemFs tree;
+  std::unique_ptr<vfs::SquashImage> squash;
+  std::vector<std::string> files;
+};
+
+std::unique_ptr<Workload> make_workload(bool quick) {
+  auto w = std::make_unique<Workload>();
+  Rng rng(29);
+  (void)w->tree.mkdir("/opt/app", {}, true);
+  const int num_files = quick ? 6 : 16;
+  const std::uint64_t per_file = quick ? (1ull << 20) : (4ull << 20);
+  for (int i = 0; i < num_files; ++i) {
+    const std::string path = "/opt/app/part" + std::to_string(i) + ".bin";
+    (void)w->tree.write_file(path, image::synthetic_file_content(rng, per_file));
+    w->files.push_back(path);
+  }
+  w->squash = std::make_unique<vfs::SquashImage>(
+      vfs::SquashImage::build(w->tree, 128 * 1024));
+  return w;
+}
+
+enum class Config : int {
+  kCold = 0,        // page cache only, no prefetch
+  kPrefetch,        // + sequential-next prefetch, inline
+  kPrefetchPool,    // + prefetch decompression on a thread pool
+  kStaging,         // + NVMe staging tier between DRAM and origin
+  kWarm,            // second sweep over an already-read chain
+};
+
+const char* config_name(Config c) {
+  switch (c) {
+    case Config::kCold: return "cold (no prefetch)";
+    case Config::kPrefetch: return "prefetch (inline)";
+    case Config::kPrefetchPool: return "prefetch (pool)";
+    case Config::kStaging: return "prefetch + NVMe staging";
+    case Config::kWarm: return "warm (second sweep)";
+  }
+  return "?";
+}
+
+struct RunOutput {
+  SimTime sweep_done = 0;       ///< simulated time for the measured sweep
+  double mean_latency_us = 0;   ///< per-file mean first-access latency
+  crypto::Digest content;       ///< digest over all bytes read
+};
+
+RunOutput run_config(Workload& w, Config config, util::ThreadPool* pool) {
+  // A private registry + network per run: both are FIFO queueing models
+  // whose state must start cold for simulated times to be comparable.
+  sim::Network net(4);
+  registry::OciRegistry reg("registry.site");
+  (void)reg.create_project("apps", "ci");
+  if (!registry::publish_lazy(reg, "ci", "apps", *w.squash).ok()) {
+    std::cerr << "publish failed\n";
+    std::exit(1);
+  }
+  sim::PageCache page_cache;
+  sim::NodeLocalStorage nvme;
+
+  registry::LazyMountConfig cfg;
+  cfg.registry = &reg;
+  cfg.network = &net;
+  cfg.node = 1;
+  cfg.cache = storage::page_cache_tier(page_cache);
+  if (config == Config::kStaging) {
+    cfg.staging = storage::NodeLocalTier::cache(nvme, 1ull << 30);
+  }
+  if (config != Config::kCold && config != Config::kWarm) {
+    cfg.prefetch_depth = 8;
+  }
+  if (config == Config::kPrefetchPool || config == Config::kStaging) {
+    cfg.prefetch_pool = pool;
+  }
+  auto mount = registry::make_lazy_rootfs(w.squash.get(), std::move(cfg));
+  if (!mount.ok()) {
+    std::cerr << "mount failed: " << mount.error().to_string() << "\n";
+    std::exit(1);
+  }
+
+  SimTime t = 0;
+  if (config == Config::kWarm) {
+    // Warm-up sweep; the measured sweep below then runs fully cached.
+    for (const auto& f : w.files) {
+      auto r = mount.value()->read_file(t, f, nullptr);
+      if (r.ok()) t = r.value();
+    }
+  }
+
+  RunOutput out;
+  const SimTime start = t;
+  Bytes all;
+  for (const auto& f : w.files) {
+    Bytes content;
+    auto r = mount.value()->read_file(t, f, &content);
+    if (!r.ok()) {
+      std::cerr << "read failed: " << r.error().to_string() << "\n";
+      std::exit(1);
+    }
+    t = r.value();
+    all.insert(all.end(), content.begin(), content.end());
+  }
+  out.sweep_done = t - start;
+  out.mean_latency_us = static_cast<double>(out.sweep_done) /
+                        static_cast<double>(w.files.size());
+  out.content = crypto::Digest::of(all);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      reps = 1;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_cache_hierarchy [--quick] [--reps N] "
+                   "[--json PATH]\n";
+      return 2;
+    }
+  }
+
+  LogSink::instance().set_print(false);
+  auto workload = make_workload(quick);
+  std::printf("workload: %zu files, %.1f MiB image\n", workload->files.size(),
+              static_cast<double>(workload->squash->size()) / (1 << 20));
+
+  util::ThreadPool pool(4);
+  const std::vector<Config> configs = {Config::kCold, Config::kPrefetch,
+                                       Config::kPrefetchPool, Config::kStaging,
+                                       Config::kWarm};
+  std::vector<RunOutput> results(configs.size());
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      RunOutput out = run_config(*workload, configs[c], &pool);
+      if (r == 0) {
+        results[c] = out;
+      } else if (out.sweep_done != results[c].sweep_done ||
+                 out.content != results[c].content) {
+        // Simulated results must be rep-independent by construction.
+        std::cerr << "DETERMINISM VIOLATION across reps at config="
+                  << static_cast<int>(configs[c]) << "\n";
+        return 1;
+      }
+    }
+  }
+
+  // Contract checks CI gates on:
+  //  * every configuration read byte-identical content;
+  //  * pool-backed prefetch matches inline prefetch's simulated time;
+  //  * prefetch strictly lowers mean first-access latency vs cold.
+  for (std::size_t c = 1; c < results.size(); ++c) {
+    if (results[c].content != results[0].content) {
+      std::cerr << "DETERMINISM VIOLATION: config " << config_name(configs[c])
+                << " read different bytes than cold\n";
+      return 1;
+    }
+  }
+  if (results[1].sweep_done != results[2].sweep_done) {
+    std::cerr << "DETERMINISM VIOLATION: pool prefetch changed simulated "
+                 "time (inline="
+              << results[1].sweep_done << " pool=" << results[2].sweep_done
+              << ")\n";
+    return 1;
+  }
+  if (results[1].mean_latency_us >= results[0].mean_latency_us) {
+    std::cerr << "REGRESSION: prefetch did not lower mean first-access "
+                 "latency\n";
+    return 1;
+  }
+
+  const double cold = results[0].mean_latency_us;
+  std::printf("%-26s %18s %10s\n", "config", "mean latency (us)", "vs cold");
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    std::printf("%-26s %18.1f %9.2fx\n", config_name(configs[c]),
+                results[c].mean_latency_us, cold / results[c].mean_latency_us);
+  }
+  std::printf("reads byte-identical across all configurations\n");
+
+  if (!json_path.empty()) {
+    std::ofstream js(json_path);
+    js << "{\n  \"bench\": \"cache_hierarchy\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"workload\": {\"files\": " << workload->files.size()
+       << ", \"image_bytes\": " << workload->squash->size() << "},\n"
+       << "  \"deterministic\": true,\n"
+       << "  \"content_digest\": \"" << results[0].content.hex() << "\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      js << "    {\"config\": \"" << config_name(configs[c])
+         << "\", \"mean_first_access_us\": " << results[c].mean_latency_us
+         << ", \"speedup_vs_cold\": " << cold / results[c].mean_latency_us
+         << "}" << (c + 1 < configs.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "engine/engine.h"
 #include "image/build.h"
 #include "registry/client.h"
+#include "sim/storage.h"
 #include "util/log.h"
 #include "util/strings.h"
 

@@ -27,10 +27,10 @@ Result<SimDuration> run_under(runtime::RootlessMechanism mechanism,
   sim::NodeLocalStorage local;
   vfs::MemFs tree;
   (void)tree.write_file("/app", Bytes(64, 1));
-  runtime::StorageBacking b;
+  storage::DataPathConfig b;
   b.local = &local;
   auto rootfs = std::shared_ptr<runtime::MountedRootfs>(
-      runtime::make_dir_rootfs(&tree, b));
+      runtime::make_dir_rootfs(&tree, storage::make_data_path(b)));
 
   runtime::HostFacts facts;
   facts.user_has_cap_sys_ptrace = true;

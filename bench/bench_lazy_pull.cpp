@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "registry/lazy.h"
+#include "storage/tiers.h"
 #include "util/table.h"
 
 using namespace hpcc;
@@ -50,11 +51,13 @@ struct LazyEnv {
     t = reg->serve_transfer(t, squash->size());
     t = cluster->network().transfer(t, 0, 1, squash->size());
     t = cluster->shared_fs().write(t, squash->size());
-    runtime::StorageBacking b;
+    storage::DataPathConfig b;
     b.shared = &cluster->shared_fs();
-    b.cache = &cluster->page_cache(1);
-    b.cache_key = "full";
-    auto mount = runtime::make_squash_rootfs(squash.get(), b, false);
+    b.page_cache = &cluster->page_cache(1);
+    b.key_prefix = "full";
+    auto mount =
+        runtime::make_squash_rootfs(squash.get(), storage::make_data_path(b),
+                                    false);
     t += mount->setup_cost();
     return {t, std::move(mount)};
   }
@@ -65,8 +68,9 @@ struct LazyEnv {
     cfg.registry = reg.get();
     cfg.network = &cluster->network();
     cfg.node = 1;
-    cfg.cache = &cluster->page_cache(1);
-    auto mount = registry::make_lazy_rootfs(squash.get(), cfg).value();
+    cfg.cache = storage::page_cache_tier(cluster->page_cache(1));
+    auto mount =
+        registry::make_lazy_rootfs(squash.get(), std::move(cfg)).value();
     const SimTime t = now + mount->setup_cost();
     return {t, std::move(mount)};
   }

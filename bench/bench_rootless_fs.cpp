@@ -39,19 +39,19 @@ struct FsEnv {
     overlay = std::make_unique<vfs::OverlayFs>(std::move(lowers));
   }
 
-  runtime::StorageBacking shared_backing() {
-    runtime::StorageBacking b;
-    b.shared = &shared_fs;
-    b.cache = &cache;
-    b.cache_key = "bench";
-    return b;
+  storage::DataPath shared_backing() {
+    storage::DataPathConfig c;
+    c.page_cache = &cache;
+    c.shared = &shared_fs;
+    c.key_prefix = "bench";
+    return storage::make_data_path(c);
   }
-  runtime::StorageBacking local_backing() {
-    runtime::StorageBacking b;
-    b.local = &local;
-    b.cache = &cache;
-    b.cache_key = "bench";
-    return b;
+  storage::DataPath local_backing() {
+    storage::DataPathConfig c;
+    c.page_cache = &cache;
+    c.local = &local;
+    c.key_prefix = "bench";
+    return storage::make_data_path(c);
   }
 };
 

@@ -44,21 +44,22 @@ SimTime concurrent_startup(Strategy strategy, std::uint32_t nodes,
   SimTime worst = 0;
   std::vector<std::unique_ptr<runtime::MountedRootfs>> mounts;
   for (std::uint32_t n = 0; n < nodes; ++n) {
-    runtime::StorageBacking b;
+    storage::DataPathConfig b;
     if (strategy == Strategy::kDirLocal) {
       b.local = &cluster.local_storage(n);
     } else {
       b.shared = &cluster.shared_fs();
     }
-    b.cache = &cluster.page_cache(n);
-    b.cache_key = "img";
+    b.page_cache = &cluster.page_cache(n);
+    b.key_prefix = "img";
+    auto path = storage::make_data_path(b);
     switch (strategy) {
       case Strategy::kDirShared:
       case Strategy::kDirLocal:
-        mounts.push_back(runtime::make_dir_rootfs(&tree, b));
+        mounts.push_back(runtime::make_dir_rootfs(&tree, path));
         break;
       case Strategy::kSquashShared:
-        mounts.push_back(runtime::make_squash_rootfs(&squash, b, false));
+        mounts.push_back(runtime::make_squash_rootfs(&squash, path, false));
         break;
     }
   }

@@ -27,6 +27,7 @@
 #include "registry/profiles.h"
 #include "runtime/container.h"
 #include "runtime/oci_config.h"
+#include "storage/chunk_source.h"
 #include "util/result.h"
 
 namespace hpcc::audit {
@@ -53,6 +54,14 @@ struct AuditInput {
   std::optional<registry::RegistryProduct> registry_product;
   std::optional<adaptive::SiteRequirements> site;
   std::optional<adaptive::ContainerizationPlan> plan;
+
+  /// The node data-path tier chain (storage::CacheHierarchy::topology())
+  /// — drives the tiering rules PERF004/PERF005.
+  std::optional<storage::TierTopology> data_path;
+  /// The image is mounted lazily (first-touch block fetches, §7).
+  bool lazy_mount = false;
+  /// Size of the mounted image's hot index/metadata region; 0 = unknown.
+  std::uint64_t image_index_bytes = 0;
 };
 
 /// A machine-applicable remediation: mutates the offending AuditInput so

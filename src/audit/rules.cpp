@@ -361,6 +361,56 @@ void perf003(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+void perf004(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.lazy_mount) return;
+  if (in.data_path && in.data_path->has_cache_tier()) return;
+  Finding f;
+  f.rule = "PERF004";
+  f.object = in.data_path ? "data path " + in.data_path->to_string()
+                          : "data path <none>";
+  f.message =
+      "lazy (first-touch) image mount with no cache tier in the data "
+      "path: every block access pays the full registry round trip, so "
+      "the \"trade memory and CPU (decompression) for disk IO\" of "
+      "single-file images (§3.2) degenerates into a network storm on "
+      "the lazy path (§7)";
+  f.paper_ref = "§3.2 / §7";
+  f.fix_hint = "put a page-cache tier in front of the registry origin";
+  f.fix = [](AuditInput& in2) {
+    if (!in2.data_path) in2.data_path.emplace();
+    in2.data_path->tiers.insert(
+        in2.data_path->tiers.begin(),
+        storage::TierSummary{"page-cache", true, 4ull << 30});
+  };
+  out.push_back(std::move(f));
+}
+
+void perf005(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.data_path || in.image_index_bytes == 0) return;
+  const auto* top = in.data_path->top_cache();
+  if (top == nullptr || top->capacity_bytes == 0) return;
+  if (top->capacity_bytes >= in.image_index_bytes) return;
+  Finding f;
+  f.rule = "PERF005";
+  f.object = "tier " + top->name;
+  f.message =
+      "top cache tier capacity (" + std::to_string(top->capacity_bytes) +
+      " bytes) is smaller than the image's hot index (" +
+      std::to_string(in.image_index_bytes) +
+      " bytes): the working set evicts itself on every pass, so the "
+      "cache never converges and random access degrades to the "
+      "shared-FS small-file regime (§3.2 / §4.1.4)";
+  f.paper_ref = "§3.2 / §7";
+  f.fix_hint = "grow the cache tier to at least the image index size";
+  f.fix = [index = in.image_index_bytes](AuditInput& in2) {
+    if (!in2.data_path) return;
+    if (auto* cache = in2.data_path->top_cache()) {
+      cache->capacity_bytes = index;
+    }
+  };
+  out.push_back(std::move(f));
+}
+
 // ---------------------------------------------------------------------------
 // CFG — engine / registry / site consistency (Tables 1-5, §5, §6)
 // ---------------------------------------------------------------------------
@@ -586,6 +636,11 @@ RuleRegistry RuleRegistry::builtin() {
       "§3.2 / §4.1.4", perf002);
   add("PERF003", Severity::kWarn,
       "ptrace fakeroot under a syscall-heavy workload", "§4.1.2", perf003);
+  add("PERF004", Severity::kWarn,
+      "lazy mount without a cache tier in the data path", "§3.2 / §7",
+      perf004);
+  add("PERF005", Severity::kWarn,
+      "cache tier smaller than the image's hot index", "§3.2 / §7", perf005);
   add("CFG001", Severity::kWarn,
       "OCI hooks require manual root but mechanism is unprivileged",
       "Table 1 / §4.1.6", cfg001);

@@ -19,22 +19,10 @@ ContainerEngine::ContainerEngine(EngineKind kind, EngineFeatures features,
       ctx_(std::move(ctx)), oci_runtime_(behavior.runtime),
       log_("engine/" + std::string(to_string(kind))) {}
 
-runtime::StorageBacking ContainerEngine::shared_backing(
-    const std::string& key) const {
-  runtime::StorageBacking b;
-  b.shared = &ctx_.cluster->shared_fs();
-  b.cache = &ctx_.cluster->page_cache(ctx_.node);
-  b.cache_key = "img:" + key;
-  return b;
-}
-
-runtime::StorageBacking ContainerEngine::local_backing(
-    const std::string& key) const {
-  runtime::StorageBacking b;
-  b.local = &ctx_.cluster->local_storage(ctx_.node);
-  b.cache = &ctx_.cluster->page_cache(ctx_.node);
-  b.cache_key = "img:" + key;
-  return b;
+storage::DataPath ContainerEngine::artifact_path(
+    const std::string& key, storage::Placement placement) const {
+  return storage::node_data_path(*ctx_.cluster, ctx_.node, placement,
+                                 "img:" + key);
 }
 
 Result<SimTime> ContainerEngine::pull(SimTime now,
@@ -48,7 +36,7 @@ Result<SimTime> ContainerEngine::pull(SimTime now,
   const std::string ref_key = "ref:" + ref.to_string();
   if (site.pulled.contains(ref_key)) {
     if (skipped) *skipped = true;
-    return ctx_.cluster->shared_fs().metadata_op(now);
+    return artifact_path(ref_key, storage::Placement::kSharedFs).meta_op(now);
   }
 
   registry::PullResult pulled;
@@ -84,14 +72,12 @@ Result<SimTime> ContainerEngine::ensure_converted(
                                std::uint64_t artifact_size) -> SimTime {
     // Read the layer blobs from the cluster FS, burn conversion CPU,
     // write the artifact to its destination.
-    t = ctx_.cluster->shared_fs().read(t, layer_bytes);
+    t = artifact_path(key, storage::Placement::kSharedFs)
+            .stream_read(t, layer_bytes);
     t += image::conversion_cpu_cost(layer_bytes);
-    if (write_shared) {
-      t = ctx_.cluster->shared_fs().write(t, artifact_size);
-    } else {
-      t = ctx_.cluster->local_storage(ctx_.node).write(t, artifact_size);
-    }
-    return t;
+    const auto placement = write_shared ? storage::Placement::kSharedFs
+                                        : storage::Placement::kNodeLocal;
+    return artifact_path(key, placement).stream_write(t, artifact_size);
   };
 
   const image::ImageFormat target =
@@ -200,7 +186,8 @@ Result<std::shared_ptr<runtime::MountedRootfs>> ContainerEngine::make_rootfs(
           std::make_unique<vfs::OverlayFs>(std::move(lowers)));
       return std::shared_ptr<runtime::MountedRootfs>(
           runtime::make_overlay_rootfs(
-              live_overlays_.back().get(), shared_backing(key),
+              live_overlays_.back().get(),
+              artifact_path(key, storage::Placement::kSharedFs),
               behavior_.mount == MountStrategy::kOverlayFuse));
     }
     case MountStrategy::kSquashFuse:
@@ -214,7 +201,8 @@ Result<std::shared_ptr<runtime::MountedRootfs>> ContainerEngine::make_rootfs(
         return err_internal("converted artifact missing: " + squash_key);
       return std::shared_ptr<runtime::MountedRootfs>(
           runtime::make_squash_rootfs(
-              it->second.get(), shared_backing(key),
+              it->second.get(),
+              artifact_path(key, storage::Placement::kSharedFs),
               behavior_.mount == MountStrategy::kSquashFuse));
     }
     case MountStrategy::kDirExtract: {
@@ -222,7 +210,9 @@ Result<std::shared_ptr<runtime::MountedRootfs>> ContainerEngine::make_rootfs(
       if (it == site.dir_artifacts.end())
         return err_internal("extracted dir missing: " + key);
       return std::shared_ptr<runtime::MountedRootfs>(
-          runtime::make_dir_rootfs(it->second.get(), local_backing(key)));
+          runtime::make_dir_rootfs(
+              it->second.get(),
+              artifact_path(key, storage::Placement::kNodeLocal)));
     }
   }
   return err_internal("unhandled mount strategy");

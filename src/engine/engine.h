@@ -27,6 +27,7 @@
 #include "runtime/container.h"
 #include "runtime/libraries.h"
 #include "sim/cluster.h"
+#include "storage/cache_hierarchy.h"
 #include "util/log.h"
 #include "util/result.h"
 
@@ -156,8 +157,10 @@ class ContainerEngine {
       const std::string& key, const SiteState::PulledImage& img,
       const RunOptions& options);
 
-  runtime::StorageBacking shared_backing(const std::string& key) const;
-  runtime::StorageBacking local_backing(const std::string& key) const;
+  /// The per-node artifact path for `key`: page cache on top, then the
+  /// placement's backing store (shared FS or node-local NVMe).
+  storage::DataPath artifact_path(const std::string& key,
+                                  storage::Placement placement) const;
 
   EngineKind kind_;
   EngineFeatures features_;

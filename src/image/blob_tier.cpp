@@ -1,0 +1,22 @@
+#include "image/blob_tier.h"
+
+#include <string>
+
+#include "crypto/digest.h"
+#include "image/store.h"
+#include "storage/tiers.h"
+
+namespace hpcc::image {
+
+std::unique_ptr<storage::ChunkSource> blob_store_tier(const BlobStore& store) {
+  return std::make_unique<storage::KeyedStoreTier>(
+      "blob-store", [&store](const std::string& key) {
+        constexpr std::string_view kPrefix = "blob:";
+        if (!key.starts_with(kPrefix)) return false;
+        const auto digest =
+            crypto::Digest::parse("sha256:" + key.substr(kPrefix.size()));
+        return digest.ok() && store.contains(digest.value());
+      });
+}
+
+}  // namespace hpcc::image

@@ -1,0 +1,25 @@
+// hpcc/image/blob_tier.h
+//
+// Adapts the engine-local BlobStore CAS into a storage::ChunkSource so
+// registry pulls walk it as a tier of the node data path: a blob the
+// node already holds is a cache hit (the "layer deduplication ...
+// locally based on equal hashes" of §3.1) and skips the WAN origin
+// below it. Lives in image/ — the storage layer stays ignorant of OCI
+// digests.
+#pragma once
+
+#include <memory>
+
+#include "storage/chunk_source.h"
+
+namespace hpcc::image {
+
+class BlobStore;
+
+/// Cache tier over `store`, matching keys of the form "blob:<hex>"
+/// (a sha256 hex digest). Serving is free in simulated time — the blob
+/// is already in node memory; admission stays with the pull pipeline's
+/// verified put_with_digest, not the hierarchy.
+std::unique_ptr<storage::ChunkSource> blob_store_tier(const BlobStore& store);
+
+}  // namespace hpcc::image

@@ -1,18 +1,48 @@
 #include "image/store.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/thread_pool.h"
 
 namespace hpcc::image {
 
-BlobStore::BlobStore(const BlobStore& other) { *this = other; }
+std::size_t BlobStore::resolve_shards(std::size_t requested) {
+  if (requested == 0) {
+    if (const char* env = std::getenv("HPCC_BLOB_SHARDS")) {
+      requested = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  if (requested == 0) requested = 16;
+  return std::clamp<std::size_t>(requested, 1, 1024);
+}
+
+BlobStore::BlobStore(std::size_t shards) {
+  const std::size_t count = resolve_shards(shards);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BlobStore::BlobStore(const BlobStore& other) : BlobStore(other.num_shards()) {
+  *this = other;
+}
 
 BlobStore::BlobStore(BlobStore&& other) noexcept { *this = std::move(other); }
 
 BlobStore& BlobStore::operator=(const BlobStore& other) {
   if (this == &other) return *this;
-  for (std::size_t i = 0; i < kNumShards; ++i) {
-    std::scoped_lock lk(other.shards_[i].mu);
-    shards_[i].blobs = other.shards_[i].blobs;
+  if (shards_.size() != other.shards_.size()) {
+    // Rebuild to match: shard count is part of the addressing scheme.
+    shards_.clear();
+    for (std::size_t i = 0; i < other.shards_.size(); ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::scoped_lock lk(other.shards_[i]->mu);
+    shards_[i]->blobs = other.shards_[i]->blobs;
   }
   stored_bytes_.store(other.stored_bytes_.load());
   logical_bytes_.store(other.logical_bytes_.load());
@@ -22,10 +52,10 @@ BlobStore& BlobStore::operator=(const BlobStore& other) {
 
 BlobStore& BlobStore::operator=(BlobStore&& other) noexcept {
   if (this == &other) return *this;
-  for (std::size_t i = 0; i < kNumShards; ++i) {
-    std::scoped_lock lk(other.shards_[i].mu);
-    shards_[i].blobs = std::move(other.shards_[i].blobs);
-    other.shards_[i].blobs.clear();
+  shards_ = std::move(other.shards_);
+  other.shards_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    other.shards_.push_back(std::make_unique<Shard>());
   }
   stored_bytes_.store(other.stored_bytes_.exchange(0));
   logical_bytes_.store(other.logical_bytes_.exchange(0));
@@ -101,8 +131,8 @@ Result<Unit> BlobStore::remove(const crypto::Digest& digest) {
 std::uint64_t BlobStore::num_blobs() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::scoped_lock lk(shard.mu);
-    total += shard.blobs.size();
+    std::scoped_lock lk(shard->mu);
+    total += shard->blobs.size();
   }
   return total;
 }

@@ -9,10 +9,10 @@
 // families sharing base layers. ImageStore adds the tag→manifest
 // indirection engines and registries both need.
 //
-// BlobStore is concurrency-safe: the map is split across kNumShards
-// shards, each guarded by its own mutex, so the parallel pull pipeline's
-// concurrent put_verified calls (one per layer, see registry/client.h)
-// don't serialize on a single lock. Digests are computed outside any
+// BlobStore is concurrency-safe: the map is split across mutex-guarded
+// shards (16 by default; constructor arg or HPCC_BLOB_SHARDS override),
+// so the parallel pull pipeline's concurrent put_verified calls (one per
+// layer, see registry/client.h) don't serialize on a single lock. Digests are computed outside any
 // lock — that is where the CPU time goes. Counters are exact under
 // concurrency: stored/logical bytes and dedup hits are updated under the
 // owning shard's lock or atomically, so a race of N identical puts
@@ -20,8 +20,8 @@
 // sequential order would.
 #pragma once
 
-#include <array>
 #include <atomic>
+#include <memory>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -42,7 +42,10 @@ namespace hpcc::image {
 
 class BlobStore {
  public:
-  BlobStore() = default;
+  /// `shards` = 0 resolves the count from the HPCC_BLOB_SHARDS
+  /// environment variable (clamped to [1, 1024]), defaulting to 16 —
+  /// the first step toward sizing shards from NUMA topology (ROADMAP).
+  explicit BlobStore(std::size_t shards = 0);
   // Copy/move snapshot the source shard-by-shard. They lock the source's
   // shards but are not atomic across shards: don't copy a store while
   // another thread mutates it mid-copy and expect a point-in-time view.
@@ -90,9 +93,11 @@ class BlobStore {
   std::uint64_t dedup_hits() const {
     return dedup_hits_.load(std::memory_order_relaxed);
   }
+  std::size_t num_shards() const { return shards_.size(); }
 
  private:
-  static constexpr std::size_t kNumShards = 16;
+  /// Constructor-arg > HPCC_BLOB_SHARDS env > 16; clamped to [1, 1024].
+  static std::size_t resolve_shards(std::size_t requested);
 
   struct Shard {
     mutable std::mutex mu;
@@ -100,13 +105,15 @@ class BlobStore {
   };
 
   Shard& shard_for(const crypto::Digest& digest) {
-    return shards_[std::hash<crypto::Digest>{}(digest) % kNumShards];
+    return *shards_[std::hash<crypto::Digest>{}(digest) % shards_.size()];
   }
   const Shard& shard_for(const crypto::Digest& digest) const {
-    return shards_[std::hash<crypto::Digest>{}(digest) % kNumShards];
+    return *shards_[std::hash<crypto::Digest>{}(digest) % shards_.size()];
   }
 
-  std::array<Shard, kNumShards> shards_;
+  // unique_ptr elements keep Shard (with its mutex) at a stable address
+  // while allowing a runtime-sized shard set.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> stored_bytes_{0};
   std::atomic<std::uint64_t> logical_bytes_{0};
   std::atomic<std::uint64_t> dedup_hits_{0};

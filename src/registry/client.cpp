@@ -1,5 +1,9 @@
 #include "registry/client.h"
 
+#include "image/blob_tier.h"
+#include "storage/cache_hierarchy.h"
+#include "storage/tiers.h"
+
 namespace hpcc::registry {
 
 // Phase 2 of a pull: the per-layer CPU work (digest verification, archive
@@ -58,16 +62,36 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   SimTime t = reg.serve_request(now);
   HPCC_TRY(out.manifest, reg.get_manifest(ref));
 
+  // The pull's blob path as a tier chain: the local CAS on top (a blob
+  // the node already holds is a cache hit, §3.1 dedup), the registry
+  // fetch path — frontend, egress, WAN — as the origin below it.
+  storage::CacheHierarchy chain;
+  if (local != nullptr) chain.add_tier(image::blob_store_tier(*local));
+  chain.add_tier(storage::origin_tier(
+      "registry-wan", [&](SimTime t0, std::uint64_t bytes) {
+        t0 = reg.serve_request(t0);
+        t0 = reg.serve_transfer(t0, bytes);
+        return network_->wan_transfer(t0, node_, bytes);
+      }));
+
   // Config blob.
-  t = reg.serve_request(t);
-  HPCC_TRY(Bytes config_blob, reg.get_blob(out.manifest.config_digest));
-  HPCC_TRY_UNIT(crypto::verify_digest(config_blob, out.manifest.config_digest));
-  t = reg.serve_transfer(t, config_blob.size());
-  t = network_->wan_transfer(t, node_, config_blob.size());
-  out.bytes_transferred += config_blob.size();
-  HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
-  if (local)
-    local->put_with_digest(std::move(config_blob), out.manifest.config_digest);
+  const std::string config_key = "blob:" + out.manifest.config_digest.hex();
+  if (local != nullptr && local->contains(out.manifest.config_digest)) {
+    // Local hit: deserialize from the CAS, no transfer charged.
+    HPCC_TRY(const Bytes* cached, local->get(out.manifest.config_digest));
+    t = chain.read(t, {config_key, cached->size()}).done;
+    HPCC_TRY(out.config, image::ImageConfig::deserialize(*cached));
+  } else {
+    HPCC_TRY(Bytes config_blob, reg.get_blob(out.manifest.config_digest));
+    HPCC_TRY_UNIT(
+        crypto::verify_digest(config_blob, out.manifest.config_digest));
+    t = chain.read(t, {config_key, config_blob.size()}).done;
+    out.bytes_transferred += config_blob.size();
+    HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
+    if (local)
+      local->put_with_digest(std::move(config_blob),
+                             out.manifest.config_digest);
+  }
 
   // Phase 1 (strictly sequential, manifest order): cache checks, blob
   // fetches and every timed interaction — frontend service, registry
@@ -80,18 +104,22 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   std::size_t reached = 0;
   for (std::size_t i = 0; i < n; ++i, ++reached) {
     const auto& digest = out.manifest.layer_digests[i];
+    const std::string key = "blob:" + digest.hex();
     if (local && local->contains(digest)) {
       ++out.layers_skipped;
-      continue;  // fetched[i] stays empty: decode from the local store
+      // Blob-tier hit: zero-latency serve, counted in the chain stats;
+      // fetched[i] stays empty so phase 2 decodes from the local store.
+      const std::uint64_t size =
+          i < out.manifest.layer_sizes.size() ? out.manifest.layer_sizes[i] : 0;
+      t = chain.read(t, {key, size}).done;
+      continue;
     }
-    t = reg.serve_request(t);
     auto blob = reg.get_blob(digest);
     if (!blob.ok()) {
       fetch_error = blob.error();
       break;
     }
-    t = reg.serve_transfer(t, blob.value().size());
-    t = network_->wan_transfer(t, node_, blob.value().size());
+    t = chain.read(t, {key, blob.value().size()}).done;
     out.bytes_transferred += blob.value().size();
     fetched[i] = std::move(blob).value();
   }
@@ -157,8 +185,16 @@ Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
   SimTime t = now;
   image::OciManifest manifest;
 
+  // Push-side uplink as a single-tier chain: every outbound byte is a
+  // stream write against the WAN origin.
+  storage::CacheHierarchy uplink;
+  uplink.add_tier(storage::origin_tier(
+      "wan-uplink", [&](SimTime t0, std::uint64_t bytes) {
+        return network_->wan_transfer(t0, node_, bytes);
+      }));
+
   Bytes config_blob = config.serialize();
-  t = network_->wan_transfer(t, node_, config_blob.size());
+  t = uplink.stream_write(t, config_blob.size());
   out.bytes_transferred += config_blob.size();
   HPCC_TRY(manifest.config_digest,
            reg.push_blob(user, project, std::move(config_blob)));
@@ -180,7 +216,7 @@ Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
     const std::uint64_t size = p.blob.size();
     // Existing blobs are not re-transferred (cross-user dedup on push).
     if (!reg.has_blob(p.digest)) {
-      t = network_->wan_transfer(t, node_, size);
+      t = uplink.stream_write(t, size);
       out.bytes_transferred += size;
     }
     HPCC_TRY(auto digest, reg.push_blob(user, project, std::move(p.blob)));

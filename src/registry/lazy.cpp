@@ -1,5 +1,12 @@
 #include "registry/lazy.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/tiers.h"
+
 namespace hpcc::registry {
 
 Result<crypto::Digest> publish_lazy(OciRegistry& reg,
@@ -15,7 +22,22 @@ class LazyRootfs final : public runtime::MountedRootfs {
  public:
   LazyRootfs(const vfs::SquashImage* squash, LazyMountConfig config,
              const runtime::RuntimeCosts& costs)
-      : squash_(squash), config_(config), costs_(costs) {}
+      : squash_(squash), config_(std::move(config)), costs_(costs) {
+    auto chain = std::make_shared<storage::CacheHierarchy>();
+    chain->add_tier(std::move(config_.cache));
+    if (config_.staging) chain->add_tier(std::move(config_.staging));
+    chain->add_tier(storage::origin_tier(
+        config_.over_wan ? "registry-wan" : "site-registry",
+        [this](SimTime t, std::uint64_t bytes) { return fetch(t, bytes); }));
+    chain->set_prefetch_pool(config_.prefetch_pool);
+    path_ = storage::DataPath(std::move(chain), std::string());
+    if (config_.prefetch_depth > 0) {
+      build_block_table();
+      // Warm the head of the image while the container is still being
+      // set up (overlap fetch with startup, §5.1).
+      schedule_prefetch(0);
+    }
+  }
 
   runtime::MountKind kind() const override {
     // Lazy mounts are FUSE-class userspace drivers (stargz-snapshotter,
@@ -35,9 +57,13 @@ class LazyRootfs final : public runtime::MountedRootfs {
     return costs_.fuse_mount_cost + transfer_duration(index_bytes);
   }
 
-  SimTime charge_open(SimTime now) override { return fuse_op(now); }
+  SimTime charge_open(SimTime now) override {
+    path_.drain();
+    return fuse_op(now);
+  }
 
   SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    path_.drain();
     const double ratio = squash_->compression_ratio();
     if (random) {
       return block_read(fuse_op(now),
@@ -58,6 +84,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
 
   Result<SimTime> read_file(SimTime now, std::string_view path,
                             Bytes* out) override {
+    path_.drain();
     HPCC_TRY(const auto blocks, squash_->file_blocks(path));
     SimTime t = fuse_op(now);
     std::uint64_t remaining = blocks.file_size;
@@ -66,14 +93,16 @@ class LazyRootfs final : public runtime::MountedRootfs {
           std::min<std::uint64_t>(remaining, blocks.block_size);
       const std::string key =
           "lazy:" + std::string(path) + ":" + std::to_string(i);
-      if (config_.cache->contains(key)) {
-        t += config_.cache->hit_cost(unc);
-      } else {
-        t = fetch(t, blocks.comp_lens[i]);
-        t += decompress_time(unc);
-        config_.cache->insert(key, unc);
-      }
+      const auto o = path_.read_chunk(t, key, unc, blocks.comp_lens[i]);
+      t = o.done;
+      if (!o.cache_hit) t += decompress_time(unc);
       remaining -= unc;
+    }
+    if (config_.prefetch_depth > 0) {
+      auto it = file_start_.find(std::string(path));
+      if (it != file_start_.end()) {
+        schedule_prefetch(it->second + blocks.comp_lens.size());
+      }
     }
     if (out) {
       HPCC_TRY(*out, squash_->read_file(path));
@@ -86,6 +115,52 @@ class LazyRootfs final : public runtime::MountedRootfs {
   }
 
  private:
+  /// One entry per data block of every regular file, in image layout
+  /// order — the sequence a sequential-next prefetcher walks.
+  struct BlockEntry {
+    std::string path;
+    std::size_t block_in_file = 0;
+    std::uint64_t unc = 0;
+    std::uint64_t comp = 0;
+  };
+
+  void build_block_table() {
+    for (const auto& path : squash_->files_in_layout_order()) {
+      const auto blocks = squash_->file_blocks(path);
+      if (!blocks.ok()) continue;
+      std::uint64_t remaining = blocks.value().file_size;
+      file_start_[path] = block_table_.size();
+      for (std::size_t i = 0; i < blocks.value().comp_lens.size(); ++i) {
+        const std::uint64_t unc =
+            std::min<std::uint64_t>(remaining, blocks.value().block_size);
+        block_table_.push_back(
+            BlockEntry{path, i, unc, blocks.value().comp_lens[i]});
+        remaining -= unc;
+      }
+    }
+  }
+
+  /// Queue background warm-up of block_table_[from, from + depth). The
+  /// CPU work is the real block decompression; admission is deferred to
+  /// the next drain (in request order — the determinism contract).
+  void schedule_prefetch(std::size_t from) {
+    const std::size_t to =
+        std::min<std::size_t>(from + config_.prefetch_depth,
+                              block_table_.size());
+    for (std::size_t i = from; i < to; ++i) {
+      const BlockEntry& e = block_table_[i];
+      const std::string key =
+          "lazy:" + e.path + ":" + std::to_string(e.block_in_file);
+      if (path_.hierarchy()->holds_cached(key)) continue;
+      path_.prefetch_chunk(
+          key, e.unc, e.comp, /*admit_bytes=*/0,
+          [squash = squash_, path = e.path,
+           offset = static_cast<std::uint64_t>(e.block_in_file) *
+                    squash_->block_size(),
+           length = e.unc] { (void)squash->read_range(path, offset, length); });
+    }
+  }
+
   std::uint64_t block_size() const { return squash_->block_size(); }
 
   std::uint64_t compressed_payload_bytes() const {
@@ -133,18 +208,18 @@ class LazyRootfs final : public runtime::MountedRootfs {
 
   SimTime block_read(SimTime t, std::uint64_t unc, double ratio,
                      const std::string& key) {
-    if (config_.cache->contains(key)) return t + config_.cache->hit_cost(unc);
     const auto comp =
         static_cast<std::uint64_t>(static_cast<double>(unc) * ratio) + 1;
-    t = fetch(t, comp);
-    t += decompress_time(unc);
-    config_.cache->insert(key, unc);
-    return t;
+    const auto o = path_.read_chunk(t, key, unc, comp);
+    return o.cache_hit ? o.done : o.done + decompress_time(unc);
   }
 
   const vfs::SquashImage* squash_;
   LazyMountConfig config_;
   const runtime::RuntimeCosts& costs_;
+  storage::DataPath path_;
+  std::vector<BlockEntry> block_table_;
+  std::unordered_map<std::string, std::size_t> file_start_;
   std::uint64_t rnd_counter_ = 0;
   std::uint64_t seq_counter_ = 0;
 };
@@ -158,7 +233,7 @@ Result<std::unique_ptr<runtime::MountedRootfs>> make_lazy_rootfs(
   if (!config.registry || !config.network || !config.cache)
     return err_invalid("lazy mount needs a registry, a network and a cache");
   return std::unique_ptr<runtime::MountedRootfs>(
-      new LazyRootfs(squash, config, costs));
+      new LazyRootfs(squash, std::move(config), costs));
 }
 
 }  // namespace hpcc::registry

@@ -9,10 +9,19 @@
 //
 // A LazyImage is a chunk-indexed squash artifact hosted by a registry:
 // mounting fetches only the index; file blocks are fetched over the
-// network on first access and land in the node's page cache. Containers
-// start before the image has "arrived" — the win is time-to-first-work;
-// the cost is first-touch latency on every cold block (bench_lazy_pull
-// measures both sides against the pull-convert-run pipeline).
+// network on first access and land in the mount's cache tiers. The
+// block path is a storage::CacheHierarchy — cache tier(s) from the
+// config on top, the registry transfer as origin tier below — so lazy
+// first-touch, page-cache reuse, and an optional NVMe staging tier all
+// follow the same promotion rules as every other mount (DESIGN.md §8).
+//
+// With `prefetch_depth > 0`, each functional read also schedules
+// background fetches of the next blocks in image layout order
+// (sequential-next): real decompression runs on `prefetch_pool`, and
+// warmed blocks turn later first-touches into cache hits. Prefetch obeys
+// the PR-2 determinism contract — it only warms tiers, and tier
+// admission is replayed in request order on the mount's thread, so
+// functional read results are byte-identical with and without it.
 #pragma once
 
 #include <memory>
@@ -20,8 +29,13 @@
 #include "registry/registry.h"
 #include "runtime/mounts.h"
 #include "sim/network.h"
+#include "storage/cache_hierarchy.h"
 #include "util/result.h"
 #include "vfs/squash_image.h"
+
+namespace hpcc::util {
+class ThreadPool;
+}
 
 namespace hpcc::registry {
 
@@ -32,14 +46,26 @@ Result<crypto::Digest> publish_lazy(OciRegistry& reg,
                                     const std::string& project,
                                     const vfs::SquashImage& squash);
 
+/// Move-only: the tier handles transfer into the mount's hierarchy.
 struct LazyMountConfig {
   OciRegistry* registry = nullptr;
   sim::Network* network = nullptr;
   sim::NodeId node = 0;
-  sim::PageCache* cache = nullptr;  ///< required: lazy without cache thrashes
+  /// Required top cache tier (storage::page_cache_tier(...) normally):
+  /// lazy without a cache thrashes the origin.
+  std::unique_ptr<storage::ChunkSource> cache;
+  /// Optional second cache tier between DRAM and the origin — e.g.
+  /// NodeLocalTier::cache(...) staging fetched blocks on NVMe.
+  std::unique_ptr<storage::ChunkSource> staging;
   /// Transfers cross the WAN (public registry) or stay on the site
   /// network (site registry / Dragonfly-style P2P).
   bool over_wan = false;
+  /// Blocks of sequential-next prefetch scheduled per functional read
+  /// (0 = off). Closes the ROADMAP "async prefetch for lazy pulling"
+  /// item when enabled.
+  unsigned prefetch_depth = 0;
+  /// Pool for prefetch decompression work; null = inline.
+  util::ThreadPool* prefetch_pool = nullptr;
 };
 
 /// Creates a lazily-backed rootfs over a published squash image. Mount

@@ -1,6 +1,9 @@
 #include "registry/proxy.h"
 
+#include <string_view>
+
 #include "image/reference.h"
+#include "storage/tiers.h"
 
 namespace hpcc::registry {
 
@@ -8,7 +11,26 @@ PullThroughProxy::PullThroughProxy(std::string host, OciRegistry* upstream,
                                    ProxyConfig config)
     : host_(std::move(host)), upstream_(upstream), config_(config),
       frontend_(host_ + "-frontend", config.limits.frontend_threads),
-      egress_(host_ + "-egress", 1) {}
+      egress_(host_ + "-egress", 1) {
+  path_.add_tier(std::make_unique<storage::KeyedStoreTier>(
+      "proxy-cache", [this](const std::string& key) {
+        constexpr std::string_view kManifest = "manifest:";
+        constexpr std::string_view kBlob = "blob:";
+        if (key.starts_with(kManifest)) {
+          return manifest_cache_.contains(key.substr(kManifest.size()));
+        }
+        if (key.starts_with(kBlob)) {
+          const auto digest =
+              crypto::Digest::parse("sha256:" + key.substr(kBlob.size()));
+          return digest.ok() && cache_.contains(digest.value());
+        }
+        return false;
+      }));
+  path_.add_tier(storage::origin_tier(
+      "upstream-wan", [this](SimTime t, std::uint64_t bytes) {
+        return upstream_fetch(t, bytes);
+      }));
+}
 
 SimTime PullThroughProxy::upstream_fetch(SimTime now, std::uint64_t bytes) {
   // Wait out the upstream rate limiter (the proxy is one well-behaved
@@ -42,15 +64,16 @@ Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
     HPCC_TRY(const Bytes* blob, cache_.get(it->second));
     HPCC_TRY(out.manifest, image::OciManifest::deserialize(*blob));
     out.cache_hit = true;
-    ++cache_hits_;
-    out.done = t;
+    out.done =
+        path_.read(t, {"manifest:" + ref.to_string(), blob->size()}).done;
     bytes_served_ += blob->size();
     return out;
   }
 
   HPCC_TRY(out.manifest, upstream_->get_manifest(ref));
   Bytes blob = out.manifest.serialize();
-  t = upstream_fetch(t, blob.size());
+  // Charged before the cache insert so the chain sees the miss.
+  t = path_.read(t, {"manifest:" + ref.to_string(), blob.size()}).done;
   bytes_served_ += blob.size();
   manifest_cache_[ref.to_string()] = cache_.put(std::move(blob));
   out.done = t;
@@ -65,10 +88,10 @@ Result<PullThroughProxy::BlobResult> PullThroughProxy::fetch_blob(
   if (const auto cached = cache_.get(digest); cached.ok()) {
     out.blob = *cached.value();
     out.cache_hit = true;
-    ++cache_hits_;
+    t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;
   } else {
     HPCC_TRY(out.blob, upstream_->get_blob(digest));
-    t = upstream_fetch(t, out.blob.size());
+    t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;
     (void)cache_.put(out.blob);
   }
   // Serve through the proxy's own egress (site-local, fast).

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "registry/registry.h"
+#include "storage/cache_hierarchy.h"
 
 namespace hpcc::registry {
 
@@ -48,7 +49,7 @@ class PullThroughProxy {
   Result<BlobResult> fetch_blob(SimTime now, const crypto::Digest& digest);
 
   // ----- the "detailed statistics" a proxy registry provides (§5.1.3)
-  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_hits() const { return path_.tier_stats(0).hits; }
   std::uint64_t upstream_fetches() const { return upstream_fetches_; }
   std::uint64_t upstream_bytes() const { return upstream_bytes_; }
   std::uint64_t bytes_served() const { return bytes_served_; }
@@ -65,7 +66,11 @@ class PullThroughProxy {
   std::map<std::string, crypto::Digest> manifest_cache_;  // ref -> digest
   sim::FifoStation frontend_;
   sim::FifoStation egress_;
-  std::uint64_t cache_hits_ = 0;
+  // The proxy's charge path as a two-tier chain: its own store on top
+  // ("manifest:<ref>" / "blob:<hex>" keys), the upstream WAN below.
+  // Makes the proxy non-copyable, which it effectively already was
+  // (live FifoStations).
+  storage::CacheHierarchy path_;
   std::uint64_t upstream_fetches_ = 0;
   std::uint64_t upstream_bytes_ = 0;
   std::uint64_t bytes_served_ = 0;

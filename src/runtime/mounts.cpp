@@ -3,21 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/resource.h"
+
 namespace hpcc::runtime {
 
-SimTime StorageBacking::meta_op(SimTime now) const {
-  if (shared) return shared->metadata_op(now);
-  if (local) return local->read(now, 0);
-  return now + 1;
-}
-
-SimTime StorageBacking::read(SimTime now, std::uint64_t bytes) const {
-  if (shared) return shared->read(now, bytes);
-  if (local) return local->read(now, bytes);
-  return now + 1;
-}
-
 namespace {
+
+/// True when the data path's terminal tier is the cluster shared FS —
+/// only used for describe() strings.
+bool backed_by_shared_fs(const storage::DataPath& path) {
+  if (path.empty()) return false;
+  const auto topo = path.hierarchy()->topology();
+  return !topo.tiers.empty() && topo.tiers.back().name == "shared-fs";
+}
 
 /// Models the single FUSE daemon a FUSE mount funnels every request
 /// through (the serialization half of the [29] IOPS gap).
@@ -42,54 +40,44 @@ class FuseDaemon {
 
 class DirRootfs final : public MountedRootfs {
  public:
-  DirRootfs(const vfs::MemFs* tree, StorageBacking backing,
+  DirRootfs(const vfs::MemFs* tree, storage::DataPath path,
             const RuntimeCosts& costs)
-      : tree_(tree), backing_(std::move(backing)), costs_(costs) {}
+      : tree_(tree), path_(std::move(path)), costs_(costs) {}
 
   MountKind kind() const override { return MountKind::kDirRootfs; }
   std::string describe() const override {
-    return backing_.shared ? "dir on shared FS" : "dir on node-local storage";
+    return backed_by_shared_fs(path_) ? "dir on shared FS"
+                                      : "dir on node-local storage";
   }
   SimDuration setup_cost() const override { return costs_.pivot_root_cost; }
 
   SimTime charge_open(SimTime now) override {
     // Path lookup hits the backing store's metadata service.
-    return backing_.meta_op(now);
+    path_.drain();
+    return path_.meta_op(now);
   }
 
   SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
-    if (!random) return backing_.read(now, bytes);
+    path_.drain();
+    if (!random) return path_.stream_read(now, bytes);
     // Random access: one storage op per (4K-ish) access — the pattern
-    // shared filesystems are bad at (§4.1.4). With a page cache, reads
-    // cycling a hot set are served from memory after first touch.
-    if (backing_.cache) {
-      const std::string key = backing_.cache_key + ":rndpg:" +
-                              std::to_string(rnd_counter_++ % 64);
-      if (backing_.cache->contains(key)) {
-        return now + costs_.kernel_fs_op + backing_.cache->hit_cost(bytes);
-      }
-      const SimTime t = backing_.read(now, bytes);
-      backing_.cache->insert(key, bytes);
-      return t;
-    }
-    return backing_.read(now, bytes);
+    // shared filesystems are bad at (§4.1.4). Reads cycling a hot set
+    // are served by the top cache tier after first touch.
+    const auto o = path_.read_chunk(
+        now, "rndpg:" + std::to_string(rnd_counter_++ % 64), bytes);
+    return o.cache_hit ? o.done + costs_.kernel_fs_op : o.done;
   }
 
   Result<SimTime> read_file(SimTime now, std::string_view path,
                             Bytes* out) override {
+    path_.drain();
     HPCC_TRY(const vfs::Stat st, tree_->stat(path));
-    SimTime t = backing_.meta_op(now);
-    const std::string key = backing_.cache_key + ":" + std::string(path);
-    if (backing_.cache && backing_.cache->contains(key)) {
-      t += backing_.cache->hit_cost(st.size);
-    } else {
-      t = backing_.read(t, st.size);
-      if (backing_.cache) backing_.cache->insert(key, st.size);
-    }
+    const SimTime t = path_.meta_op(now);
+    const auto o = path_.read_chunk(t, std::string(path), st.size);
     if (out) {
       HPCC_TRY(*out, tree_->read_file(path));
     }
-    return t;
+    return o.done;
   }
 
   bool exists(std::string_view path) const override {
@@ -98,7 +86,7 @@ class DirRootfs final : public MountedRootfs {
 
  private:
   const vfs::MemFs* tree_;
-  StorageBacking backing_;
+  storage::DataPath path_;
   const RuntimeCosts& costs_;
   std::uint64_t rnd_counter_ = 0;
 };
@@ -107,9 +95,9 @@ class DirRootfs final : public MountedRootfs {
 
 class SquashRootfs final : public MountedRootfs {
  public:
-  SquashRootfs(const vfs::SquashImage* image, StorageBacking backing,
+  SquashRootfs(const vfs::SquashImage* image, storage::DataPath path,
                bool fuse, const RuntimeCosts& costs)
-      : image_(image), backing_(std::move(backing)), fuse_(fuse), costs_(costs),
+      : image_(image), path_(std::move(path)), fuse_(fuse), costs_(costs),
         daemon_(costs) {}
 
   MountKind kind() const override {
@@ -124,31 +112,34 @@ class SquashRootfs final : public MountedRootfs {
 
   SimTime charge_open(SimTime now) override {
     // The index is memory-resident after mount; cost is the driver op.
+    path_.drain();
     return driver_op(now);
   }
 
   SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
+    path_.drain();
     const double ratio = image_->compression_ratio();
     if (random) {
-      // Random access cycles through a hot block set. With a page cache
+      // Random access cycles through a hot block set. With a cache tier
       // (the [29] measurement regime) most reads hit decompressed pages:
       // the in-kernel driver serves them at memory speed while FUSE
       // still pays the user-kernel crossing and daemon turn per read —
       // which is exactly where the "magnitude lower IOPS" comes from.
-      if (backing_.cache) {
-        const std::uint64_t hot_blocks =
-            std::max<std::uint64_t>(1, image_->num_blocks() / 4);
-        const std::string key = backing_.cache_key + ":rndblk:" +
-                                std::to_string(rnd_counter_++ % hot_blocks);
-        if (backing_.cache->contains(key)) {
-          return driver_op(now) + backing_.cache->hit_cost(bytes);
-        }
-        const SimTime t =
-            block_cost(driver_op(now), image_->block_size(), ratio);
-        backing_.cache->insert(key, image_->block_size());
-        return t;
-      }
-      return block_cost(driver_op(now), image_->block_size(), ratio);
+      // A miss moves the compressed block and admits the whole
+      // decompressed block while serving only the requested bytes.
+      const std::uint64_t hot_blocks =
+          std::max<std::uint64_t>(1, image_->num_blocks() / 4);
+      const auto comp = static_cast<std::uint64_t>(
+                            static_cast<double>(image_->block_size()) * ratio) +
+                        1;
+      const auto o = path_.read_chunk(
+          driver_op(now),
+          "rndblk:" + std::to_string(rnd_counter_++ % hot_blocks), bytes,
+          comp, image_->block_size());
+      if (o.cache_hit) return o.done;
+      SimTime t = o.done + decompress_time(image_->block_size());
+      if (fuse_) t = daemon_.request(t);
+      return t;
     }
     // Sequential: readahead pipelines the block fetches into one stream —
     // one latency, the compressed bytes over the wire, decompression CPU,
@@ -156,7 +147,7 @@ class SquashRootfs final : public MountedRootfs {
     const auto comp =
         static_cast<std::uint64_t>(static_cast<double>(bytes) * ratio) + 1;
     SimTime t = driver_op(now);
-    t = backing_.read(t, comp);
+    t = path_.stream_read(t, comp);
     t += decompress_time(bytes);
     const std::uint64_t mb_ops = bytes / (1 << 20);
     for (std::uint64_t i = 0; i < mb_ops; ++i) t = driver_op(t);
@@ -165,21 +156,18 @@ class SquashRootfs final : public MountedRootfs {
 
   Result<SimTime> read_file(SimTime now, std::string_view path,
                             Bytes* out) override {
+    path_.drain();
     HPCC_TRY(const auto blocks, image_->file_blocks(path));
     SimTime t = driver_op(now);
     std::uint64_t remaining = blocks.file_size;
     for (std::size_t i = 0; i < blocks.comp_lens.size(); ++i) {
       const std::uint64_t unc =
           std::min<std::uint64_t>(remaining, blocks.block_size);
-      const std::string key =
-          backing_.cache_key + ":" + std::string(path) + ":" + std::to_string(i);
-      if (backing_.cache && backing_.cache->contains(key)) {
-        t += backing_.cache->hit_cost(unc);
-      } else {
-        t = backing_.read(t, blocks.comp_lens[i]);
-        t += decompress_time(unc);
-        if (backing_.cache) backing_.cache->insert(key, unc);
-      }
+      const auto o = path_.read_chunk(
+          t, std::string(path) + ":" + std::to_string(i), unc,
+          blocks.comp_lens[i]);
+      t = o.done;
+      if (!o.cache_hit) t += decompress_time(unc);
       if (fuse_) t = daemon_.request(t);
       remaining -= unc;
     }
@@ -205,17 +193,8 @@ class SquashRootfs final : public MountedRootfs {
            1;
   }
 
-  SimTime block_cost(SimTime t, std::uint64_t unc_bytes, double ratio) {
-    const auto comp =
-        static_cast<std::uint64_t>(static_cast<double>(unc_bytes) * ratio) + 1;
-    t = backing_.read(t, comp);
-    t += decompress_time(unc_bytes);
-    if (fuse_) t = daemon_.request(t);
-    return t;
-  }
-
   const vfs::SquashImage* image_;
-  StorageBacking backing_;
+  storage::DataPath path_;
   bool fuse_;
   const RuntimeCosts& costs_;
   FuseDaemon daemon_;
@@ -226,9 +205,9 @@ class SquashRootfs final : public MountedRootfs {
 
 class OverlayRootfs final : public MountedRootfs {
  public:
-  OverlayRootfs(const vfs::OverlayFs* overlay, StorageBacking backing,
+  OverlayRootfs(const vfs::OverlayFs* overlay, storage::DataPath path,
                 bool fuse, const RuntimeCosts& costs)
-      : overlay_(overlay), backing_(std::move(backing)), fuse_(fuse), costs_(costs),
+      : overlay_(overlay), path_(std::move(path)), fuse_(fuse), costs_(costs),
         daemon_(costs) {}
 
   MountKind kind() const override {
@@ -245,36 +224,28 @@ class OverlayRootfs final : public MountedRootfs {
     // Lookup walks the layer stack: one op per level until found; charge
     // the full stack as the conservative cold-dentry cost, plus one
     // metadata op at the backing store.
+    path_.drain();
     SimTime t = now;
     for (std::size_t i = 0; i < overlay_->num_levels(); ++i) t = driver_op(t);
-    return backing_.meta_op(t);
+    return path_.meta_op(t);
   }
 
   SimTime charge_read(SimTime now, std::uint64_t bytes, bool random) override {
-    SimTime t = driver_op(now);
-    if (random && backing_.cache) {
-      const std::string key = backing_.cache_key + ":rndpg:" +
-                              std::to_string(rnd_counter_++ % 64);
-      if (backing_.cache->contains(key))
-        return t + backing_.cache->hit_cost(bytes);
-      t = backing_.read(t, bytes);
-      backing_.cache->insert(key, bytes);
-      return t;
+    path_.drain();
+    const SimTime t = driver_op(now);
+    if (random) {
+      return path_
+          .read_chunk(t, "rndpg:" + std::to_string(rnd_counter_++ % 64), bytes)
+          .done;
     }
-    return backing_.read(t, bytes);
+    return path_.stream_read(t, bytes);
   }
 
   Result<SimTime> read_file(SimTime now, std::string_view path,
                             Bytes* out) override {
     HPCC_TRY(const vfs::Stat st, overlay_->stat(path));
     SimTime t = charge_open(now);
-    const std::string key = backing_.cache_key + ":" + std::string(path);
-    if (backing_.cache && backing_.cache->contains(key)) {
-      t += backing_.cache->hit_cost(st.size);
-    } else {
-      t = backing_.read(t, st.size);
-      if (backing_.cache) backing_.cache->insert(key, st.size);
-    }
+    t = path_.read_chunk(t, std::string(path), st.size).done;
     if (fuse_) t = daemon_.request(t);
     if (out) {
       HPCC_TRY(*out, overlay_->read_file(path));
@@ -293,7 +264,7 @@ class OverlayRootfs final : public MountedRootfs {
   }
 
   const vfs::OverlayFs* overlay_;
-  StorageBacking backing_;
+  storage::DataPath path_;
   bool fuse_;
   const RuntimeCosts& costs_;
   FuseDaemon daemon_;
@@ -303,21 +274,21 @@ class OverlayRootfs final : public MountedRootfs {
 }  // namespace
 
 std::unique_ptr<MountedRootfs> make_dir_rootfs(const vfs::MemFs* tree,
-                                               StorageBacking backing,
+                                               storage::DataPath path,
                                                const RuntimeCosts& costs) {
-  return std::make_unique<DirRootfs>(tree, std::move(backing), costs);
+  return std::make_unique<DirRootfs>(tree, std::move(path), costs);
 }
 
 std::unique_ptr<MountedRootfs> make_squash_rootfs(
-    const vfs::SquashImage* image, StorageBacking backing, bool fuse,
+    const vfs::SquashImage* image, storage::DataPath path, bool fuse,
     const RuntimeCosts& costs) {
-  return std::make_unique<SquashRootfs>(image, std::move(backing), fuse, costs);
+  return std::make_unique<SquashRootfs>(image, std::move(path), fuse, costs);
 }
 
 std::unique_ptr<MountedRootfs> make_overlay_rootfs(
-    const vfs::OverlayFs* overlay, StorageBacking backing, bool fuse,
+    const vfs::OverlayFs* overlay, storage::DataPath path, bool fuse,
     const RuntimeCosts& costs) {
-  return std::make_unique<OverlayRootfs>(overlay, std::move(backing), fuse, costs);
+  return std::make_unique<OverlayRootfs>(overlay, std::move(path), fuse, costs);
 }
 
 }  // namespace hpcc::runtime

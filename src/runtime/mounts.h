@@ -17,12 +17,17 @@
 // through the FUSE daemon — which is what produces the "magnitude lower
 // IOPS for random access and a much higher latency" the paper cites
 // from [29]; bench_rootless_fs measures exactly this.
+//
+// All backing-store IO flows through a storage::DataPath (DESIGN.md §8):
+// the mount charges its driver/daemon/decompress costs and delegates
+// every byte movement — page-cache hits, NVMe reads, shared-FS streams —
+// to the tier chain.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "sim/storage.h"
+#include "storage/cache_hierarchy.h"
 #include "util/result.h"
 #include "runtime/rootless.h"
 #include "runtime/runtime_costs.h"
@@ -31,21 +36,6 @@
 #include "vfs/squash_image.h"
 
 namespace hpcc::runtime {
-
-/// Where the mounted image's backing bytes live. Exactly one of
-/// shared/local must be set; the page cache is optional.
-struct StorageBacking {
-  sim::SharedFilesystem* shared = nullptr;
-  sim::NodeLocalStorage* local = nullptr;
-  sim::PageCache* cache = nullptr;
-  /// Identity prefix for page-cache keys ("img:sha256:abcd").
-  std::string cache_key;
-
-  /// One metadata operation against the backing store.
-  SimTime meta_op(SimTime now) const;
-  /// A data read of `bytes` against the backing store.
-  SimTime read(SimTime now, std::uint64_t bytes) const;
-};
 
 /// A mounted container root filesystem: functional reads plus the cost
 /// ("charge_") interface used by synthetic workloads.
@@ -76,21 +66,23 @@ class MountedRootfs {
   virtual bool exists(std::string_view path) const = 0;
 };
 
-/// Factory helpers. All models share `costs` (defaults) and a backing.
+/// Factory helpers. All models share `costs` (defaults) and a data path
+/// (tier chain + key prefix, e.g. "img:sha256:abcd"). An empty path
+/// degrades every storage charge to now + 1.
 
 /// Extracted-directory rootfs over `tree`.
 std::unique_ptr<MountedRootfs> make_dir_rootfs(
-    const vfs::MemFs* tree, StorageBacking backing,
+    const vfs::MemFs* tree, storage::DataPath path,
     const RuntimeCosts& costs = default_costs());
 
 /// Squash image rootfs; `fuse` selects the SquashFUSE path.
 std::unique_ptr<MountedRootfs> make_squash_rootfs(
-    const vfs::SquashImage* image, StorageBacking backing, bool fuse,
+    const vfs::SquashImage* image, storage::DataPath path, bool fuse,
     const RuntimeCosts& costs = default_costs());
 
 /// Overlay rootfs over a layer stack; `fuse` selects fuse-overlayfs.
 std::unique_ptr<MountedRootfs> make_overlay_rootfs(
-    const vfs::OverlayFs* overlay, StorageBacking backing, bool fuse,
+    const vfs::OverlayFs* overlay, storage::DataPath path, bool fuse,
     const RuntimeCosts& costs = default_costs());
 
 }  // namespace hpcc::runtime

@@ -110,6 +110,7 @@ void PageCache::evict_to(std::uint64_t target) {
     used_ -= it->second.bytes;
     entries_.erase(it);
     lru_.pop_back();
+    ++evictions_;
   }
 }
 

@@ -119,6 +119,11 @@ class PageCache {
   /// True if `key` is cached; counts a hit.
   bool contains(const std::string& key);
 
+  /// Non-mutating membership probe: no counters, no LRU touch. The
+  /// tiered data path walks the hierarchy with peek() and only touches
+  /// recency on the tier that actually serves.
+  bool peek(const std::string& key) const { return entries_.contains(key); }
+
   /// Inserts `key` of `bytes` size, evicting LRU entries as needed.
   /// Entries larger than the whole cache are ignored.
   void insert(const std::string& key, std::uint64_t bytes);
@@ -130,7 +135,9 @@ class PageCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
   std::uint64_t used() const { return used_; }
+  std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
 
  private:
   void evict_to(std::uint64_t target);
@@ -146,6 +153,7 @@ class PageCache {
   std::uint64_t used_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace hpcc::sim

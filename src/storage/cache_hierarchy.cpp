@@ -1,0 +1,271 @@
+#include "storage/cache_hierarchy.h"
+
+#include <utility>
+
+#include "sim/cluster.h"
+#include "storage/tiers.h"
+#include "util/thread_pool.h"
+
+namespace hpcc::storage {
+
+CacheHierarchy::~CacheHierarchy() { drain_prefetches(); }
+
+void CacheHierarchy::add_tier(std::unique_ptr<ChunkSource> tier) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tiers_.push_back(std::move(tier));
+  stats_.emplace_back();
+}
+
+std::size_t CacheHierarchy::num_tiers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tiers_.size();
+}
+
+ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tiers_.empty()) return ReadOutcome{now + 1, 0, false};
+
+  // Walk top→bottom; the first holder serves. The bottom tier is
+  // charged as a miss-serviced fetch even if holds() returned true —
+  // terminal tiers hold everything, so reaching them *is* the miss.
+  std::size_t serving = tiers_.size() - 1;
+  bool found_above_terminal = false;
+  for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+    ++stats_[i].lookups;
+    if (tiers_[i]->holds(req.key)) {
+      serving = i;
+      found_above_terminal = true;
+      ++stats_[i].hits;
+      break;
+    }
+    ++stats_[i].misses;
+  }
+
+  ReadOutcome out;
+  out.tier = serving;
+  if (found_above_terminal) {
+    out.cache_hit = tiers_[serving]->is_cache();
+    out.done = tiers_[serving]->serve(now, req.key, req.bytes);
+    stats_[serving].bytes_served += req.bytes;
+  } else {
+    auto& term = stats_[serving];
+    ++term.lookups;
+    ++term.misses;
+    out.cache_hit = false;
+    out.done = tiers_[serving]->serve(now, req.key, req.wire_bytes());
+    term.bytes_served += req.wire_bytes();
+  }
+
+  // Promote into every cache tier above the serving tier. Space
+  // accounting only — the bytes rode the transfer just charged.
+  for (std::size_t i = 0; i < serving; ++i) {
+    if (!tiers_[i]->is_cache()) continue;
+    stats_[i].evictions += tiers_[i]->admit(req.key, req.cache_bytes());
+    stats_[i].bytes_admitted += req.cache_bytes();
+  }
+  return out;
+}
+
+bool CacheHierarchy::holds_cached(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& tier : tiers_) {
+    if (tier->is_cache() && tier->holds(key)) return true;
+  }
+  return false;
+}
+
+void CacheHierarchy::prefetch(const ChunkRequest& req,
+                              std::function<void()> cpu_work) {
+  Pending p;
+  p.req = req;
+  if (cpu_work) {
+    if (pool_ != nullptr) {
+      p.done = pool_->submit(std::move(cpu_work));
+    } else {
+      cpu_work();
+    }
+  }
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  ++prefetch_requests_;
+  pending_.push_back(std::move(p));
+}
+
+void CacheHierarchy::drain_prefetches() {
+  // Admissions happen here, on the caller's thread, in FIFO request
+  // order — never from pool workers — so LRU state is independent of
+  // pool scheduling (the determinism contract).
+  for (;;) {
+    Pending p;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (pending_.empty()) return;
+      p = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    if (p.done.valid()) p.done.wait();
+    admit_prefetched(p.req);
+  }
+}
+
+void CacheHierarchy::admit_prefetched(const ChunkRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Already warm somewhere? Don't disturb recency — a later timed read
+  // must observe the same LRU order whether or not this prefetch ran.
+  for (const auto& tier : tiers_) {
+    if (tier->is_cache() && tier->holds(req.key)) return;
+  }
+  bool admitted = false;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (!tiers_[i]->is_cache()) continue;
+    stats_[i].evictions += tiers_[i]->admit(req.key, req.cache_bytes());
+    stats_[i].bytes_admitted += req.cache_bytes();
+    ++stats_[i].prefetch_admits;
+    admitted = true;
+  }
+  if (admitted) {
+    std::lock_guard<std::mutex> plock(pending_mu_);
+    prefetched_bytes_ += req.wire_bytes();
+  }
+}
+
+SimTime CacheHierarchy::meta_op(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tiers_.empty()) return now + 1;
+  return tiers_.back()->meta_op(now);
+}
+
+SimTime CacheHierarchy::stream_read(SimTime now, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tiers_.empty()) return now + 1;
+  stats_.back().bytes_served += bytes;
+  return tiers_.back()->stream_read(now, bytes);
+}
+
+SimTime CacheHierarchy::stream_write(SimTime now, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tiers_.empty()) return now + 1;
+  return tiers_.back()->stream_write(now, bytes);
+}
+
+TierStats CacheHierarchy::tier_stats(std::size_t tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.at(tier);
+}
+
+TierStats CacheHierarchy::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TierStats total;
+  for (const auto& s : stats_) {
+    total.lookups += s.lookups;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.bytes_served += s.bytes_served;
+    total.bytes_admitted += s.bytes_admitted;
+    total.prefetch_admits += s.prefetch_admits;
+  }
+  return total;
+}
+
+TierTopology CacheHierarchy::topology() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TierTopology topo;
+  topo.tiers.reserve(tiers_.size());
+  for (const auto& tier : tiers_) {
+    topo.tiers.push_back(TierSummary{std::string(tier->name()),
+                                     tier->is_cache(),
+                                     tier->capacity_bytes()});
+  }
+  return topo;
+}
+
+std::uint64_t CacheHierarchy::prefetch_requests() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return prefetch_requests_;
+}
+
+std::uint64_t CacheHierarchy::prefetched_bytes() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return prefetched_bytes_;
+}
+
+// ----------------------------------------------------------------- DataPath
+
+ReadOutcome DataPath::read_chunk(SimTime now, const std::string& suffix,
+                                 std::uint64_t bytes,
+                                 std::uint64_t transfer_bytes,
+                                 std::uint64_t admit_bytes) const {
+  if (hierarchy_ == nullptr) return ReadOutcome{now + 1, 0, false};
+  return hierarchy_->read(
+      now, ChunkRequest{key(suffix), bytes, transfer_bytes, admit_bytes});
+}
+
+void DataPath::prefetch_chunk(const std::string& suffix, std::uint64_t bytes,
+                              std::uint64_t transfer_bytes,
+                              std::uint64_t admit_bytes,
+                              std::function<void()> cpu_work) const {
+  if (hierarchy_ == nullptr) return;
+  hierarchy_->prefetch(
+      ChunkRequest{key(suffix), bytes, transfer_bytes, admit_bytes},
+      std::move(cpu_work));
+}
+
+void DataPath::drain() const {
+  if (hierarchy_ != nullptr) hierarchy_->drain_prefetches();
+}
+
+SimTime DataPath::meta_op(SimTime now) const {
+  return hierarchy_ == nullptr ? now + 1 : hierarchy_->meta_op(now);
+}
+
+SimTime DataPath::stream_read(SimTime now, std::uint64_t bytes) const {
+  return hierarchy_ == nullptr ? now + 1 : hierarchy_->stream_read(now, bytes);
+}
+
+SimTime DataPath::stream_write(SimTime now, std::uint64_t bytes) const {
+  return hierarchy_ == nullptr ? now + 1 : hierarchy_->stream_write(now, bytes);
+}
+
+bool DataPath::has_cache_tier() const {
+  return hierarchy_ != nullptr && hierarchy_->topology().has_cache_tier();
+}
+
+// ----------------------------------------------------------------- assembly
+
+DataPath make_data_path(const DataPathConfig& config) {
+  auto chain = std::make_shared<CacheHierarchy>();
+  if (config.page_cache != nullptr) {
+    chain->add_tier(page_cache_tier(*config.page_cache));
+  }
+  if (config.local != nullptr) {
+    const bool below = config.shared != nullptr || config.origin != nullptr;
+    if (below || config.local_is_cache) {
+      chain->add_tier(
+          NodeLocalTier::cache(*config.local, config.local_cache_capacity));
+    } else {
+      chain->add_tier(NodeLocalTier::resident(*config.local));
+    }
+  }
+  if (config.shared != nullptr) {
+    chain->add_tier(shared_fs_tier(*config.shared));
+  } else if (config.origin) {
+    chain->add_tier(origin_tier(config.origin_name, config.origin));
+  }
+  chain->set_prefetch_pool(config.prefetch_pool);
+  return DataPath(std::move(chain), config.key_prefix);
+}
+
+DataPath node_data_path(sim::Cluster& cluster, std::uint32_t node,
+                        Placement placement, std::string key_prefix) {
+  DataPathConfig config;
+  config.page_cache = &cluster.page_cache(node);
+  if (placement == Placement::kNodeLocal) {
+    config.local = &cluster.local_storage(node);
+  } else {
+    config.shared = &cluster.shared_fs();
+  }
+  config.key_prefix = std::move(key_prefix);
+  return make_data_path(config);
+}
+
+}  // namespace hpcc::storage

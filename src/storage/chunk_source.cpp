@@ -1,0 +1,56 @@
+#include "storage/chunk_source.h"
+
+#include <cstdio>
+
+namespace hpcc::storage {
+namespace {
+
+std::string human_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace
+
+bool TierTopology::has_cache_tier() const {
+  for (const auto& tier : tiers) {
+    if (tier.cache) return true;
+  }
+  return false;
+}
+
+const TierSummary* TierTopology::top_cache() const {
+  for (const auto& tier : tiers) {
+    if (tier.cache) return &tier;
+  }
+  return nullptr;
+}
+
+TierSummary* TierTopology::top_cache() {
+  for (auto& tier : tiers) {
+    if (tier.cache) return &tier;
+  }
+  return nullptr;
+}
+
+std::string TierTopology::to_string() const {
+  std::string out;
+  for (const auto& tier : tiers) {
+    if (!out.empty()) out += " -> ";
+    out += tier.name;
+    if (tier.cache && tier.capacity_bytes > 0) {
+      out += "(" + human_bytes(tier.capacity_bytes) + ")";
+    }
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+}  // namespace hpcc::storage

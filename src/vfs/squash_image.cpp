@@ -1,5 +1,8 @@
 #include "vfs/squash_image.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/thread_pool.h"
 #include "vfs/compress.h"
 #include "vfs/path.h"
@@ -357,6 +360,18 @@ Result<SquashImage::FileBlocks> SquashImage::file_blocks(
   out.comp_lens.reserve(n.block_count);
   for (std::uint64_t i = 0; i < n.block_count; ++i)
     out.comp_lens.push_back(blocks_[n.first_block + i].comp_len);
+  return out;
+}
+
+std::vector<std::string> SquashImage::files_in_layout_order() const {
+  std::vector<std::pair<std::uint64_t, std::string>> files;
+  for (const auto& [path, node] : index_) {
+    if (node.type == FileType::kFile) files.emplace_back(node.first_block, path);
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<std::string> out;
+  out.reserve(files.size());
+  for (auto& [first_block, path] : files) out.push_back(std::move(path));
   return out;
 }
 

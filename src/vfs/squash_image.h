@@ -86,6 +86,10 @@ class SquashImage {
   };
   Result<FileBlocks> file_blocks(std::string_view path) const;
 
+  /// Regular files ordered by their first data block — the on-disk
+  /// layout order a sequential-next prefetcher walks (registry/lazy).
+  std::vector<std::string> files_in_layout_order() const;
+
   /// Whole-image compression ratio (compressed/uncompressed), used to
   /// estimate transfer sizes for synthetic reads.
   double compression_ratio() const;

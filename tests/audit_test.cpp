@@ -238,6 +238,49 @@ TEST(AuditRules, Perf003PtraceSyscallHeavy) {
   expect_rule("PERF003", pos, neg);
 }
 
+TEST(AuditRules, Perf004LazyMountWithoutCacheTier) {
+  AuditInput pos = clean_input();
+  pos.lazy_mount = true;
+  pos.data_path.emplace();
+  pos.data_path->tiers.push_back(
+      storage::TierSummary{"registry-wan", false, 0});
+  AuditInput neg = pos;
+  neg.data_path->tiers.insert(
+      neg.data_path->tiers.begin(),
+      storage::TierSummary{"page-cache", true, 4ull << 30});
+  expect_rule("PERF004", pos, neg);
+
+  // Non-lazy mounts don't fire even with a cacheless path.
+  AuditInput eager = pos;
+  eager.lazy_mount = false;
+  EXPECT_FALSE(audit(eager).has("PERF004"));
+
+  // No topology at all also counts as cacheless on a lazy mount.
+  AuditInput unknown = clean_input();
+  unknown.lazy_mount = true;
+  EXPECT_TRUE(audit(unknown).has("PERF004"));
+}
+
+TEST(AuditRules, Perf005CacheSmallerThanImageIndex) {
+  AuditInput pos = clean_input();
+  pos.image_index_bytes = 256ull << 20;
+  pos.data_path.emplace();
+  pos.data_path->tiers.push_back(
+      storage::TierSummary{"page-cache", true, 64ull << 20});
+  pos.data_path->tiers.push_back(storage::TierSummary{"shared-fs", false, 0});
+  AuditInput neg = pos;
+  neg.data_path->tiers[0].capacity_bytes = 512ull << 20;
+  expect_rule("PERF005", pos, neg);
+
+  // Unknown index size or unbounded cache: nothing to compare.
+  AuditInput no_index = pos;
+  no_index.image_index_bytes = 0;
+  EXPECT_FALSE(audit(no_index).has("PERF005"));
+  AuditInput unbounded = pos;
+  unbounded.data_path->tiers[0].capacity_bytes = 0;
+  EXPECT_FALSE(audit(unbounded).has("PERF005"));
+}
+
 // ---------------------------------------------------------------------------
 // CFG rules
 // ---------------------------------------------------------------------------

@@ -12,7 +12,12 @@
 #include "image/build.h"
 #include "image/convert.h"
 #include "registry/client.h"
+#include "registry/lazy.h"
 #include "registry/registry.h"
+#include "sim/storage.h"
+#include "storage/cache_hierarchy.h"
+#include "storage/tiers.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "vfs/squash_image.h"
 
@@ -299,6 +304,95 @@ TEST_F(PipelineFixture, ParallelUnpackReproducesTheTree) {
   // Parallel unpack decompressed each block exactly once.
   EXPECT_EQ(squash.value().blocks_decompressed(),
             2 * squash.value().num_blocks());
+}
+
+// ------------------------------------------- prefetch determinism (§8)
+
+TEST(ConcurrentPrefetchTest, PoolPrefetchStressIsRaceFreeAndDeterministic) {
+  // Real decompression work races on pool workers while the test thread
+  // keeps reading and draining; admissions happen only at drain, in FIFO
+  // order, so the warmed state — and therefore every timed read — must
+  // be identical with and without the pool.
+  Rng rng(5);
+  vfs::MemFs tree;
+  (void)tree.mkdir("/d", {}, true);
+  (void)tree.write_file("/d/big", image::synthetic_file_content(rng, 8 << 20));
+  const auto squash = vfs::SquashImage::build(tree, 64 * 1024);
+
+  auto run = [&](util::ThreadPool* pool) {
+    sim::PageCacheConfig pcfg;
+    pcfg.capacity_bytes = 1ull << 20;  // tight: drives evictions too
+    sim::PageCache pc(pcfg);
+    sim::SharedFilesystem fs;
+    auto chain = std::make_shared<storage::CacheHierarchy>();
+    chain->add_tier(storage::page_cache_tier(pc));
+    chain->add_tier(storage::shared_fs_tier(fs));
+    chain->set_prefetch_pool(pool);
+
+    std::vector<SimTime> times;
+    SimTime t = 0;
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 16; ++i) {
+        const auto key = "blk:" + std::to_string((round * 7 + i) % 32);
+        const std::uint64_t offset = static_cast<std::uint64_t>(i) * 65536;
+        chain->prefetch({key, 64u << 10}, [&squash, offset] {
+          (void)squash.read_range("/d/big", offset, 4096);
+        });
+      }
+      chain->drain_prefetches();
+      for (int i = 0; i < 8; ++i) {
+        t = chain->read(t, {"blk:" + std::to_string((round + i) % 32),
+                            64u << 10})
+                .done;
+        times.push_back(t);
+      }
+    }
+    return times;
+  };
+  const auto seq = run(nullptr);
+  util::ThreadPool pool(4);
+  const auto par = run(&pool);
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ConcurrentPrefetchTest, LazyMountWithPoolIsByteIdenticalToInline) {
+  // End-to-end over the lazy mount: prefetch decompression on the pool
+  // must leave functional bytes AND simulated completion times exactly
+  // as the poolless run produces them (DESIGN.md §7 contract).
+  Rng rng(17);
+  vfs::MemFs tree;
+  (void)tree.mkdir("/opt/app", {}, true);
+  (void)tree.write_file("/opt/app/a.bin",
+                        image::synthetic_file_content(rng, 3 << 20));
+  (void)tree.write_file("/opt/app/b.bin",
+                        image::synthetic_file_content(rng, 6 << 20));
+  const auto squash = vfs::SquashImage::build(tree, 128 * 1024);
+
+  auto run = [&](util::ThreadPool* pool, Bytes* a, Bytes* b) {
+    sim::Network net(4);
+    registry::OciRegistry reg("registry.site");
+    (void)reg.create_project("apps", "ci");
+    EXPECT_TRUE(registry::publish_lazy(reg, "ci", "apps", squash).ok());
+    sim::PageCache pc;
+    registry::LazyMountConfig cfg;
+    cfg.registry = &reg;
+    cfg.network = &net;
+    cfg.node = 1;
+    cfg.cache = storage::page_cache_tier(pc);
+    cfg.prefetch_depth = 8;
+    cfg.prefetch_pool = pool;
+    auto mount = registry::make_lazy_rootfs(&squash, std::move(cfg)).value();
+    const SimTime ta = mount->read_file(0, "/opt/app/a.bin", a).value();
+    return mount->read_file(ta, "/opt/app/b.bin", b).value();
+  };
+
+  Bytes a1, b1, a2, b2;
+  const SimTime t1 = run(nullptr, &a1, &b1);
+  util::ThreadPool pool(4);
+  const SimTime t2 = run(&pool, &a2, &b2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(t1, t2);
 }
 
 }  // namespace

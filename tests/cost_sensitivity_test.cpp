@@ -7,6 +7,7 @@
 #include "runtime/container.h"
 #include "runtime/mounts.h"
 #include "runtime/rootless.h"
+#include "sim/storage.h"
 #include "vfs/squash_image.h"
 
 namespace hpcc::runtime {
@@ -36,11 +37,11 @@ class CostSensitivity : public ::testing::TestWithParam<double> {
     squash = std::make_unique<vfs::SquashImage>(vfs::SquashImage::build(tree));
   }
 
-  StorageBacking backing() {
-    StorageBacking b;
-    b.shared = &shared;
-    b.cache_key = "x";
-    return b;
+  storage::DataPath backing() {
+    storage::DataPathConfig c;
+    c.shared = &shared;
+    c.key_prefix = "x";
+    return storage::make_data_path(c);
   }
 
   vfs::MemFs tree;

@@ -5,7 +5,10 @@
 #include "adaptive/modules.h"
 #include "image/build.h"
 #include "registry/lazy.h"
+#include "sim/storage.h"
+#include "storage/tiers.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace hpcc {
 namespace {
@@ -28,12 +31,13 @@ class LazyImageTest : public ::testing::Test {
     EXPECT_TRUE(registry::publish_lazy(reg, "ci", "apps", *squash).ok());
   }
 
-  registry::LazyMountConfig config(bool wan = false) {
+  registry::LazyMountConfig config(bool wan = false,
+                                   sim::PageCache* pc = nullptr) {
     registry::LazyMountConfig c;
     c.registry = &reg;
     c.network = &net;
     c.node = 1;
-    c.cache = &cache;
+    c.cache = storage::page_cache_tier(pc != nullptr ? *pc : cache);
     c.over_wan = wan;
     return c;
   }
@@ -51,7 +55,7 @@ TEST_F(LazyImageTest, PublishStoresBlobByDigest) {
 
 TEST_F(LazyImageTest, MountRequiresDependencies) {
   registry::LazyMountConfig bad;
-  EXPECT_FALSE(registry::make_lazy_rootfs(squash.get(), bad).ok());
+  EXPECT_FALSE(registry::make_lazy_rootfs(squash.get(), std::move(bad)).ok());
   EXPECT_FALSE(registry::make_lazy_rootfs(nullptr, config()).ok());
 }
 
@@ -94,11 +98,9 @@ TEST_F(LazyImageTest, PartialWorkloadBeatsFullPullTransfer) {
 
 TEST_F(LazyImageTest, WanBackedIsSlowerThanSiteBacked) {
   sim::PageCache cache2;
-  auto site_cfg = config(false);
-  auto wan_cfg = config(true);
-  wan_cfg.cache = &cache2;
-  auto site = registry::make_lazy_rootfs(squash.get(), site_cfg).value();
-  auto wan = registry::make_lazy_rootfs(squash.get(), wan_cfg).value();
+  auto site = registry::make_lazy_rootfs(squash.get(), config(false)).value();
+  auto wan =
+      registry::make_lazy_rootfs(squash.get(), config(true, &cache2)).value();
   const SimTime t_site = site->read_file(0, "/opt/app/data.bin", nullptr).value();
   const SimTime t_wan = wan->read_file(0, "/opt/app/data.bin", nullptr).value();
   EXPECT_GT(t_wan, t_site);
@@ -116,6 +118,85 @@ TEST_F(LazyImageTest, ChargeInterfacesBehave) {
   const SimTime warm_start = r;
   for (int i = 0; i < 400; ++i) r = lazy->charge_read(r, 4096, true);
   EXPECT_LT(r - warm_start, warm_start - cold);
+}
+
+// A private registry + network + page cache per mount: the registry
+// frontend and network links are FIFO stations, so two mounts sharing
+// them would see each other's queueing state and timings would not be
+// comparable across runs.
+struct FreshLazyEnv {
+  sim::Network net{4};
+  registry::OciRegistry reg{"registry.site"};
+  sim::PageCache cache;
+
+  explicit FreshLazyEnv(const vfs::SquashImage& squash) {
+    (void)reg.create_project("apps", "ci");
+    EXPECT_TRUE(registry::publish_lazy(reg, "ci", "apps", squash).ok());
+  }
+
+  registry::LazyMountConfig config(unsigned prefetch_depth = 0,
+                                   util::ThreadPool* pool = nullptr) {
+    registry::LazyMountConfig c;
+    c.registry = &reg;
+    c.network = &net;
+    c.node = 1;
+    c.cache = storage::page_cache_tier(cache);
+    c.prefetch_depth = prefetch_depth;
+    c.prefetch_pool = pool;
+    return c;
+  }
+};
+
+TEST_F(LazyImageTest, SequentialPrefetchWarmsNextBlocks) {
+  // Baseline: no prefetch. Reading the 2 MiB app leaves data.bin cold.
+  FreshLazyEnv base_env(*squash);
+  auto plain =
+      registry::make_lazy_rootfs(squash.get(), base_env.config()).value();
+  Bytes base_app, base_data;
+  ASSERT_TRUE(plain->read_file(0, "/opt/app/bin/app", &base_app).ok());
+  const SimTime t0 = plain->read_file(1000, "/opt/app/data.bin", &base_data)
+                         .value();
+
+  // prefetch_depth > 0: each read also warms the next blocks in layout
+  // order, so the follow-on file starts partially cached.
+  FreshLazyEnv pre_env(*squash);
+  auto pre =
+      registry::make_lazy_rootfs(squash.get(), pre_env.config(4)).value();
+  Bytes app, data;
+  ASSERT_TRUE(pre->read_file(0, "/opt/app/bin/app", &app).ok());
+  const SimTime t1 = pre->read_file(1000, "/opt/app/data.bin", &data).value();
+
+  // Functional results are byte-identical; the warmed mount is strictly
+  // cheaper on the follow-on read.
+  EXPECT_EQ(app, base_app);
+  EXPECT_EQ(data, base_data);
+  EXPECT_LT(t1, t0);
+}
+
+TEST_F(LazyImageTest, PrefetchPoolDoesNotChangeResults) {
+  // The PR-2 contract: a prefetch pool may only warm tiers — timings and
+  // functional bytes match the inline (poolless) run exactly.
+  FreshLazyEnv inline_env(*squash);
+  auto inline_mount =
+      registry::make_lazy_rootfs(squash.get(), inline_env.config(6)).value();
+
+  util::ThreadPool pool(4);
+  FreshLazyEnv pool_env(*squash);
+  auto pool_mount =
+      registry::make_lazy_rootfs(squash.get(), pool_env.config(6, &pool))
+          .value();
+
+  Bytes a1, a2, d1, d2;
+  const SimTime ta1 = inline_mount->read_file(0, "/opt/app/bin/app", &a1).value();
+  const SimTime ta2 = pool_mount->read_file(0, "/opt/app/bin/app", &a2).value();
+  const SimTime td1 =
+      inline_mount->read_file(ta1, "/opt/app/data.bin", &d1).value();
+  const SimTime td2 =
+      pool_mount->read_file(ta2, "/opt/app/data.bin", &d2).value();
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(ta1, ta2);
+  EXPECT_EQ(td1, td2);
 }
 
 // ---------------------------------------------------------------- modules

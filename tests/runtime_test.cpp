@@ -11,6 +11,7 @@
 #include "runtime/mounts.h"
 #include "runtime/namespaces.h"
 #include "runtime/rootless.h"
+#include "sim/storage.h"
 #include "util/strings.h"
 
 namespace hpcc::runtime {
@@ -341,11 +342,12 @@ class MountModelTest : public ::testing::Test {
         vfs::SquashImage::build(tree, 64 * 1024));
   }
 
-  StorageBacking shared_backing() {
-    StorageBacking b;
-    b.shared = &shared_fs;
-    b.cache_key = "img:test";
-    return b;
+  storage::DataPath shared_backing(sim::PageCache* cache = nullptr) {
+    storage::DataPathConfig c;
+    c.page_cache = cache;
+    c.shared = &shared_fs;
+    c.key_prefix = "img:test";
+    return storage::make_data_path(c);
   }
 
   vfs::MemFs tree;
@@ -399,9 +401,7 @@ TEST_F(MountModelTest, FunctionalReadReturnsRealData) {
 
 TEST_F(MountModelTest, PageCacheMakesSecondReadCheaper) {
   sim::PageCache cache;
-  StorageBacking b = shared_backing();
-  b.cache = &cache;
-  auto kernel = make_squash_rootfs(squash.get(), b, false);
+  auto kernel = make_squash_rootfs(squash.get(), shared_backing(&cache), false);
   const SimTime first = kernel->read_file(0, "/app/data.bin", nullptr).value();
   const SimTime second_start = first;
   const SimTime second =
@@ -425,10 +425,14 @@ class ContainerTest : public ::testing::Test {
     (void)tree.write_file("/bin/app", "x");
   }
 
+  storage::DataPath local_backing() {
+    storage::DataPathConfig c;
+    c.local = &local;
+    return storage::make_data_path(c);
+  }
+
   std::shared_ptr<MountedRootfs> rootfs() {
-    StorageBacking b;
-    b.local = &local;
-    return std::shared_ptr<MountedRootfs>(make_dir_rootfs(&tree, b));
+    return std::shared_ptr<MountedRootfs>(make_dir_rootfs(&tree, local_backing()));
   }
 
   vfs::MemFs tree;
@@ -460,11 +464,9 @@ TEST_F(ContainerTest, RuncCreateSlowerThanCrun) {
 
 TEST_F(ContainerTest, PolicyViolationFailsCreate) {
   OciRuntime runtime(RuntimeKind::kCrun);
-  StorageBacking b;
-  b.local = &local;
   auto squash = vfs::SquashImage::build(tree);
   auto bad_rootfs = std::shared_ptr<MountedRootfs>(
-      make_squash_rootfs(&squash, b, /*fuse=*/false));
+      make_squash_rootfs(&squash, local_backing(), /*fuse=*/false));
   const auto r = runtime.create(0, RuntimeConfig{}, std::move(bad_rootfs),
                                 RootlessMechanism::kUserNamespace, HostFacts{});
   ASSERT_FALSE(r.ok());

@@ -1,0 +1,362 @@
+// Tests for hpcc_storage: the tiered ChunkSource cache hierarchy
+// (DESIGN.md §8) — tier invariants as properties (counter conservation,
+// promotion monotonicity, LRU eviction order), prefetch determinism,
+// DataPath key scoping and the declarative chain assembly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/storage.h"
+#include "storage/cache_hierarchy.h"
+#include "storage/tiers.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace hpcc::storage {
+namespace {
+
+std::string key_of(unsigned i) { return "blk:" + std::to_string(i); }
+
+/// page cache (small) -> node-local cache -> shared FS, the full node
+/// shape. Returned hierarchy owns the tiers; the sim primitives must
+/// outlive it.
+std::shared_ptr<CacheHierarchy> full_chain(sim::PageCache& pc,
+                                           sim::NodeLocalStorage& local,
+                                           sim::SharedFilesystem& fs) {
+  auto chain = std::make_shared<CacheHierarchy>();
+  chain->add_tier(page_cache_tier(pc));
+  chain->add_tier(NodeLocalTier::cache(local, 64ull << 20));
+  chain->add_tier(shared_fs_tier(fs));
+  return chain;
+}
+
+// ------------------------------------------------------ property: counters
+
+TEST(CacheHierarchyProperty, CounterConservationHoldsPerTier) {
+  // hits + misses == lookups at every tier, under a random mixed
+  // workload with reuse, across several seeds.
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    sim::PageCacheConfig pcfg;
+    pcfg.capacity_bytes = 8ull << 20;  // small: force evictions too
+    sim::PageCache pc(pcfg);
+    sim::NodeLocalStorage local;
+    sim::SharedFilesystem fs;
+    auto chain = full_chain(pc, local, fs);
+
+    Rng rng(seed);
+    SimTime t = 0;
+    for (int i = 0; i < 500; ++i) {
+      const auto key = key_of(static_cast<unsigned>(rng.next_below(64)));
+      t = chain->read(t, {key, 1u << 20}).done;
+    }
+    std::uint64_t total_lookups = 0;
+    for (std::size_t i = 0; i < chain->num_tiers(); ++i) {
+      const TierStats s = chain->tier_stats(i);
+      EXPECT_EQ(s.hits + s.misses, s.lookups) << "tier " << i;
+      total_lookups += s.lookups;
+    }
+    EXPECT_GT(total_lookups, 0u);
+    const TierStats total = chain->total_stats();
+    EXPECT_EQ(total.hits + total.misses, total.lookups);
+  }
+}
+
+TEST(CacheHierarchyProperty, TerminalTierIsChargedAsMiss) {
+  sim::PageCache pc;
+  sim::SharedFilesystem fs;
+  auto chain = std::make_shared<CacheHierarchy>();
+  chain->add_tier(page_cache_tier(pc));
+  chain->add_tier(shared_fs_tier(fs));
+
+  const auto cold = chain->read(0, {"k", 4096});
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.tier, 1u);
+  EXPECT_EQ(chain->tier_stats(1).misses, 1u);
+  EXPECT_EQ(chain->tier_stats(1).hits, 0u);
+
+  const auto warm = chain->read(cold.done, {"k", 4096});
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.tier, 0u);
+  EXPECT_EQ(chain->tier_stats(0).hits, 1u);
+  // The terminal tier saw no second lookup: the hit short-circuits.
+  EXPECT_EQ(chain->tier_stats(1).lookups, 1u);
+}
+
+TEST(CacheHierarchyProperty, MissServesWireBytesHitServesBytes) {
+  sim::PageCache pc;
+  sim::SharedFilesystem fs;
+  auto chain = std::make_shared<CacheHierarchy>();
+  chain->add_tier(page_cache_tier(pc));
+  chain->add_tier(shared_fs_tier(fs));
+
+  // 64 KiB uncompressed, 16 KiB on the wire, 64 KiB in cache.
+  ChunkRequest req{"blk", 64u << 10, 16u << 10, 0};
+  SimTime t = chain->read(0, req).done;
+  EXPECT_EQ(chain->tier_stats(1).bytes_served, 16u << 10);
+  EXPECT_EQ(chain->tier_stats(0).bytes_admitted, 64u << 10);
+  (void)chain->read(t, req);
+  EXPECT_EQ(chain->tier_stats(0).bytes_served, 64u << 10);
+}
+
+// ----------------------------------------------------- property: promotion
+
+TEST(CacheHierarchyProperty, PromotionIsMonotonic) {
+  // After any read, every cache tier above the serving tier holds the
+  // key — random workload, checked after each access.
+  sim::PageCache pc;
+  sim::NodeLocalStorage local;
+  sim::SharedFilesystem fs;
+  auto chain = full_chain(pc, local, fs);
+
+  Rng rng(11);
+  SimTime t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto key = key_of(static_cast<unsigned>(rng.next_below(16)));
+    t = chain->read(t, {key, 64u << 10}).done;
+    EXPECT_TRUE(chain->holds_cached(key)) << key;
+    EXPECT_TRUE(pc.peek(key)) << key;  // topmost cache always warmed
+  }
+}
+
+TEST(CacheHierarchyProperty, EvictedFromDramStillHitsNvme) {
+  // The mid tier is the point of tiering: DRAM evictions demote the
+  // cost to NVMe, not to the shared FS.
+  sim::PageCacheConfig pcfg;
+  pcfg.capacity_bytes = 2ull << 20;  // DRAM holds two 1 MiB chunks
+  sim::PageCache pc(pcfg);
+  sim::NodeLocalStorage local;
+  sim::SharedFilesystem fs;
+  auto chain = full_chain(pc, local, fs);
+
+  SimTime t = 0;
+  for (unsigned i = 0; i < 8; ++i) t = chain->read(t, {key_of(i), 1u << 20}).done;
+  // key 0 fell out of DRAM but is resident on the node-local tier.
+  EXPECT_FALSE(pc.peek(key_of(0)));
+  const auto again = chain->read(t, {key_of(0), 1u << 20});
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.tier, 1u);
+  EXPECT_EQ(chain->tier_stats(2).lookups, 8u);  // shared FS untouched
+}
+
+// ------------------------------------------------------- property: LRU
+
+TEST(NodeLocalTierTest, LruEvictionOrderIsLeastRecentFirst) {
+  sim::NodeLocalStorage dev;
+  auto tier = NodeLocalTier::cache(dev, 3u << 20);  // three 1 MiB slots
+  EXPECT_EQ(tier->admit("a", 1u << 20), 0u);
+  EXPECT_EQ(tier->admit("b", 1u << 20), 0u);
+  EXPECT_EQ(tier->admit("c", 1u << 20), 0u);
+  // Touch "a": "b" becomes least recent.
+  (void)tier->serve(0, "a", 1u << 20);
+  EXPECT_EQ(tier->admit("d", 1u << 20), 1u);
+  EXPECT_TRUE(tier->holds("a"));
+  EXPECT_FALSE(tier->holds("b"));
+  EXPECT_TRUE(tier->holds("c"));
+  EXPECT_TRUE(tier->holds("d"));
+}
+
+TEST(NodeLocalTierTest, HoldsIsNonMutating) {
+  sim::NodeLocalStorage dev;
+  auto tier = NodeLocalTier::cache(dev, 2u << 20);
+  (void)tier->admit("a", 1u << 20);
+  (void)tier->admit("b", 1u << 20);
+  // Probing "a" many times must not refresh it: "a" is still the
+  // eviction victim.
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(tier->holds("a"));
+  (void)tier->admit("c", 1u << 20);
+  EXPECT_FALSE(tier->holds("a"));
+  EXPECT_TRUE(tier->holds("b"));
+}
+
+TEST(NodeLocalTierTest, OccupancyReservesAndReleasesDevice) {
+  sim::NodeLocalStorage dev;
+  const std::uint64_t before = dev.used();
+  {
+    auto tier = NodeLocalTier::cache(dev, 2u << 20);
+    (void)tier->admit("a", 1u << 20);
+    EXPECT_EQ(dev.used(), before + (1u << 20));
+    (void)tier->admit("b", 1u << 20);
+    (void)tier->admit("c", 1u << 20);  // evicts one
+    EXPECT_EQ(dev.used(), before + (2u << 20));
+  }
+  // Destruction releases the cache's whole footprint.
+  EXPECT_EQ(dev.used(), before);
+}
+
+// ---------------------------------------------------- prefetch determinism
+
+TEST(CacheHierarchyPrefetch, AdmitsInFifoOrderOnDrain) {
+  sim::PageCacheConfig pcfg;
+  pcfg.capacity_bytes = 2ull << 20;
+  sim::PageCache pc(pcfg);
+  sim::SharedFilesystem fs;
+  auto chain = std::make_shared<CacheHierarchy>();
+  chain->add_tier(page_cache_tier(pc));
+  chain->add_tier(shared_fs_tier(fs));
+
+  for (unsigned i = 0; i < 4; ++i) chain->prefetch({key_of(i), 1u << 20});
+  EXPECT_EQ(chain->prefetch_requests(), 4u);
+  EXPECT_FALSE(chain->holds_cached(key_of(0)));  // nothing admitted yet
+  chain->drain_prefetches();
+  // FIFO admission into a 2-slot cache: the last two survive.
+  EXPECT_FALSE(pc.peek(key_of(0)));
+  EXPECT_FALSE(pc.peek(key_of(1)));
+  EXPECT_TRUE(pc.peek(key_of(2)));
+  EXPECT_TRUE(pc.peek(key_of(3)));
+  EXPECT_EQ(chain->tier_stats(0).prefetch_admits, 4u);
+}
+
+TEST(CacheHierarchyPrefetch, PoolAndInlineWarmIdenticalState) {
+  // The determinism contract: with and without a pool, the same chunks
+  // end up warm and a subsequent timed read sees identical hit/miss
+  // pattern and completion times.
+  auto run = [](util::ThreadPool* pool) {
+    sim::PageCacheConfig pcfg;
+    pcfg.capacity_bytes = 4ull << 20;
+    sim::PageCache pc(pcfg);
+    sim::SharedFilesystem fs;
+    auto chain = std::make_shared<CacheHierarchy>();
+    chain->add_tier(page_cache_tier(pc));
+    chain->add_tier(shared_fs_tier(fs));
+    chain->set_prefetch_pool(pool);
+
+    for (unsigned i = 0; i < 8; ++i) {
+      chain->prefetch({key_of(i), 1u << 20}, [] { /* cpu work */ });
+    }
+    chain->drain_prefetches();
+    std::vector<SimTime> times;
+    SimTime t = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      t = chain->read(t, {key_of(i), 1u << 20}).done;
+      times.push_back(t);
+    }
+    return times;
+  };
+  util::ThreadPool pool(4);
+  const auto inline_times = run(nullptr);
+  const auto pool_times = run(&pool);
+  EXPECT_EQ(inline_times, pool_times);
+}
+
+TEST(CacheHierarchyPrefetch, PrefetchNeverDisturbsRecency) {
+  // Prefetching an already-warm key must not refresh it: the LRU order
+  // a later read observes is independent of prefetch activity.
+  sim::NodeLocalStorage dev;
+  auto chain = std::make_shared<CacheHierarchy>();
+  chain->add_tier(NodeLocalTier::cache(dev, 2u << 20));
+  sim::SharedFilesystem fs;
+  chain->add_tier(shared_fs_tier(fs));
+
+  SimTime t = 0;
+  t = chain->read(t, {"a", 1u << 20}).done;
+  t = chain->read(t, {"b", 1u << 20}).done;
+  chain->prefetch({"a", 1u << 20});  // "a" is already held
+  chain->drain_prefetches();
+  EXPECT_EQ(chain->tier_stats(0).prefetch_admits, 0u);
+  // "a" is still least recent: admitting "c" evicts it, not "b".
+  t = chain->read(t, {"c", 1u << 20}).done;
+  EXPECT_FALSE(chain->holds_cached("a"));
+  EXPECT_TRUE(chain->holds_cached("b"));
+}
+
+// ------------------------------------------------------------- DataPath
+
+TEST(DataPathTest, EmptyPathDegradesToUnitCosts) {
+  DataPath path;
+  EXPECT_TRUE(path.empty());
+  EXPECT_EQ(path.read_chunk(10, "k", 4096).done, 11);
+  EXPECT_EQ(path.meta_op(10), 11);
+  EXPECT_EQ(path.stream_read(10, 1 << 20), 11);
+  EXPECT_EQ(path.stream_write(10, 1 << 20), 11);
+  EXPECT_FALSE(path.has_cache_tier());
+  path.drain();  // no-op, must not crash
+}
+
+TEST(DataPathTest, KeyPrefixScopesTheChunkNamespace) {
+  sim::PageCache pc;
+  sim::SharedFilesystem fs;
+  DataPathConfig cfg;
+  cfg.page_cache = &pc;
+  cfg.shared = &fs;
+  cfg.key_prefix = "img:app";
+  DataPath path = make_data_path(cfg);
+  EXPECT_EQ(path.key("blk0"), "img:app:blk0");
+  (void)path.read_chunk(0, "blk0", 4096);
+  EXPECT_TRUE(pc.peek("img:app:blk0"));
+
+  // A second path over the same chain, different prefix: same tiers,
+  // disjoint key space.
+  DataPath other(std::shared_ptr<CacheHierarchy>(
+                     path.hierarchy(), [](CacheHierarchy*) {}),
+                 "img:base");
+  (void)other.read_chunk(0, "blk0", 4096);
+  EXPECT_TRUE(pc.peek("img:base:blk0"));
+}
+
+// ------------------------------------------------------------- assembly
+
+TEST(MakeDataPathTest, LocalAloneIsResidentTerminal) {
+  sim::NodeLocalStorage local;
+  DataPathConfig cfg;
+  cfg.local = &local;
+  DataPath path = make_data_path(cfg);
+  const TierTopology topo = path.hierarchy()->topology();
+  ASSERT_EQ(topo.tiers.size(), 1u);
+  EXPECT_EQ(topo.tiers[0].name, "node-local");
+  EXPECT_FALSE(topo.tiers[0].cache);
+  EXPECT_FALSE(path.has_cache_tier());
+}
+
+TEST(MakeDataPathTest, LocalAboveSharedBecomesCache) {
+  sim::NodeLocalStorage local;
+  sim::SharedFilesystem fs;
+  sim::PageCache pc;
+  DataPathConfig cfg;
+  cfg.page_cache = &pc;
+  cfg.local = &local;
+  cfg.shared = &fs;
+  DataPath path = make_data_path(cfg);
+  const TierTopology topo = path.hierarchy()->topology();
+  ASSERT_EQ(topo.tiers.size(), 3u);
+  EXPECT_EQ(topo.tiers[0].name, "page-cache");
+  EXPECT_EQ(topo.tiers[1].name, "node-local-cache");
+  EXPECT_TRUE(topo.tiers[1].cache);
+  EXPECT_EQ(topo.tiers[2].name, "shared-fs");
+  EXPECT_FALSE(topo.tiers[2].cache);
+}
+
+TEST(MakeDataPathTest, OriginTerminalAndToString) {
+  sim::PageCache pc;
+  DataPathConfig cfg;
+  cfg.page_cache = &pc;
+  cfg.origin = [](SimTime t, std::uint64_t) { return t + 100; };
+  cfg.origin_name = "registry-wan";
+  DataPath path = make_data_path(cfg);
+  const TierTopology topo = path.hierarchy()->topology();
+  ASSERT_EQ(topo.tiers.size(), 2u);
+  EXPECT_EQ(topo.to_string(), "page-cache(4.0GiB) -> registry-wan");
+  const auto* top = topo.top_cache();
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->name, "page-cache");
+}
+
+TEST(MakeDataPathTest, NodeDataPathUsesTheClusterPrimitives) {
+  sim::ClusterConfig ccfg;
+  ccfg.num_nodes = 2;
+  sim::Cluster cluster(ccfg);
+  DataPath shared_path =
+      node_data_path(cluster, 1, Placement::kSharedFs, "img:x");
+  DataPath local_path =
+      node_data_path(cluster, 1, Placement::kNodeLocal, "img:x");
+  EXPECT_EQ(shared_path.hierarchy()->topology().tiers.back().name,
+            "shared-fs");
+  EXPECT_EQ(local_path.hierarchy()->topology().tiers.back().name,
+            "node-local");
+  (void)shared_path.read_chunk(0, "blk", 4096);
+  EXPECT_TRUE(cluster.page_cache(1).peek("img:x:blk"));
+}
+
+}  // namespace
+}  // namespace hpcc::storage

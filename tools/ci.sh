@@ -22,6 +22,19 @@ run_config() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
+# Data-path layering (DESIGN.md §8): every byte-moving call site goes
+# through storage::CacheHierarchy — no direct use of the sim storage
+# primitives outside src/sim (the models) and src/storage (the tiers).
+echo "== layering check (sim storage primitives only behind src/storage)"
+if grep -rnE '\b(PageCache|SharedFilesystem|NodeLocalStorage)\b' \
+     "$repo_root/src" \
+     --include='*.h' --include='*.cpp' \
+     | grep -vE "^$repo_root/src/(sim|storage)/"; then
+  echo "layering violation: sim storage primitive referenced outside" \
+       "src/sim and src/storage (route it through storage::CacheHierarchy)"
+  exit 1
+fi
+
 run_config "$repo_root/build"
 
 if [[ "${SKIP_SAN:-}" != "1" ]]; then
@@ -50,6 +63,10 @@ if [[ "${SKIP_BENCH:-}" != "1" ]]; then
   cmake --build "$repo_root/build" -j "$jobs" --target bench_parallel_pipeline
   "$repo_root/build/bench/bench_parallel_pipeline" --quick \
     --json "$repo_root/build/BENCH_parallel_pipeline.json"
+  echo "== bench smoke (bench_cache_hierarchy --quick)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_cache_hierarchy
+  "$repo_root/build/bench/bench_cache_hierarchy" --quick \
+    --json "$repo_root/build/BENCH_cache_hierarchy.json"
 fi
 
 echo "== ci.sh: all configurations passed"
