@@ -24,6 +24,7 @@
 #include "adaptive/containerize.h"
 #include "adaptive/requirements.h"
 #include "engine/engine.h"
+#include "fault/retry.h"
 #include "registry/profiles.h"
 #include "runtime/container.h"
 #include "runtime/oci_config.h"
@@ -58,6 +59,12 @@ struct AuditInput {
   /// The node data-path tier chain (storage::CacheHierarchy::topology())
   /// — drives the tiering rules PERF004/PERF005.
   std::optional<storage::TierTopology> data_path;
+  /// The configuration includes a registry client doing timed pulls —
+  /// gates the robustness rules ROB001/ROB002.
+  bool has_registry_client = false;
+  /// The retry policy that client drives its pulls through; nullopt =
+  /// no policy configured at all.
+  std::optional<fault::RetryPolicy> registry_retry;
   /// The image is mounted lazily (first-touch block fetches, §7).
   bool lazy_mount = false;
   /// Size of the mounted image's hot index/metadata region; 0 = unknown.

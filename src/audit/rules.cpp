@@ -572,6 +572,65 @@ void adapt001(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+// ---------------------------------------------------------------------------
+// ROB — robustness of the pull path (§3.2, §5.1.3)
+// ---------------------------------------------------------------------------
+
+void rob001(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.has_registry_client) return;
+  if (in.registry_retry && in.registry_retry->max_attempts > 1) return;
+  Finding f;
+  f.rule = "ROB001";
+  f.object = in.registry_retry ? "registry client (single-attempt policy)"
+                               : "registry client (no retry policy)";
+  f.message =
+      "registry client pulls with no retry budget: one WAN blip or "
+      "upstream 5xx fails the whole job start, although \"image pull "
+      "times may vary heavily depending on the container image size and "
+      "the network connectivity\" (§5.1.3) — transient registry faults "
+      "are the expected case at HPC sites behind shared uplinks, not the "
+      "exception";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint =
+      "install a capped-exponential-backoff retry policy "
+      "(RetryPolicy::standard())";
+  f.fix = [](AuditInput& in2) {
+    in2.registry_retry = fault::RetryPolicy::standard();
+  };
+  out.push_back(std::move(f));
+}
+
+void rob002(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.registry_retry || in.registry_retry->max_attempts <= 1) return;
+  const auto& p = *in.registry_retry;
+  if (p.max_backoff > 0 && p.attempt_timeout > 0) return;
+  Finding f;
+  f.rule = "ROB002";
+  f.object = "retry policy (" + std::to_string(p.max_attempts) + " attempts)";
+  f.message = std::string("retry policy without ") +
+              (p.max_backoff <= 0 && p.attempt_timeout <= 0
+                   ? "a backoff cap or a per-attempt timeout"
+                   : (p.max_backoff <= 0 ? "a backoff cap"
+                                         : "a per-attempt timeout")) +
+              ": uncapped exponential backoff turns a long outage into "
+              "hour-long sleeps, and without an attempt timeout one "
+              "degraded transfer stalls the pull indefinitely — retries "
+              "must be bounded to degrade gracefully (§5.1.3)";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint =
+      "cap the backoff and set a per-attempt timeout "
+      "(RetryPolicy::standard() values)";
+  f.fix = [](AuditInput& in2) {
+    if (!in2.registry_retry) return;
+    const fault::RetryPolicy std_policy = fault::RetryPolicy::standard();
+    if (in2.registry_retry->max_backoff <= 0)
+      in2.registry_retry->max_backoff = std_policy.max_backoff;
+    if (in2.registry_retry->attempt_timeout <= 0)
+      in2.registry_retry->attempt_timeout = std_policy.attempt_timeout;
+  };
+  out.push_back(std::move(f));
+}
+
 void adapt002(const AuditInput& in, std::vector<Finding>& out) {
   if (!in.plan || !in.plan->prefetch_node_local) return;
   if (!in.site || in.site->node_local_storage) return;
@@ -656,6 +715,12 @@ RuleRegistry RuleRegistry::builtin() {
       "air-gapped site pulling without the site proxy", "§5.1.3", cfg005);
   add("CFG006", Severity::kWarn,
       "accounting required but container in no cgroup", "§6.5", cfg006);
+  add("ROB001", Severity::kWarn,
+      "registry client with no retry policy on the pull path", "§5.1.3",
+      rob001);
+  add("ROB002", Severity::kWarn,
+      "retry policy without backoff cap or per-attempt timeout", "§5.1.3",
+      rob002);
   add("ADAPT001", Severity::kError,
       "adaptive plan mount inadmissible under the mount policy", "§4.1.2",
       adapt001);

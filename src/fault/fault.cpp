@@ -1,0 +1,120 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hpcc::fault {
+
+std::string_view to_string(Domain d) noexcept {
+  switch (d) {
+    case Domain::kWan: return "wan";
+    case Domain::kFabric: return "fabric";
+    case Domain::kStorage: return "storage";
+    case Domain::kRegistry: return "registry";
+    case Domain::kNode: return "node";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::wan_failures(double probability, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.kind = FaultKind::kError;
+  spec.probability = probability;
+  plan.specs.push_back(std::move(spec));
+  return plan;
+}
+
+FaultPlan& FaultPlan::with_random_node_crashes(std::uint32_t count,
+                                               SimTime horizon,
+                                               std::uint32_t num_nodes) {
+  // A private stream (seed is mixed with a tag) so crash generation
+  // never consumes draws from the injector's per-op streams.
+  Rng rng(seed ^ 0xc7a5ull);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeCrash crash;
+    crash.at = static_cast<SimTime>(
+        rng.next_below(static_cast<std::uint64_t>(std::max<SimTime>(1, horizon))));
+    crash.node = static_cast<std::uint32_t>(
+        rng.next_below(std::max<std::uint32_t>(1, num_nodes)));
+    node_crashes.push_back(crash);
+  }
+  std::sort(node_crashes.begin(), node_crashes.end(),
+            [](const NodeCrash& a, const NodeCrash& b) {
+              return a.at != b.at ? a.at < b.at : a.node < b.node;
+            });
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  enabled_ = !plan_.specs.empty();
+  for (std::size_t d = 0; d < kNumDomains; ++d) {
+    // Independent per-domain streams derived from the plan seed: fault
+    // pressure in one domain never shifts another domain's draws.
+    domains_[d].rng = Rng(plan_.seed ^ (0x9e3779b97f4a7c15ull * (d + 1)));
+  }
+  for (const FaultSpec& spec : plan_.specs) {
+    domains_[static_cast<std::size_t>(spec.domain)].specs.push_back(&spec);
+  }
+}
+
+Decision FaultInjector::decide(Domain domain, SimTime now) {
+  Decision out;
+  DomainState& state = domains_[static_cast<std::size_t>(domain)];
+  const std::uint64_t op = state.ops++;
+  if (!enabled_) return out;
+  ++state.counters.checks;
+
+  for (const FaultSpec* spec : state.specs) {
+    if (now < spec->window_from || now >= spec->window_until) continue;
+    bool fires = std::find(spec->at_ops.begin(), spec->at_ops.end(), op) !=
+                 spec->at_ops.end();
+    // The Bernoulli draw is consumed even when the fixed schedule
+    // already fired, so one spec's schedule never shifts its own
+    // probabilistic stream.
+    if (spec->probability > 0.0 && state.rng.next_bool(spec->probability))
+      fires = true;
+    if (!fires) continue;
+    switch (spec->kind) {
+      case FaultKind::kError:
+        out.fail = true;
+        ++state.counters.faults;
+        break;
+      case FaultKind::kDegrade:
+        out.degrade = true;
+        out.slowdown = spec->slowdown < 1.0 ? 1.0 : spec->slowdown;
+        out.extra_latency = spec->extra_latency;
+        ++state.counters.degradations;
+        break;
+      case FaultKind::kAuthExpiry:
+        out.auth_expired = true;
+        ++state.counters.auth_expiries;
+        break;
+    }
+    return out;  // first firing spec wins
+  }
+  return out;
+}
+
+DomainCounters FaultInjector::counters(Domain domain) const {
+  return domains_[static_cast<std::size_t>(domain)].counters;
+}
+
+std::uint64_t FaultInjector::total_faults() const {
+  std::uint64_t total = 0;
+  for (const auto& d : domains_) total += d.counters.faults;
+  return total;
+}
+
+std::uint64_t env_fault_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("HPCC_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace hpcc::fault

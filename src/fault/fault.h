@@ -1,0 +1,159 @@
+// hpcc/fault/fault.h
+//
+// Seeded, deterministic fault injection for the simulator's shared
+// infrastructure — the pieces the survey's whole adaptive case rests
+// on: the WAN uplink to public registries (§5.1.3), the site fabric,
+// the strained cluster filesystem tiers (§3.2), registry frontends,
+// and the nodes hosting long-lived K8s-in-WLM control planes (§6).
+//
+// A FaultPlan is a value: per-domain fault specs expressed either as
+// fixed schedules over operation ordinals or as seeded Bernoulli
+// processes over sim time. A FaultInjector evaluates a plan at uniform
+// injection hooks placed in the byte-moving and control layers
+// (sim::Network, storage::CacheHierarchy, registry client/lazy/proxy,
+// wlm/k8s node crashes) and keeps per-domain counters.
+//
+// Determinism contract (enforced by tests/fault_test.cpp):
+//  * same seed + same plan + same call sequence ⇒ identical decisions,
+//    so simulated times and all outputs are byte-identical across runs;
+//  * an empty plan never fires and draws nothing — consumers gate every
+//    hook on enabled(), so a run with an empty FaultPlan (or no
+//    injector at all) is byte-identical to the fault-free build.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace hpcc::fault {
+
+/// Where a fault fires. Each domain has an independent seeded stream so
+/// adding faults in one domain never perturbs draws in another.
+enum class Domain : std::uint8_t {
+  kWan = 0,   ///< WAN uplink transfers (registry pulls, §5.1.3)
+  kFabric,    ///< site fabric / node-to-node transfers
+  kStorage,   ///< storage-tier reads in a CacheHierarchy walk (§3.2)
+  kRegistry,  ///< registry frontend: 5xx, auth expiry
+  kNode,      ///< node crash (WLM requeue / pod reschedule, §6)
+};
+inline constexpr std::size_t kNumDomains = 5;
+
+std::string_view to_string(Domain d) noexcept;
+
+/// What an injected fault does to the affected operation.
+enum class FaultKind : std::uint8_t {
+  kError,      ///< hard failure: transfer reset, tier read error, 5xx
+  kDegrade,    ///< soft failure: slowdown and/or latency spike
+  kAuthExpiry, ///< registry only: token expired; re-auth, then retry
+};
+
+/// One per-domain fault process. `at_ops` is a fixed schedule over the
+/// domain's operation ordinals (0-based, in injection-hook call order);
+/// `probability` is a seeded Bernoulli draw per eligible operation.
+/// Both may be set. An operation is eligible only when its sim time
+/// falls in [window_from, window_until).
+struct FaultSpec {
+  Domain domain = Domain::kWan;
+  FaultKind kind = FaultKind::kError;
+  double probability = 0.0;
+  std::vector<std::uint64_t> at_ops;
+  SimTime window_from = 0;
+  SimTime window_until = INT64_MAX;
+  /// kDegrade: transfer/serve time multiplier (>= 1).
+  double slowdown = 1.0;
+  /// kDegrade: flat latency added to the operation (storage spike).
+  SimDuration extra_latency = 0;
+};
+
+/// A scheduled node crash (Domain::kNode is event-, not op-, driven:
+/// crashes happen at points in sim time, independent of any data-path
+/// operation). Consumers wire these through wlm::SlurmWlm::
+/// apply_fault_plan / k8s::ApiServer::fail_node.
+struct NodeCrash {
+  SimTime at = 0;
+  std::uint32_t node = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+  std::vector<NodeCrash> node_crashes;
+
+  bool empty() const { return specs.empty() && node_crashes.empty(); }
+
+  FaultPlan& add(FaultSpec spec) {
+    specs.push_back(std::move(spec));
+    return *this;
+  }
+
+  /// Seeded-Bernoulli WAN transfer failures — the common chaos knob.
+  static FaultPlan wan_failures(double probability, std::uint64_t seed);
+
+  /// Adds `count` node crashes drawn uniformly over [0, horizon) across
+  /// `num_nodes`, derived deterministically from `seed` (sorted by
+  /// time; independent of the injector's per-op streams).
+  FaultPlan& with_random_node_crashes(std::uint32_t count, SimTime horizon,
+                                      std::uint32_t num_nodes);
+};
+
+/// The verdict for one injection point.
+struct Decision {
+  bool fail = false;          ///< hard error: the operation fails
+  bool degrade = false;       ///< soft: stretch/delay, still succeeds
+  bool auth_expired = false;  ///< registry: 401, refresh then retry
+  double slowdown = 1.0;
+  SimDuration extra_latency = 0;
+};
+
+struct DomainCounters {
+  std::uint64_t checks = 0;        ///< injection hooks consulted
+  std::uint64_t faults = 0;        ///< hard errors injected
+  std::uint64_t degradations = 0;
+  std::uint64_t auth_expiries = 0;
+};
+
+/// Evaluates a FaultPlan at injection hooks. Not thread-safe: hooks are
+/// called from the (deterministic, single-threaded) timed plane only —
+/// never from ThreadPool workers, which handle functional CPU work.
+class FaultInjector {
+ public:
+  /// Empty plan: enabled() is false and decide() never fires.
+  FaultInjector() : FaultInjector(FaultPlan{}) {}
+  explicit FaultInjector(FaultPlan plan);
+
+  /// False for an empty plan. Consumers skip the hook entirely when
+  /// false, so the no-fault path stays byte-identical to a build
+  /// without any injector.
+  bool enabled() const { return enabled_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// The uniform injection hook: one call per fallible operation in
+  /// `domain` at sim time `now`. Specs are evaluated in plan order; the
+  /// first one that fires wins.
+  Decision decide(Domain domain, SimTime now);
+
+  DomainCounters counters(Domain domain) const;
+  std::uint64_t total_faults() const;
+
+ private:
+  struct DomainState {
+    Rng rng{0};
+    std::uint64_t ops = 0;
+    DomainCounters counters;
+    std::vector<const FaultSpec*> specs;  // plan order, this domain only
+  };
+
+  FaultPlan plan_;
+  bool enabled_ = false;
+  std::array<DomainState, kNumDomains> domains_;
+};
+
+/// Fault seed for benches and tools: HPCC_FAULT_SEED env override,
+/// else `fallback`.
+std::uint64_t env_fault_seed(std::uint64_t fallback);
+
+}  // namespace hpcc::fault

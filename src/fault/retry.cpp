@@ -1,0 +1,74 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+namespace hpcc::fault {
+
+RetryPolicy RetryPolicy::standard(unsigned attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts < 1 ? 1 : attempts;
+  p.initial_backoff = msec(100);
+  p.multiplier = 2.0;
+  p.max_backoff = sec(10);
+  p.attempt_timeout = sec(60);
+  p.jitter = 0.25;
+  return p;
+}
+
+SimDuration RetryPolicy::backoff(unsigned retry, Rng& rng) const {
+  double b = static_cast<double>(initial_backoff);
+  for (unsigned i = 1; i < retry; ++i) {
+    b *= multiplier;
+    if (max_backoff > 0 && b >= static_cast<double>(max_backoff)) {
+      b = static_cast<double>(max_backoff);
+      break;
+    }
+  }
+  if (max_backoff > 0) b = std::min(b, static_cast<double>(max_backoff));
+  if (jitter > 0.0) {
+    // One draw per backoff, uniform in [-jitter, +jitter].
+    const double j = (rng.next_double() * 2.0 - 1.0) * jitter;
+    b *= (1.0 + j);
+  }
+  return b < 1.0 ? 1 : static_cast<SimDuration>(b);
+}
+
+Result<SimTime> retry_timed(SimTime now, const RetryPolicy& policy,
+                            Rng& jitter_rng, const Attempt& attempt,
+                            RetryStats* stats, SimTime* failed_at) {
+  const unsigned budget = std::max(1u, policy.max_attempts);
+  if (stats) ++stats->operations;
+  SimTime t = now;
+  for (unsigned a = 1;; ++a) {
+    if (stats) ++stats->attempts;
+    SimTime observed = t;
+    auto r = attempt(t, &observed);
+    if (r.ok()) {
+      const SimTime done = r.value();
+      const bool timed_out =
+          policy.attempt_timeout > 0 && done - t > policy.attempt_timeout;
+      if (!timed_out) return done;
+      // The client's timer fired before the attempt completed: it was
+      // aborted at t + timeout and (maybe) retried.
+      if (stats) ++stats->timeouts;
+      observed = t + policy.attempt_timeout;
+      r = err_unavailable("attempt exceeded per-attempt timeout");
+    } else if (policy.attempt_timeout > 0) {
+      // A failure observed later than the timeout was cut at the timer.
+      observed = std::min(observed, t + policy.attempt_timeout);
+    }
+    if (a >= budget) {
+      if (stats) ++stats->failures;
+      if (failed_at) *failed_at = observed;
+      return r.error();
+    }
+    const SimDuration wait = policy.backoff(a, jitter_rng);
+    if (stats) {
+      ++stats->retries;
+      stats->backoff_total += wait;
+    }
+    t = observed + wait;
+  }
+}
+
+}  // namespace hpcc::fault

@@ -1,0 +1,90 @@
+// hpcc/fault/retry.h
+//
+// Retry with capped exponential backoff — the client-side half of the
+// resilience story: §5.1.3's registry pulls keep working when the WAN
+// degrades because clients back off and retry (or fall back to the
+// site proxy), not because the WAN never fails.
+//
+// RetryPolicy is a value describing the loop: attempt budget, backoff
+// schedule with a hard cap, a per-attempt timeout, and deterministic
+// seeded jitter (the desynchronization real clients apply so a
+// site-wide blip doesn't turn into a synchronized retry storm — here
+// drawn from a seeded Rng so runs stay byte-reproducible).
+//
+// retry_timed() drives one simulated operation through the policy and
+// is shared by the registry client, the lazy mount and the site proxy.
+#pragma once
+
+#include <functional>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace hpcc::fault {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). <= 1 disables retrying.
+  unsigned max_attempts = 1;
+  SimDuration initial_backoff = msec(50);
+  double multiplier = 2.0;
+  /// Hard cap on a single backoff; 0 = uncapped (audit rule ROB002
+  /// flags this: uncapped growth turns a long outage into hour sleeps).
+  SimDuration max_backoff = 0;
+  /// Per-attempt timeout; 0 = none (ROB002 flags this too: without it
+  /// one degraded transfer can stall the pull indefinitely).
+  SimDuration attempt_timeout = 0;
+  /// Jitter as a fraction of the backoff, drawn in [-jitter, +jitter].
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0x5eedu;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  /// No retrying at all (the pre-fault-layer behaviour).
+  static RetryPolicy none() { return RetryPolicy{}; }
+
+  /// The sane default the ROB001 fix-it installs: capped exponential
+  /// backoff with jitter and a per-attempt timeout.
+  static RetryPolicy standard(unsigned attempts = 4);
+
+  /// Backoff before retry number `retry` (1-based: the sleep after the
+  /// `retry`-th failed attempt): min(initial * multiplier^(retry-1),
+  /// cap), jittered via `rng`. Never negative.
+  SimDuration backoff(unsigned retry, Rng& rng) const;
+};
+
+/// Counters a retry loop maintains for its owner (retry amplification =
+/// attempts / operations in the fault-recovery bench).
+struct RetryStats {
+  std::uint64_t operations = 0;  ///< retry_timed() calls
+  std::uint64_t attempts = 0;    ///< individual attempts made
+  std::uint64_t retries = 0;     ///< attempts beyond each op's first
+  std::uint64_t timeouts = 0;    ///< attempts cut by attempt_timeout
+  std::uint64_t failures = 0;    ///< operations that exhausted the policy
+  SimDuration backoff_total = 0;
+
+  double amplification() const {
+    return operations == 0
+               ? 1.0
+               : static_cast<double>(attempts) / static_cast<double>(operations);
+  }
+};
+
+/// One attempt of a retryable timed operation, started at `start`.
+/// Success returns the completion time. Failure returns the typed error
+/// and sets *failed_at to the sim time the failure was observed (the
+/// time already charged — failed transfers are not free).
+using Attempt = std::function<Result<SimTime>(SimTime start, SimTime* failed_at)>;
+
+/// Drives `attempt` through `policy` starting at `now`. Returns the
+/// completion time of the first successful attempt, or the last
+/// attempt's typed error once the policy is exhausted (with *failed_at,
+/// when non-null, set to the sim time of that final failure). A
+/// successful attempt that overruns `attempt_timeout` counts as a
+/// timed-out failure: the client aborted it at start + timeout.
+Result<SimTime> retry_timed(SimTime now, const RetryPolicy& policy,
+                            Rng& jitter_rng, const Attempt& attempt,
+                            RetryStats* stats = nullptr,
+                            SimTime* failed_at = nullptr);
+
+}  // namespace hpcc::fault

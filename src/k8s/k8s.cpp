@@ -112,6 +112,29 @@ Result<Unit> ApiServer::deregister_node(const std::string& name) {
   return ok_unit();
 }
 
+Result<Unit> ApiServer::fail_node(const std::string& name) {
+  HPCC_TRY(NodeStatus * n, node(name));
+  n->ready = false;
+  n->allocated_cores = 0;
+  std::vector<std::string> displaced;
+  for (auto& [pod_name, p] : pods_) {
+    if (p.node != name) continue;
+    if (p.phase != PodPhase::kScheduled && p.phase != PodPhase::kRunning)
+      continue;
+    p.node.clear();
+    p.phase = PodPhase::kPending;
+    p.started = -1;
+    ++p.restarts;
+    ++reschedules_;
+    displaced.push_back(pod_name);
+  }
+  notify(EventKind::kNodeUpdated, name);
+  // Re-announce each displaced pod so the scheduler rebinds it.
+  for (const auto& pod_name : displaced)
+    notify(EventKind::kPodCreated, pod_name);
+  return ok_unit();
+}
+
 Result<NodeStatus*> ApiServer::node(const std::string& name) {
   auto it = nodes_.find(name);
   if (it == nodes_.end()) return err_not_found("no node " + name);
@@ -240,10 +263,19 @@ void Kubelet::maybe_run_pods() {
     // Completion outlives this kubelet if its allocation is released
     // early; capture the API server and node name by value so the event
     // stays valid (the release on a deregistered node is a benign miss).
+    // The restart generation guards against the node crashing before
+    // this fires: a rescheduled pod must not be marked Succeeded by its
+    // dead incarnation's completion.
     ApiServer* api = api_;
     const std::string node_name = config_.node_name;
+    const std::uint32_t gen = pod->restarts;
     api_->events().schedule_at(
-        finished.value(), [api, name, cores, node_name] {
+        finished.value(), [api, name, cores, node_name, gen] {
+          auto p = api->pod(name);
+          if (!p.ok() || p.value()->restarts != gen ||
+              p.value()->phase != PodPhase::kRunning ||
+              p.value()->node != node_name)
+            return;
           (void)api->set_pod_phase(name, PodPhase::kSucceeded);
           (void)api->release(node_name, cores);
         });

@@ -54,6 +54,10 @@ struct Pod {
   SimTime created = 0;
   SimTime started = -1;
   SimTime finished = -1;
+  /// Incarnation counter: bumped each time a node failure sends the pod
+  /// back to Pending. Completion events captured before the crash carry
+  /// the old value and are discarded (stale-completion guard).
+  std::uint32_t restarts = 0;
 
   /// Scheduling + startup latency (the §6 figure of merit).
   SimDuration start_latency() const {
@@ -101,6 +105,12 @@ class ApiServer {
   Result<Unit> register_node(NodeStatus status);
   Result<Unit> set_node_ready(const std::string& name, bool ready);
   Result<Unit> deregister_node(const std::string& name);
+  /// Node crash: the node goes unready, and every pod bound to it
+  /// (Scheduled or Running) returns to Pending with its node cleared,
+  /// cores released and `restarts` bumped — the scheduler then rebinds
+  /// it onto a surviving node. Pods are conserved, never dropped.
+  Result<Unit> fail_node(const std::string& name);
+  std::uint64_t reschedules() const { return reschedules_; }
   Result<NodeStatus*> node(const std::string& name);
   std::vector<NodeStatus*> ready_nodes();
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -126,6 +136,7 @@ class ApiServer {
   std::map<std::string, NodeStatus> nodes_;
   std::vector<Watcher> watchers_;
   std::uint64_t requests_ = 0;
+  std::uint64_t reschedules_ = 0;
 };
 
 /// The default scheduler: on every pod/node event, binds pending pods

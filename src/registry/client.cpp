@@ -1,5 +1,7 @@
 #include "registry/client.h"
 
+#include <algorithm>
+
 #include "image/blob_tier.h"
 #include "storage/cache_hierarchy.h"
 #include "storage/tiers.h"
@@ -65,13 +67,50 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   // The pull's blob path as a tier chain: the local CAS on top (a blob
   // the node already holds is a cache hit, §3.1 dedup), the registry
   // fetch path — frontend, egress, WAN — as the origin below it.
+  //
+  // The origin runs each fetch through the retry policy. OriginTier has
+  // no error channel (it returns a completion time), so an exhausted
+  // retry budget is reported through `origin_error` and checked after
+  // every chain read; the failed attempts' sim time stays charged.
+  Rng jitter(retry_.jitter_seed);
+  std::optional<Error> origin_error;
   storage::CacheHierarchy chain;
   if (local != nullptr) chain.add_tier(image::blob_store_tier(*local));
   chain.add_tier(storage::origin_tier(
       "registry-wan", [&](SimTime t0, std::uint64_t bytes) {
-        t0 = reg.serve_request(t0);
-        t0 = reg.serve_transfer(t0, bytes);
-        return network_->wan_transfer(t0, node_, bytes);
+        SimTime failed_at = t0;
+        auto r = fault::retry_timed(
+            t0, retry_, jitter,
+            [&](SimTime start, SimTime* fa) -> Result<SimTime> {
+              SimTime a = start;
+              if (faults_ != nullptr && faults_->enabled()) {
+                const auto d = faults_->decide(fault::Domain::kRegistry, a);
+                if (d.auth_expired) {
+                  // Token expired mid-pull: one round-trip to notice the
+                  // 401, one to refresh, then the fetch proceeds.
+                  ++auth_refreshes_;
+                  a = reg.serve_request(a);
+                  a = reg.serve_request(a);
+                } else if (d.fail) {
+                  // Frontend 5xx: the request was serviced, no bytes moved.
+                  a = reg.serve_request(a);
+                  if (fa) *fa = a;
+                  return err_unavailable("registry returned 5xx");
+                } else if (d.degrade) {
+                  a += d.extra_latency;
+                }
+              }
+              a = reg.serve_request(a);
+              a = reg.serve_transfer(a, bytes);
+              return network_->try_wan_transfer(a, node_, bytes, fa);
+            },
+            &retry_stats_, &failed_at);
+        if (!r.ok()) {
+          origin_error = r.error();
+          last_failed_at_ = failed_at;
+          return failed_at;
+        }
+        return r.value();
       }));
 
   // Config blob.
@@ -86,6 +125,7 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
     HPCC_TRY_UNIT(
         crypto::verify_digest(config_blob, out.manifest.config_digest));
     t = chain.read(t, {config_key, config_blob.size()}).done;
+    if (origin_error) return *origin_error;
     out.bytes_transferred += config_blob.size();
     HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
     if (local)
@@ -120,6 +160,12 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
       break;
     }
     t = chain.read(t, {key, blob.value().size()}).done;
+    if (origin_error) {
+      // Retries exhausted on this layer's fetch: it is not part of the
+      // pull (reached == i), but the time spent failing stays charged.
+      fetch_error = origin_error;
+      break;
+    }
     out.bytes_transferred += blob.value().size();
     fetched[i] = std::move(blob).value();
   }
@@ -134,12 +180,29 @@ Result<PullResult> RegistryClient::pull_via_proxy(
     SimTime now, PullThroughProxy& proxy, const image::ImageReference& ref,
     image::BlobStore* local) {
   PullResult out;
+  // Site-network legs (proxy → node) go through the retry policy too:
+  // the fabric can drop a transfer (kFabric), and a pull should survive
+  // a blip without abandoning the proxy path.
+  Rng jitter(retry_.jitter_seed);
+  auto site_transfer = [&](SimTime t0,
+                           std::uint64_t bytes) -> Result<SimTime> {
+    SimTime failed_at = t0;
+    auto r = fault::retry_timed(
+        t0, retry_, jitter,
+        [&](SimTime start, SimTime* fa) {
+          return network_->try_transfer(start, 0, node_, bytes, fa);
+        },
+        &retry_stats_, &failed_at);
+    if (!r.ok()) last_failed_at_ = failed_at;
+    return r;
+  };
+
   HPCC_TRY(const auto mres, proxy.fetch_manifest(now, ref));
   out.manifest = mres.manifest;
   SimTime t = mres.done;
 
   HPCC_TRY(const auto cres, proxy.fetch_blob(t, out.manifest.config_digest));
-  t = network_->transfer(cres.done, 0, node_, cres.blob.size());
+  HPCC_TRY(t, site_transfer(cres.done, cres.blob.size()));
   out.bytes_transferred += cres.blob.size();
   HPCC_TRY(out.config, image::ImageConfig::deserialize(cres.blob));
 
@@ -161,8 +224,12 @@ Result<PullResult> RegistryClient::pull_via_proxy(
       break;
     }
     // Proxy lives on the site network: node-to-node speed, not WAN.
-    t = network_->transfer(bres.value().done, 0, node_,
-                           bres.value().blob.size());
+    auto tx = site_transfer(bres.value().done, bres.value().blob.size());
+    if (!tx.ok()) {
+      fetch_error = tx.error();
+      break;
+    }
+    t = tx.value();
     out.bytes_transferred += bres.value().blob.size();
     fetched[i] = std::move(bres.value().blob);
   }
@@ -171,6 +238,22 @@ Result<PullResult> RegistryClient::pull_via_proxy(
   if (fetch_error) return *fetch_error;
   out.done = t;
   return out;
+}
+
+Result<PullResult> RegistryClient::pull_with_fallback(
+    SimTime now, PullThroughProxy& proxy, OciRegistry& origin,
+    const image::ImageReference& ref, image::BlobStore* local) {
+  auto via = pull_via_proxy(now, proxy, ref, local);
+  if (via.ok() || via.error().code() != ErrorCode::kUnavailable) return via;
+  // The proxy path is down (upstream leg dead, retries exhausted).
+  // Degrade gracefully: pull straight from the origin registry, picking
+  // up at the sim time the proxy attempt was abandoned.
+  ++proxy_fallbacks_;
+  const SimTime resume = std::max(now, last_failed_at_);
+  auto direct = pull(resume, origin, ref, local);
+  if (!direct.ok())
+    return direct.error().wrap("direct pull after proxy fallback");
+  return direct;
 }
 
 Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,

@@ -17,6 +17,8 @@
 
 #include <optional>
 
+#include "fault/fault.h"
+#include "fault/retry.h"
 #include "image/convert.h"
 #include "image/manifest.h"
 #include "image/reference.h"
@@ -56,6 +58,27 @@ class RegistryClient {
 
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
+  /// Retry policy applied to every fallible timed leg of a pull (WAN
+  /// transfers, registry 5xx). The default — RetryPolicy::none() — is a
+  /// single attempt: byte-identical to the pre-retry client, and what
+  /// audit rule ROB001 flags.
+  void set_retry_policy(const fault::RetryPolicy& policy) { retry_ = policy; }
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Injector consulted on the pull path (kRegistry: 5xx / auth expiry
+  /// at the frontend; kWan via the network's try_wan_transfer). Null or
+  /// an empty plan leaves every pull byte-identical to today.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
+  const fault::RetryStats& retry_stats() const { return retry_stats_; }
+  /// Sim time of the most recent exhausted-retries failure (what a
+  /// caller resumes from when it falls back to another source).
+  SimTime last_failed_at() const { return last_failed_at_; }
+  std::uint64_t proxy_fallbacks() const { return proxy_fallbacks_; }
+  std::uint64_t auth_refreshes() const { return auth_refreshes_; }
+
   /// Timed pull of a full image. Rate-limited upstreams surface
   /// kResourceExhausted (with the §5.1.3 "toomanyrequests" semantics);
   /// callers either back off or go through a proxy.
@@ -68,6 +91,15 @@ class RegistryClient {
   Result<PullResult> pull_via_proxy(SimTime now, PullThroughProxy& proxy,
                                     const image::ImageReference& ref,
                                     image::BlobStore* local = nullptr);
+
+  /// Graceful degradation (§5.1.3): try the site proxy first; if the
+  /// proxy path fails as unavailable (its upstream leg is down and its
+  /// retries are exhausted), fall back to a direct pull from the origin
+  /// registry, resuming at the sim time the proxy attempt failed.
+  Result<PullResult> pull_with_fallback(SimTime now, PullThroughProxy& proxy,
+                                        OciRegistry& origin,
+                                        const image::ImageReference& ref,
+                                        image::BlobStore* local = nullptr);
 
   /// Timed push of config + layers + manifest.
   Result<PushResult> push(SimTime now, OciRegistry& reg,
@@ -87,6 +119,12 @@ class RegistryClient {
   sim::Network* network_;
   sim::NodeId node_;
   util::ThreadPool* pool_;
+  fault::RetryPolicy retry_ = fault::RetryPolicy::none();
+  fault::FaultInjector* faults_ = nullptr;
+  fault::RetryStats retry_stats_;
+  SimTime last_failed_at_ = 0;
+  std::uint64_t proxy_fallbacks_ = 0;
+  std::uint64_t auth_refreshes_ = 0;
 };
 
 }  // namespace hpcc::registry

@@ -1,6 +1,7 @@
 #include "registry/lazy.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -22,7 +23,8 @@ class LazyRootfs final : public runtime::MountedRootfs {
  public:
   LazyRootfs(const vfs::SquashImage* squash, LazyMountConfig config,
              const runtime::RuntimeCosts& costs)
-      : squash_(squash), config_(std::move(config)), costs_(costs) {
+      : squash_(squash), config_(std::move(config)), costs_(costs),
+        jitter_rng_(config_.retry.jitter_seed) {
     auto chain = std::make_shared<storage::CacheHierarchy>();
     chain->add_tier(std::move(config_.cache));
     if (config_.staging) chain->add_tier(std::move(config_.staging));
@@ -35,7 +37,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
       build_block_table();
       // Warm the head of the image while the container is still being
       // set up (overlap fetch with startup, §5.1).
-      schedule_prefetch(0);
+      schedule_prefetch(0, 0);
     }
   }
 
@@ -86,6 +88,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
                             Bytes* out) override {
     path_.drain();
     HPCC_TRY(const auto blocks, squash_->file_blocks(path));
+    fetch_error_.reset();
     SimTime t = fuse_op(now);
     std::uint64_t remaining = blocks.file_size;
     for (std::size_t i = 0; i < blocks.comp_lens.size(); ++i) {
@@ -95,13 +98,18 @@ class LazyRootfs final : public runtime::MountedRootfs {
           "lazy:" + std::string(path) + ":" + std::to_string(i);
       const auto o = path_.read_chunk(t, key, unc, blocks.comp_lens[i]);
       t = o.done;
+      if (fetch_error_) {
+        // First-touch fetch failed even after the retry policy: surface
+        // the typed error — a lazy read is never silently short.
+        return *std::exchange(fetch_error_, std::nullopt);
+      }
       if (!o.cache_hit) t += decompress_time(unc);
       remaining -= unc;
     }
     if (config_.prefetch_depth > 0) {
       auto it = file_start_.find(std::string(path));
       if (it != file_start_.end()) {
-        schedule_prefetch(it->second + blocks.comp_lens.size());
+        schedule_prefetch(t, it->second + blocks.comp_lens.size());
       }
     }
     if (out) {
@@ -143,7 +151,10 @@ class LazyRootfs final : public runtime::MountedRootfs {
   /// Queue background warm-up of block_table_[from, from + depth). The
   /// CPU work is the real block decompression; admission is deferred to
   /// the next drain (in request order — the determinism contract).
-  void schedule_prefetch(std::size_t from) {
+  /// A candidate that draws a kWan fault is dropped: prefetch is
+  /// best-effort and aborts cleanly — the block's eventual first-touch
+  /// read goes through the retry policy instead.
+  void schedule_prefetch(SimTime now, std::size_t from) {
     const std::size_t to =
         std::min<std::size_t>(from + config_.prefetch_depth,
                               block_table_.size());
@@ -152,6 +163,10 @@ class LazyRootfs final : public runtime::MountedRootfs {
       const std::string key =
           "lazy:" + e.path + ":" + std::to_string(e.block_in_file);
       if (path_.hierarchy()->holds_cached(key)) continue;
+      if (config_.faults != nullptr && config_.faults->enabled() &&
+          config_.faults->decide(fault::Domain::kWan, now).fail) {
+        continue;
+      }
       path_.prefetch_chunk(
           key, e.unc, e.comp, /*admit_bytes=*/0,
           [squash = squash_, path = e.path,
@@ -186,16 +201,30 @@ class LazyRootfs final : public runtime::MountedRootfs {
            static_cast<SimDuration>(static_cast<double>(bytes) / bw);
   }
 
-  /// Fetch `bytes` from the registry: frontend + egress + network.
+  /// Fetch `bytes` from the registry: frontend + egress + network, run
+  /// through the mount's retry policy. Transfer faults come from the
+  /// network's injector (try_* variants); an exhausted budget raises
+  /// fetch_error_ for read_file() to surface, with the failed attempts'
+  /// sim time still charged.
   SimTime fetch(SimTime t, std::uint64_t bytes) {
-    t = config_.registry->serve_request(t);
-    t = config_.registry->serve_transfer(t, bytes);
-    if (config_.over_wan) {
-      t = config_.network->wan_transfer(t, config_.node, bytes);
-    } else {
-      t = config_.network->transfer(t, 0, config_.node, bytes);
+    SimTime failed_at = t;
+    auto r = fault::retry_timed(
+        t, config_.retry, jitter_rng_,
+        [&](SimTime start, SimTime* fa) -> Result<SimTime> {
+          SimTime a = config_.registry->serve_request(start);
+          a = config_.registry->serve_transfer(a, bytes);
+          if (config_.over_wan) {
+            return config_.network->try_wan_transfer(a, config_.node, bytes,
+                                                     fa);
+          }
+          return config_.network->try_transfer(a, 0, config_.node, bytes, fa);
+        },
+        &retry_stats_, &failed_at);
+    if (!r.ok()) {
+      fetch_error_ = r.error();
+      return failed_at;
     }
-    return t;
+    return r.value();
   }
 
   std::string next_key(bool random) {
@@ -222,6 +251,9 @@ class LazyRootfs final : public runtime::MountedRootfs {
   std::unordered_map<std::string, std::size_t> file_start_;
   std::uint64_t rnd_counter_ = 0;
   std::uint64_t seq_counter_ = 0;
+  Rng jitter_rng_{0x5eedu};
+  fault::RetryStats retry_stats_;
+  std::optional<Error> fetch_error_;
 };
 
 }  // namespace

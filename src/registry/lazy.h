@@ -26,6 +26,8 @@
 
 #include <memory>
 
+#include "fault/fault.h"
+#include "fault/retry.h"
 #include "registry/registry.h"
 #include "runtime/mounts.h"
 #include "sim/network.h"
@@ -66,6 +68,14 @@ struct LazyMountConfig {
   unsigned prefetch_depth = 0;
   /// Pool for prefetch decompression work; null = inline.
   util::ThreadPool* prefetch_pool = nullptr;
+  /// Injector for the mount's own decisions (prefetch candidates that
+  /// draw a kWan fault are skipped — a prefetch aborts cleanly, it never
+  /// retries). Transfer-level faults come from the network's injector.
+  fault::FaultInjector* faults = nullptr;
+  /// Retry policy for first-touch block fetches: a read that hits a WAN
+  /// fault backs off and retries; only an exhausted budget surfaces as a
+  /// typed error from read_file().
+  fault::RetryPolicy retry = fault::RetryPolicy::none();
 };
 
 /// Creates a lazily-backed rootfs over a published squash image. Mount

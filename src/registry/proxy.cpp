@@ -1,6 +1,7 @@
 #include "registry/proxy.h"
 
 #include <string_view>
+#include <utility>
 
 #include "image/reference.h"
 #include "storage/tiers.h"
@@ -43,15 +44,37 @@ SimTime PullThroughProxy::upstream_fetch(SimTime now, std::uint64_t bytes) {
     throttle_wait_ += retry - t;
     t = retry;
   }
-  t = upstream_->serve_request(t);
-  t = upstream_->serve_transfer(t, bytes);
-  // WAN crossing.
-  t += config_.upstream_rtt +
-       static_cast<SimDuration>(static_cast<double>(bytes) /
-                                config_.upstream_bandwidth);
   ++upstream_fetches_;
+  // Each WAN crossing can fail or degrade (kWan); the proxy drives it
+  // through its retry policy. With a null injector and the default
+  // no-retry policy this reduces to exactly the old arithmetic.
+  SimTime failed_at = t;
+  auto r = fault::retry_timed(
+      t, retry_, jitter_rng_,
+      [&](SimTime start, SimTime* fa) -> Result<SimTime> {
+        SimTime a = upstream_->serve_request(start);
+        a = upstream_->serve_transfer(a, bytes);
+        fault::Decision d;
+        if (faults_ != nullptr && faults_->enabled())
+          d = faults_->decide(fault::Domain::kWan, a);
+        a += config_.upstream_rtt +
+             static_cast<SimDuration>(static_cast<double>(bytes) /
+                                      config_.upstream_bandwidth *
+                                      d.slowdown) +
+             d.extra_latency;
+        if (d.fail) {
+          if (fa) *fa = a;
+          return err_unavailable("upstream WAN fetch failed");
+        }
+        return a;
+      },
+      &retry_stats_, &failed_at);
+  if (!r.ok()) {
+    upstream_error_ = r.error();
+    return failed_at;
+  }
   upstream_bytes_ += bytes;
-  return t;
+  return r.value();
 }
 
 Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
@@ -73,7 +96,13 @@ Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
   HPCC_TRY(out.manifest, upstream_->get_manifest(ref));
   Bytes blob = out.manifest.serialize();
   // Charged before the cache insert so the chain sees the miss.
+  upstream_error_.reset();
   t = path_.read(t, {"manifest:" + ref.to_string(), blob.size()}).done;
+  if (upstream_error_) {
+    // Upstream leg dead after retries: nothing is cached — the next
+    // fetch gets a fresh shot at the upstream.
+    return *std::exchange(upstream_error_, std::nullopt);
+  }
   bytes_served_ += blob.size();
   manifest_cache_[ref.to_string()] = cache_.put(std::move(blob));
   out.done = t;
@@ -91,7 +120,11 @@ Result<PullThroughProxy::BlobResult> PullThroughProxy::fetch_blob(
     t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;
   } else {
     HPCC_TRY(out.blob, upstream_->get_blob(digest));
+    upstream_error_.reset();
     t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;
+    if (upstream_error_) {
+      return *std::exchange(upstream_error_, std::nullopt);
+    }
     (void)cache_.put(out.blob);
   }
   // Serve through the proxy's own egress (site-local, fast).

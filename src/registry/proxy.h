@@ -11,8 +11,11 @@
 // rate limits. bench_registry_proxy reproduces that scenario.
 #pragma once
 
+#include <optional>
 #include <string>
 
+#include "fault/fault.h"
+#include "fault/retry.h"
 #include "registry/registry.h"
 #include "storage/cache_hierarchy.h"
 
@@ -48,6 +51,20 @@ class PullThroughProxy {
 
   Result<BlobResult> fetch_blob(SimTime now, const crypto::Digest& digest);
 
+  /// Injector consulted (kWan domain) on each upstream WAN crossing, and
+  /// the retry policy the proxy drives those crossings through. A cache
+  /// hit never touches the upstream, so it never fails; a miss whose
+  /// upstream retries are exhausted surfaces kUnavailable and is NOT
+  /// cached (the next fetch retries the upstream).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    faults_ = injector;
+  }
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    retry_ = policy;
+    jitter_rng_ = Rng(policy.jitter_seed);
+  }
+  const fault::RetryStats& retry_stats() const { return retry_stats_; }
+
   // ----- the "detailed statistics" a proxy registry provides (§5.1.3)
   std::uint64_t cache_hits() const { return path_.tier_stats(0).hits; }
   std::uint64_t upstream_fetches() const { return upstream_fetches_; }
@@ -75,6 +92,14 @@ class PullThroughProxy {
   std::uint64_t upstream_bytes_ = 0;
   std::uint64_t bytes_served_ = 0;
   SimDuration throttle_wait_ = 0;
+
+  fault::FaultInjector* faults_ = nullptr;
+  fault::RetryPolicy retry_ = fault::RetryPolicy::none();
+  fault::RetryStats retry_stats_;
+  Rng jitter_rng_{0x5eedu};
+  // OriginTier has no error channel: an upstream fetch whose retries
+  // are exhausted raises this flag, checked after every path_.read().
+  std::optional<Error> upstream_error_;
 };
 
 /// One-shot replication of a repository between registries ("Repl./

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "sim/resource.h"
+#include "util/result.h"
 #include "util/sim_time.h"
 
 namespace hpcc::sim {
@@ -54,14 +56,43 @@ class Network {
   /// A zero-payload control message (RPC, heartbeat, watch notification).
   SimTime message(SimTime now, NodeId src, NodeId dst);
 
+  /// Installs a fault injector consulted by the try_* variants below.
+  /// Null (the default) or an injector with an empty plan leaves every
+  /// path byte-identical to the infallible methods above.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
+  /// Fallible fabric transfer. Consults the injector's kFabric domain:
+  /// a degradation stretches the wire time and adds latency; a hard
+  /// fault still charges the full (stretched) transfer time — a failed
+  /// transfer is not free — then returns kUnavailable with *failed_at
+  /// (when non-null) set to the time the failure was observed.
+  Result<SimTime> try_transfer(SimTime now, NodeId src, NodeId dst,
+                               std::uint64_t bytes,
+                               SimTime* failed_at = nullptr);
+
+  /// Fallible WAN transfer; same contract as try_transfer but the
+  /// injector's kWan domain and the shared uplink.
+  Result<SimTime> try_wan_transfer(SimTime now, NodeId node,
+                                   std::uint64_t bytes,
+                                   SimTime* failed_at = nullptr);
+
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   std::uint64_t wan_bytes() const { return wan_bytes_; }
   std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nics_.size()); }
 
  private:
+  SimTime transfer_impl(SimTime now, NodeId src, NodeId dst,
+                        std::uint64_t bytes, double stretch,
+                        SimDuration extra_latency);
+  SimTime wan_transfer_impl(SimTime now, NodeId node, std::uint64_t bytes,
+                            double stretch, SimDuration extra_latency);
+
   NetworkConfig config_;
   std::vector<FifoStation> nics_;
   FifoStation wan_;
+  fault::FaultInjector* faults_ = nullptr;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t wan_bytes_ = 0;
 };

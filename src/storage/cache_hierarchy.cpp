@@ -1,5 +1,6 @@
 #include "storage/cache_hierarchy.h"
 
+#include <cassert>
 #include <utility>
 
 #include "sim/cluster.h"
@@ -14,6 +15,31 @@ void CacheHierarchy::add_tier(std::unique_ptr<ChunkSource> tier) {
   std::lock_guard<std::mutex> lock(mu_);
   tiers_.push_back(std::move(tier));
   stats_.emplace_back();
+  tier_faults_.push_back(0);
+  quarantined_.push_back(false);
+}
+
+void CacheHierarchy::set_fault_injector(fault::FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = injector;
+}
+
+void CacheHierarchy::set_quarantine_threshold(std::uint32_t threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  quarantine_threshold_ = threshold;
+}
+
+bool CacheHierarchy::quarantined(std::size_t tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tier < quarantined_.size() && quarantined_[tier];
+}
+
+void CacheHierarchy::clear_quarantine() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+    quarantined_[i] = false;
+    tier_faults_[i] = 0;
+  }
 }
 
 std::size_t CacheHierarchy::num_tiers() const {
@@ -28,13 +54,36 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
   // Walk top→bottom; the first holder serves. The bottom tier is
   // charged as a miss-serviced fetch even if holds() returned true —
   // terminal tiers hold everything, so reaching them *is* the miss.
+  // A quarantined tier is skipped outright; a tier that holds the key
+  // but draws an injected storage fault cannot serve either, and the
+  // walk falls through to the next holder. Both paths count a miss and
+  // a degraded read, so hits + misses == lookups survives injection.
   std::size_t serving = tiers_.size() - 1;
   bool found_above_terminal = false;
+  fault::Decision serve_fault;
   for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
     ++stats_[i].lookups;
+    if (quarantined_[i]) {
+      ++stats_[i].misses;
+      ++stats_[i].degraded_reads;
+      continue;
+    }
     if (tiers_[i]->holds(req.key)) {
+      fault::Decision d;
+      if (faults_ != nullptr && faults_->enabled())
+        d = faults_->decide(fault::Domain::kStorage, now);
+      if (d.fail) {
+        ++stats_[i].misses;
+        ++stats_[i].degraded_reads;
+        if (quarantine_threshold_ > 0 &&
+            ++tier_faults_[i] >= quarantine_threshold_) {
+          quarantined_[i] = true;
+        }
+        continue;
+      }
       serving = i;
       found_above_terminal = true;
+      serve_fault = d;
       ++stats_[i].hits;
       break;
     }
@@ -45,9 +94,18 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
   out.tier = serving;
   if (found_above_terminal) {
     out.cache_hit = tiers_[serving]->is_cache();
-    out.done = tiers_[serving]->serve(now, req.key, req.bytes);
+    SimTime done = tiers_[serving]->serve(now, req.key, req.bytes);
+    if (serve_fault.degrade) {
+      done = now + static_cast<SimDuration>(
+                       static_cast<double>(done - now) * serve_fault.slowdown) +
+             serve_fault.extra_latency;
+    }
+    out.done = done;
     stats_[serving].bytes_served += req.bytes;
   } else {
+    // The terminal always serves — it is the ground truth below every
+    // cache, so it is never fault-checked here; its failures belong to
+    // the WAN/registry domains of whoever implements it.
     auto& term = stats_[serving];
     ++term.lookups;
     ++term.misses;
@@ -56,10 +114,18 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
     term.bytes_served += req.wire_bytes();
   }
 
-  // Promote into every cache tier above the serving tier. Space
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    assert(stats_[i].hits + stats_[i].misses == stats_[i].lookups &&
+           "per-tier hit/miss conservation violated");
+  }
+#endif
+
+  // Promote into every cache tier above the serving tier (quarantined
+  // tiers admit nothing — they are out of the rotation). Space
   // accounting only — the bytes rode the transfer just charged.
   for (std::size_t i = 0; i < serving; ++i) {
-    if (!tiers_[i]->is_cache()) continue;
+    if (!tiers_[i]->is_cache() || quarantined_[i]) continue;
     stats_[i].evictions += tiers_[i]->admit(req.key, req.cache_bytes());
     stats_[i].bytes_admitted += req.cache_bytes();
   }
@@ -116,7 +182,7 @@ void CacheHierarchy::admit_prefetched(const ChunkRequest& req) {
   }
   bool admitted = false;
   for (std::size_t i = 0; i < tiers_.size(); ++i) {
-    if (!tiers_[i]->is_cache()) continue;
+    if (!tiers_[i]->is_cache() || quarantined_[i]) continue;
     stats_[i].evictions += tiers_[i]->admit(req.key, req.cache_bytes());
     stats_[i].bytes_admitted += req.cache_bytes();
     ++stats_[i].prefetch_admits;
@@ -163,6 +229,7 @@ TierStats CacheHierarchy::total_stats() const {
     total.bytes_served += s.bytes_served;
     total.bytes_admitted += s.bytes_admitted;
     total.prefetch_admits += s.prefetch_admits;
+    total.degraded_reads += s.degraded_reads;
   }
   return total;
 }
@@ -252,6 +319,8 @@ DataPath make_data_path(const DataPathConfig& config) {
     chain->add_tier(origin_tier(config.origin_name, config.origin));
   }
   chain->set_prefetch_pool(config.prefetch_pool);
+  chain->set_fault_injector(config.fault_injector);
+  chain->set_quarantine_threshold(config.quarantine_threshold);
   return DataPath(std::move(chain), config.key_prefix);
 }
 

@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "storage/chunk_source.h"
 #include "util/sim_time.h"
 
@@ -67,6 +68,20 @@ class CacheHierarchy {
 
   /// Pool used by prefetch() for real CPU work. Null = inline.
   void set_prefetch_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Injector consulted (kStorage domain) when a cache tier is about to
+  /// serve a read. Null or an empty plan restores today's walk exactly.
+  void set_fault_injector(fault::FaultInjector* injector);
+
+  /// After `threshold` storage faults at one tier, that tier is
+  /// quarantined: subsequent reads skip it (counted lookup+miss) and
+  /// promotions/prefetches stop admitting into it. 0 (default) disables
+  /// quarantine — a faulted tier keeps being probed.
+  void set_quarantine_threshold(std::uint32_t threshold);
+  bool quarantined(std::size_t tier) const;
+  /// Lifts every quarantine and resets per-tier fault counts (the
+  /// operator replaced the flaky device).
+  void clear_quarantine();
 
   std::size_t num_tiers() const;
 
@@ -113,9 +128,14 @@ class CacheHierarchy {
 
   void admit_prefetched(const ChunkRequest& req);
 
-  mutable std::mutex mu_;  // tiers_ + stats_
+  mutable std::mutex mu_;  // tiers_ + stats_ + fault/quarantine state
   std::vector<std::unique_ptr<ChunkSource>> tiers_;
   std::vector<TierStats> stats_;
+
+  fault::FaultInjector* faults_ = nullptr;
+  std::uint32_t quarantine_threshold_ = 0;  // 0 = never quarantine
+  std::vector<std::uint32_t> tier_faults_;
+  std::vector<bool> quarantined_;
 
   util::ThreadPool* pool_ = nullptr;
   mutable std::mutex pending_mu_;  // pending_ + prefetch counters
@@ -178,6 +198,8 @@ struct DataPathConfig {
   std::function<SimTime(SimTime, std::uint64_t)> origin;
   std::string origin_name = "origin";
   util::ThreadPool* prefetch_pool = nullptr;
+  fault::FaultInjector* fault_injector = nullptr;
+  std::uint32_t quarantine_threshold = 0;
   std::string key_prefix;
 };
 

@@ -40,6 +40,10 @@ struct TierStats {
   std::uint64_t bytes_served = 0;    ///< bytes this tier delivered
   std::uint64_t bytes_admitted = 0;  ///< bytes promoted into this tier
   std::uint64_t prefetch_admits = 0; ///< admissions from the prefetch path
+  /// Reads this tier held but could not serve (injected tier fault or
+  /// quarantine): the walk fell through to the next holder. Each one is
+  /// also counted as a miss, so the conservation invariant still holds.
+  std::uint64_t degraded_reads = 0;
 };
 
 /// One chunk read. The three byte counts model compression: a squash

@@ -127,15 +127,28 @@ Result<Unit> SlurmWlm::node_failed(sim::NodeId node) {
   cluster_->set_state(node, sim::NodeState::kDown);
   drained_.insert(node);
   draining_.erase(node);
-  // Kill the job occupying the node, if any.
+  // Kill or requeue the job occupying the node, if any.
   for (JobId id : std::vector<JobId>(running_.begin(), running_.end())) {
     const JobRecord& rec = jobs_.at(id);
     if (std::find(rec.nodes.begin(), rec.nodes.end(), node) !=
         rec.nodes.end()) {
-      end_job(id, JobState::kFailed);
+      if (config_.requeue_on_node_failure) {
+        requeue_job(id);
+      } else {
+        end_job(id, JobState::kFailed);
+      }
     }
   }
   return ok_unit();
+}
+
+void SlurmWlm::apply_fault_plan(const fault::FaultPlan& plan) {
+  for (const auto& crash : plan.node_crashes) {
+    if (crash.node >= cluster_->num_nodes()) continue;
+    const sim::NodeId node = crash.node;
+    cluster_->events().schedule_at(crash.at,
+                                   [this, node] { (void)node_failed(node); });
+  }
 }
 
 void SlurmWlm::register_spank(SpankPlugin plugin) {
@@ -241,10 +254,16 @@ void SlurmWlm::start_job(JobRecord& rec, std::vector<sim::NodeId> nodes) {
     }
   }
 
+  // Lifecycle events carry the record's incarnation (requeue count):
+  // after a node-crash requeue the same id runs again, and events from
+  // the dead run must not touch the new one.
   const JobId id = rec.id;
-  cluster_->events().schedule_after(config_.prolog, [this, id] {
+  const std::uint32_t gen = rec.requeues;
+  cluster_->events().schedule_after(config_.prolog, [this, id, gen] {
     auto it = jobs_.find(id);
-    if (it == jobs_.end() || it->second.state != JobState::kRunning) return;
+    if (it == jobs_.end() || it->second.state != JobState::kRunning ||
+        it->second.requeues != gen)
+      return;
     JobRecord& r = it->second;
     if (r.spec.on_start) r.spec.on_start(id, r.nodes);
     // Schedule natural end (run_time 0 = run until cancelled/limit).
@@ -253,12 +272,53 @@ void SlurmWlm::start_job(JobRecord& rec, std::vector<sim::NodeId> nodes) {
     const bool hits_limit = r.spec.run_time == 0 ||
                             r.spec.run_time >= r.spec.time_limit;
     const SimDuration until = std::min(natural, r.spec.time_limit);
-    cluster_->events().schedule_after(until, [this, id, hits_limit] {
+    cluster_->events().schedule_after(until, [this, id, gen, hits_limit] {
       auto jt = jobs_.find(id);
-      if (jt == jobs_.end() || jt->second.state != JobState::kRunning) return;
+      if (jt == jobs_.end() || jt->second.state != JobState::kRunning ||
+          jt->second.requeues != gen)
+        return;
       end_job(id, hits_limit ? JobState::kTimeout : JobState::kCompleted);
     });
   });
+}
+
+void SlurmWlm::requeue_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) return;
+  JobRecord& rec = it->second;
+  (void)utilization();  // close the busy interval
+
+  // The partial run is still accounted — §6's "accounting of used
+  // resources" does not stop charging because the node died.
+  rec.ended = cluster_->now();
+  account(rec);
+
+  running_.erase(id);
+  for (auto n : rec.nodes) {
+    allocated_.erase(n);
+    (void)cgroups_[n]->remove("/slurm/job" + std::to_string(id));
+    if (draining_.erase(n)) {
+      drained_.insert(n);
+      auto cb = drain_callbacks_.find(n);
+      if (cb != drain_callbacks_.end()) {
+        auto fn = std::move(cb->second);
+        drain_callbacks_.erase(cb);
+        if (fn) fn();
+      }
+    }
+  }
+
+  // Same record, next incarnation: back to pending at the tail of the
+  // queue. No on_end fires — the job has not ended. Job count is
+  // conserved by construction.
+  rec.state = JobState::kPending;
+  rec.started = -1;
+  rec.ended = -1;
+  rec.nodes.clear();
+  ++rec.requeues;
+  ++requeues_;
+  queue_.push_back(id);
+  request_schedule();
 }
 
 void SlurmWlm::account(const JobRecord& rec) {

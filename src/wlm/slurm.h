@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "runtime/cgroup.h"
 #include "sim/cluster.h"
 #include "util/result.h"
@@ -61,6 +62,10 @@ struct JobRecord {
   SimTime started = -1;
   SimTime ended = -1;
   std::vector<sim::NodeId> nodes;
+  /// Times this job was put back in the queue after a node crash. Also
+  /// the record's "incarnation": stale lifecycle events from an earlier
+  /// run carry the old value and are discarded.
+  std::uint32_t requeues = 0;
 
   SimDuration wait_time() const {
     return started < 0 ? -1 : started - submitted;
@@ -73,6 +78,11 @@ struct WlmConfig {
   SimDuration epilog = msec(200);
   /// Scheduler pass latency (decisions are not instantaneous).
   SimDuration sched_interval = msec(100);
+  /// When a node fails under a running job, put the job back in the
+  /// queue (same record, partial run accounted) instead of failing it.
+  /// Off by default: the classic HPC stance is that a crashed MPI rank
+  /// kills the job; requeue is the robustness opt-in.
+  bool requeue_on_node_failure = false;
 };
 
 /// A SPANK-style plugin: callbacks around job lifecycle, used to
@@ -107,9 +117,19 @@ class SlurmWlm {
 
   /// Reports a hardware failure: the node goes down immediately, any
   /// job running on it fails (kFailed — partial allocations are not
-  /// salvageable under exclusive gang allocation), and the node stays
+  /// salvageable under exclusive gang allocation) or, with
+  /// `requeue_on_node_failure`, goes back in the queue; the node stays
   /// out of service until undrain() after repair.
   Result<Unit> node_failed(sim::NodeId node);
+
+  /// Schedules every node crash in `plan` on the cluster's event queue
+  /// (crashes for nodes outside this cluster are ignored). Jobs react
+  /// per `requeue_on_node_failure`.
+  void apply_fault_plan(const fault::FaultPlan& plan);
+
+  /// Total node-failure requeues performed (jobs are conserved: every
+  /// requeued record is the same JobRecord, back in the queue).
+  std::uint64_t requeues() const { return requeues_; }
 
   // ----- plugins
   void register_spank(SpankPlugin plugin);
@@ -137,6 +157,7 @@ class SlurmWlm {
   void request_schedule();
   void start_job(JobRecord& rec, std::vector<sim::NodeId> nodes);
   void end_job(JobId id, JobState final_state);
+  void requeue_job(JobId id);
   void account(const JobRecord& rec);
   std::vector<sim::NodeId> free_nodes() const;
   SimTime earliest_fit_time(std::uint32_t nodes_needed) const;
@@ -155,6 +176,7 @@ class SlurmWlm {
   std::vector<std::unique_ptr<runtime::CgroupTree>> cgroups_;
   JobId next_id_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t requeues_ = 0;
   bool schedule_requested_ = false;
   // Utilization integral.
   mutable SimTime last_util_update_ = 0;

@@ -349,6 +349,47 @@ TEST(AuditRules, Cfg006NoCgroupPlacement) {
 }
 
 // ---------------------------------------------------------------------------
+// ROB rules
+// ---------------------------------------------------------------------------
+
+TEST(AuditRules, Rob001ClientWithoutRetryPolicy) {
+  AuditInput pos = clean_input();
+  pos.has_registry_client = true;  // no registry_retry at all
+  AuditInput neg = pos;
+  neg.registry_retry = fault::RetryPolicy::standard();
+  expect_rule("ROB001", pos, neg);
+}
+
+TEST(AuditRules, Rob001SingleAttemptPolicyStillFires) {
+  AuditInput pos = clean_input();
+  pos.has_registry_client = true;
+  pos.registry_retry = fault::RetryPolicy::none();  // max_attempts == 1
+  AuditInput neg = clean_input();  // no registry client at all: not gated
+  expect_rule("ROB001", pos, neg);
+}
+
+TEST(AuditRules, Rob002UncappedBackoff) {
+  AuditInput pos = clean_input();
+  pos.has_registry_client = true;
+  pos.registry_retry = fault::RetryPolicy::standard();
+  pos.registry_retry->max_backoff = 0;  // uncapped growth
+  AuditInput neg = pos;
+  neg.registry_retry = fault::RetryPolicy::standard();
+  expect_rule("ROB002", pos, neg);
+}
+
+TEST(AuditRules, Rob002MissingAttemptTimeout) {
+  AuditInput pos = clean_input();
+  pos.has_registry_client = true;
+  pos.registry_retry = fault::RetryPolicy::standard();
+  pos.registry_retry->attempt_timeout = 0;  // one stall blocks the pull
+  // A single-attempt policy is ROB001's business, not ROB002's.
+  AuditInput neg = pos;
+  neg.registry_retry = fault::RetryPolicy::none();
+  expect_rule("ROB002", pos, neg);
+}
+
+// ---------------------------------------------------------------------------
 // ADAPT rules
 // ---------------------------------------------------------------------------
 

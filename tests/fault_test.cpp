@@ -1,0 +1,931 @@
+// Tests for the fault layer (hpcc_fault) and its integration across the
+// data path: deterministic injection (same seed + same plan ⇒ identical
+// decisions and byte-identical sim results), the empty-plan identity
+// (an empty FaultPlan is byte-identical to no injector at all), retry
+// semantics (capped backoff, per-attempt timeout, jitter determinism),
+// and the no-silent-loss property — every injected fault is either
+// retried to success or surfaced as a typed util::Result error, and WLM
+// requeue / K8s reschedule conserve jobs and pods.
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "fault/retry.h"
+#include "image/build.h"
+#include "k8s/k8s.h"
+#include "registry/client.h"
+#include "registry/lazy.h"
+#include "registry/proxy.h"
+#include "registry/registry.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+#include "storage/cache_hierarchy.h"
+#include "storage/tiers.h"
+#include "wlm/slurm.h"
+
+namespace hpcc {
+namespace {
+
+using fault::Decision;
+using fault::Domain;
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+using fault::RetryPolicy;
+using fault::RetryStats;
+
+// --------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, EmptyPlanIsDisabledAndNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 50; ++i) {
+    const Decision d = inj.decide(Domain::kWan, sec(i));
+    EXPECT_FALSE(d.fail);
+    EXPECT_FALSE(d.degrade);
+    EXPECT_FALSE(d.auth_expired);
+    EXPECT_EQ(d.slowdown, 1.0);
+    EXPECT_EQ(d.extra_latency, 0);
+  }
+  EXPECT_EQ(inj.counters(Domain::kWan).checks, 0u);
+  EXPECT_EQ(inj.total_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, FixedScheduleFiresAtExactOrdinals) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kStorage;
+  spec.at_ops = {1, 3};
+  plan.add(spec);
+  FaultInjector inj(plan);
+  ASSERT_TRUE(inj.enabled());
+
+  std::vector<bool> fails;
+  for (int i = 0; i < 5; ++i)
+    fails.push_back(inj.decide(Domain::kStorage, sec(i)).fail);
+  EXPECT_EQ(fails, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_EQ(inj.counters(Domain::kStorage).checks, 5u);
+  EXPECT_EQ(inj.counters(Domain::kStorage).faults, 2u);
+  EXPECT_EQ(inj.total_faults(), 2u);
+}
+
+TEST(FaultInjectorTest, TimeWindowGatesEligibility) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.probability = 1.0;
+  spec.window_from = sec(10);
+  spec.window_until = sec(20);
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  EXPECT_FALSE(inj.decide(Domain::kWan, sec(5)).fail);
+  EXPECT_TRUE(inj.decide(Domain::kWan, sec(15)).fail);
+  EXPECT_FALSE(inj.decide(Domain::kWan, sec(20)).fail);  // half-open
+  EXPECT_FALSE(inj.decide(Domain::kWan, sec(25)).fail);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanIdenticalDecisions) {
+  const FaultPlan plan = FaultPlan::wan_failures(0.5, 1234);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    const Decision da = a.decide(Domain::kWan, sec(i));
+    const Decision db = b.decide(Domain::kWan, sec(i));
+    EXPECT_EQ(da.fail, db.fail) << "op " << i;
+  }
+  EXPECT_EQ(a.counters(Domain::kWan).faults, b.counters(Domain::kWan).faults);
+  EXPECT_GT(a.counters(Domain::kWan).faults, 0u);
+  EXPECT_LT(a.counters(Domain::kWan).faults, 200u);
+}
+
+TEST(FaultInjectorTest, DomainsDrawFromIndependentStreams) {
+  // Adding a storage spec (and interleaving storage decides) must not
+  // shift the WAN stream's draws.
+  const FaultPlan wan_only = FaultPlan::wan_failures(0.5, 99);
+  FaultPlan both = wan_only;
+  FaultSpec storage;
+  storage.domain = Domain::kStorage;
+  storage.probability = 0.5;
+  both.add(storage);
+
+  FaultInjector a(wan_only);
+  FaultInjector b(both);
+  for (int i = 0; i < 100; ++i) {
+    (void)b.decide(Domain::kStorage, sec(i));  // extra traffic elsewhere
+    EXPECT_EQ(a.decide(Domain::kWan, sec(i)).fail,
+              b.decide(Domain::kWan, sec(i)).fail)
+        << "op " << i;
+  }
+}
+
+TEST(FaultInjectorTest, DegradeCarriesSlowdownAndLatency) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kFabric;
+  spec.kind = FaultKind::kDegrade;
+  spec.probability = 1.0;
+  spec.slowdown = 3.0;
+  spec.extra_latency = msec(7);
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  const Decision d = inj.decide(Domain::kFabric, 0);
+  EXPECT_FALSE(d.fail);
+  EXPECT_TRUE(d.degrade);
+  EXPECT_EQ(d.slowdown, 3.0);
+  EXPECT_EQ(d.extra_latency, msec(7));
+  EXPECT_EQ(inj.counters(Domain::kFabric).degradations, 1u);
+  EXPECT_EQ(inj.total_faults(), 0u);  // degradations are not hard faults
+}
+
+TEST(FaultInjectorTest, RandomNodeCrashesAreDeterministicAndSorted) {
+  FaultPlan a;
+  a.seed = 7;
+  a.with_random_node_crashes(8, minutes(30), 16);
+  FaultPlan b;
+  b.seed = 7;
+  b.with_random_node_crashes(8, minutes(30), 16);
+  ASSERT_EQ(a.node_crashes.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.node_crashes[i].at, b.node_crashes[i].at);
+    EXPECT_EQ(a.node_crashes[i].node, b.node_crashes[i].node);
+    EXPECT_LT(a.node_crashes[i].node, 16u);
+    EXPECT_LT(a.node_crashes[i].at, minutes(30));
+    if (i > 0) {
+      EXPECT_GE(a.node_crashes[i].at, a.node_crashes[i - 1].at);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Retry
+
+TEST(FaultRetryTest, NonePolicyIsASinglePassThrough) {
+  Rng jitter(1);
+  RetryStats stats;
+  const auto ok_attempt = [](SimTime start, SimTime*) -> Result<SimTime> {
+    return start + msec(3);
+  };
+  const auto r =
+      fault::retry_timed(sec(1), RetryPolicy::none(), jitter, ok_attempt, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), sec(1) + msec(3));
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+
+  int calls = 0;
+  const auto failing = [&](SimTime start, SimTime* fa) -> Result<SimTime> {
+    ++calls;
+    if (fa) *fa = start + msec(2);
+    return err_unavailable("down");
+  };
+  const auto f =
+      fault::retry_timed(0, RetryPolicy::none(), jitter, failing, &stats);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.error().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 1);  // no retrying without a policy
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(FaultRetryTest, RetriesUntilSuccessAndChargesFailedTime) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = msec(10);
+  policy.multiplier = 2.0;
+  Rng jitter(policy.jitter_seed);
+  RetryStats stats;
+
+  int calls = 0;
+  const auto attempt = [&](SimTime start, SimTime* fa) -> Result<SimTime> {
+    if (++calls < 3) {
+      if (fa) *fa = start + msec(5);
+      return err_unavailable("flaky");
+    }
+    return start + msec(7);
+  };
+  const auto r = fault::retry_timed(0, policy, jitter, attempt, &stats);
+  ASSERT_TRUE(r.ok());
+  // attempt 1: 0 → fails at 5ms; backoff 10ms → attempt 2 at 15ms, fails
+  // at 20ms; backoff 20ms → attempt 3 at 40ms, done at 47ms. No jitter.
+  EXPECT_EQ(r.value(), msec(47));
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_EQ(stats.backoff_total, msec(30));
+}
+
+TEST(FaultRetryTest, ExhaustionSurfacesTypedErrorWithFailureTime) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = msec(10);
+  Rng jitter(policy.jitter_seed);
+  RetryStats stats;
+  SimTime failed_at = 0;
+
+  const auto attempt = [](SimTime start, SimTime* fa) -> Result<SimTime> {
+    if (fa) *fa = start + msec(5);
+    return err_unavailable("hard down");
+  };
+  const auto r =
+      fault::retry_timed(0, policy, jitter, attempt, &stats, &failed_at);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+  // attempt 1 fails at 5ms; backoff 10ms; attempt 2 at 15ms fails at 20ms.
+  EXPECT_EQ(failed_at, msec(20));
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.attempts, 2u);
+}
+
+TEST(FaultRetryTest, BackoffIsCappedAndJitterIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff = msec(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = msec(300);
+  policy.jitter = 0.5;
+
+  Rng a(42), b(42);
+  for (unsigned retry = 1; retry <= 8; ++retry) {
+    const SimDuration ba = policy.backoff(retry, a);
+    const SimDuration bb = policy.backoff(retry, b);
+    EXPECT_EQ(ba, bb) << "retry " << retry;  // same seed, same jitter
+    EXPECT_GE(ba, 0);
+    // Cap 300ms, jitter ±50% ⇒ never above 450ms even at retry 8
+    // (uncapped would be 100ms·2^7 = 12.8s).
+    EXPECT_LE(ba, msec(450));
+  }
+  // Without jitter the cap is exact.
+  RetryPolicy plain = policy;
+  plain.jitter = 0.0;
+  Rng c(1);
+  EXPECT_EQ(plain.backoff(1, c), msec(100));
+  EXPECT_EQ(plain.backoff(2, c), msec(200));
+  EXPECT_EQ(plain.backoff(3, c), msec(300));
+  EXPECT_EQ(plain.backoff(8, c), msec(300));
+}
+
+TEST(FaultRetryTest, SlowAttemptCountsAsTimeout) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = msec(10);
+  policy.attempt_timeout = msec(20);
+  Rng jitter(policy.jitter_seed);
+  RetryStats stats;
+
+  // Succeeds, but only after 50ms — past the 20ms attempt timeout: the
+  // client aborts it and the operation fails once attempts run out.
+  const auto slow = [](SimTime start, SimTime*) -> Result<SimTime> {
+    return start + msec(50);
+  };
+  const auto r = fault::retry_timed(0, policy, jitter, slow, &stats);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST(FaultRetryTest, AmplificationIsAttemptsPerOperation) {
+  RetryStats stats;
+  EXPECT_EQ(stats.amplification(), 1.0);  // vacuous
+  stats.operations = 4;
+  stats.attempts = 6;
+  EXPECT_DOUBLE_EQ(stats.amplification(), 1.5);
+}
+
+// --------------------------------------------------------------- Network
+
+TEST(FaultNetworkTest, TryVariantsMatchPlainTransfersWithoutInjector) {
+  sim::Network plain(4);
+  sim::Network fallible(4);
+  const SimTime t1 = plain.transfer(0, 0, 1, 1 << 20);
+  const auto t2 = fallible.try_transfer(0, 0, 1, 1 << 20);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1, t2.value());
+
+  const SimTime w1 = plain.wan_transfer(t1, 1, 1 << 20);
+  const auto w2 = fallible.try_wan_transfer(t1, 1, 1 << 20);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w1, w2.value());
+}
+
+TEST(FaultNetworkTest, EmptyPlanInjectorIsByteIdentical) {
+  sim::Network plain(4);
+  sim::Network fallible(4);
+  FaultInjector empty;
+  fallible.set_fault_injector(&empty);
+  for (int i = 0; i < 5; ++i) {
+    const SimTime a = plain.wan_transfer(sec(i), 1, 4 << 20);
+    const auto b = fallible.try_wan_transfer(sec(i), 1, 4 << 20);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a, b.value());
+  }
+  EXPECT_EQ(plain.wan_bytes(), fallible.wan_bytes());
+}
+
+TEST(FaultNetworkTest, WanFaultFailsTypedButStillChargesTime) {
+  sim::Network clean(4);
+  const SimTime clean_done = clean.wan_transfer(0, 1, 1 << 20);
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.at_ops = {0};
+  plan.add(spec);
+  FaultInjector inj(plan);
+  sim::Network net(4);
+  net.set_fault_injector(&inj);
+
+  SimTime failed_at = 0;
+  const auto r = net.try_wan_transfer(0, 1, 1 << 20, &failed_at);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(failed_at, clean_done);  // a failed transfer is not free
+  EXPECT_EQ(inj.counters(Domain::kWan).faults, 1u);
+}
+
+TEST(FaultNetworkTest, DegradationStretchesTheTransfer) {
+  sim::Network clean(4);
+  const SimTime clean_done = clean.wan_transfer(0, 1, 8 << 20);
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.kind = FaultKind::kDegrade;
+  spec.probability = 1.0;
+  spec.slowdown = 4.0;
+  plan.add(spec);
+  FaultInjector inj(plan);
+  sim::Network net(4);
+  net.set_fault_injector(&inj);
+
+  const auto r = net.try_wan_transfer(0, 1, 8 << 20);
+  ASSERT_TRUE(r.ok());  // degraded, not failed
+  EXPECT_GT(r.value(), clean_done);
+  EXPECT_EQ(inj.counters(Domain::kWan).degradations, 1u);
+}
+
+// --------------------------------------------------------- CacheHierarchy
+
+storage::ChunkRequest chunk(const std::string& key, std::uint64_t bytes) {
+  storage::ChunkRequest req;
+  req.key = key;
+  req.bytes = bytes;
+  return req;
+}
+
+std::unique_ptr<storage::CacheHierarchy> two_tier_chain(
+    sim::PageCache& pc, FaultInjector* inj = nullptr,
+    std::uint32_t quarantine_threshold = 0) {
+  auto chain = std::make_unique<storage::CacheHierarchy>();
+  chain->add_tier(storage::page_cache_tier(pc));
+  chain->add_tier(storage::origin_tier(
+      "origin", [](SimTime t, std::uint64_t bytes) {
+        return t + msec(1) + static_cast<SimDuration>(bytes / 100);
+      }));
+  if (inj != nullptr) chain->set_fault_injector(inj);
+  chain->set_quarantine_threshold(quarantine_threshold);
+  return chain;
+}
+
+TEST(FaultStorageTest, EmptyPlanHierarchyIsByteIdentical) {
+  sim::PageCache pc_a, pc_b;
+  FaultInjector empty;
+  auto a = two_tier_chain(pc_a);
+  auto b = two_tier_chain(pc_b, &empty);
+
+  SimTime ta = 0, tb = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto key = "blk:" + std::to_string(i % 4);
+    const auto ra = a->read(ta, chunk(key, 64 << 10));
+    const auto rb = b->read(tb, chunk(key, 64 << 10));
+    EXPECT_EQ(ra.done, rb.done);
+    EXPECT_EQ(ra.tier, rb.tier);
+    EXPECT_EQ(ra.cache_hit, rb.cache_hit);
+    ta = ra.done;
+    tb = rb.done;
+  }
+  for (std::size_t t = 0; t < a->num_tiers(); ++t) {
+    EXPECT_EQ(a->tier_stats(t).hits, b->tier_stats(t).hits);
+    EXPECT_EQ(a->tier_stats(t).misses, b->tier_stats(t).misses);
+    EXPECT_EQ(b->tier_stats(t).degraded_reads, 0u);
+  }
+}
+
+TEST(FaultStorageTest, FaultedTierFallsThroughAndCountsDegradedRead) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kStorage;
+  spec.at_ops = {0};  // the first would-serve cache read fails
+  plan.add(spec);
+  FaultInjector inj(plan);
+  sim::PageCache pc;
+  auto chain = two_tier_chain(pc, &inj);
+
+  // Cold read: the cache doesn't hold the key yet, so no storage decide
+  // is consumed; the origin serves and the block is promoted.
+  const auto cold = chain->read(0, chunk("blk", 64 << 10));
+  EXPECT_FALSE(cold.cache_hit);
+
+  // The warm read would be served by the cache — the injected fault
+  // makes it fall through to the origin instead. The read still succeeds.
+  const auto faulted = chain->read(cold.done, chunk("blk", 64 << 10));
+  EXPECT_FALSE(faulted.cache_hit);
+  EXPECT_GT(faulted.done, cold.done);
+
+  // Fault consumed; the next read hits the cache normally.
+  const auto warm = chain->read(faulted.done, chunk("blk", 64 << 10));
+  EXPECT_TRUE(warm.cache_hit);
+
+  const auto top = chain->tier_stats(0);
+  EXPECT_EQ(top.degraded_reads, 1u);
+  EXPECT_EQ(top.lookups, 3u);
+  EXPECT_EQ(top.hits, 1u);
+  EXPECT_EQ(top.misses, 2u);  // degraded reads count as misses
+  EXPECT_EQ(top.hits + top.misses, top.lookups);
+  EXPECT_EQ(chain->total_stats().degraded_reads, 1u);
+}
+
+TEST(FaultStorageTest, QuarantineAfterThresholdThenClear) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kStorage;
+  spec.probability = 1.0;  // every would-serve read faults
+  plan.add(spec);
+  FaultInjector inj(plan);
+  sim::PageCache pc;
+  auto chain = two_tier_chain(pc, &inj, /*quarantine_threshold=*/2);
+
+  SimTime t = chain->read(0, chunk("blk", 64 << 10)).done;  // cold, promote
+  t = chain->read(t, chunk("blk", 64 << 10)).done;          // fault 1
+  EXPECT_FALSE(chain->quarantined(0));
+  t = chain->read(t, chunk("blk", 64 << 10)).done;          // fault 2 → out
+  EXPECT_TRUE(chain->quarantined(0));
+
+  // Quarantined: skipped without consulting the injector, still served
+  // by the origin — reads keep succeeding.
+  const auto checks_before = inj.counters(Domain::kStorage).checks;
+  const auto r = chain->read(t, chunk("blk", 64 << 10));
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(inj.counters(Domain::kStorage).checks, checks_before);
+
+  const auto top = chain->tier_stats(0);
+  EXPECT_EQ(top.degraded_reads, 3u);
+  EXPECT_EQ(top.hits + top.misses, top.lookups);
+
+  chain->clear_quarantine();
+  EXPECT_FALSE(chain->quarantined(0));
+}
+
+// --------------------------------------------------------- Registry pulls
+
+/// A fresh registry + network + pushed ~1 MiB image, so identical
+/// scenarios can be replayed against untouched queue state.
+struct PullSetup {
+  PullSetup() : net(4), reg("upstream.example") {
+    EXPECT_TRUE(reg.create_project("base", "ci", 0).ok());
+    vfs::MemFs fs;
+    (void)fs.mkdir("/opt", {}, true);
+    Rng rng(3);
+    (void)fs.write_file("/opt/payload",
+                        image::synthetic_file_content(rng, 1 << 20));
+    vfs::Layer layer = vfs::Layer::from_fs(fs);
+    image::ImageConfig cfg;
+    image::OciManifest m;
+    m.config_digest = reg.push_blob("ci", "base", cfg.serialize()).value();
+    Bytes blob = layer.serialize();
+    const auto size = blob.size();
+    m.layer_digests.push_back(
+        reg.push_blob("ci", "base", std::move(blob)).value());
+    m.layer_sizes.push_back(size);
+    EXPECT_TRUE(reg.push_manifest("ci", ref(), m).ok());
+  }
+
+  static image::ImageReference ref() {
+    return image::ImageReference::parse("upstream.example/base/app:v1").value();
+  }
+
+  sim::Network net;
+  registry::OciRegistry reg;
+};
+
+TEST(FaultPullTest, EmptyPlanPullIsByteIdentical) {
+  PullSetup plain;
+  registry::RegistryClient base_client(&plain.net, 1);
+  const auto base = base_client.pull(0, plain.reg, PullSetup::ref());
+  ASSERT_TRUE(base.ok());
+
+  PullSetup wired;
+  FaultInjector empty;
+  wired.net.set_fault_injector(&empty);
+  registry::RegistryClient client(&wired.net, 1);
+  client.set_fault_injector(&empty);
+  client.set_retry_policy(RetryPolicy::none());
+  const auto pulled = client.pull(0, wired.reg, PullSetup::ref());
+  ASSERT_TRUE(pulled.ok());
+
+  EXPECT_EQ(base.value().done, pulled.value().done);
+  EXPECT_EQ(base.value().bytes_transferred, pulled.value().bytes_transferred);
+  EXPECT_EQ(base.value().layers.size(), pulled.value().layers.size());
+  EXPECT_EQ(client.retry_stats().retries, 0u);
+}
+
+TEST(FaultPullTest, WanFaultIsRetriedToSuccess) {
+  PullSetup clean;
+  const auto baseline =
+      registry::RegistryClient(&clean.net, 1).pull(0, clean.reg, PullSetup::ref());
+  ASSERT_TRUE(baseline.ok());
+
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.at_ops = {0};  // the first WAN transfer of the pull fails once
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  PullSetup faulty;
+  faulty.net.set_fault_injector(&inj);
+  registry::RegistryClient client(&faulty.net, 1);
+  client.set_fault_injector(&inj);
+  client.set_retry_policy(RetryPolicy::standard());
+
+  const auto pulled = client.pull(0, faulty.reg, PullSetup::ref());
+  ASSERT_TRUE(pulled.ok()) << pulled.error().to_string();
+  // Same bytes delivered; recovery cost shows up as extra time.
+  EXPECT_EQ(pulled.value().bytes_transferred,
+            baseline.value().bytes_transferred);
+  EXPECT_EQ(pulled.value().layers.size(), baseline.value().layers.size());
+  EXPECT_GT(pulled.value().done, baseline.value().done);
+  EXPECT_EQ(client.retry_stats().retries, 1u);
+  EXPECT_EQ(client.retry_stats().failures, 0u);
+}
+
+TEST(FaultPullTest, NoSilentLossWithoutRetryPolicy) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kWan;
+  spec.at_ops = {0};
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  PullSetup setup;
+  setup.net.set_fault_injector(&inj);
+  registry::RegistryClient client(&setup.net, 1);
+  client.set_fault_injector(&inj);  // default policy: none()
+
+  const auto pulled = client.pull(0, setup.reg, PullSetup::ref());
+  ASSERT_FALSE(pulled.ok());  // surfaced, not swallowed
+  EXPECT_EQ(pulled.error().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(client.retry_stats().failures, 1u);
+  EXPECT_GT(client.last_failed_at(), 0);
+}
+
+TEST(FaultPullTest, RegistryFiveHundredsRetryToSuccess) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kRegistry;
+  spec.at_ops = {0};  // the frontend 5xxes the first fetch
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  PullSetup setup;
+  setup.net.set_fault_injector(&inj);
+  registry::RegistryClient client(&setup.net, 1);
+  client.set_fault_injector(&inj);
+  client.set_retry_policy(RetryPolicy::standard());
+
+  const auto pulled = client.pull(0, setup.reg, PullSetup::ref());
+  ASSERT_TRUE(pulled.ok()) << pulled.error().to_string();
+  EXPECT_EQ(inj.counters(Domain::kRegistry).faults, 1u);
+  EXPECT_EQ(client.retry_stats().retries, 1u);
+}
+
+TEST(FaultPullTest, AuthExpiryRefreshesAndProceeds) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.domain = Domain::kRegistry;
+  spec.kind = FaultKind::kAuthExpiry;
+  spec.at_ops = {0};
+  plan.add(spec);
+  FaultInjector inj(plan);
+
+  PullSetup setup;
+  setup.net.set_fault_injector(&inj);
+  registry::RegistryClient client(&setup.net, 1);
+  client.set_fault_injector(&inj);  // no retry needed: re-auth, not failure
+
+  const auto pulled = client.pull(0, setup.reg, PullSetup::ref());
+  ASSERT_TRUE(pulled.ok()) << pulled.error().to_string();
+  EXPECT_EQ(client.auth_refreshes(), 1u);
+  EXPECT_EQ(inj.counters(Domain::kRegistry).auth_expiries, 1u);
+  EXPECT_EQ(client.retry_stats().failures, 0u);
+}
+
+TEST(FaultPullTest, SameSeedPullIsReproducible) {
+  const auto run = [] {
+    const FaultPlan plan = FaultPlan::wan_failures(0.3, 4242);
+    FaultInjector inj(plan);
+    PullSetup setup;
+    setup.net.set_fault_injector(&inj);
+    registry::RegistryClient client(&setup.net, 1);
+    client.set_fault_injector(&inj);
+    client.set_retry_policy(RetryPolicy::standard(6));
+    const auto pulled = client.pull(0, setup.reg, PullSetup::ref());
+    EXPECT_TRUE(pulled.ok());
+    return std::tuple<SimTime, std::uint64_t, std::uint64_t, std::uint64_t>{
+        pulled.ok() ? pulled.value().done : -1,
+        pulled.ok() ? pulled.value().bytes_transferred : 0,
+        client.retry_stats().attempts, inj.total_faults()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPullTest, ProxyOutageFallsBackToOrigin) {
+  PullSetup setup;
+  registry::PullThroughProxy proxy("proxy.site", &setup.reg);
+
+  // The proxy's WAN leg is hard down; its (small) retry budget exhausts.
+  const FaultPlan plan = FaultPlan::wan_failures(1.0, 5);
+  FaultInjector inj(plan);
+  proxy.set_fault_injector(&inj);
+  proxy.set_retry_policy(RetryPolicy::standard(2));
+
+  registry::RegistryClient client(&setup.net, 1);
+  const auto direct_deadline = proxy.retry_stats().failures;
+  const auto pulled =
+      client.pull_with_fallback(0, proxy, setup.reg, PullSetup::ref());
+  ASSERT_TRUE(pulled.ok()) << pulled.error().to_string();
+  EXPECT_EQ(client.proxy_fallbacks(), 1u);
+  EXPECT_GT(proxy.retry_stats().failures, direct_deadline);
+  // The fallback resumed after the failed proxy attempt — the outage
+  // cost sim time, it didn't rewind it.
+  EXPECT_GE(pulled.value().done, client.last_failed_at());
+
+  // Without the fallback wrapper the same outage surfaces typed.
+  registry::PullThroughProxy down("proxy2.site", &setup.reg);
+  FaultInjector inj2(plan);
+  down.set_fault_injector(&inj2);
+  down.set_retry_policy(RetryPolicy::standard(2));
+  const auto via = client.pull_via_proxy(0, down, PullSetup::ref());
+  ASSERT_FALSE(via.ok());
+  EXPECT_EQ(via.error().code(), ErrorCode::kUnavailable);
+}
+
+// ------------------------------------------------------------- Lazy mount
+
+class FaultLazyTest : public ::testing::Test {
+ protected:
+  FaultLazyTest() : net(4), reg("registry.site") {
+    (void)reg.create_project("apps", "ci");
+    Rng rng(7);
+    (void)tree.mkdir("/opt/app/bin", {}, true);
+    (void)tree.write_file("/opt/app/bin/app",
+                          image::synthetic_file_content(rng, 2 << 20),
+                          {0, 0, 0755, 0});
+    squash = std::make_unique<vfs::SquashImage>(
+        vfs::SquashImage::build(tree, 128 * 1024));
+    EXPECT_TRUE(registry::publish_lazy(reg, "ci", "apps", *squash).ok());
+  }
+
+  registry::LazyMountConfig config(sim::PageCache& pc,
+                                   sim::Network* network = nullptr) {
+    registry::LazyMountConfig c;
+    c.registry = &reg;
+    c.network = network != nullptr ? network : &net;
+    c.node = 1;
+    c.cache = storage::page_cache_tier(pc);
+    c.over_wan = true;
+    return c;
+  }
+
+  sim::Network net;
+  registry::OciRegistry reg;
+  vfs::MemFs tree;
+  std::unique_ptr<vfs::SquashImage> squash;
+};
+
+TEST_F(FaultLazyTest, EmptyPlanLazyReadIsByteIdentical) {
+  // A fully separate registry + network for the wired mount: the two
+  // reads must not queue behind each other on shared serve stations.
+  sim::PageCache pc_a, pc_b;
+  sim::Network net_b(4);
+  registry::OciRegistry reg_b("registry.site");
+  ASSERT_TRUE(reg_b.create_project("apps", "ci").ok());
+  ASSERT_TRUE(registry::publish_lazy(reg_b, "ci", "apps", *squash).ok());
+
+  auto plain = registry::make_lazy_rootfs(squash.get(), config(pc_a)).value();
+  Bytes out_a;
+  const auto a = plain->read_file(0, "/opt/app/bin/app", &out_a);
+  ASSERT_TRUE(a.ok());
+
+  FaultInjector empty;
+  net_b.set_fault_injector(&empty);
+  auto cfg = config(pc_b, &net_b);
+  cfg.registry = &reg_b;
+  cfg.faults = &empty;
+  cfg.retry = RetryPolicy::none();
+  auto wired = registry::make_lazy_rootfs(squash.get(), std::move(cfg)).value();
+  Bytes out_b;
+  const auto b = wired->read_file(0, "/opt/app/bin/app", &out_b);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST_F(FaultLazyTest, FirstTouchRetriesToIdenticalContent) {
+  sim::PageCache pc_clean;
+  auto plain =
+      registry::make_lazy_rootfs(squash.get(), config(pc_clean)).value();
+  Bytes expect;
+  const auto baseline = plain->read_file(0, "/opt/app/bin/app", &expect);
+  ASSERT_TRUE(baseline.ok());
+
+  const FaultPlan plan = FaultPlan::wan_failures(0.3, 21);
+  FaultInjector inj(plan);
+  sim::Network net_faulty(4);
+  net_faulty.set_fault_injector(&inj);
+  sim::PageCache pc;
+  auto cfg = config(pc, &net_faulty);
+  cfg.retry = RetryPolicy::standard(6);
+  auto lazy = registry::make_lazy_rootfs(squash.get(), std::move(cfg)).value();
+
+  Bytes out;
+  const auto read = lazy->read_file(0, "/opt/app/bin/app", &out);
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(out, expect);           // retried fetches lose no content
+  EXPECT_GT(read.value(), baseline.value());  // recovery costs time
+  EXPECT_GT(inj.counters(Domain::kWan).faults, 0u);
+}
+
+TEST_F(FaultLazyTest, ExhaustedRetriesSurfaceTypedError) {
+  const FaultPlan plan = FaultPlan::wan_failures(1.0, 9);
+  FaultInjector inj(plan);
+  net.set_fault_injector(&inj);
+  sim::PageCache pc;
+  auto lazy = registry::make_lazy_rootfs(squash.get(), config(pc)).value();
+
+  Bytes out;
+  const auto read = lazy->read_file(0, "/opt/app/bin/app", &out);
+  ASSERT_FALSE(read.ok());  // default policy: one attempt, no retry
+  EXPECT_EQ(read.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(FaultLazyTest, PrefetchAbortsCleanlyUnderFaults) {
+  // The mount's own injector gates prefetch candidates: with the WAN
+  // hard down for prefetch decisions, prefetches abort (skip) while
+  // functional first-touch reads — on a fault-free network — still
+  // deliver full content.
+  const FaultPlan plan = FaultPlan::wan_failures(1.0, 13);
+  FaultInjector inj(plan);
+  sim::PageCache pc;
+  auto cfg = config(pc);
+  cfg.prefetch_depth = 4;
+  cfg.faults = &inj;  // mount decisions only; the network stays clean
+  auto lazy = registry::make_lazy_rootfs(squash.get(), std::move(cfg)).value();
+
+  Bytes out;
+  const auto read = lazy->read_file(0, "/opt/app/bin/app", &out);
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(out.size(), 2u << 20);
+  EXPECT_GT(inj.counters(Domain::kWan).checks, 0u);  // candidates consulted
+}
+
+// -------------------------------------------------------------- WLM / K8s
+
+class FaultWlmTest : public ::testing::Test {
+ protected:
+  void build(bool requeue) {
+    sim::ClusterConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.node_spec.cores = 8;
+    cluster = std::make_unique<sim::Cluster>(cfg);
+    wlm::WlmConfig wcfg;
+    wcfg.requeue_on_node_failure = requeue;
+    wlm = std::make_unique<wlm::SlurmWlm>(cluster.get(), wcfg);
+  }
+
+  wlm::JobSpec job(std::uint32_t nodes, SimDuration run = minutes(5)) {
+    wlm::JobSpec spec;
+    spec.name = "j";
+    spec.user = "u";
+    spec.nodes = nodes;
+    spec.run_time = run;
+    spec.time_limit = minutes(30);
+    return spec;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::unique_ptr<wlm::SlurmWlm> wlm;
+};
+
+TEST_F(FaultWlmTest, NodeCrashRequeueConservesJobs) {
+  build(/*requeue=*/true);
+  std::vector<wlm::JobId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(wlm->submit(job(2)));
+
+  FaultPlan plan;
+  plan.node_crashes.push_back({minutes(2), 0});
+  wlm->apply_fault_plan(plan);
+  cluster->events().run();
+
+  // Every submitted job ran to completion: the crashed allocation went
+  // back in the queue instead of failing, and no record was dropped.
+  EXPECT_EQ(wlm->all_jobs().size(), 3u);
+  for (const auto id : ids) {
+    const auto rec = wlm->job(id);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.value()->state, wlm::JobState::kCompleted)
+        << "job " << id << " is " << to_string(rec.value()->state);
+  }
+  EXPECT_EQ(wlm->jobs_completed(), 3u);
+  EXPECT_GE(wlm->requeues(), 1u);
+  // The requeued record carries its incarnation count.
+  bool any_requeued = false;
+  for (const auto* rec : wlm->all_jobs()) any_requeued |= rec->requeues > 0;
+  EXPECT_TRUE(any_requeued);
+}
+
+TEST_F(FaultWlmTest, DefaultStanceFailsTheJobOnNodeCrash) {
+  build(/*requeue=*/false);
+  wlm::JobState final_state = wlm::JobState::kPending;
+  auto spec = job(4, minutes(10));
+  spec.on_end = [&](wlm::JobId, wlm::JobState s) { final_state = s; };
+  const auto id = wlm->submit(spec);
+
+  FaultPlan plan;
+  plan.node_crashes.push_back({minutes(2), 1});
+  wlm->apply_fault_plan(plan);
+  cluster->events().run();
+
+  EXPECT_EQ(wlm->job(id).value()->state, wlm::JobState::kFailed);
+  EXPECT_EQ(final_state, wlm::JobState::kFailed);
+  EXPECT_EQ(wlm->requeues(), 0u);
+}
+
+TEST_F(FaultWlmTest, CrashesOutsideTheClusterAreIgnored) {
+  build(/*requeue=*/true);
+  const auto id = wlm->submit(job(2));
+  FaultPlan plan;
+  plan.node_crashes.push_back({minutes(1), 99});  // no such node
+  wlm->apply_fault_plan(plan);
+  cluster->events().run();
+  EXPECT_EQ(wlm->job(id).value()->state, wlm::JobState::kCompleted);
+  EXPECT_EQ(wlm->requeues(), 0u);
+}
+
+TEST(FaultK8sTest, NodeFailureReschedulesPodsOntoSurvivors) {
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  k8s::Scheduler sched(&api);
+
+  const k8s::PodRunner runner = [](SimTime now,
+                                   const k8s::Pod&) -> Result<SimTime> {
+    return now + sec(10);
+  };
+  std::vector<std::unique_ptr<k8s::Kubelet>> kubelets;
+  for (int i = 0; i < 2; ++i) {
+    k8s::Kubelet::Config cfg;
+    cfg.node_name = "node" + std::to_string(i);
+    cfg.capacity_cores = 8;
+    kubelets.push_back(std::make_unique<k8s::Kubelet>(&api, cfg, runner));
+    ASSERT_TRUE(kubelets.back()->start(0).ok());
+  }
+  ASSERT_TRUE(api.create_pod("p1", k8s::PodSpec{}).ok());
+
+  events.run_until(sec(5));
+  auto running = api.pod("p1");
+  ASSERT_TRUE(running.ok());
+  ASSERT_EQ(running.value()->phase, k8s::PodPhase::kRunning);
+  const std::string first_node = running.value()->node;
+
+  ASSERT_TRUE(api.fail_node(first_node).ok());
+  events.run();
+
+  const auto p = api.pod("p1");
+  ASSERT_TRUE(p.ok());
+  // The pod was conserved: displaced, rebound to the surviving node,
+  // and finished there. The dead incarnation's completion (due ~12s)
+  // was discarded by the restart-generation guard.
+  EXPECT_EQ(p.value()->phase, k8s::PodPhase::kSucceeded);
+  EXPECT_NE(p.value()->node, first_node);
+  EXPECT_EQ(p.value()->restarts, 1u);
+  EXPECT_EQ(api.reschedules(), 1u);
+  EXPECT_GT(p.value()->finished, sec(12));
+  EXPECT_FALSE(api.node(first_node).value()->ready);
+}
+
+TEST(FaultK8sTest, FailNodeWithoutPodsIsJustUnready) {
+  sim::EventQueue events;
+  k8s::ApiServer api(&events);
+  k8s::NodeStatus n;
+  n.name = "node0";
+  n.capacity_cores = 4;
+  n.ready = true;
+  ASSERT_TRUE(api.register_node(n).ok());
+  ASSERT_TRUE(api.fail_node("node0").ok());
+  EXPECT_FALSE(api.node("node0").value()->ready);
+  EXPECT_EQ(api.reschedules(), 0u);
+  EXPECT_FALSE(api.fail_node("ghost").ok());
+}
+
+}  // namespace
+}  // namespace hpcc

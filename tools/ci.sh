@@ -48,11 +48,11 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
   tsan_dir="$repo_root/build-tsan"
   echo "== configure $tsan_dir (-DHPCC_SANITIZE=thread)"
   cmake -B "$tsan_dir" -S "$repo_root" -DHPCC_SANITIZE=thread
-  echo "== build $tsan_dir (concurrency_test)"
-  cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test
-  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline)"
+  echo "== build $tsan_dir (concurrency_test fault_test)"
+  cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test
+  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault)"
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Concurrent|Pipeline'
+    -R 'ThreadPool|Concurrent|Pipeline|Fault'
 fi
 
 # Quick smoke of the sequential-vs-parallel pipeline bench; fails the
@@ -67,6 +67,19 @@ if [[ "${SKIP_BENCH:-}" != "1" ]]; then
   cmake --build "$repo_root/build" -j "$jobs" --target bench_cache_hierarchy
   "$repo_root/build/bench/bench_cache_hierarchy" --quick \
     --json "$repo_root/build/BENCH_cache_hierarchy.json"
+fi
+
+# Chaos smoke: seeded WAN fault plans at up to 10% per-transfer rate
+# against the pull and lazy-mount paths. The bench exits non-zero on
+# any lost operation (completion < 100%), any fault surviving the retry
+# budget, or any same-seed reproducibility violation. Pinned seed so
+# every CI run replays the identical fault schedule.
+if [[ "${SKIP_BENCH:-}" != "1" ]]; then
+  echo "== chaos smoke (bench_fault_recovery --quick)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_fault_recovery
+  HPCC_FAULT_SEED="${HPCC_FAULT_SEED:-12648430}" \
+    "$repo_root/build/bench/bench_fault_recovery" --quick \
+    --json "$repo_root/build/BENCH_fault_recovery.json"
 fi
 
 echo "== ci.sh: all configurations passed"
