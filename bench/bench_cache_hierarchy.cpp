@@ -13,17 +13,19 @@
 // machine-readable summary CI tracks:
 //
 //   bench_cache_hierarchy [--quick] [--reps N]
-//                         [--json PATH]   # write BENCH_cache_hierarchy.json
+//                         [--json PATH]    # write BENCH_cache_hierarchy.json
+//                                          # (with a tier-level obs snapshot)
+//                         [--trace PATH]   # write a Chrome/Perfetto trace
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "crypto/digest.h"
 #include "image/build.h"
 #include "registry/lazy.h"
@@ -154,6 +156,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   int reps = 3;
   std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -162,14 +165,19 @@ int main(int argc, char** argv) {
       reps = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::cerr << "usage: bench_cache_hierarchy [--quick] [--reps N] "
-                   "[--json PATH]\n";
+                   "[--json PATH] [--trace PATH]\n";
       return 2;
     }
   }
 
   LogSink::instance().set_print(false);
+  // Metrics ride along whenever a JSON summary is requested: the tier
+  // breakdown (storage.tier.* / lazy.*) lands next to the latencies.
+  bench::configure_obs(trace_path, /*want_metrics=*/!json_path.empty());
   auto workload = make_workload(quick);
   std::printf("workload: %zu files, %.1f MiB image\n", workload->files.size(),
               static_cast<double>(workload->squash->size()) / (1 << 20));
@@ -227,23 +235,31 @@ int main(int argc, char** argv) {
   std::printf("reads byte-identical across all configurations\n");
 
   if (!json_path.empty()) {
-    std::ofstream js(json_path);
-    js << "{\n  \"bench\": \"cache_hierarchy\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"reps\": " << reps << ",\n"
-       << "  \"workload\": {\"files\": " << workload->files.size()
-       << ", \"image_bytes\": " << workload->squash->size() << "},\n"
-       << "  \"deterministic\": true,\n"
-       << "  \"content_digest\": \"" << results[0].content.hex() << "\",\n"
-       << "  \"results\": [\n";
+    bench::JsonWriter js;
+    js.field("bench", "cache_hierarchy")
+        .field("quick", quick)
+        .field("reps", reps)
+        .begin_object("workload")
+        .field("files", workload->files.size())
+        .field("image_bytes", workload->squash->size())
+        .end()
+        .field("deterministic", true)
+        .field("content_digest", results[0].content.hex());
+    js.begin_array("results");
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      js << "    {\"config\": \"" << config_name(configs[c])
-         << "\", \"mean_first_access_us\": " << results[c].mean_latency_us
-         << ", \"speedup_vs_cold\": " << cold / results[c].mean_latency_us
-         << "}" << (c + 1 < configs.size() ? "," : "") << "\n";
+      js.begin_object()
+          .field("config", config_name(configs[c]))
+          .field("mean_first_access_us", results[c].mean_latency_us)
+          .field("speedup_vs_cold", cold / results[c].mean_latency_us)
+          .end();
     }
-    js << "  ]\n}\n";
-    std::printf("json written to %s\n", json_path.c_str());
+    js.end();
+    // Tier-level breakdown: storage.tier.*/lazy.* counters accumulated
+    // over every configuration and rep above.
+    js.raw("metrics", obs::metrics().snapshot().to_json(
+                          static_cast<int>(2 * js.depth())));
+    js.write_file(json_path);
   }
+  bench::export_obs();
   return 0;
 }

@@ -10,16 +10,194 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 #include "engine/engine.h"
 #include "image/build.h"
+#include "obs/obs.h"
 #include "registry/client.h"
 #include "sim/storage.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace hpcc::bench {
+
+// ------------------------------------------------------------- BENCH_*.json
+//
+// The machine-readable summaries CI tracks (BENCH_*.json) used to be
+// hand-rolled ostream chains in every plain driver; JsonWriter is the
+// one emitter they share. Scopes are comma- and indent-managed; raw()
+// embeds pre-rendered JSON (the obs metrics snapshot).
+
+class JsonWriter {
+ public:
+  JsonWriter() { open('{'); }
+
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    prefix(key);
+    append_escaped(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    prefix(key);
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(std::string_view key, T v) {
+    prefix(key);
+    if constexpr (std::is_floating_point_v<T>) {
+      char num[32];
+      std::snprintf(num, sizeof num, "%g", static_cast<double>(v));
+      buf_ += num;
+    } else {
+      buf_ += std::to_string(v);
+    }
+    return *this;
+  }
+
+  /// Embeds pre-rendered JSON (e.g. MetricsSnapshot::to_json(indent)
+  /// with indent = 2 * current depth); leading spaces on its first line
+  /// are dropped so it lands right after the key.
+  JsonWriter& raw(std::string_view key, std::string_view raw_json) {
+    prefix(key);
+    std::size_t i = 0;
+    while (i < raw_json.size() && raw_json[i] == ' ') ++i;
+    buf_.append(raw_json.substr(i));
+    return *this;
+  }
+
+  JsonWriter& begin_object(std::string_view key) {
+    open('{', key);
+    return *this;
+  }
+  JsonWriter& begin_object() {  // array element
+    open('{');
+    return *this;
+  }
+  JsonWriter& begin_array(std::string_view key) {
+    open('[', key);
+    return *this;
+  }
+  JsonWriter& end() {
+    const char c = stack_.back() == '{' ? '}' : ']';
+    const bool was_empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!was_empty) {
+      buf_ += '\n';
+      buf_.append(2 * stack_.size(), ' ');
+    }
+    buf_ += c;
+    return *this;
+  }
+
+  /// Closes every open scope and returns the finished document.
+  std::string finish() {
+    while (!stack_.empty()) end();
+    return buf_ + "\n";
+  }
+
+  /// finish() + write to `path`, echoing the destination like the
+  /// benches always did.
+  bool write_file(const std::string& path) {
+    std::ofstream js(path, std::ios::trunc);
+    js << finish();
+    if (!js) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("json written to %s\n", path.c_str());
+    return true;
+  }
+
+  /// Current nesting depth (for MetricsSnapshot::to_json(2 * depth())).
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  void prefix(std::string_view key) {
+    buf_ += first_.back() ? "\n" : ",\n";
+    first_.back() = false;
+    buf_.append(2 * stack_.size(), ' ');
+    if (!key.empty()) {
+      append_escaped(key);
+      buf_ += ": ";
+    }
+  }
+  void open(char c, std::string_view key = {}) {
+    if (!stack_.empty()) prefix(key);
+    buf_ += c;
+    stack_.push_back(c);
+    first_.push_back(true);
+  }
+  void append_escaped(std::string_view s) {
+    buf_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': buf_ += "\\\""; break;
+        case '\\': buf_ += "\\\\"; break;
+        case '\n': buf_ += "\\n"; break;
+        case '\t': buf_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x", c);
+            buf_ += esc;
+          } else {
+            buf_ += c;
+          }
+      }
+    }
+    buf_ += '"';
+  }
+
+  std::string buf_;
+  std::vector<char> stack_;
+  std::vector<bool> first_;
+};
+
+// -------------------------------------------------------------------- obs
+//
+// Observability knobs shared by the plain drivers: the environment
+// (HPCC_TRACE / HPCC_METRICS) provides the defaults, `--trace PATH`
+// overrides the trace destination, and metrics are forced on whenever
+// the bench will embed a snapshot into its --json summary.
+
+inline void configure_obs(const std::string& trace_path, bool want_metrics) {
+  obs::Config cfg = obs::Config::from_env();
+  if (!trace_path.empty()) {
+    cfg.tracing = true;
+    cfg.trace_path = trace_path;
+  }
+  if (want_metrics) cfg.metrics = true;
+  obs::configure(cfg);
+}
+
+/// Writes whatever exports the installed config asks for and reports
+/// the destinations; export failures are non-fatal for a bench.
+inline void export_obs() {
+  const obs::Config& cfg = obs::config();
+  std::string error;
+  if (!obs::export_configured(&error)) {
+    std::fprintf(stderr, "obs export failed: %s\n", error.c_str());
+    return;
+  }
+  if (cfg.tracing && !cfg.trace_path.empty())
+    std::printf("trace written to %s\n", cfg.trace_path.c_str());
+  if (cfg.metrics && !cfg.metrics_path.empty())
+    std::printf("metrics written to %s\n", cfg.metrics_path.c_str());
+}
 
 struct SiteEnv {
   std::unique_ptr<sim::Cluster> cluster;

@@ -22,16 +22,18 @@
 // A plain driver (not google-benchmark):
 //
 //   bench_fault_recovery [--quick] [--reps N]
-//                        [--json PATH]   # write BENCH_fault_recovery.json
+//                        [--json PATH]    # write BENCH_fault_recovery.json
+//                                         # (with a retry-level obs snapshot)
+//                        [--trace PATH]   # write a Chrome/Perfetto trace
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "crypto/digest.h"
 #include "fault/fault.h"
 #include "fault/retry.h"
@@ -203,6 +205,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   int reps = 2;
   std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -210,14 +213,19 @@ int main(int argc, char** argv) {
       reps = std::max(2, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::cerr << "usage: bench_fault_recovery [--quick] [--reps N] "
-                   "[--json PATH]\n";
+                   "[--json PATH] [--trace PATH]\n";
       return 2;
     }
   }
 
   LogSink::instance().set_print(false);
+  // Metrics ride along with --json: the retry breakdown (fault.retry.*
+  // counters + backoff histogram) lands next to the recovery numbers.
+  bench::configure_obs(trace_path, /*want_metrics=*/!json_path.empty());
   const std::uint64_t seed = fault::env_fault_seed(0xC0FFEEull);
   auto workload = make_workload(quick);
   std::printf("workload: %d pulls, %zu lazy reads, fault seed %llu\n",
@@ -282,35 +290,43 @@ int main(int argc, char** argv) {
               reps);
 
   if (!json_path.empty()) {
-    std::ofstream js(json_path);
-    js << "{\n  \"bench\": \"fault_recovery\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"reps\": " << reps << ",\n"
-       << "  \"fault_seed\": " << seed << ",\n"
-       << "  \"workload\": {\"pulls\": " << workload->pulls
-       << ", \"lazy_reads\": " << workload->files.size() << "},\n"
-       << "  \"deterministic\": true,\n"
-       << "  \"lazy_content_digest\": \"" << base.lazy_content.hex()
-       << "\",\n  \"results\": [\n";
+    bench::JsonWriter js;
+    js.field("bench", "fault_recovery")
+        .field("quick", quick)
+        .field("reps", reps)
+        .field("fault_seed", seed)
+        .begin_object("workload")
+        .field("pulls", workload->pulls)
+        .field("lazy_reads", workload->files.size())
+        .end()
+        .field("deterministic", true)
+        .field("lazy_content_digest", base.lazy_content.hex());
+    js.begin_array("results");
     for (std::size_t i = 0; i < rates.size(); ++i) {
       const auto& res = results[i];
       const double completion =
           static_cast<double>(res.pulls_completed + res.reads_completed) /
           static_cast<double>(res.pulls_attempted + res.reads_attempted);
-      js << "    {\"wan_fault_rate\": " << rates[i]
-         << ", \"completion_rate\": " << completion
-         << ", \"pull_recovery_us_per_op\": "
-         << static_cast<double>(res.pull_done - base.pull_done) /
-                static_cast<double>(res.pulls_attempted)
-         << ", \"lazy_recovery_us_per_op\": "
-         << static_cast<double>(res.lazy_done - base.lazy_done) /
-                static_cast<double>(res.reads_attempted)
-         << ", \"retry_amplification\": " << res.pull_amplification
-         << ", \"wan_faults\": " << res.wan_faults << "}"
-         << (i + 1 < rates.size() ? "," : "") << "\n";
+      js.begin_object()
+          .field("wan_fault_rate", rates[i])
+          .field("completion_rate", completion)
+          .field("pull_recovery_us_per_op",
+                 static_cast<double>(res.pull_done - base.pull_done) /
+                     static_cast<double>(res.pulls_attempted))
+          .field("lazy_recovery_us_per_op",
+                 static_cast<double>(res.lazy_done - base.lazy_done) /
+                     static_cast<double>(res.reads_attempted))
+          .field("retry_amplification", res.pull_amplification)
+          .field("wan_faults", res.wan_faults)
+          .end();
     }
-    js << "  ]\n}\n";
-    std::printf("json written to %s\n", json_path.c_str());
+    js.end();
+    // Retry-level breakdown: fault.retry.* counters and the backoff
+    // histogram accumulated across every rate and rep above.
+    js.raw("metrics", obs::metrics().snapshot().to_json(
+                          static_cast<int>(2 * js.depth())));
+    js.write_file(json_path);
   }
+  bench::export_obs();
   return 0;
 }

@@ -17,12 +17,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "image/build.h"
 #include "image/convert.h"
 #include "registry/client.h"
@@ -206,22 +206,26 @@ int main(int argc, char** argv) {
   std::printf("outputs byte-identical across all configurations\n");
 
   if (!json_path.empty()) {
-    std::ofstream js(json_path);
-    js << "{\n  \"bench\": \"parallel_pipeline\",\n"
-       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
-       << "  \"reps\": " << reps << ",\n"
-       << "  \"hardware_concurrency\": " << util::ThreadPool::default_threads()
-       << ",\n"
-       << "  \"workload\": {\"layers\": " << workload->num_layers
-       << ", \"logical_bytes\": " << workload->logical_bytes << "},\n"
-       << "  \"deterministic\": true,\n  \"results\": [\n";
+    bench::JsonWriter js;
+    js.field("bench", "parallel_pipeline")
+        .field("quick", quick)
+        .field("reps", reps)
+        .field("hardware_concurrency", util::ThreadPool::default_threads())
+        .begin_object("workload")
+        .field("layers", workload->num_layers)
+        .field("logical_bytes", workload->logical_bytes)
+        .end()
+        .field("deterministic", true);
+    js.begin_array("results");
     for (std::size_t c = 0; c < configs.size(); ++c) {
-      js << "    {\"threads\": " << configs[c] << ", \"wall_ms\": "
-         << best_ms[c] << ", \"speedup\": " << base_ms / best_ms[c] << "}"
-         << (c + 1 < configs.size() ? "," : "") << "\n";
+      js.begin_object()
+          .field("threads", configs[c])
+          .field("wall_ms", best_ms[c])
+          .field("speedup", base_ms / best_ms[c])
+          .end();
     }
-    js << "  ]\n}\n";
-    std::printf("json written to %s\n", json_path.c_str());
+    js.end();
+    js.write_file(json_path);
   }
   return 0;
 }

@@ -25,6 +25,8 @@
 #include "adaptive/requirements.h"
 #include "engine/engine.h"
 #include "fault/retry.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "registry/profiles.h"
 #include "runtime/container.h"
 #include "runtime/oci_config.h"
@@ -69,6 +71,14 @@ struct AuditInput {
   bool lazy_mount = false;
   /// Size of the mounted image's hot index/metadata region; 0 = unknown.
   std::uint64_t image_index_bytes = 0;
+
+  /// The observability configuration this run will install — drives the
+  /// obs rules OBS001 (tracing without an export path). nullopt = obs
+  /// not configured (nothing to audit).
+  std::optional<obs::Config> obs;
+  /// Histogram declarations the run will register — drives OBS002
+  /// (bucket bounds must be strictly increasing).
+  std::vector<obs::HistogramSpec> histograms;
 };
 
 /// A machine-applicable remediation: mutates the offending AuditInput so

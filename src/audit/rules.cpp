@@ -631,6 +631,59 @@ void rob002(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+// ---------------------------------------------------------------------------
+// OBS — observability configuration (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+void obs001(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.obs || !in.obs->tracing) return;
+  if (!in.obs->trace_path.empty()) return;
+  Finding f;
+  f.rule = "OBS001";
+  f.object = "obs config (tracing enabled, no trace path)";
+  f.message =
+      "tracing is enabled but no export path is configured: every span in "
+      "the run is collected and then dropped on exit — the instrumentation "
+      "cost is paid with nothing to show for it. Set HPCC_TRACE or "
+      "obs::Config::trace_path so the Chrome trace is written somewhere";
+  f.paper_ref = "§3.2";
+  f.fix_hint = "set trace_path (the HPCC_TRACE convention: trace.json)";
+  f.fix = [](AuditInput& in2) {
+    if (in2.obs && in2.obs->tracing && in2.obs->trace_path.empty())
+      in2.obs->trace_path = "trace.json";
+  };
+  out.push_back(std::move(f));
+}
+
+void obs002(const AuditInput& in, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < in.histograms.size(); ++i) {
+    const auto& spec = in.histograms[i];
+    if (obs::Histogram::bounds_monotonic(spec.bounds)) continue;
+    Finding f;
+    f.rule = "OBS002";
+    f.object = "histogram '" + spec.name + "'";
+    f.message =
+        spec.bounds.empty()
+            ? "histogram declared with no bucket bounds: every observation "
+              "lands in the single overflow bucket and the distribution is "
+              "unrecoverable"
+            : "histogram bucket bounds are not strictly increasing: "
+              "out-of-order or duplicate bounds mis-attribute observations "
+              "to the wrong bucket and break percentile math";
+    f.paper_ref = "§3.2";
+    f.fix_hint = "sort and deduplicate the bucket bounds";
+    if (!spec.bounds.empty()) {
+      const std::size_t idx = i;
+      f.fix = [idx](AuditInput& in2) {
+        if (idx < in2.histograms.size())
+          in2.histograms[idx].bounds =
+              obs::Histogram::sanitize_bounds(in2.histograms[idx].bounds);
+      };
+    }
+    out.push_back(std::move(f));
+  }
+}
+
 void adapt002(const AuditInput& in, std::vector<Finding>& out) {
   if (!in.plan || !in.plan->prefetch_node_local) return;
   if (!in.site || in.site->node_local_storage) return;
@@ -721,6 +774,11 @@ RuleRegistry RuleRegistry::builtin() {
   add("ROB002", Severity::kWarn,
       "retry policy without backoff cap or per-attempt timeout", "§5.1.3",
       rob002);
+  add("OBS001", Severity::kWarn,
+      "tracing enabled but no export path configured", "§3.2", obs001);
+  add("OBS002", Severity::kWarn,
+      "histogram bucket bounds not monotonically increasing", "§3.2",
+      obs002);
   add("ADAPT001", Severity::kError,
       "adaptive plan mount inadmissible under the mount policy", "§4.1.2",
       adapt001);

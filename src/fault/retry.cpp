@@ -1,8 +1,18 @@
 #include "fault/retry.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace hpcc::fault {
+
+namespace {
+// Backoff waits span 100ms (first retry) to 10s (the standard cap);
+// decade buckets in microseconds cover the whole range.
+const std::vector<std::int64_t> kBackoffBoundsUs = {
+    1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+}  // namespace
 
 RetryPolicy RetryPolicy::standard(unsigned attempts) {
   RetryPolicy p;
@@ -38,27 +48,39 @@ Result<SimTime> retry_timed(SimTime now, const RetryPolicy& policy,
                             RetryStats* stats, SimTime* failed_at) {
   const unsigned budget = std::max(1u, policy.max_attempts);
   if (stats) ++stats->operations;
+  obs::count("fault.retry.operations");
   SimTime t = now;
   for (unsigned a = 1;; ++a) {
     if (stats) ++stats->attempts;
+    obs::count("fault.retry.attempts");
+    obs::SpanScope attempt_span;
+    if (obs::tracing_enabled())
+      attempt_span = obs::SpanScope(obs::Category::kFault,
+                                    "attempt:" + std::to_string(a), t);
     SimTime observed = t;
     auto r = attempt(t, &observed);
     if (r.ok()) {
       const SimTime done = r.value();
       const bool timed_out =
           policy.attempt_timeout > 0 && done - t > policy.attempt_timeout;
-      if (!timed_out) return done;
+      if (!timed_out) {
+        attempt_span.end(done);
+        return done;
+      }
       // The client's timer fired before the attempt completed: it was
       // aborted at t + timeout and (maybe) retried.
       if (stats) ++stats->timeouts;
+      obs::count("fault.retry.timeouts");
       observed = t + policy.attempt_timeout;
       r = err_unavailable("attempt exceeded per-attempt timeout");
     } else if (policy.attempt_timeout > 0) {
       // A failure observed later than the timeout was cut at the timer.
       observed = std::min(observed, t + policy.attempt_timeout);
     }
+    attempt_span.end(observed);
     if (a >= budget) {
       if (stats) ++stats->failures;
+      obs::count("fault.retry.failures");
       if (failed_at) *failed_at = observed;
       return r.error();
     }
@@ -66,6 +88,17 @@ Result<SimTime> retry_timed(SimTime now, const RetryPolicy& policy,
     if (stats) {
       ++stats->retries;
       stats->backoff_total += wait;
+    }
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("fault.retry.retries").add(1);
+      obs::metrics()
+          .histogram("fault.retry.backoff_us", kBackoffBoundsUs)
+          .observe(wait);
+    }
+    if (obs::tracing_enabled()) {
+      obs::SpanScope backoff_span(obs::Category::kFault,
+                                  "backoff:" + std::to_string(a), observed);
+      backoff_span.end(observed + wait);
     }
     t = observed + wait;
   }

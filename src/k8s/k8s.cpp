@@ -2,13 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/log.h"
 
 namespace hpcc::k8s {
 
 namespace {
 Logger log_("k8s");
+
+// Pod lifecycles overlap (many pods in flight, arbitrary test-driven
+// transitions), so they are traced as async spans keyed by name:
+// "pod:<name>:pending" / ":scheduled" / ":run". A transition closes
+// whatever earlier phases are still open — async_end on a closed key is
+// a no-op — so any legal (or test-shortcut) phase walk stays balanced.
+std::string pod_key(const std::string& name, const char* phase) {
+  return "pod:" + name + ":" + phase;
 }
+}  // namespace
 
 std::string_view to_string(PodPhase p) noexcept {
   switch (p) {
@@ -36,6 +46,7 @@ ApiServer::ApiServer(sim::EventQueue* events, SimDuration api_latency)
 
 void ApiServer::notify(EventKind kind, const std::string& name) {
   ++requests_;
+  obs::count("k8s.api_requests");
   events_->schedule_after(api_latency_, [this, kind, name] {
     // Copy: watchers may register more watchers while handling.
     const auto watchers = watchers_;
@@ -49,6 +60,10 @@ Result<Unit> ApiServer::create_pod(const std::string& name, PodSpec spec) {
   pod.name = name;
   pod.spec = std::move(spec);
   pod.created = events_->now();
+  obs::count("k8s.pods_created");
+  if (obs::tracing_enabled())
+    obs::tracer().async_begin(obs::Category::kK8s, pod_key(name, "pending"),
+                              pod.created);
   pods_.emplace(name, std::move(pod));
   notify(EventKind::kPodCreated, name);
   return ok_unit();
@@ -69,18 +84,53 @@ Result<Unit> ApiServer::bind_pod(const std::string& name,
   if (!nodes_.contains(node)) return err_not_found("no node " + node);
   p->node = node;
   p->phase = PodPhase::kScheduled;
+  if (obs::tracing_enabled()) {
+    obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "pending"),
+                            events_->now());
+    obs::tracer().async_begin(obs::Category::kK8s, pod_key(name, "scheduled"),
+                              events_->now());
+  }
   notify(EventKind::kPodUpdated, name);
   return ok_unit();
 }
 
 Result<Unit> ApiServer::set_pod_phase(const std::string& name, PodPhase phase) {
   HPCC_TRY(Pod * p, pod(name));
+  const bool first_run = phase == PodPhase::kRunning && p->started < 0;
   p->phase = phase;
   if (phase == PodPhase::kRunning && p->started < 0)
     p->started = events_->now();
   if ((phase == PodPhase::kSucceeded || phase == PodPhase::kFailed) &&
       p->finished < 0)
     p->finished = events_->now();
+  const SimTime now = events_->now();
+  if (obs::tracing_enabled()) {
+    if (phase == PodPhase::kRunning) {
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "pending"),
+                              now);
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "scheduled"),
+                              now);
+      obs::tracer().async_begin(obs::Category::kK8s, pod_key(name, "run"),
+                                now);
+    } else if (phase == PodPhase::kSucceeded || phase == PodPhase::kFailed) {
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "pending"),
+                              now);
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "scheduled"),
+                              now);
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(name, "run"), now);
+    }
+  }
+  if (obs::metrics_enabled()) {
+    if (first_run)
+      obs::metrics()
+          .histogram("k8s.start_latency_us",
+                     {msec(10), msec(100), sec(1), sec(10), minutes(1)})
+          .observe(now - p->created);
+    if (phase == PodPhase::kSucceeded)
+      obs::metrics().counter("k8s.pods_succeeded").add(1);
+    if (phase == PodPhase::kFailed)
+      obs::metrics().counter("k8s.pods_failed").add(1);
+  }
   notify(EventKind::kPodUpdated, name);
   return ok_unit();
 }
@@ -114,6 +164,7 @@ Result<Unit> ApiServer::deregister_node(const std::string& name) {
 
 Result<Unit> ApiServer::fail_node(const std::string& name) {
   HPCC_TRY(NodeStatus * n, node(name));
+  obs::count("k8s.node_failures");
   n->ready = false;
   n->allocated_cores = 0;
   std::vector<std::string> displaced;
@@ -126,6 +177,16 @@ Result<Unit> ApiServer::fail_node(const std::string& name) {
     p.started = -1;
     ++p.restarts;
     ++reschedules_;
+    obs::count("k8s.reschedules");
+    if (obs::tracing_enabled()) {
+      const SimTime now = events_->now();
+      obs::tracer().async_end(obs::Category::kK8s, pod_key(pod_name, "run"),
+                              now);
+      obs::tracer().async_end(obs::Category::kK8s,
+                              pod_key(pod_name, "scheduled"), now);
+      obs::tracer().async_begin(obs::Category::kK8s,
+                                pod_key(pod_name, "pending"), now);
+    }
     displaced.push_back(pod_name);
   }
   notify(EventKind::kNodeUpdated, name);

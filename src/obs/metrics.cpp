@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hpcc::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(sanitize_bounds(std::move(bounds))),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+bool Histogram::bounds_monotonic(const std::vector<std::int64_t>& bounds) {
+  if (bounds.empty()) return false;
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    if (bounds[i] <= bounds[i - 1]) return false;
+  return true;
+}
+
+std::vector<std::int64_t> Histogram::sanitize_bounds(
+    std::vector<std::int64_t> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramView view;
+    view.bounds = h->bounds();
+    view.counts = h->bucket_counts();
+    view.count = h->count();
+    view.sum = h->sum();
+    snap.histograms[name] = std::move(view);
+  }
+  return snap;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsSnapshot::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  out += pad + "{\n";
+  out += pad + "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "    ";
+    append_json_string(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n" + pad + "  },\n";
+  out += pad + "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "    ";
+    append_json_string(out, name);
+    out += ": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum) + "}";
+  }
+  out += first ? "}\n" : "\n" + pad + "  }\n";
+  out += pad + "}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  std::size_t width = 0;
+  for (const auto& [name, v] : counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, v] : histograms) width = std::max(width, name.size());
+
+  std::ostringstream os;
+  for (const auto& [name, v] : counters)
+    os << std::left << std::setw(static_cast<int>(width)) << name << "  "
+       << v << "\n";
+  for (const auto& [name, v] : gauges)
+    os << std::left << std::setw(static_cast<int>(width)) << name << "  "
+       << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    os << std::left << std::setw(static_cast<int>(width)) << name << "  n="
+       << h.count << " sum=" << h.sum << " buckets=[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << " ";
+      os << h.counts[i];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace hpcc::obs

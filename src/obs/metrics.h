@@ -1,0 +1,148 @@
+// hpcc/obs/metrics.h
+//
+// Deterministic metrics for the data path: named counters, gauges and
+// fixed-bucket histograms held by an obs::Registry. This is the unified
+// home for the numbers the survey's quantitative claims turn on (the
+// SquashFUSE IOPS/latency gap, small-file startup strain, fakeroot
+// penalty, K8s-in-WLM startup — §3.2/§4.1/§6): every component that
+// used to keep ad-hoc counters (TierStats, RetryStats, pool counters)
+// now also feeds the registry at its increment sites, so one snapshot
+// shows where a pull or a job launch spends its simulated time.
+//
+// Concurrency contract: increments are lock-free atomics — safe from
+// ThreadPool workers on the functional plane (TSan-exercised by the
+// Obs* suites). Name resolution (counter()/gauge()/histogram()) takes a
+// mutex; hot paths either resolve once and hold the reference or are
+// gated behind obs::metrics_enabled() so the lookup cost exists only
+// when someone asked for metrics. Reads are snapshot-on-read:
+// snapshot() materializes a name-sorted view whose JSON/text renderings
+// are byte-identical for identical runs (the determinism contract,
+// DESIGN.md §10).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcc::obs {
+
+/// Monotonic event count. Increment-only, relaxed atomics.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depths, open spans, tier capacity).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Name + upper bucket bounds, as declared by a configuration — what
+/// audit rule OBS002 checks for monotonicity before anything observes.
+struct HistogramSpec {
+  std::string name;
+  std::vector<std::int64_t> bounds;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+/// ascending order, plus an implicit +inf overflow bucket. observe() is
+/// a bound scan + three relaxed atomic adds — no locks, no allocation.
+class Histogram {
+ public:
+  /// Bounds are sanitized (sorted, deduplicated) so a malformed
+  /// declaration cannot mis-bucket — OBS002 still flags the declaration
+  /// itself so the config gets fixed at the source.
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// True when `bounds` is non-empty and strictly increasing — the
+  /// OBS002 admissibility predicate.
+  static bool bounds_monotonic(const std::vector<std::int64_t>& bounds);
+  /// Sorted + deduplicated copy — what the OBS002 fix-it installs.
+  static std::vector<std::int64_t> sanitize_bounds(
+      std::vector<std::int64_t> bounds);
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// A stable, name-sorted view of a Registry at one point in time.
+struct MetricsSnapshot {
+  struct HistogramView {
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    std::int64_t sum = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramView> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Flat JSON object ({"counters": {...}, "gauges": {...},
+  /// "histograms": {...}}), name-sorted, byte-identical for identical
+  /// runs. `indent` is the leading indentation applied to every line so
+  /// the object can be embedded in a larger document (BENCH_*.json).
+  std::string to_json(int indent = 0) const;
+
+  /// Aligned text table for terminal reporting.
+  std::string to_table() const;
+};
+
+/// Named metric store. Lookup-or-create under a mutex; the returned
+/// references stay valid for the Registry's lifetime (node-stable
+/// storage), so hot paths resolve once.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First call for `name` creates the histogram with `bounds`
+  /// (sanitized); later calls return the existing one and ignore the
+  /// bounds argument.
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hpcc::obs

@@ -1,0 +1,115 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace hpcc::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing{false};
+std::atomic<bool> g_metrics{false};
+}  // namespace detail
+
+namespace {
+std::mutex g_config_mu;
+Config g_config;
+}  // namespace
+
+Config Config::from_env() {
+  Config cfg;
+  if (const char* p = std::getenv("HPCC_TRACE"); p && *p) {
+    cfg.tracing = true;
+    cfg.trace_path = p;
+  }
+  if (const char* p = std::getenv("HPCC_METRICS"); p && *p) {
+    cfg.metrics = true;
+    cfg.metrics_path = p;
+  }
+  return cfg;
+}
+
+Tracer& tracer() {
+  static Tracer t;
+  return t;
+}
+
+Registry& metrics() {
+  static Registry r;
+  return r;
+}
+
+void configure(const Config& cfg) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_config = cfg;
+  tracer().clear();
+  metrics().clear();
+  detail::g_tracing.store(cfg.tracing, std::memory_order_relaxed);
+  detail::g_metrics.store(cfg.metrics, std::memory_order_relaxed);
+}
+
+const Config& config() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return g_config;
+}
+
+void reset() { configure(Config{}); }
+
+bool export_configured(std::string* error) {
+  Config cfg;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mu);
+    cfg = g_config;
+  }
+  if (cfg.tracing && !cfg.trace_path.empty()) {
+    std::ofstream out(cfg.trace_path, std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open trace path: " + cfg.trace_path;
+      return false;
+    }
+    out << tracer().chrome_trace_json();
+    if (!out) {
+      if (error) *error = "write failed: " + cfg.trace_path;
+      return false;
+    }
+  }
+  if (cfg.metrics && !cfg.metrics_path.empty()) {
+    std::ofstream out(cfg.metrics_path, std::ios::trunc);
+    if (!out) {
+      if (error) *error = "cannot open metrics path: " + cfg.metrics_path;
+      return false;
+    }
+    out << metrics().snapshot().to_json() << "\n";
+    if (!out) {
+      if (error) *error = "write failed: " + cfg.metrics_path;
+      return false;
+    }
+  }
+  return true;
+}
+
+SpanScope::SpanScope(Category cat, std::string name, SimTime begin)
+    : id_(tracer().begin_span(cat, std::move(name), begin)), last_(begin) {}
+
+SpanScope& SpanScope::operator=(SpanScope&& other) noexcept {
+  if (this != &other) {
+    if (id_ != 0) tracer().end_span(id_, last_);
+    id_ = other.id_;
+    last_ = other.last_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+SpanScope::~SpanScope() {
+  if (id_ != 0) tracer().end_span(id_, last_);
+}
+
+void SpanScope::end(SimTime t) {
+  if (id_ == 0) return;
+  stamp(t);
+  tracer().end_span(id_, last_);
+  id_ = 0;
+}
+
+}  // namespace hpcc::obs

@@ -1,0 +1,112 @@
+// hpcc/obs/obs.h
+//
+// Process-wide observability switchboard. Everything is OFF by default:
+// with tracing and metrics disabled, every instrumentation site in the
+// data path reduces to one relaxed atomic load — no allocation, no
+// string building, no sim-time perturbation — and instrumented code is
+// byte-identical to uninstrumented code (test-enforced, obs_test.cpp).
+//
+// Configuration follows the HPCC_FAULT_SEED precedent: explicit
+// obs::configure(Config) wins; obs::Config::from_env() reads
+//   HPCC_TRACE=<path>    enable tracing, export Chrome JSON to <path>
+//   HPCC_METRICS=<path>  enable metrics, export snapshot JSON to <path>
+// so benches and the CLI pick the knobs up without plumbing flags.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/sim_time.h"
+
+namespace hpcc::obs {
+
+struct Config {
+  bool tracing = false;
+  bool metrics = false;
+  std::string trace_path;    ///< Chrome trace JSON destination ("" = none)
+  std::string metrics_path;  ///< metrics snapshot JSON destination
+
+  /// Reads HPCC_TRACE / HPCC_METRICS; a set-and-nonempty variable
+  /// enables the corresponding plane and sets its export path.
+  static Config from_env();
+};
+
+/// Installs `cfg` and clears any previously collected events/metrics,
+/// so every configured run starts from an empty tracer and registry.
+void configure(const Config& cfg);
+const Config& config();
+
+/// configure({}) — everything off, collections cleared.
+void reset();
+
+/// Writes the configured export files (trace_path / metrics_path) if
+/// their planes are enabled and a path is set. Returns false and fills
+/// *error (if non-null) on the first I/O failure.
+bool export_configured(std::string* error = nullptr);
+
+/// Process-wide tracer / metrics registry.
+Tracer& tracer();
+Registry& metrics();
+
+namespace detail {
+extern std::atomic<bool> g_tracing;
+extern std::atomic<bool> g_metrics;
+}  // namespace detail
+
+/// The hot-path gates: one relaxed load each.
+inline bool tracing_enabled() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+inline bool metrics_enabled() {
+  return detail::g_metrics.load(std::memory_order_relaxed);
+}
+inline bool enabled() { return tracing_enabled() || metrics_enabled(); }
+
+/// Bumps a named counter iff metrics are on. Convenience for cold-ish
+/// sites; hot loops should resolve the Counter& once instead.
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (metrics_enabled()) metrics().counter(name).add(n);
+}
+
+/// RAII scoped span against the global tracer. Default-constructed
+/// scopes are inert, which supports the gated pattern:
+///
+///   obs::SpanScope span;
+///   if (obs::tracing_enabled())
+///     span = obs::SpanScope(obs::Category::kStorage, "chunk:" + key, now);
+///   ...simulated work advances t...
+///   span.stamp(t);   // remember how far sim time got
+///   if (error) return ...;          // dtor ends span at last stamp
+///   span.end(done);                 // normal close
+///
+/// stamp() keeps the span's end honest across early error returns so
+/// B/E events stay balanced no matter which exit path runs.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(Category cat, std::string name, SimTime begin);
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& other) noexcept { *this = std::move(other); }
+  SpanScope& operator=(SpanScope&& other) noexcept;
+  ~SpanScope();
+
+  /// Advances the fallback end time used if the scope dies unended.
+  void stamp(SimTime t) {
+    if (t > last_) last_ = t;
+  }
+  /// Ends the span now (idempotent; later end()/dtor are no-ops).
+  void end(SimTime t);
+
+  bool active() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  SimTime last_ = 0;
+};
+
+}  // namespace hpcc::obs

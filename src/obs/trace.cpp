@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hpcc::obs {
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::kRegistry: return "registry";
+    case Category::kStorage: return "storage";
+    case Category::kVfs: return "vfs";
+    case Category::kPool: return "pool";
+    case Category::kFault: return "fault";
+    case Category::kWlm: return "wlm";
+    case Category::kK8s: return "k8s";
+  }
+  return "unknown";
+}
+
+std::uint64_t Tracer::begin_span(Category cat, std::string name, SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t parent = stack_.empty() ? 0 : stack_.back().id;
+  events_.push_back({'B', cat, name, ts, id});
+  stack_.push_back({id, parent, cat, std::move(name), ts});
+  return id;
+}
+
+void Tracer::end_span(std::uint64_t id, SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Ends are expected at the top of the stack (SpanScope nests), but a
+  // moved-from or early-ended scope may close out of order; find it.
+  for (std::size_t i = stack_.size(); i-- > 0;) {
+    if (stack_[i].id != id) continue;
+    OpenSpan open = std::move(stack_[i]);
+    stack_.erase(stack_.begin() + static_cast<std::ptrdiff_t>(i));
+    events_.push_back({'E', open.cat, open.name, ts, id});
+    completed_.push_back(
+        {open.id, open.parent, open.cat, std::move(open.name), open.begin, ts});
+    return;
+  }
+}
+
+void Tracer::async_begin(Category cat, std::string name, SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(static_cast<int>(cat), name);
+  if (open_async_.count(key)) return;  // already open; keep the first
+  const std::uint64_t id = next_id_++;
+  open_async_[std::move(key)] = id;
+  events_.push_back({'b', cat, std::move(name), ts, id});
+}
+
+void Tracer::async_end(Category cat, const std::string& name, SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_async_.find(std::make_pair(static_cast<int>(cat), name));
+  if (it == open_async_.end()) return;
+  events_.push_back({'e', cat, name, ts, it->second});
+  open_async_.erase(it);
+}
+
+void Tracer::instant(Category cat, std::string name, SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({'i', cat, std::move(name), ts, 0});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out = completed_;
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;  // ids are issued in begin order
+            });
+  return out;
+}
+
+std::size_t Tracer::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stack_.size() + open_async_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  completed_.clear();
+  stack_.clear();
+  open_async_.clear();
+  next_id_ = 1;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"ph\": \"";
+    out += e.phase;
+    out += "\", \"cat\": \"";
+    out += to_string(e.cat);
+    out += "\", \"name\": ";
+    append_json_string(out, e.name);
+    out += ", \"ts\": " + std::to_string(e.ts);
+    out += ", \"pid\": 1, \"tid\": 1";
+    if (e.phase == 'b' || e.phase == 'e')
+      out += ", \"id\": " + std::to_string(e.id);
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+}  // namespace hpcc::obs

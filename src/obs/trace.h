@@ -1,0 +1,101 @@
+// hpcc/obs/trace.h
+//
+// Sim-time span tracer. Spans are stamped exclusively with SimTime —
+// no wall-clock anywhere — so identical seeds produce byte-identical
+// traces (the same contract the fault plan keeps, DESIGN.md §9). All
+// timed-plane instrumentation runs on the single simulation thread;
+// the Tracer still takes a mutex internally so stray functional-plane
+// callers are safe rather than UB, but event ORDER is only
+// deterministic because the timed plane is single-threaded.
+//
+// Two span styles mirror Chrome's trace_event model:
+//  - begin_span/end_span ("B"/"E"): stack-nested, for call-shaped work
+//    (a pull, a tier probe, a retry attempt). Parent-child is the
+//    tracer's span stack; obs::SpanScope (obs.h) is the RAII wrapper.
+//  - async_begin/async_end ("b"/"e"): keyed by (category, name), for
+//    overlapping lifecycles that don't nest (queued jobs, pod phases).
+// Plus instant events ("i") for point facts: cache miss, promotion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace hpcc::obs {
+
+/// One category per instrumented domain; becomes the Chrome "cat"
+/// field, so Perfetto can filter per-layer.
+enum class Category { kRegistry, kStorage, kVfs, kPool, kFault, kWlm, kK8s };
+
+const char* to_string(Category cat);
+
+/// One Chrome trace_event. `phase` is the Chrome "ph" letter:
+/// 'B'/'E' scoped, 'b'/'e' async (matched by cat+id+name), 'i' instant.
+struct TraceEvent {
+  char phase = 'i';
+  Category cat = Category::kRegistry;
+  std::string name;
+  SimTime ts = 0;
+  std::uint64_t id = 0;  ///< span id ('B'/'E') or async id ('b'/'e')
+};
+
+/// A completed scoped span, reconstructed for tests and coverage math.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  Category cat = Category::kRegistry;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = 0;
+};
+
+class Tracer {
+ public:
+  /// Scoped spans. begin_span pushes onto the span stack (the new
+  /// span's parent is the previous top) and returns the span id.
+  std::uint64_t begin_span(Category cat, std::string name, SimTime ts);
+  void end_span(std::uint64_t id, SimTime ts);
+
+  /// Async spans keyed by (category, name). async_end is a no-op if no
+  /// span with that key is open — lifecycle call sites don't have to
+  /// know whether an earlier transition already closed the phase.
+  void async_begin(Category cat, std::string name, SimTime ts);
+  void async_end(Category cat, const std::string& name, SimTime ts);
+
+  void instant(Category cat, std::string name, SimTime ts);
+
+  std::vector<TraceEvent> events() const;
+  /// Completed scoped spans, in begin order.
+  std::vector<SpanRecord> spans() const;
+  /// Open scoped spans (should be 0 after a balanced run).
+  std::size_t open_count() const;
+
+  void clear();
+
+  /// Full Chrome trace_event JSON document ({"traceEvents": [...]}).
+  /// ts is sim-time microseconds verbatim — SimTime's unit is already
+  /// Chrome's. Deterministic: same event sequence ⇒ same bytes.
+  std::string chrome_trace_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<SpanRecord> completed_;  // in end order; sorted by spans()
+  struct OpenSpan {
+    std::uint64_t id;
+    std::uint64_t parent;
+    Category cat;
+    std::string name;
+    SimTime begin;
+  };
+  std::vector<OpenSpan> stack_;
+  std::map<std::pair<int, std::string>, std::uint64_t> open_async_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace hpcc::obs

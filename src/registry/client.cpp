@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "image/blob_tier.h"
+#include "obs/obs.h"
 #include "storage/cache_hierarchy.h"
 #include "storage/tiers.h"
 
@@ -18,7 +19,8 @@ namespace hpcc::registry {
 Result<Unit> RegistryClient::finish_layers(
     const image::OciManifest& manifest,
     std::vector<std::optional<Bytes>>& fetched, std::size_t layers_reached,
-    image::BlobStore* local, PullResult& out) {
+    const std::vector<SimTime>& layer_done, image::BlobStore* local,
+    PullResult& out) {
   std::vector<Result<vfs::Layer>> decoded(
       layers_reached, Result<vfs::Layer>(err_internal("layer not processed")));
   util::parallel_for(pool_, layers_reached, [&](std::size_t i) {
@@ -46,6 +48,22 @@ Result<Unit> RegistryClient::finish_layers(
     if (decoded[i].ok() && local != nullptr)
       local->put_with_digest(std::move(blob), digest);
   });
+  // Trace/metric emission happens here — after the parallel_for, on the
+  // caller's thread, in manifest order — never from pool workers, so the
+  // event stream is identical with and without a pool.
+  if (obs::tracing_enabled()) {
+    for (std::size_t i = 0; i < layers_reached; ++i) {
+      const SimTime at = i < layer_done.size() ? layer_done[i] : 0;
+      const std::string idx = std::to_string(i);
+      if (fetched[i].has_value()) {
+        obs::tracer().instant(obs::Category::kRegistry, "verify:" + idx, at);
+        obs::tracer().instant(obs::Category::kRegistry, "decode:" + idx, at);
+      } else {
+        obs::tracer().instant(obs::Category::kRegistry, "decode-cached:" + idx,
+                              at);
+      }
+    }
+  }
   for (std::size_t i = 0; i < layers_reached; ++i) {
     if (!decoded[i].ok()) return decoded[i].error();
     out.layers.push_back(std::move(decoded[i]).value());
@@ -61,8 +79,24 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   auto admitted = reg.admit_pull(now, &retry);
   if (!admitted.ok()) return admitted.error();
 
+  // Root span covers the whole pull (now → done); child spans cover the
+  // manifest, config and per-layer legs, so a trace accounts for the
+  // pull's entire simulated time. Error exits close open spans via the
+  // SpanScope destructors — B/E events stay balanced on every path.
+  obs::count("registry.pulls");
+  obs::SpanScope pull_span;
+  obs::SpanScope manifest_span;
+  if (obs::tracing_enabled()) {
+    pull_span =
+        obs::SpanScope(obs::Category::kRegistry, "pull:" + ref.to_string(), now);
+    manifest_span = obs::SpanScope(obs::Category::kRegistry, "manifest", now);
+  }
+
   SimTime t = reg.serve_request(now);
+  manifest_span.stamp(t);
+  pull_span.stamp(t);
   HPCC_TRY(out.manifest, reg.get_manifest(ref));
+  manifest_span.end(t);
 
   // The pull's blob path as a tier chain: the local CAS on top (a blob
   // the node already holds is a cache hit, §3.1 dedup), the registry
@@ -89,6 +123,7 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
                   // Token expired mid-pull: one round-trip to notice the
                   // 401, one to refresh, then the fetch proceeds.
                   ++auth_refreshes_;
+                  obs::count("registry.auth_refreshes");
                   a = reg.serve_request(a);
                   a = reg.serve_request(a);
                 } else if (d.fail) {
@@ -114,17 +149,22 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
       }));
 
   // Config blob.
+  obs::SpanScope config_span;
+  if (obs::tracing_enabled())
+    config_span = obs::SpanScope(obs::Category::kRegistry, "config", t);
   const std::string config_key = "blob:" + out.manifest.config_digest.hex();
   if (local != nullptr && local->contains(out.manifest.config_digest)) {
     // Local hit: deserialize from the CAS, no transfer charged.
     HPCC_TRY(const Bytes* cached, local->get(out.manifest.config_digest));
     t = chain.read(t, {config_key, cached->size()}).done;
+    config_span.stamp(t);
     HPCC_TRY(out.config, image::ImageConfig::deserialize(*cached));
   } else {
     HPCC_TRY(Bytes config_blob, reg.get_blob(out.manifest.config_digest));
     HPCC_TRY_UNIT(
         crypto::verify_digest(config_blob, out.manifest.config_digest));
     t = chain.read(t, {config_key, config_blob.size()}).done;
+    config_span.stamp(t);
     if (origin_error) return *origin_error;
     out.bytes_transferred += config_blob.size();
     HPCC_TRY(out.config, image::ImageConfig::deserialize(config_blob));
@@ -132,6 +172,8 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
       local->put_with_digest(std::move(config_blob),
                              out.manifest.config_digest);
   }
+  config_span.end(t);
+  pull_span.stamp(t);
 
   // Phase 1 (strictly sequential, manifest order): cache checks, blob
   // fetches and every timed interaction — frontend service, registry
@@ -140,18 +182,27 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
   // runs on a pool.
   const std::size_t n = out.manifest.layer_digests.size();
   std::vector<std::optional<Bytes>> fetched(n);
+  std::vector<SimTime> layer_done(n, t);
   std::optional<Error> fetch_error;
   std::size_t reached = 0;
   for (std::size_t i = 0; i < n; ++i, ++reached) {
     const auto& digest = out.manifest.layer_digests[i];
     const std::string key = "blob:" + digest.hex();
+    obs::SpanScope layer_span;
+    if (obs::tracing_enabled())
+      layer_span = obs::SpanScope(obs::Category::kRegistry,
+                                  "layer:" + std::to_string(i), t);
     if (local && local->contains(digest)) {
       ++out.layers_skipped;
+      obs::count("registry.layers_skipped");
       // Blob-tier hit: zero-latency serve, counted in the chain stats;
       // fetched[i] stays empty so phase 2 decodes from the local store.
       const std::uint64_t size =
           i < out.manifest.layer_sizes.size() ? out.manifest.layer_sizes[i] : 0;
       t = chain.read(t, {key, size}).done;
+      layer_done[i] = t;
+      layer_span.end(t);
+      pull_span.stamp(t);
       continue;
     }
     auto blob = reg.get_blob(digest);
@@ -160,6 +211,9 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
       break;
     }
     t = chain.read(t, {key, blob.value().size()}).done;
+    layer_done[i] = t;
+    layer_span.end(t);
+    pull_span.stamp(t);
     if (origin_error) {
       // Retries exhausted on this layer's fetch: it is not part of the
       // pull (reached == i), but the time spent failing stays charged.
@@ -167,12 +221,17 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
       break;
     }
     out.bytes_transferred += blob.value().size();
+    obs::count("registry.layers_fetched");
     fetched[i] = std::move(blob).value();
   }
 
-  HPCC_TRY_UNIT(finish_layers(out.manifest, fetched, reached, local, out));
+  HPCC_TRY_UNIT(
+      finish_layers(out.manifest, fetched, reached, layer_done, local, out));
   if (fetch_error) return *fetch_error;
   out.done = t;
+  if (obs::metrics_enabled())
+    obs::metrics().counter("registry.pull_bytes").add(out.bytes_transferred);
+  pull_span.end(t);
   return out;
 }
 
@@ -197,12 +256,20 @@ Result<PullResult> RegistryClient::pull_via_proxy(
     return r;
   };
 
+  obs::count("registry.proxy_pulls");
+  obs::SpanScope pull_span;
+  if (obs::tracing_enabled())
+    pull_span = obs::SpanScope(obs::Category::kRegistry,
+                               "pull-proxy:" + ref.to_string(), now);
+
   HPCC_TRY(const auto mres, proxy.fetch_manifest(now, ref));
   out.manifest = mres.manifest;
   SimTime t = mres.done;
+  pull_span.stamp(t);
 
   HPCC_TRY(const auto cres, proxy.fetch_blob(t, out.manifest.config_digest));
   HPCC_TRY(t, site_transfer(cres.done, cres.blob.size()));
+  pull_span.stamp(t);
   out.bytes_transferred += cres.blob.size();
   HPCC_TRY(out.config, image::ImageConfig::deserialize(cres.blob));
 
@@ -210,12 +277,20 @@ Result<PullResult> RegistryClient::pull_via_proxy(
   // (the proxy's cache and queue state mutate per fetch).
   const std::size_t n = out.manifest.layer_digests.size();
   std::vector<std::optional<Bytes>> fetched(n);
+  std::vector<SimTime> layer_done(n, t);
   std::optional<Error> fetch_error;
   std::size_t reached = 0;
   for (std::size_t i = 0; i < n; ++i, ++reached) {
     const auto& digest = out.manifest.layer_digests[i];
+    obs::SpanScope layer_span;
+    if (obs::tracing_enabled())
+      layer_span = obs::SpanScope(obs::Category::kRegistry,
+                                  "layer:" + std::to_string(i), t);
     if (local && local->contains(digest)) {
       ++out.layers_skipped;
+      obs::count("registry.layers_skipped");
+      layer_done[i] = t;
+      layer_span.end(t);
       continue;
     }
     auto bres = proxy.fetch_blob(t, digest);
@@ -230,13 +305,21 @@ Result<PullResult> RegistryClient::pull_via_proxy(
       break;
     }
     t = tx.value();
+    layer_done[i] = t;
+    layer_span.end(t);
+    pull_span.stamp(t);
     out.bytes_transferred += bres.value().blob.size();
+    obs::count("registry.layers_fetched");
     fetched[i] = std::move(bres.value().blob);
   }
 
-  HPCC_TRY_UNIT(finish_layers(out.manifest, fetched, reached, local, out));
+  HPCC_TRY_UNIT(
+      finish_layers(out.manifest, fetched, reached, layer_done, local, out));
   if (fetch_error) return *fetch_error;
   out.done = t;
+  if (obs::metrics_enabled())
+    obs::metrics().counter("registry.pull_bytes").add(out.bytes_transferred);
+  pull_span.end(t);
   return out;
 }
 
@@ -249,6 +332,7 @@ Result<PullResult> RegistryClient::pull_with_fallback(
   // Degrade gracefully: pull straight from the origin registry, picking
   // up at the sim time the proxy attempt was abandoned.
   ++proxy_fallbacks_;
+  obs::count("registry.proxy_fallbacks");
   const SimTime resume = std::max(now, last_failed_at_);
   auto direct = pull(resume, origin, ref, local);
   if (!direct.ok())
@@ -264,6 +348,12 @@ Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
   PushResult out;
   const std::string project =
       ref.repository.substr(0, ref.repository.find('/'));
+
+  obs::count("registry.pushes");
+  obs::SpanScope push_span;
+  if (obs::tracing_enabled())
+    push_span =
+        obs::SpanScope(obs::Category::kRegistry, "push:" + ref.to_string(), now);
 
   SimTime t = now;
   image::OciManifest manifest;
@@ -295,20 +385,31 @@ Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,
     prepared[i].digest = crypto::Digest::of(prepared[i].blob);
   });
 
-  for (auto& p : prepared) {
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    auto& p = prepared[i];
     const std::uint64_t size = p.blob.size();
+    obs::SpanScope layer_span;
+    if (obs::tracing_enabled())
+      layer_span = obs::SpanScope(obs::Category::kRegistry,
+                                  "push-layer:" + std::to_string(i), t);
     // Existing blobs are not re-transferred (cross-user dedup on push).
     if (!reg.has_blob(p.digest)) {
       t = uplink.stream_write(t, size);
       out.bytes_transferred += size;
     }
+    layer_span.end(t);
+    push_span.stamp(t);
     HPCC_TRY(auto digest, reg.push_blob(user, project, std::move(p.blob)));
     manifest.layer_digests.push_back(digest);
     manifest.layer_sizes.push_back(size);
   }
   t = reg.serve_request(t);
+  push_span.stamp(t);
   HPCC_TRY(out.manifest_digest, reg.push_manifest(user, ref, manifest));
   out.done = t;
+  if (obs::metrics_enabled())
+    obs::metrics().counter("registry.push_bytes").add(out.bytes_transferred);
+  push_span.end(t);
   return out;
 }
 

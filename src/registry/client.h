@@ -111,9 +111,14 @@ class RegistryClient {
  private:
   // Shared tail of both pull paths: verify, decode and locally store the
   // fetched layer blobs concurrently, then assemble in manifest order.
+  // `layer_done[i]` is the sim time layer i's fetch leg completed; trace
+  // events for the (untimed) verify/decode work are stamped with it, on
+  // the calling thread in manifest order, so traces stay deterministic
+  // regardless of pool scheduling.
   Result<Unit> finish_layers(const image::OciManifest& manifest,
                              std::vector<std::optional<Bytes>>& fetched,
                              std::size_t layers_reached,
+                             const std::vector<SimTime>& layer_done,
                              image::BlobStore* local, PullResult& out);
 
   sim::Network* network_;

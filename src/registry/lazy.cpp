@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "storage/tiers.h"
 
 namespace hpcc::registry {
@@ -89,6 +90,11 @@ class LazyRootfs final : public runtime::MountedRootfs {
     path_.drain();
     HPCC_TRY(const auto blocks, squash_->file_blocks(path));
     fetch_error_.reset();
+    obs::count("lazy.reads");
+    obs::SpanScope read_span;
+    if (obs::tracing_enabled())
+      read_span = obs::SpanScope(obs::Category::kVfs,
+                                 "lazy:" + std::string(path), now);
     SimTime t = fuse_op(now);
     std::uint64_t remaining = blocks.file_size;
     for (std::size_t i = 0; i < blocks.comp_lens.size(); ++i) {
@@ -98,14 +104,24 @@ class LazyRootfs final : public runtime::MountedRootfs {
           "lazy:" + std::string(path) + ":" + std::to_string(i);
       const auto o = path_.read_chunk(t, key, unc, blocks.comp_lens[i]);
       t = o.done;
+      read_span.stamp(t);
       if (fetch_error_) {
         // First-touch fetch failed even after the retry policy: surface
         // the typed error — a lazy read is never silently short.
         return *std::exchange(fetch_error_, std::nullopt);
       }
-      if (!o.cache_hit) t += decompress_time(unc);
+      obs::count("lazy.blocks");
+      if (o.cache_hit) {
+        obs::count("lazy.block_cache_hits");
+      } else {
+        // First touch: the block came over the origin leg and pays the
+        // decompress toll — the §3.2 lazy-startup tax in one counter.
+        obs::count("lazy.first_touch");
+        t += decompress_time(unc);
+      }
       remaining -= unc;
     }
+    read_span.end(t);
     if (config_.prefetch_depth > 0) {
       auto it = file_start_.find(std::string(path));
       if (it != file_start_.end()) {
@@ -165,8 +181,10 @@ class LazyRootfs final : public runtime::MountedRootfs {
       if (path_.hierarchy()->holds_cached(key)) continue;
       if (config_.faults != nullptr && config_.faults->enabled() &&
           config_.faults->decide(fault::Domain::kWan, now).fail) {
+        obs::count("lazy.prefetch_skipped_fault");
         continue;
       }
+      obs::count("lazy.prefetch_scheduled");
       path_.prefetch_chunk(
           key, e.unc, e.comp, /*admit_bytes=*/0,
           [squash = squash_, path = e.path,

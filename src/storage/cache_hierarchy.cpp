@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/obs.h"
 #include "sim/cluster.h"
 #include "storage/tiers.h"
 #include "util/thread_pool.h"
@@ -51,6 +52,25 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tiers_.empty()) return ReadOutcome{now + 1, 0, false};
 
+  // Observability mirrors: the TierStats increments below stay the
+  // source of truth for existing accessors; when obs is on the same
+  // sites also feed the registry (per-tier counters) and tracer (one
+  // span per read, one child per tier serve). Everything is gated so
+  // the default-off path costs one relaxed load and allocates nothing.
+  const bool traced = obs::tracing_enabled();
+  const bool metered = obs::metrics_enabled();
+  obs::SpanScope span;
+  if (traced)
+    span = obs::SpanScope(obs::Category::kStorage, "chunk:" + req.key, now);
+  auto tier_count = [&](std::size_t i, const char* what,
+                        std::uint64_t n = 1) {
+    if (metered)
+      obs::metrics()
+          .counter("storage.tier." + std::string(tiers_[i]->name()) + "." +
+                   what)
+          .add(n);
+  };
+
   // Walk top→bottom; the first holder serves. The bottom tier is
   // charged as a miss-serviced fetch even if holds() returned true —
   // terminal tiers hold everything, so reaching them *is* the miss.
@@ -63,9 +83,12 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
   fault::Decision serve_fault;
   for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
     ++stats_[i].lookups;
+    tier_count(i, "lookups");
     if (quarantined_[i]) {
       ++stats_[i].misses;
       ++stats_[i].degraded_reads;
+      tier_count(i, "misses");
+      tier_count(i, "degraded_reads");
       continue;
     }
     if (tiers_[i]->holds(req.key)) {
@@ -75,6 +98,12 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
       if (d.fail) {
         ++stats_[i].misses;
         ++stats_[i].degraded_reads;
+        tier_count(i, "misses");
+        tier_count(i, "degraded_reads");
+        if (traced)
+          obs::tracer().instant(
+              obs::Category::kStorage,
+              "fault:" + std::string(tiers_[i]->name()), now);
         if (quarantine_threshold_ > 0 &&
             ++tier_faults_[i] >= quarantine_threshold_) {
           quarantined_[i] = true;
@@ -85,13 +114,24 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
       found_above_terminal = true;
       serve_fault = d;
       ++stats_[i].hits;
+      tier_count(i, "hits");
       break;
     }
     ++stats_[i].misses;
+    tier_count(i, "misses");
+    if (traced)
+      obs::tracer().instant(obs::Category::kStorage,
+                            "probe-miss:" + std::string(tiers_[i]->name()),
+                            now);
   }
 
   ReadOutcome out;
   out.tier = serving;
+  obs::SpanScope serve_span;
+  if (traced)
+    serve_span = obs::SpanScope(
+        obs::Category::kStorage,
+        "serve:" + std::string(tiers_[serving]->name()), now);
   if (found_above_terminal) {
     out.cache_hit = tiers_[serving]->is_cache();
     SimTime done = tiers_[serving]->serve(now, req.key, req.bytes);
@@ -102,6 +142,7 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
     }
     out.done = done;
     stats_[serving].bytes_served += req.bytes;
+    tier_count(serving, "bytes_served", req.bytes);
   } else {
     // The terminal always serves — it is the ground truth below every
     // cache, so it is never fault-checked here; its failures belong to
@@ -109,10 +150,14 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
     auto& term = stats_[serving];
     ++term.lookups;
     ++term.misses;
+    tier_count(serving, "lookups");
+    tier_count(serving, "misses");
     out.cache_hit = false;
     out.done = tiers_[serving]->serve(now, req.key, req.wire_bytes());
     term.bytes_served += req.wire_bytes();
+    tier_count(serving, "bytes_served", req.wire_bytes());
   }
+  serve_span.end(out.done);
 
 #ifndef NDEBUG
   for (std::size_t i = 0; i < stats_.size(); ++i) {
@@ -128,7 +173,13 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
     if (!tiers_[i]->is_cache() || quarantined_[i]) continue;
     stats_[i].evictions += tiers_[i]->admit(req.key, req.cache_bytes());
     stats_[i].bytes_admitted += req.cache_bytes();
+    tier_count(i, "bytes_admitted", req.cache_bytes());
+    if (traced)
+      obs::tracer().instant(obs::Category::kStorage,
+                            "promote:" + std::string(tiers_[i]->name()),
+                            out.done);
   }
+  span.end(out.done);
   return out;
 }
 
@@ -151,6 +202,7 @@ void CacheHierarchy::prefetch(const ChunkRequest& req,
       cpu_work();
     }
   }
+  obs::count("storage.prefetch.requests");
   std::lock_guard<std::mutex> lock(pending_mu_);
   ++prefetch_requests_;
   pending_.push_back(std::move(p));
@@ -189,6 +241,7 @@ void CacheHierarchy::admit_prefetched(const ChunkRequest& req) {
     admitted = true;
   }
   if (admitted) {
+    obs::count("storage.prefetch.admits");
     std::lock_guard<std::mutex> plock(pending_mu_);
     prefetched_bytes_ += req.wire_bytes();
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.h"
+
 namespace hpcc::util {
 
 namespace {
@@ -39,6 +41,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  // Pool work is functional-plane only (no sim time), so the pool gets
+  // counters but never spans: counts are order-free under concurrency,
+  // span interleavings would not be.
+  obs::count("pool.submitted");
   {
     std::unique_lock lk(mu_);
     not_full_.wait(lk, [this] { return stop_ || queue_.size() < capacity_; });
@@ -61,12 +67,17 @@ void ThreadPool::worker_loop() {
     }
     not_full_.notify_one();
     task();
+    obs::count("pool.tasks");
   }
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("pool.parallel_for").add(1);
+    obs::metrics().counter("pool.parallel_for_items").add(n);
+  }
   if (n == 1 || workers_.empty() || tls_in_pool_worker) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;

@@ -1,12 +1,22 @@
 #include "wlm/slurm.h"
 
+#include "obs/obs.h"
 #include "util/log.h"
 
 namespace hpcc::wlm {
 
 namespace {
 Logger log_("wlm/slurm");
+
+// Job phases overlap arbitrarily (many queued jobs, many running), so
+// the lifecycle is traced with async spans keyed by name, not the
+// nesting span stack: "job:<id>:wait" covers submit→start and
+// "job:<id>:run" covers start→end. Requeue closes the run span and
+// reopens a wait span for the next incarnation.
+std::string job_phase(JobId id, const char* phase) {
+  return "job:" + std::to_string(id) + ":" + phase;
 }
+}  // namespace
 
 std::string_view to_string(JobState s) noexcept {
   switch (s) {
@@ -56,6 +66,10 @@ JobId SlurmWlm::submit(JobSpec spec) {
   rec.spec = std::move(spec);
   rec.submitted = cluster_->now();
   const JobId id = rec.id;
+  obs::count("wlm.jobs_submitted");
+  if (obs::tracing_enabled())
+    obs::tracer().async_begin(obs::Category::kWlm, job_phase(id, "wait"),
+                              rec.submitted);
   jobs_.emplace(id, std::move(rec));
   queue_.push_back(id);
   request_schedule();
@@ -70,6 +84,10 @@ Result<Unit> SlurmWlm::cancel(JobId id) {
     std::erase(queue_, id);
     rec.state = JobState::kCancelled;
     rec.ended = cluster_->now();
+    if (obs::tracing_enabled())
+      obs::tracer().async_end(obs::Category::kWlm, job_phase(id, "wait"),
+                              rec.ended);
+    obs::count("wlm.jobs_cancelled");
     if (rec.spec.on_end) rec.spec.on_end(id, JobState::kCancelled);
     return ok_unit();
   }
@@ -125,6 +143,7 @@ Result<Unit> SlurmWlm::node_failed(sim::NodeId node) {
   if (node >= cluster_->num_nodes())
     return err_not_found("no node " + std::to_string(node));
   cluster_->set_state(node, sim::NodeState::kDown);
+  obs::count("wlm.node_failures");
   drained_.insert(node);
   draining_.erase(node);
   // Kill or requeue the job occupying the node, if any.
@@ -239,6 +258,19 @@ void SlurmWlm::start_job(JobRecord& rec, std::vector<sim::NodeId> nodes) {
 
   rec.state = JobState::kRunning;
   rec.started = cluster_->now() + config_.prolog;
+  if (obs::tracing_enabled()) {
+    obs::tracer().async_end(obs::Category::kWlm, job_phase(rec.id, "wait"),
+                            cluster_->now());
+    obs::tracer().async_begin(obs::Category::kWlm, job_phase(rec.id, "run"),
+                              rec.started);
+  }
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("wlm.jobs_started").add(1);
+    obs::metrics()
+        .histogram("wlm.wait_us",
+                   {usec(1), msec(1), sec(1), sec(10), minutes(1), minutes(10)})
+        .observe(cluster_->now() - rec.submitted);
+  }
   rec.nodes = std::move(nodes);
   for (auto n : rec.nodes) {
     allocated_.insert(n);
@@ -291,6 +323,10 @@ void SlurmWlm::requeue_job(JobId id) {
   // The partial run is still accounted — §6's "accounting of used
   // resources" does not stop charging because the node died.
   rec.ended = cluster_->now();
+  if (obs::tracing_enabled())
+    obs::tracer().async_end(obs::Category::kWlm, job_phase(id, "run"),
+                            rec.ended);
+  obs::count("wlm.requeues");
   account(rec);
 
   running_.erase(id);
@@ -317,6 +353,9 @@ void SlurmWlm::requeue_job(JobId id) {
   rec.nodes.clear();
   ++rec.requeues;
   ++requeues_;
+  if (obs::tracing_enabled())
+    obs::tracer().async_begin(obs::Category::kWlm, job_phase(id, "wait"),
+                              cluster_->now());
   queue_.push_back(id);
   request_schedule();
 }
@@ -338,6 +377,13 @@ void SlurmWlm::end_job(JobId id, JobState final_state) {
 
   rec.state = final_state;
   rec.ended = cluster_->now();
+  if (obs::tracing_enabled())
+    obs::tracer().async_end(obs::Category::kWlm, job_phase(id, "run"),
+                            rec.ended);
+  if (obs::metrics_enabled())
+    obs::metrics()
+        .counter("wlm.jobs_" + std::string(to_string(final_state)))
+        .add(1);
   running_.erase(id);
   if (final_state == JobState::kCompleted) ++completed_;
   account(rec);

@@ -390,6 +390,57 @@ TEST(AuditRules, Rob002MissingAttemptTimeout) {
 }
 
 // ---------------------------------------------------------------------------
+// OBS rules
+// ---------------------------------------------------------------------------
+
+TEST(AuditRules, Obs001TracingWithoutExportPath) {
+  AuditInput pos = clean_input();
+  pos.obs = obs::Config{};
+  pos.obs->tracing = true;  // enabled, but trace_path stays ""
+  AuditInput neg = pos;
+  neg.obs->trace_path = "build/trace.json";
+  expect_rule("OBS001", pos, neg);
+}
+
+TEST(AuditRules, Obs001DoesNotFireWhenTracingOff) {
+  AuditInput in = clean_input();
+  in.obs = obs::Config{};  // metrics/tracing both off
+  in.obs->metrics = true;  // metrics without a path is fine (snapshot API)
+  EXPECT_FALSE(audit(in).has("OBS001"));
+}
+
+TEST(AuditRules, Obs002NonMonotonicHistogramBounds) {
+  AuditInput pos = clean_input();
+  pos.histograms.push_back(
+      obs::HistogramSpec{"pull.latency_us", {1000, 100, 1000000}});
+  AuditInput neg = clean_input();
+  neg.histograms.push_back(
+      obs::HistogramSpec{"pull.latency_us", {100, 1000, 1000000}});
+  expect_rule("OBS002", pos, neg);
+}
+
+TEST(AuditRules, Obs002DuplicateBoundsFireAndFixSorts) {
+  AuditInput pos = clean_input();
+  pos.histograms.push_back(
+      obs::HistogramSpec{"retry.backoff_us", {1000, 1000, 10000}});
+  const AuditReport report = audit(pos);
+  ASSERT_TRUE(report.has("OBS002"));
+  const Finding* f = report.find("OBS002");
+  ASSERT_TRUE(f->has_fix());
+  f->fix(pos);
+  EXPECT_EQ(pos.histograms[0].bounds, (std::vector<std::int64_t>{1000, 10000}));
+  EXPECT_FALSE(audit(pos).has("OBS002"));
+}
+
+TEST(AuditRules, Obs002EmptyBoundsFireWithoutFix) {
+  AuditInput pos = clean_input();
+  pos.histograms.push_back(obs::HistogramSpec{"empty", {}});
+  const AuditReport report = audit(pos);
+  ASSERT_TRUE(report.has("OBS002"));
+  EXPECT_FALSE(report.find("OBS002")->has_fix());
+}
+
+// ---------------------------------------------------------------------------
 // ADAPT rules
 // ---------------------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 #   SKIP_SAN=1 tools/ci.sh   # skip the ASan/UBSan configuration
 #   SKIP_TSAN=1 tools/ci.sh  # skip the ThreadSanitizer configuration
 #   SKIP_BENCH=1 tools/ci.sh # skip the bench smoke
+#   SKIP_OBS=1 tools/ci.sh   # skip the observability trace validation
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -49,10 +50,11 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
   echo "== configure $tsan_dir (-DHPCC_SANITIZE=thread)"
   cmake -B "$tsan_dir" -S "$repo_root" -DHPCC_SANITIZE=thread
   echo "== build $tsan_dir (concurrency_test fault_test)"
-  cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test
-  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault)"
+  cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test \
+    obs_test
+  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs)"
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Concurrent|Pipeline|Fault'
+    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs'
 fi
 
 # Quick smoke of the sequential-vs-parallel pipeline bench; fails the
@@ -80,6 +82,56 @@ if [[ "${SKIP_BENCH:-}" != "1" ]]; then
   HPCC_FAULT_SEED="${HPCC_FAULT_SEED:-12648430}" \
     "$repo_root/build/bench/bench_fault_recovery" --quick \
     --json "$repo_root/build/BENCH_fault_recovery.json"
+fi
+
+# Observability smoke (DESIGN.md §10): run an instrumented scenario
+# with HPCC_TRACE/HPCC_METRICS exports and validate that the Chrome
+# trace is well-formed JSON with balanced begin/end events (every 'B'
+# closed by an 'E', every async 'b' by an 'e') and that the metrics
+# snapshot parses. Needs python3 for the JSON checks.
+if [[ "${SKIP_OBS:-}" != "1" ]]; then
+  if command -v python3 >/dev/null 2>&1; then
+    echo "== obs smoke (instrumented bench_cache_hierarchy --trace)"
+    cmake --build "$repo_root/build" -j "$jobs" --target bench_cache_hierarchy
+    HPCC_METRICS="$repo_root/build/obs_metrics.json" \
+      "$repo_root/build/bench/bench_cache_hierarchy" --quick \
+      --trace "$repo_root/build/obs_trace.json"
+    python3 - "$repo_root/build/obs_trace.json" \
+      "$repo_root/build/obs_metrics.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+open_sync, open_async = 0, {}
+for ev in events:
+    ph = ev["ph"]
+    if ph == "B":
+        open_sync += 1
+    elif ph == "E":
+        open_sync -= 1
+        assert open_sync >= 0, "E without matching B"
+    elif ph == "b":
+        key = (ev["cat"], ev["name"], ev["id"])
+        assert key not in open_async, f"duplicate async begin {key}"
+        open_async[key] = True
+    elif ph == "e":
+        key = (ev["cat"], ev["name"], ev["id"])
+        assert open_async.pop(key, None), f"async end without begin {key}"
+    assert ev["ts"] >= 0, "negative sim-time stamp"
+assert open_sync == 0, f"{open_sync} unclosed spans"
+assert not open_async, f"unclosed async spans: {list(open_async)}"
+
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+assert metrics["counters"], "metrics snapshot has no counters"
+print(f"obs smoke: {len(events)} events balanced, "
+      f"{len(metrics['counters'])} counters exported")
+EOF
+  else
+    echo "== obs smoke skipped (python3 not found)"
+  fi
 fi
 
 echo "== ci.sh: all configurations passed"
