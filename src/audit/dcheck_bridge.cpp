@@ -1,0 +1,44 @@
+#include "audit/dcheck_bridge.h"
+
+#include <string_view>
+
+namespace hpcc::audit {
+
+namespace {
+
+std::string_view ref_for(std::string_view code) {
+  if (code == "RACE001") return "§7 / DESIGN.md §11";
+  if (code == "RACE002") return "§7 / DESIGN.md §11";
+  if (code == "DET001") return "§7 / DESIGN.md §7";
+  return "DESIGN.md §11";
+}
+
+std::string_view hint_for(std::string_view code) {
+  if (code == "RACE001")
+    return "order the accesses with a lock or a spawn/join edge";
+  if (code == "RACE002")
+    return "acquire the two locks in one global order everywhere";
+  if (code == "DET001")
+    return "make the output independent of iteration order";
+  return "";
+}
+
+}  // namespace
+
+AuditReport report_from_dcheck(const dcheck::CheckReport& report) {
+  AuditReport out;
+  out.findings.reserve(report.findings.size());
+  for (const auto& f : report.findings) {
+    Finding a;
+    a.rule = f.code;
+    a.severity = Severity::kError;
+    a.object = f.object;
+    a.message = f.message;
+    a.paper_ref = std::string(ref_for(f.code));
+    a.fix_hint = std::string(hint_for(f.code));
+    out.findings.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace hpcc::audit

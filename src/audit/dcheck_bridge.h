@@ -1,0 +1,24 @@
+// hpcc/audit/dcheck_bridge.h
+//
+// Adapts dcheck's dynamic findings (RACE001/RACE002/DET001) into an
+// audit::AuditReport so they flow through the same text/JSON reporters,
+// severity accounting, and CI exit-code convention as the static rules.
+// Static rules inspect a configuration that has not run; dcheck findings
+// come from an instrumented execution — the bridge is the seam where
+// both meet in one report.
+#pragma once
+
+#include "audit/audit.h"
+#include "dcheck/report.h"
+
+namespace hpcc::audit {
+
+/// Maps every dcheck finding to an Error-severity audit Finding with the
+/// survey reference and a remediation hint per diagnostic code. Findings
+/// keep dcheck's deterministic order (code, then object), which already
+/// satisfies AuditReport's severity-desc/rule-asc contract because all
+/// three codes share one severity. No fix-its: races and determinism
+/// breaks need code changes, not config mutations.
+AuditReport report_from_dcheck(const dcheck::CheckReport& report);
+
+}  // namespace hpcc::audit

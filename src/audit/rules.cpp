@@ -703,6 +703,42 @@ void adapt002(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+void conc001(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.pool_threads < 2 || in.blob_shards == 0) return;
+  if (in.blob_shards >= in.pool_threads) return;
+  Finding f;
+  f.rule = "CONC001";
+  f.object = "blobstore shards";
+  f.message =
+      "the blob store is sharded " + std::to_string(in.blob_shards) +
+      " ways but the pull pool runs " + std::to_string(in.pool_threads) +
+      " workers: with fewer mutex shards than threads, parallel layer "
+      "verification serializes on shard locks and the CPU/IO trade the "
+      "survey credits to parallel decompression (§3.2) is lost to "
+      "contention";
+  f.paper_ref = "§3.2 / §7";
+  f.fix_hint = "raise HPCC_BLOB_SHARDS to at least the worker count";
+  f.fix = [](AuditInput& in2) { in2.blob_shards = in2.pool_threads; };
+  out.push_back(std::move(f));
+}
+
+void conc002(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.prefetch_depth == 0 || in.pool_threads != 1) return;
+  Finding f;
+  f.rule = "CONC002";
+  f.object = "prefetch pool";
+  f.message =
+      "prefetch depth " + std::to_string(in.prefetch_depth) +
+      " is configured over a single-thread pool: every queued warm-up "
+      "runs serially on the one worker the pull path also needs, so the "
+      "background prefetch (§4.1.4) degrades to foreground latency "
+      "instead of hiding it";
+  f.paper_ref = "§4.1.4 / §7";
+  f.fix_hint = "give the prefetch pool at least two workers";
+  f.fix = [](AuditInput& in2) { in2.pool_threads = 2; };
+  out.push_back(std::move(f));
+}
+
 }  // namespace
 
 RuleRegistry RuleRegistry::builtin() {
@@ -785,6 +821,12 @@ RuleRegistry RuleRegistry::builtin() {
   add("ADAPT002", Severity::kError,
       "adaptive plan prefetches to nonexistent node-local storage",
       "§4.1.4", adapt002);
+  add("CONC001", Severity::kWarn,
+      "blob store sharded below the pull pool's worker count", "§3.2 / §7",
+      conc001);
+  add("CONC002", Severity::kWarn,
+      "prefetch configured over a single-thread pool", "§4.1.4 / §7",
+      conc002);
   return reg;
 }
 

@@ -1,0 +1,42 @@
+// hpcc/dcheck/determinism.h
+//
+// Pass 3 of the dcheck harness: the determinism auditor. It re-runs an
+// instrumented workload under a seeded schedule perturbation — every
+// `util::parallel_for` iterates a deterministic shuffle of its index
+// space instead of 0..n-1 (and, once work-stealing lands, forced-steal
+// order rides the same seed) — and diffs the workload's output bytes
+// against the unperturbed baseline. A workload honoring the DESIGN.md
+// §7 contract ("byte-identical with and without a pool") is also
+// byte-identical under every perturbed schedule; one that leaked
+// schedule order into its output diverges, and the auditor reports
+// DET001 with the first divergent annotated event (dcheck::event
+// counts compared name-by-name) or, failing that, the first divergent
+// byte offset. Same seed ⇒ the same shuffles ⇒ byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace hpcc::dcheck {
+
+struct DeterminismOutcome {
+  bool deterministic = true;
+  int runs = 0;            ///< perturbed runs executed
+  std::string divergence;  ///< "" when deterministic; else the attribution
+};
+
+/// Runs `workload` once unperturbed, then `perturbed_runs` times under
+/// schedule perturbations derived from `seed`, comparing the returned
+/// bytes each time. Divergence adds a DET001 finding (object = label)
+/// to the global dcheck report. The checker is force-enabled for the
+/// audit's duration (perturbed_order is gated on it) and the previous
+/// enable/perturb state is restored before returning; event counts are
+/// consumed per run.
+DeterminismOutcome audit_determinism(std::string_view label,
+                                     const std::function<std::string()>& workload,
+                                     std::uint64_t seed,
+                                     int perturbed_runs = 2);
+
+}  // namespace hpcc::dcheck

@@ -1,0 +1,40 @@
+// hpcc/dcheck/report.h
+//
+// Findings produced by the dcheck analysis passes (dcheck/dcheck.h):
+//   RACE001  annotated shared location written without a happens-before
+//            edge between the accessing tasks
+//   RACE002  lock acquisition-order inversion (a cycle in the
+//            held-while-acquiring graph — a latent deadlock)
+//   DET001   schedule-dependent output: a workload produced different
+//            bytes under a seeded schedule perturbation
+//
+// Findings are deduplicated by (code, object) and reported in
+// (code, object) order, with messages that never mention thread ids,
+// addresses or wall-clock state — same seed ⇒ byte-identical reports
+// (the same contract audit::render_json gives the config analyzer).
+// audit::report_from_dcheck (audit/dcheck_bridge.h) lifts a CheckReport
+// into an audit::AuditReport so the text/JSON reporters and the CLI
+// exit-code convention are shared with `hpcc-audit`.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcc::dcheck {
+
+struct Finding {
+  std::string code;     ///< "RACE001" | "RACE002" | "DET001"
+  std::string object;   ///< the thing at fault ("location 'racy.counter'")
+  std::string message;  ///< schedule-invariant description
+};
+
+struct CheckReport {
+  std::vector<Finding> findings;  ///< sorted by (code, object)
+
+  bool clean() const { return findings.empty(); }
+  bool has(std::string_view code) const;
+  const Finding* find(std::string_view code) const;
+};
+
+}  // namespace hpcc::dcheck

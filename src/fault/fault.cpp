@@ -1,7 +1,8 @@
 #include "fault/fault.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "util/env.h"
 
 namespace hpcc::fault {
 
@@ -109,12 +110,7 @@ std::uint64_t FaultInjector::total_faults() const {
 }
 
 std::uint64_t env_fault_seed(std::uint64_t fallback) {
-  if (const char* env = std::getenv("HPCC_FAULT_SEED")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
-  }
-  return fallback;
+  return util::env_uint("HPCC_FAULT_SEED", fallback);
 }
 
 }  // namespace hpcc::fault

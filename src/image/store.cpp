@@ -1,19 +1,18 @@
 #include "image/store.h"
 
 #include <algorithm>
-#include <cstdlib>
 
+#include "dcheck/dcheck.h"
+#include "util/env.h"
 #include "util/thread_pool.h"
 
 namespace hpcc::image {
 
 std::size_t BlobStore::resolve_shards(std::size_t requested) {
   if (requested == 0) {
-    if (const char* env = std::getenv("HPCC_BLOB_SHARDS")) {
-      requested = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
-    }
+    return static_cast<std::size_t>(util::env_uint("HPCC_BLOB_SHARDS", 16,
+                                                   /*min=*/1, /*max=*/1024));
   }
-  if (requested == 0) requested = 16;
   return std::clamp<std::size_t>(requested, 1, 1024);
 }
 
@@ -41,7 +40,9 @@ BlobStore& BlobStore::operator=(const BlobStore& other) {
     }
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::scoped_lock lk(other.shards_[i]->mu);
+    dcheck::AnnotatedLock lk(other.shards_[i]->mu, "blobstore.shard");
+    if (dcheck::enabled())
+      dcheck::access_read(&other.shards_[i]->blobs, "blobstore.shard.blobs");
     shards_[i]->blobs = other.shards_[i]->blobs;
   }
   stored_bytes_.store(other.stored_bytes_.load());
@@ -67,7 +68,11 @@ void BlobStore::put_with_digest(Bytes blob, const crypto::Digest& digest) {
   const std::uint64_t size = blob.size();
   logical_bytes_.fetch_add(size, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
-  std::scoped_lock lk(shard.mu);
+  dcheck::AnnotatedLock lk(shard.mu, "blobstore.shard");
+  if (dcheck::enabled()) {
+    dcheck::access_write(&shard.blobs, "blobstore.shard.blobs");
+    dcheck::event("blobstore.put:" + digest.to_string());
+  }
   const auto [it, inserted] = shard.blobs.try_emplace(digest, std::move(blob));
   (void)it;
   if (inserted) {
@@ -104,7 +109,9 @@ std::vector<crypto::Digest> BlobStore::put_many(std::vector<Bytes> blobs,
 
 Result<const Bytes*> BlobStore::get(const crypto::Digest& digest) const {
   const Shard& shard = shard_for(digest);
-  std::scoped_lock lk(shard.mu);
+  dcheck::AnnotatedLock lk(shard.mu, "blobstore.shard");
+  if (dcheck::enabled())
+    dcheck::access_read(&shard.blobs, "blobstore.shard.blobs");
   auto it = shard.blobs.find(digest);
   if (it == shard.blobs.end())
     return err_not_found("no blob " + digest.to_string());
@@ -113,13 +120,17 @@ Result<const Bytes*> BlobStore::get(const crypto::Digest& digest) const {
 
 bool BlobStore::contains(const crypto::Digest& digest) const {
   const Shard& shard = shard_for(digest);
-  std::scoped_lock lk(shard.mu);
+  dcheck::AnnotatedLock lk(shard.mu, "blobstore.shard");
+  if (dcheck::enabled())
+    dcheck::access_read(&shard.blobs, "blobstore.shard.blobs");
   return shard.blobs.contains(digest);
 }
 
 Result<Unit> BlobStore::remove(const crypto::Digest& digest) {
   Shard& shard = shard_for(digest);
-  std::scoped_lock lk(shard.mu);
+  dcheck::AnnotatedLock lk(shard.mu, "blobstore.shard");
+  if (dcheck::enabled())
+    dcheck::access_write(&shard.blobs, "blobstore.shard.blobs");
   auto it = shard.blobs.find(digest);
   if (it == shard.blobs.end())
     return err_not_found("no blob " + digest.to_string());
@@ -131,7 +142,9 @@ Result<Unit> BlobStore::remove(const crypto::Digest& digest) {
 std::uint64_t BlobStore::num_blobs() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::scoped_lock lk(shard->mu);
+    dcheck::AnnotatedLock lk(shard->mu, "blobstore.shard");
+    if (dcheck::enabled())
+      dcheck::access_read(&shard->blobs, "blobstore.shard.blobs");
     total += shard->blobs.size();
   }
   return total;

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "dcheck/dcheck.h"
+
 namespace hpcc::obs {
 
 namespace {
@@ -59,7 +61,9 @@ std::vector<std::int64_t> Histogram::sanitize_bounds(
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled())
+    dcheck::access_write(&counters_, "obs.registry.counters");
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -68,7 +72,8 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled()) dcheck::access_write(&gauges_, "obs.registry.gauges");
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -77,7 +82,9 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<std::int64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled())
+    dcheck::access_write(&histograms_, "obs.registry.histograms");
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_
@@ -89,7 +96,9 @@ Histogram& Registry::histogram(std::string_view name,
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled())
+    dcheck::access_read(&counters_, "obs.registry.counters");
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
@@ -104,7 +113,9 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled())
+    dcheck::access_write(&counters_, "obs.registry.counters");
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

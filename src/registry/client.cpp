@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dcheck/dcheck.h"
 #include "image/blob_tier.h"
 #include "obs/obs.h"
 #include "storage/cache_hierarchy.h"
@@ -25,6 +26,13 @@ Result<Unit> RegistryClient::finish_layers(
       layers_reached, Result<vfs::Layer>(err_internal("layer not processed")));
   util::parallel_for(pool_, layers_reached, [&](std::size_t i) {
     const crypto::Digest& digest = manifest.layer_digests[i];
+    // dcheck: each slot is written by exactly one task; parallel_for's
+    // spawn/join edges are what order these writes before the caller's
+    // reads below. The per-layer event keys the determinism auditor.
+    if (dcheck::enabled()) {
+      dcheck::access_write(&decoded[i], "pull.layer.decoded");
+      dcheck::event("pull.layer:" + digest.to_string());
+    }
     if (!fetched[i].has_value()) {
       // Cache hit. The pointer returned by get() stays valid while
       // sibling tasks insert into other shards/nodes of the store.
@@ -65,6 +73,8 @@ Result<Unit> RegistryClient::finish_layers(
     }
   }
   for (std::size_t i = 0; i < layers_reached; ++i) {
+    if (dcheck::enabled())
+      dcheck::access_read(&decoded[i], "pull.layer.decoded");
     if (!decoded[i].ok()) return decoded[i].error();
     out.layers.push_back(std::move(decoded[i]).value());
   }

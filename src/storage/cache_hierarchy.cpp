@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "dcheck/dcheck.h"
 #include "obs/obs.h"
 #include "sim/cluster.h"
 #include "storage/tiers.h"
@@ -13,7 +14,7 @@ namespace hpcc::storage {
 CacheHierarchy::~CacheHierarchy() { drain_prefetches(); }
 
 void CacheHierarchy::add_tier(std::unique_ptr<ChunkSource> tier) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   tiers_.push_back(std::move(tier));
   stats_.emplace_back();
   tier_faults_.push_back(0);
@@ -21,22 +22,22 @@ void CacheHierarchy::add_tier(std::unique_ptr<ChunkSource> tier) {
 }
 
 void CacheHierarchy::set_fault_injector(fault::FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   faults_ = injector;
 }
 
 void CacheHierarchy::set_quarantine_threshold(std::uint32_t threshold) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   quarantine_threshold_ = threshold;
 }
 
 bool CacheHierarchy::quarantined(std::size_t tier) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   return tier < quarantined_.size() && quarantined_[tier];
 }
 
 void CacheHierarchy::clear_quarantine() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   for (std::size_t i = 0; i < quarantined_.size(); ++i) {
     quarantined_[i] = false;
     tier_faults_[i] = 0;
@@ -44,12 +45,16 @@ void CacheHierarchy::clear_quarantine() {
 }
 
 std::size_t CacheHierarchy::num_tiers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   return tiers_.size();
 }
 
 ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
+  if (dcheck::enabled()) {
+    dcheck::access_write(&stats_, "cachehierarchy.tier_state");
+    dcheck::event("cache.read:" + req.key);
+  }
   if (tiers_.empty()) return ReadOutcome{now + 1, 0, false};
 
   // Observability mirrors: the TierStats increments below stay the
@@ -184,7 +189,7 @@ ReadOutcome CacheHierarchy::read(SimTime now, const ChunkRequest& req) {
 }
 
 bool CacheHierarchy::holds_cached(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   for (const auto& tier : tiers_) {
     if (tier->is_cache() && tier->holds(key)) return true;
   }
@@ -197,13 +202,28 @@ void CacheHierarchy::prefetch(const ChunkRequest& req,
   p.req = req;
   if (cpu_work) {
     if (pool_ != nullptr) {
-      p.done = pool_->submit(std::move(cpu_work));
+      // hb_spawn here, hb_join after drain's wait(): the race pass
+      // learns that prefetch CPU work is ordered before the admissions
+      // that depend on it.
+      p.hb = dcheck::enabled() ? dcheck::hb_spawn() : 0;
+      if (p.hb != 0) {
+        p.done = pool_->submit(
+            [hb = p.hb, work = std::move(cpu_work)] {
+              dcheck::hb_task_begin(hb);
+              work();
+              dcheck::hb_task_end(hb);
+            });
+      } else {
+        p.done = pool_->submit(std::move(cpu_work));
+      }
     } else {
       cpu_work();
     }
   }
   obs::count("storage.prefetch.requests");
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  dcheck::AnnotatedLock lock(pending_mu_, "cachehierarchy.pending_mu");
+  if (dcheck::enabled())
+    dcheck::access_write(&pending_, "cachehierarchy.pending_queue");
   ++prefetch_requests_;
   pending_.push_back(std::move(p));
 }
@@ -215,18 +235,25 @@ void CacheHierarchy::drain_prefetches() {
   for (;;) {
     Pending p;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      dcheck::AnnotatedLock lock(pending_mu_, "cachehierarchy.pending_mu");
+      if (dcheck::enabled())
+        dcheck::access_write(&pending_, "cachehierarchy.pending_queue");
       if (pending_.empty()) return;
       p = std::move(pending_.front());
       pending_.pop_front();
     }
     if (p.done.valid()) p.done.wait();
+    if (p.hb != 0) dcheck::hb_join(p.hb);
     admit_prefetched(p.req);
   }
 }
 
 void CacheHierarchy::admit_prefetched(const ChunkRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
+  if (dcheck::enabled()) {
+    dcheck::access_write(&stats_, "cachehierarchy.tier_state");
+    dcheck::event("cache.admit:" + req.key);
+  }
   // Already warm somewhere? Don't disturb recency — a later timed read
   // must observe the same LRU order whether or not this prefetch ran.
   for (const auto& tier : tiers_) {
@@ -242,37 +269,37 @@ void CacheHierarchy::admit_prefetched(const ChunkRequest& req) {
   }
   if (admitted) {
     obs::count("storage.prefetch.admits");
-    std::lock_guard<std::mutex> plock(pending_mu_);
+    dcheck::AnnotatedLock plock(pending_mu_, "cachehierarchy.pending_mu");
     prefetched_bytes_ += req.wire_bytes();
   }
 }
 
 SimTime CacheHierarchy::meta_op(SimTime now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   if (tiers_.empty()) return now + 1;
   return tiers_.back()->meta_op(now);
 }
 
 SimTime CacheHierarchy::stream_read(SimTime now, std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   if (tiers_.empty()) return now + 1;
   stats_.back().bytes_served += bytes;
   return tiers_.back()->stream_read(now, bytes);
 }
 
 SimTime CacheHierarchy::stream_write(SimTime now, std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   if (tiers_.empty()) return now + 1;
   return tiers_.back()->stream_write(now, bytes);
 }
 
 TierStats CacheHierarchy::tier_stats(std::size_t tier) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   return stats_.at(tier);
 }
 
 TierStats CacheHierarchy::total_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   TierStats total;
   for (const auto& s : stats_) {
     total.lookups += s.lookups;
@@ -288,7 +315,7 @@ TierStats CacheHierarchy::total_stats() const {
 }
 
 TierTopology CacheHierarchy::topology() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dcheck::AnnotatedLock lock(mu_, "cachehierarchy.mu");
   TierTopology topo;
   topo.tiers.reserve(tiers_.size());
   for (const auto& tier : tiers_) {
@@ -300,12 +327,12 @@ TierTopology CacheHierarchy::topology() const {
 }
 
 std::uint64_t CacheHierarchy::prefetch_requests() const {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  dcheck::AnnotatedLock lock(pending_mu_, "cachehierarchy.pending_mu");
   return prefetch_requests_;
 }
 
 std::uint64_t CacheHierarchy::prefetched_bytes() const {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  dcheck::AnnotatedLock lock(pending_mu_, "cachehierarchy.pending_mu");
   return prefetched_bytes_;
 }
 

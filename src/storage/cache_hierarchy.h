@@ -124,6 +124,7 @@ class CacheHierarchy {
   struct Pending {
     ChunkRequest req;
     std::future<void> done;  // valid only when cpu_work ran on the pool
+    std::uint64_t hb = 0;    // dcheck spawn handle; joined in drain
   };
 
   void admit_prefetched(const ChunkRequest& req);

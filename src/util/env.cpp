@@ -1,0 +1,25 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace hpcc::util {
+
+std::uint64_t env_uint(const char* name, std::uint64_t fallback,
+                       std::uint64_t min, std::uint64_t max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  // strtoull accepts leading whitespace and a leading '-' (wrapping the
+  // value); require a digit up front — these knobs are counts and
+  // seeds, never negative, never padded.
+  if (*env < '0' || *env > '9') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) return fallback;
+  const auto value = static_cast<std::uint64_t>(v);
+  if (value < min || value > max) return fallback;
+  return value;
+}
+
+}  // namespace hpcc::util

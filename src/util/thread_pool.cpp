@@ -1,9 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
+#include <memory>
 
 #include "obs/obs.h"
+#include "util/env.h"
 
 namespace hpcc::util {
 
@@ -14,10 +15,8 @@ thread_local bool tls_in_pool_worker = false;
 }  // namespace
 
 unsigned ThreadPool::default_threads() {
-  if (const char* env = std::getenv("HPCC_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
+  const std::uint64_t v = env_uint("HPCC_THREADS", 0, 1, 4096);
+  if (v > 0) return static_cast<unsigned>(v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
@@ -78,21 +77,39 @@ void ThreadPool::parallel_for(std::size_t n,
     obs::metrics().counter("pool.parallel_for").add(1);
     obs::metrics().counter("pool.parallel_for_items").add(n);
   }
+  // Under the dcheck determinism auditor, iterate a seeded shuffle of
+  // the index space instead of 0..n-1: a workload honoring the §7
+  // contract is byte-identical either way, one that leaked iteration
+  // order into its output diverges and gets flagged (DET001). An empty
+  // order (dcheck off, or perturbation off) is the identity — the
+  // exact pre-dcheck loop.
+  std::shared_ptr<const std::vector<std::size_t>> order;
+  if (dcheck::enabled()) {
+    auto perm = dcheck::perturbed_order(n);
+    if (!perm.empty())
+      order = std::make_shared<const std::vector<std::size_t>>(std::move(perm));
+  }
   if (n == 1 || workers_.empty() || tls_in_pool_worker) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(order ? (*order)[i] : i);
     return;
   }
 
   // Work-sharing loop: helpers and the caller race on one atomic index.
   // All helper futures are joined before returning, so capturing `fn`
-  // and `next` by reference/shared_ptr is safe.
+  // and `next` by reference/shared_ptr is safe. The spawn/begin/end/
+  // join annotations hand the race detector the happens-before edges
+  // this join structure really provides: caller-before-spawn orders
+  // into every task, every task orders into caller-after-join.
+  const std::uint64_t hb = dcheck::enabled() ? dcheck::hb_spawn() : 0;
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto run = [next, n, &fn] {
+  auto run = [next, n, &fn, order, hb] {
+    if (hb != 0) dcheck::hb_task_begin(hb);
     for (;;) {
       const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      fn(i);
+      if (i >= n) break;
+      fn(order ? (*order)[i] : i);
     }
+    if (hb != 0) dcheck::hb_task_end(hb);
   };
 
   const std::size_t helpers = std::min<std::size_t>(workers_.size(), n);
@@ -113,6 +130,7 @@ void ThreadPool::parallel_for(std::size_t n,
       if (!first_error) first_error = std::current_exception();
     }
   }
+  if (hb != 0) dcheck::hb_join(hb);
   if (first_error) std::rethrow_exception(first_error);
 }
 

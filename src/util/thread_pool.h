@@ -25,6 +25,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "dcheck/dcheck.h"
+
 namespace hpcc::util {
 
 class ThreadPool {
@@ -88,11 +90,20 @@ class ThreadPool {
 /// Pool-optional parallel loop: runs on `pool` when one is provided,
 /// inline otherwise. This is the helper the pull/convert/squash hot
 /// paths use so that a null pool means the exact sequential code path.
+/// The inline path honors the dcheck schedule perturbation too, so the
+/// determinism auditor exercises poolless call sites as well.
 inline void parallel_for(ThreadPool* pool, std::size_t n,
                          const std::function<void(std::size_t)>& fn) {
   if (pool != nullptr && pool->size() > 0 && n > 1) {
     pool->parallel_for(n, fn);
     return;
+  }
+  if (dcheck::enabled()) {
+    const auto order = dcheck::perturbed_order(n);
+    if (!order.empty()) {
+      for (std::size_t i = 0; i < n; ++i) fn(order[i]);
+      return;
+    }
   }
   for (std::size_t i = 0; i < n; ++i) fn(i);
 }

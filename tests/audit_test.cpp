@@ -467,6 +467,47 @@ TEST(AuditRules, Adapt002PrefetchWithoutNodeLocalStorage) {
 }
 
 // ---------------------------------------------------------------------------
+// CONC rules (concurrency shape)
+// ---------------------------------------------------------------------------
+
+TEST(AuditRules, Conc001ShardsBelowWorkerCount) {
+  AuditInput pos = clean_input();
+  pos.pool_threads = 8;
+  pos.blob_shards = 4;
+  AuditInput neg = clean_input();
+  neg.pool_threads = 8;
+  neg.blob_shards = 8;
+  expect_rule("CONC001", pos, neg);
+
+  // Unconfigured inputs (either knob 0) must not fire: the rule only
+  // judges runs that declared their concurrency shape.
+  AuditInput unconfigured = clean_input();
+  unconfigured.pool_threads = 8;
+  EXPECT_FALSE(audit(unconfigured).has("CONC001"));
+  unconfigured = clean_input();
+  unconfigured.blob_shards = 4;
+  EXPECT_FALSE(audit(unconfigured).has("CONC001"));
+}
+
+TEST(AuditRules, Conc002PrefetchOverSingleThreadPool) {
+  AuditInput pos = clean_input();
+  pos.pool_threads = 1;
+  pos.prefetch_depth = 8;
+  AuditInput neg = clean_input();
+  neg.pool_threads = 4;
+  neg.prefetch_depth = 8;
+  expect_rule("CONC002", pos, neg);
+
+  // No prefetching or no pool configured at all: nothing to warn about.
+  AuditInput quiet = clean_input();
+  quiet.pool_threads = 1;
+  EXPECT_FALSE(audit(quiet).has("CONC002"));
+  quiet = clean_input();
+  quiet.prefetch_depth = 8;  // pool_threads == 0 (unconfigured)
+  EXPECT_FALSE(audit(quiet).has("CONC002"));
+}
+
+// ---------------------------------------------------------------------------
 // Ground-truth sweep: the nine shipped engine profiles must audit clean
 // (no kError) on a site without policy vetoes. Warnings are allowed —
 // several engines legitimately trade performance or hook availability.

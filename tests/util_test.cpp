@@ -2,8 +2,10 @@
 // logging capture, sim-time helpers.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
+#include "util/env.h"
 #include "util/log.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -338,6 +340,50 @@ TEST(WireTest, ReaderOffsetTracks) {
   ASSERT_TRUE(r.get_u64(b));
   EXPECT_EQ(r.offset(), 12u);
   EXPECT_TRUE(r.done());
+}
+
+// --------------------------------------------------------------- env_uint
+
+// One shared parser behind HPCC_THREADS, HPCC_BLOB_SHARDS,
+// HPCC_FAULT_SEED, HPCC_DCHECK_SEED: unset, malformed, negative and
+// out-of-range values all fall back rather than half-parse.
+TEST(EnvUintTest, UnsetReturnsFallback) {
+  ::unsetenv("HPCC_TEST_ENV_UINT");
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7), 7u);
+}
+
+TEST(EnvUintTest, ParsesDecimalWithinRange) {
+  ::setenv("HPCC_TEST_ENV_UINT", "12", 1);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7), 12u);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7, 1, 64), 12u);
+  ::unsetenv("HPCC_TEST_ENV_UINT");
+}
+
+TEST(EnvUintTest, MalformedFallsBack) {
+  for (const char* bad : {"", "abc", "12abc", "-3", " 12", "0x10"}) {
+    ::setenv("HPCC_TEST_ENV_UINT", bad, 1);
+    EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7), 7u)
+        << "input '" << bad << "' must fall back";
+  }
+  ::unsetenv("HPCC_TEST_ENV_UINT");
+}
+
+TEST(EnvUintTest, OutOfRangeFallsBack) {
+  ::setenv("HPCC_TEST_ENV_UINT", "0", 1);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 16, 1, 1024), 16u);
+  ::setenv("HPCC_TEST_ENV_UINT", "4097", 1);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 16, 1, 4096), 16u);
+  ::setenv("HPCC_TEST_ENV_UINT", "99999999999999999999999", 1);  // overflow
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 16), 16u);
+  ::unsetenv("HPCC_TEST_ENV_UINT");
+}
+
+TEST(EnvUintTest, BoundsAreInclusive) {
+  ::setenv("HPCC_TEST_ENV_UINT", "1", 1);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7, 1, 4096), 1u);
+  ::setenv("HPCC_TEST_ENV_UINT", "4096", 1);
+  EXPECT_EQ(util::env_uint("HPCC_TEST_ENV_UINT", 7, 1, 4096), 4096u);
+  ::unsetenv("HPCC_TEST_ENV_UINT");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #   SKIP_TSAN=1 tools/ci.sh  # skip the ThreadSanitizer configuration
 #   SKIP_BENCH=1 tools/ci.sh # skip the bench smoke
 #   SKIP_OBS=1 tools/ci.sh   # skip the observability trace validation
+#   SKIP_DCHECK=1 tools/ci.sh # skip the dcheck sweep/fixtures stage
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -49,12 +50,12 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
   tsan_dir="$repo_root/build-tsan"
   echo "== configure $tsan_dir (-DHPCC_SANITIZE=thread)"
   cmake -B "$tsan_dir" -S "$repo_root" -DHPCC_SANITIZE=thread
-  echo "== build $tsan_dir (concurrency_test fault_test)"
+  echo "== build $tsan_dir (concurrency_test fault_test obs_test dcheck_test)"
   cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test \
-    obs_test
-  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs)"
+    obs_test dcheck_test
+  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck)"
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs'
+    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck'
 fi
 
 # Quick smoke of the sequential-vs-parallel pipeline bench; fails the
@@ -132,6 +133,38 @@ EOF
   else
     echo "== obs smoke skipped (python3 not found)"
   fi
+fi
+
+# dcheck stage (DESIGN.md §11): the dynamic correctness harness over
+# the real data path. `sweep` must come back clean; `fixtures` runs the
+# deliberately broken workloads and must flag all three diagnostics
+# (RACE001 race, RACE002 lock-order inversion, DET001 schedule-dependent
+# output) with a non-zero exit — the self-test that the detector
+# detects. Same seed twice must render byte-identical JSON.
+if [[ "${SKIP_DCHECK:-}" != "1" ]]; then
+  echo "== dcheck sweep (instrumented data path must be clean)"
+  cmake --build "$repo_root/build" -j "$jobs" --target hpcc-dcheck
+  "$repo_root/build/tools/hpcc-dcheck" sweep --json --seed 42 \
+    > "$repo_root/build/dcheck_sweep.json"
+
+  echo "== dcheck fixtures (broken workloads must be flagged)"
+  if "$repo_root/build/tools/hpcc-dcheck" fixtures --json --seed 42 \
+       > "$repo_root/build/dcheck_fixtures.json"; then
+    echo "dcheck fixtures exited 0 — the detector missed its fixtures"
+    exit 1
+  fi
+  for code in RACE001 RACE002 DET001; do
+    if ! grep -q "$code" "$repo_root/build/dcheck_fixtures.json"; then
+      echo "dcheck fixtures report is missing $code"
+      exit 1
+    fi
+  done
+
+  echo "== dcheck report determinism (same seed => identical JSON)"
+  "$repo_root/build/tools/hpcc-dcheck" fixtures --json --seed 42 \
+    > "$repo_root/build/dcheck_fixtures2.json" || true
+  cmp "$repo_root/build/dcheck_fixtures.json" \
+      "$repo_root/build/dcheck_fixtures2.json"
 fi
 
 echo "== ci.sh: all configurations passed"
