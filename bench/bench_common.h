@@ -78,6 +78,23 @@ class JsonWriter {
     return *this;
   }
 
+  /// Bare scalar array element (number), for arrays of plain values.
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T> &&
+                                 !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    prefix({});
+    if constexpr (std::is_floating_point_v<T>) {
+      char num[32];
+      std::snprintf(num, sizeof num, "%g", static_cast<double>(v));
+      buf_ += num;
+    } else {
+      buf_ += std::to_string(v);
+    }
+    return *this;
+  }
+
   JsonWriter& begin_object(std::string_view key) {
     open('{', key);
     return *this;

@@ -8,6 +8,15 @@
 // must produce byte-identical outputs (same squash digest, same layer
 // digests, same CAS counters) and identical *simulated* time.
 //
+// A second section races the pool's two parallel_for schedulers
+// (DESIGN.md §12) on a skewed layer family — one layer 64× the size of
+// its siblings, decomposed into per-block digest items, so one
+// participant's static partition holds almost all the work. The
+// work-stealing scheduler redistributes it (steal count and per-worker
+// busy fractions land in the JSON); the shared-index scheduler pays a
+// per-iteration atomic + dispatch instead. Both must match the
+// sequential checksum bit-for-bit.
+//
 // Unlike the google-benchmark binaries (one per paper artifact), this is
 // a plain driver so it can emit the machine-readable summary CI tracks:
 //
@@ -143,6 +152,123 @@ RunOutput run_pipeline(Workload& w, unsigned threads) {
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Skewed scheduler race: stealing vs shared-index on one 64× layer.
+// --------------------------------------------------------------------------
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n, std::uint64_t h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct SkewedWorkload {
+  // Per-block byte payloads: blocks of the one 64× layer first (each
+  // block itself 64× a small-layer block), then the small layers'.
+  std::vector<std::vector<std::uint8_t>> blocks;
+  std::uint64_t total_bytes = 0;
+};
+
+SkewedWorkload make_skewed(bool quick) {
+  SkewedWorkload w;
+  // Blocks are deliberately tiny and numerous: the race below measures
+  // scheduler dispatch overhead (one locked fetch_add per *iteration*
+  // for shared-index vs one deque pop per grain-sized *chunk* for
+  // stealing), so the per-item work has to be small enough that the
+  // dispatch cost is a visible fraction of it.
+  const std::size_t small_block = 16;
+  const std::size_t big_block = small_block * 64;
+  const std::size_t n_small = quick ? 24576 : 98304;
+  const std::size_t n_big = quick ? 24 : 96;
+  w.blocks.reserve(n_big + n_small);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  auto fill = [&x](std::vector<std::uint8_t>& b) {
+    for (auto& byte : b) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      byte = static_cast<std::uint8_t>(x);
+    }
+  };
+  // The big layer's blocks sit at the front of the index space, so a
+  // static partition hands nearly all the bytes to participant 0 and
+  // the rest of the pool has nothing — exactly the shape stealing
+  // exists for.
+  for (std::size_t i = 0; i < n_big; ++i) {
+    w.blocks.emplace_back(big_block);
+    fill(w.blocks.back());
+  }
+  for (std::size_t i = 0; i < n_small; ++i) {
+    w.blocks.emplace_back(small_block);
+    fill(w.blocks.back());
+  }
+  for (const auto& b : w.blocks) w.total_bytes += b.size();
+  return w;
+}
+
+struct SkewedResult {
+  double wall_ms = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t remote_steals = 0;
+  std::uint64_t chunks = 0;
+  std::vector<double> busy_frac;  // per participant (workers + caller)
+};
+
+/// Digests every block and folds the per-block digests in index order,
+/// so the checksum is a pure function of the bytes — any scheduler (or
+/// no pool at all, threads == 0) must produce the same value.
+SkewedResult run_skewed(const SkewedWorkload& w, unsigned threads,
+                        util::PoolSched sched, int reps) {
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 0)
+    pool = std::make_unique<util::ThreadPool>(threads, 0, sched);
+
+  const std::size_t n = w.blocks.size();
+  std::vector<std::uint64_t> per_block(n);
+  SkewedResult out;
+  for (int r = 0; r < reps; ++r) {
+    if (pool) pool->reset_steal_stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    util::parallel_for(pool.get(), n, [&](std::size_t i) {
+      per_block[i] =
+          fnv1a(w.blocks[i].data(), w.blocks[i].size(), 1469598103934665603ull);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            t1 - t0)
+            .count();
+    std::uint64_t sum = 1469598103934665603ull;
+    for (std::size_t i = 0; i < n; ++i)
+      sum = fnv1a(reinterpret_cast<const std::uint8_t*>(&per_block[i]),
+                  sizeof(per_block[i]), sum);
+    if (r == 0) {
+      out.checksum = sum;
+    } else if (sum != out.checksum) {
+      std::cerr << "DETERMINISM VIOLATION in skewed workload\n";
+      std::exit(1);
+    }
+    if (r == 0 || ms < out.wall_ms) {
+      out.wall_ms = ms;
+      if (pool) {
+        const auto stats = pool->steal_stats();
+        out.steals = stats.steals;
+        out.remote_steals = stats.remote_steals;
+        out.chunks = stats.chunks;
+        out.busy_frac.clear();
+        const double wall_ns = ms * 1e6;
+        for (const auto ns : stats.busy_ns)
+          out.busy_frac.push_back(
+              wall_ns > 0 ? static_cast<double>(ns) / wall_ns : 0.0);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,6 +331,42 @@ int main(int argc, char** argv) {
   }
   std::printf("outputs byte-identical across all configurations\n");
 
+  // Scheduler race: stealing vs shared-index on the skewed family, 8
+  // threads, sequential as the byte-identity reference.
+  const auto skewed = make_skewed(quick);
+  const int skew_reps = std::max(reps, 3);
+  const unsigned skew_threads = 8;
+  const SkewedResult seq = run_skewed(skewed, 0, util::PoolSched::kWorkStealing,
+                                      skew_reps);
+  const SkewedResult steal =
+      run_skewed(skewed, skew_threads, util::PoolSched::kWorkStealing,
+                 skew_reps);
+  const SkewedResult shared =
+      run_skewed(skewed, skew_threads, util::PoolSched::kSharedIndex,
+                 skew_reps);
+  if (steal.checksum != seq.checksum || shared.checksum != seq.checksum) {
+    std::cerr << "DETERMINISM VIOLATION: skewed scheduler outputs diverge "
+                 "from sequential\n";
+    return 1;
+  }
+  const double steal_speedup =
+      steal.wall_ms > 0 ? shared.wall_ms / steal.wall_ms : 0;
+  std::printf("\nskewed workload (%zu blocks, %.1f KiB, one 64x layer), "
+              "%u threads:\n",
+              skewed.blocks.size(),
+              static_cast<double>(skewed.total_bytes) / 1024.0, skew_threads);
+  std::printf("%-14s %12s %10s %10s\n", "scheduler", "wall_ms", "steals",
+              "chunks");
+  std::printf("%-14s %12.3f %10s %10s\n", "sequential", seq.wall_ms, "-", "-");
+  std::printf("%-14s %12.3f %10llu %10llu\n", "work-stealing", steal.wall_ms,
+              static_cast<unsigned long long>(steal.steals),
+              static_cast<unsigned long long>(steal.chunks));
+  std::printf("%-14s %12.3f %10s %10s\n", "shared-index", shared.wall_ms, "-",
+              "-");
+  std::printf("stealing vs shared-index: %.2fx; outputs byte-identical vs "
+              "sequential\n",
+              steal_speedup);
+
   if (!json_path.empty()) {
     bench::JsonWriter js;
     js.field("bench", "parallel_pipeline")
@@ -224,6 +386,22 @@ int main(int argc, char** argv) {
           .field("speedup", base_ms / best_ms[c])
           .end();
     }
+    js.end();
+    js.begin_object("skewed")
+        .field("blocks", skewed.blocks.size())
+        .field("total_bytes", skewed.total_bytes)
+        .field("threads", skew_threads)
+        .field("sequential_wall_ms", seq.wall_ms)
+        .field("steal_wall_ms", steal.wall_ms)
+        .field("shared_wall_ms", shared.wall_ms)
+        .field("steal_speedup_vs_shared", steal_speedup)
+        .field("steals", steal.steals)
+        .field("remote_steals", steal.remote_steals)
+        .field("chunks", steal.chunks)
+        .field("deterministic", true);
+    js.begin_array("busy_fraction");
+    for (const double f : steal.busy_frac) js.value(f);
+    js.end();
     js.end();
     js.write_file(json_path);
   }

@@ -80,6 +80,9 @@ struct AuditInput {
   std::size_t blob_shards = 0;
   /// Queued-prefetch depth the consumer drives through the data path.
   unsigned prefetch_depth = 0;
+  /// Modeled NUMA node count (HPCC_NUMA_NODES). 0/1 = flat machine,
+  /// which disables the NUMA-alignment rule CONC003.
+  unsigned numa_nodes = 0;
 
   /// The observability configuration this run will install — drives the
   /// obs rules OBS001 (tracing without an export path). nullopt = obs

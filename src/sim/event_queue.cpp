@@ -1,12 +1,19 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace hpcc::sim {
 
 void EventQueue::schedule_at(SimTime t, Callback fn) {
   if (t < now_) t = now_;
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  // Doubling via reserve keeps scheduling bursts (a fan-out scheduling
+  // hundreds of arrivals at once) from reallocating on every few
+  // pushes; push_heap then only swaps Events along one root path.
+  if (heap_.size() == heap_.capacity())
+    heap_.reserve(heap_.empty() ? 16 : heap_.size() * 2);
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::schedule_after(SimDuration delay, Callback fn) {
@@ -15,10 +22,11 @@ void EventQueue::schedule_after(SimDuration delay, Callback fn) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (shared_ptr-backed std::function copy).
-  Event ev = heap_.top();
-  heap_.pop();
+  // pop_heap parks the next event at the back, where it is ours by
+  // value — the Callback moves out instead of copying.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.time;
   ++executed_;
   ev.fn();
@@ -32,7 +40,7 @@ void EventQueue::run() {
 
 std::size_t EventQueue::run_until(SimTime t) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.top().time <= t) {
+  while (!heap_.empty() && heap_.front().time <= t) {
     step();
     ++n;
   }

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/sim_time.h"
@@ -61,7 +60,14 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // A raw vector managed with std::push_heap/std::pop_heap instead of
+  // std::priority_queue: pop_heap moves the minimum to the back, where
+  // the Callback can be *moved* out (priority_queue::top() is const, so
+  // popping through it forces a copy of the std::function), and the
+  // backing storage can be reserve()d ahead of scheduling bursts.
+  // Ordering is the same strict total order (time, then seq), so the
+  // execution sequence is bit-for-bit what priority_queue produced.
+  std::vector<Event> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

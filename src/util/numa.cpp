@@ -1,0 +1,28 @@
+#include "util/numa.h"
+
+#include <thread>
+
+#include "util/env.h"
+
+namespace hpcc::util {
+
+namespace {
+thread_local unsigned tls_numa_node = 0;
+}  // namespace
+
+NumaTopology NumaTopology::detect() {
+  NumaTopology topo;
+  topo.nodes =
+      static_cast<unsigned>(env_uint("HPCC_NUMA_NODES", 1, /*min=*/1,
+                                     /*max=*/64));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cpus = hw == 0 ? 1 : hw;
+  topo.cpus_per_node = cpus / topo.nodes == 0 ? 1 : cpus / topo.nodes;
+  return topo;
+}
+
+unsigned current_numa_node() { return tls_numa_node; }
+
+void set_current_numa_node(unsigned node) { tls_numa_node = node; }
+
+}  // namespace hpcc::util

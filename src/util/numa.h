@@ -1,0 +1,62 @@
+// hpcc/util/numa.h
+//
+// Modeled NUMA topology for the execution layer and the blob CAS.
+//
+// The survey's cold-start argument (§3.2) is ultimately about where
+// bytes land relative to the CPUs that decompress them; once the
+// registry round-trips are cached away, node-local placement and
+// CPU-side parallelism dominate (Sarus Suite, Baresi et al. — see
+// PAPERS.md). This header models that placement axis the same way the
+// rest of the repo models hardware: deterministically, from explicit
+// knobs, with no libnuma dependency. `HPCC_NUMA_NODES` declares how
+// many NUMA nodes the modeled machine has (default 1 — a flat machine,
+// byte-identical to the pre-NUMA behavior); CPUs are split into
+// contiguous per-node blocks.
+//
+// Consumers:
+//  * util::ThreadPool tags each worker with a home node
+//    (node_of_worker) and prefers same-node victims when stealing;
+//  * image::BlobStore derives its shard count from the topology and
+//    keys every shard to a home node, counting cross-node accesses in
+//    the `blob.numa.remote_hits` obs metric;
+//  * audit rule CONC003 flags shard counts that do not divide evenly
+//    across nodes.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcc::util {
+
+struct NumaTopology {
+  unsigned nodes = 1;          ///< NUMA node count (>= 1)
+  unsigned cpus_per_node = 1;  ///< modeled CPUs per node (>= 1)
+
+  /// HPCC_NUMA_NODES env override (clamped to [1, 64], default 1);
+  /// CPUs from std::thread::hardware_concurrency split evenly across
+  /// the nodes (at least one per node).
+  static NumaTopology detect();
+
+  unsigned num_cpus() const { return nodes * cpus_per_node; }
+
+  /// Contiguous block distribution: CPUs [k*cpus_per_node,
+  /// (k+1)*cpus_per_node) live on node k; CPUs past the last block
+  /// wrap round-robin.
+  unsigned node_of_cpu(unsigned cpu) const {
+    return nodes <= 1 ? 0 : (cpu / cpus_per_node) % nodes;
+  }
+
+  /// Pool workers are modeled as pinned to consecutive CPUs, so worker
+  /// w inherits CPU w's node.
+  unsigned node_of_worker(unsigned worker) const {
+    return node_of_cpu(worker);
+  }
+};
+
+/// The calling thread's modeled home node. Defaults to node 0 (the
+/// main thread); util::ThreadPool workers set theirs at startup from
+/// the pool's topology. Thread-local, so the blob store can attribute
+/// every shard access to the node that made it.
+unsigned current_numa_node();
+void set_current_numa_node(unsigned node);
+
+}  // namespace hpcc::util

@@ -1,10 +1,14 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "obs/obs.h"
 #include "util/env.h"
+#include "util/work_deque.h"
 
 namespace hpcc::util {
 
@@ -12,6 +16,17 @@ namespace {
 // Set while a thread is executing pool tasks; nested parallel_for on a
 // worker runs inline instead of re-entering the (bounded) queue.
 thread_local bool tls_in_pool_worker = false;
+// The executing worker's index, for per-worker busy attribution in the
+// stealing scheduler. kCallerSlot = "not a pool worker" (the caller).
+constexpr unsigned kCallerSlot = 0xffffffffu;
+thread_local unsigned tls_worker_index = kCallerSlot;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 unsigned ThreadPool::default_threads() {
@@ -21,12 +36,31 @@ unsigned ThreadPool::default_threads() {
   return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity) {
+PoolSched ThreadPool::default_sched() {
+  if (const char* p = std::getenv("HPCC_POOL_SCHED"); p && *p) {
+    if (std::string_view(p) == "shared") return PoolSched::kSharedIndex;
+  }
+  return PoolSched::kWorkStealing;
+}
+
+std::size_t ThreadPool::grain_for(std::size_t n, std::size_t participants) {
+  const std::uint64_t env = env_uint("HPCC_POOL_GRAIN", 0, 1, 1u << 20);
+  if (env > 0) return static_cast<std::size_t>(env);
+  if (participants == 0) participants = 1;
+  return std::clamp<std::size_t>(n / (participants * 8), 1, 4096);
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::size_t queue_capacity,
+                       PoolSched sched)
+    : sched_(sched), topo_(NumaTopology::detect()) {
   if (threads == 0) threads = default_threads();
   capacity_ = queue_capacity == 0 ? 2 * threads + 16 : queue_capacity;
   workers_.reserve(threads);
+  busy_ns_.reserve(threads + 1);
+  for (unsigned i = 0; i < threads + 1; ++i)
+    busy_ns_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -53,8 +87,12 @@ void ThreadPool::enqueue(std::function<void()> task) {
   not_empty_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_index) {
   tls_in_pool_worker = true;
+  tls_worker_index = worker_index;
+  // Workers are modeled as pinned to consecutive CPUs: worker i's shard
+  // accesses are attributed to NUMA node topo_.node_of_worker(i).
+  set_current_numa_node(topo_.node_of_worker(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -93,7 +131,16 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(order ? (*order)[i] : i);
     return;
   }
+  if (sched_ == PoolSched::kSharedIndex) {
+    parallel_for_shared(n, fn, order.get());
+  } else {
+    parallel_for_steal(n, fn, order.get());
+  }
+}
 
+void ThreadPool::parallel_for_shared(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const std::vector<std::size_t>* order) {
   // Work-sharing loop: helpers and the caller race on one atomic index.
   // All helper futures are joined before returning, so capturing `fn`
   // and `next` by reference/shared_ptr is safe. The spawn/begin/end/
@@ -132,6 +179,131 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   if (hb != 0) dcheck::hb_join(hb);
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_steal(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const std::vector<std::size_t>* order) {
+  // One participant per worker plus the caller, each seeded with a
+  // contiguous chunk of the index space in its own deque. Participants
+  // pop grain-sized chunks locally and steal half-ranges from victims
+  // when empty, so a straggler's untouched tail keeps getting split
+  // across the idle participants instead of serializing behind it.
+  //
+  // Determinism: each index runs exactly once (ranges only ever
+  // partition), callers assemble outputs by index, and the perturbed
+  // order (when the dcheck auditor is on) is applied per-index — so the
+  // steal schedule can never reach the output bytes.
+  struct StealContext {
+    std::vector<RangeDeque> deques;
+    std::size_t parts = 0;
+    std::size_t grain = 1;
+  };
+  const std::size_t parts = std::min<std::size_t>(workers_.size() + 1, n);
+  auto ctx = std::make_shared<StealContext>();
+  ctx->parts = parts;
+  ctx->grain = grain_for(n, parts);
+  ctx->deques = std::vector<RangeDeque>(parts);
+  // Participant p is seeded with [p*n/parts, (p+1)*n/parts): the same
+  // contiguous partition a static scheduler would use, but stealable.
+  for (std::size_t p = 0; p < parts; ++p) {
+    ctx->deques[p].push(IndexRange{p * n / parts, (p + 1) * n / parts});
+  }
+
+  const std::uint64_t hb = dcheck::enabled() ? dcheck::hb_spawn() : 0;
+  auto run = [ctx, &fn, order, hb, this](std::size_t p) {
+    if (hb != 0) dcheck::hb_task_begin(hb);
+    const unsigned my_node = topo_.node_of_worker(static_cast<unsigned>(p));
+    // Deterministic victim scan: same modeled NUMA node first, each
+    // group walked cyclically starting just after p.
+    std::vector<std::size_t> victims;
+    victims.reserve(ctx->parts - 1);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 1; k < ctx->parts; ++k) {
+        const std::size_t v = (p + k) % ctx->parts;
+        const bool local =
+            topo_.node_of_worker(static_cast<unsigned>(v)) == my_node;
+        if (local == (pass == 0)) victims.push_back(v);
+      }
+    }
+
+    std::uint64_t busy = 0, chunks = 0, steals = 0, remote = 0;
+    IndexRange r;
+    for (;;) {
+      if (ctx->deques[p].pop(ctx->grain, &r)) {
+        const std::uint64_t t0 = now_ns();
+        for (std::size_t i = r.begin; i < r.end; ++i)
+          fn(order ? (*order)[i] : i);
+        busy += now_ns() - t0;
+        ++chunks;
+        continue;
+      }
+      bool stole = false;
+      for (const std::size_t v : victims) {
+        if (ctx->deques[v].steal(&r)) {
+          ++steals;
+          if (topo_.node_of_worker(static_cast<unsigned>(v)) != my_node)
+            ++remote;
+          ctx->deques[p].push(r);
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) break;  // every deque drained; in-flight chunks finish
+    }
+
+    const unsigned slot = tls_worker_index == kCallerSlot
+                              ? static_cast<unsigned>(workers_.size())
+                              : tls_worker_index;
+    busy_ns_[slot]->fetch_add(busy, std::memory_order_relaxed);
+    chunks_.fetch_add(chunks, std::memory_order_relaxed);
+    if (steals > 0) {
+      steals_.fetch_add(steals, std::memory_order_relaxed);
+      remote_steals_.fetch_add(remote, std::memory_order_relaxed);
+      obs::count("pool.steals", steals);
+      if (remote > 0) obs::count("pool.steals.remote", remote);
+    }
+    if (hb != 0) dcheck::hb_task_end(hb);
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(parts - 1);
+  for (std::size_t p = 1; p < parts; ++p)
+    futs.push_back(submit([run, p] { run(p); }));
+
+  std::exception_ptr first_error;
+  try {
+    run(0);  // the caller is participant 0
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (hb != 0) dcheck::hb_join(hb);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool::StealStats ThreadPool::steal_stats() const {
+  StealStats out;
+  out.steals = steals_.load(std::memory_order_relaxed);
+  out.remote_steals = remote_steals_.load(std::memory_order_relaxed);
+  out.chunks = chunks_.load(std::memory_order_relaxed);
+  out.busy_ns.reserve(busy_ns_.size());
+  for (const auto& b : busy_ns_)
+    out.busy_ns.push_back(b->load(std::memory_order_relaxed));
+  return out;
+}
+
+void ThreadPool::reset_steal_stats() {
+  steals_.store(0, std::memory_order_relaxed);
+  remote_steals_.store(0, std::memory_order_relaxed);
+  chunks_.store(0, std::memory_order_relaxed);
+  for (auto& b : busy_ns_) b->store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hpcc::util

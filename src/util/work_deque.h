@@ -1,0 +1,91 @@
+// hpcc/util/work_deque.h
+//
+// The per-worker work source behind ThreadPool's stealing scheduler: a
+// Chase-Lev-style deque of contiguous index ranges. The owner pushes
+// and pops grain-sized chunks at the bottom; thieves split half-ranges
+// off the top. Splitting ranges instead of queueing individual
+// iterations is what amortizes the per-iteration `std::function`
+// dispatch that dominated tiny per-block LZSS tasks under the old
+// shared-index loop (DESIGN.md §12).
+//
+// Unlike the classic lock-free Chase-Lev structure, each deque is
+// guarded by its own short-hold mutex: contention is per-*victim*, not
+// global (the whole point of per-worker deques), the critical sections
+// are a handful of integer updates, and a mutex keeps the structure
+// trivially provable for the dcheck happens-before pass — every deque
+// transfer annotates as an `AnnotatedLock("pool.deque")` edge, so a
+// steal is an explicit happens-before edge from the victim's last
+// release to the thief's acquire, and `hpcc-dcheck sweep` can certify
+// the schedule race-free rather than taking the memory ordering of a
+// hand-rolled CAS loop on faith.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "dcheck/dcheck.h"
+
+namespace hpcc::util {
+
+/// A contiguous half-open iteration range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+class RangeDeque {
+ public:
+  /// Owner-side push (bottom). Also used by the caller to seed every
+  /// participant's initial partition before the workers start, and by
+  /// a thief to bank a stolen range in its own deque.
+  void push(IndexRange r) {
+    if (r.empty()) return;
+    dcheck::AnnotatedLock lk(mu_, "pool.deque");
+    if (dcheck::enabled()) dcheck::access_write(&q_, "pool.deque.ranges");
+    q_.push_back(r);
+  }
+
+  /// Owner-side pop (bottom): carves up to `grain` iterations off the
+  /// front of the newest range. Returns false when the deque is empty.
+  bool pop(std::size_t grain, IndexRange* out) {
+    dcheck::AnnotatedLock lk(mu_, "pool.deque");
+    if (dcheck::enabled()) dcheck::access_write(&q_, "pool.deque.ranges");
+    if (q_.empty()) return false;
+    IndexRange& r = q_.back();
+    out->begin = r.begin;
+    out->end = r.begin + grain < r.end ? r.begin + grain : r.end;
+    r.begin = out->end;
+    if (r.empty()) q_.pop_back();
+    return true;
+  }
+
+  /// Thief-side steal (top): takes the upper half of the oldest range
+  /// (the whole range when it is a single iteration), leaving the
+  /// victim the lower half it is already walking toward. Returns false
+  /// when the deque is empty.
+  bool steal(IndexRange* out) {
+    dcheck::AnnotatedLock lk(mu_, "pool.deque");
+    if (dcheck::enabled()) dcheck::access_write(&q_, "pool.deque.ranges");
+    if (q_.empty()) return false;
+    IndexRange& r = q_.front();
+    const std::size_t mid = r.begin + r.size() / 2;
+    if (mid == r.begin) {
+      *out = r;
+      q_.pop_front();
+      return true;
+    }
+    out->begin = mid;
+    out->end = r.end;
+    r.end = mid;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<IndexRange> q_;
+};
+
+}  // namespace hpcc::util

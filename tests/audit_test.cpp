@@ -507,6 +507,34 @@ TEST(AuditRules, Conc002PrefetchOverSingleThreadPool) {
   EXPECT_FALSE(audit(quiet).has("CONC002"));
 }
 
+TEST(AuditRules, Conc003ShardCountMisalignedWithNumaNodes) {
+  AuditInput pos = clean_input();
+  pos.numa_nodes = 3;
+  pos.blob_shards = 32;  // 32 % 3 != 0 — unequal shard blocks per node
+  AuditInput neg = clean_input();
+  neg.numa_nodes = 4;
+  neg.blob_shards = 32;
+  expect_rule("CONC003", pos, neg);
+
+  // The fix-it rounds up to the next multiple of the node count.
+  const AuditReport report = audit(pos);
+  const Finding* f = report.find("CONC003");
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->has_fix());
+  AuditInput fixed = pos;
+  f->fix(fixed);
+  EXPECT_EQ(fixed.blob_shards, 33u);
+
+  // Flat machine (0/1 nodes) or unconfigured shards: rule is gated off.
+  AuditInput quiet = clean_input();
+  quiet.numa_nodes = 1;
+  quiet.blob_shards = 17;
+  EXPECT_FALSE(audit(quiet).has("CONC003"));
+  quiet = clean_input();
+  quiet.numa_nodes = 3;  // blob_shards == 0 (unconfigured)
+  EXPECT_FALSE(audit(quiet).has("CONC003"));
+}
+
 // ---------------------------------------------------------------------------
 // Ground-truth sweep: the nine shipped engine profiles must audit clean
 // (no kError) on a site without policy vetoes. Warnings are allowed —

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -17,8 +19,10 @@
 #include "sim/storage.h"
 #include "storage/cache_hierarchy.h"
 #include "storage/tiers.h"
+#include "util/numa.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/work_deque.h"
 #include "vfs/squash_image.h"
 
 namespace hpcc {
@@ -83,6 +87,160 @@ TEST(ThreadPoolTest, FreeParallelForRunsInlineWithoutPool) {
   std::vector<int> hits(100, 0);
   util::parallel_for(nullptr, hits.size(), [&](std::size_t i) { hits[i] = 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ------------------------------------------ work-stealing scheduler
+
+// Skewed per-item cost: item 0 carries ~64x the work of its siblings,
+// so a static partition leaves one participant grinding while the rest
+// idle — the shape stealing redistributes.
+std::uint64_t skewed_item(std::size_t i) {
+  std::uint64_t h = 1469598103934665603ull ^ i;
+  const std::size_t rounds = i == 0 ? 64 * 512 : 512;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    h ^= r;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> run_skewed(unsigned threads,
+                                      util::PoolSched sched) {
+  constexpr std::size_t kN = 1024;
+  std::vector<std::uint64_t> out(kN);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads, 0, sched);
+  util::parallel_for(pool.get(), kN,
+                     [&](std::size_t i) { out[i] = skewed_item(i); });
+  return out;
+}
+
+TEST(ThreadPoolStealTest, SkewedCostsAreByteIdenticalAcrossThreadCounts) {
+  const auto reference = run_skewed(0, util::PoolSched::kWorkStealing);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(run_skewed(threads, util::PoolSched::kWorkStealing), reference)
+        << "stealing scheduler diverged at " << threads << " threads";
+    EXPECT_EQ(run_skewed(threads, util::PoolSched::kSharedIndex), reference)
+        << "shared-index scheduler diverged at " << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolStealTest, SkewForcesSteals) {
+  // The caller (participant 0) is seeded with the partition holding the
+  // giant item 0; while it grinds that first chunk, the workers drain
+  // their own partitions and — since deque 0 still holds ranges — must
+  // steal before their victim scan can come up empty. So at least one
+  // steal is guaranteed, not just likely.
+  ThreadPool pool(4, 0, util::PoolSched::kWorkStealing);
+  constexpr std::size_t kN = 1024;
+  std::vector<std::uint64_t> out(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    std::uint64_t h = 1469598103934665603ull ^ i;
+    const std::size_t rounds = i == 0 ? 512u * 4096u : 64u;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      h ^= r;
+      h *= 1099511628211ull;
+    }
+    out[i] = h;
+  });
+  const auto stats = pool.steal_stats();
+  EXPECT_GT(stats.steals, 0u);
+  EXPECT_GT(stats.chunks, 0u);
+  // Busy accounting covers workers + caller, and someone was busy.
+  ASSERT_EQ(stats.busy_ns.size(), pool.size() + 1u);
+  std::uint64_t total_busy = 0;
+  for (const auto ns : stats.busy_ns) total_busy += ns;
+  EXPECT_GT(total_busy, 0u);
+}
+
+TEST(ThreadPoolStealTest, StealStatsResetClearsCounters) {
+  ThreadPool pool(2, 0, util::PoolSched::kWorkStealing);
+  pool.parallel_for(512, [](std::size_t) {});
+  pool.reset_steal_stats();
+  const auto stats = pool.steal_stats();
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.chunks, 0u);
+  for (const auto ns : stats.busy_ns) EXPECT_EQ(ns, 0u);
+}
+
+TEST(ThreadPoolStealTest, GrainDerivesFromSizeAndParticipants) {
+  ::unsetenv("HPCC_POOL_GRAIN");
+  // n / (participants * 8), clamped to [1, 4096].
+  EXPECT_EQ(ThreadPool::grain_for(1024, 4), 1024u / 32u);
+  EXPECT_EQ(ThreadPool::grain_for(7, 8), 1u);          // below → clamp up
+  EXPECT_EQ(ThreadPool::grain_for(1 << 22, 2), 4096u); // above → clamp down
+  ::setenv("HPCC_POOL_GRAIN", "17", 1);
+  EXPECT_EQ(ThreadPool::grain_for(1024, 4), 17u);
+  ::unsetenv("HPCC_POOL_GRAIN");
+}
+
+TEST(ThreadPoolStealTest, SchedEnvSelectsSharedIndex) {
+  ::setenv("HPCC_POOL_SCHED", "shared", 1);
+  EXPECT_EQ(ThreadPool::default_sched(), util::PoolSched::kSharedIndex);
+  ::unsetenv("HPCC_POOL_SCHED");
+  EXPECT_EQ(ThreadPool::default_sched(), util::PoolSched::kWorkStealing);
+}
+
+TEST(ThreadPoolStealTest, RangeDequeOwnerPopsAndThievesSplit) {
+  util::RangeDeque dq;
+  dq.push(util::IndexRange{0, 100});
+  util::IndexRange r;
+  ASSERT_TRUE(dq.pop(10, &r));  // owner carves grain off the bottom
+  EXPECT_EQ(r.begin, 0u);
+  EXPECT_EQ(r.end, 10u);
+  ASSERT_TRUE(dq.steal(&r));  // thief takes the upper half of the rest
+  EXPECT_EQ(r.begin, 10u + (100u - 10u) / 2u);
+  EXPECT_EQ(r.end, 100u);
+  // Drain; every index is handed out exactly once across pop/steal.
+  std::vector<int> seen(100, 0);
+  for (std::size_t i = r.begin; i < r.end; ++i) seen[i]++;
+  for (std::size_t i = 0; i < 10; ++i) seen[i]++;
+  while (dq.pop(7, &r))
+    for (std::size_t i = r.begin; i < r.end; ++i) seen[i]++;
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(seen[i], 1) << i;
+  EXPECT_FALSE(dq.steal(&r));  // empty for thieves too
+}
+
+TEST(ConcurrentBlobStoreTest, NumaKeyedShardingCountsRemoteHits) {
+  ::setenv("HPCC_NUMA_NODES", "2", 1);
+  ::unsetenv("HPCC_BLOB_SHARDS");
+  {
+    BlobStore store;
+    // 16 shards per modeled node, homed in contiguous blocks.
+    EXPECT_EQ(store.num_shards(), 32u);
+    EXPECT_EQ(store.topology().nodes, 2u);
+    EXPECT_EQ(store.node_of_shard(0), 0u);
+    EXPECT_EQ(store.node_of_shard(15), 0u);
+    EXPECT_EQ(store.node_of_shard(16), 1u);
+    EXPECT_EQ(store.node_of_shard(31), 1u);
+
+    util::set_current_numa_node(0);
+    Bytes blob(256);
+    for (std::size_t i = 0; i < blob.size(); ++i)
+      blob[i] = static_cast<std::uint8_t>(i);
+    const auto digest = store.put(std::move(blob));
+    // The digest picks one home shard; probing it from both nodes makes
+    // exactly one of the two lookups remote, whichever node it lives on.
+    const auto before = store.numa_remote_hits();
+    util::set_current_numa_node(1);
+    EXPECT_TRUE(store.contains(digest));
+    util::set_current_numa_node(0);
+    EXPECT_TRUE(store.contains(digest));
+    EXPECT_EQ(store.numa_remote_hits() - before, 1u);
+  }
+  util::set_current_numa_node(0);
+  ::unsetenv("HPCC_NUMA_NODES");
+}
+
+TEST(ConcurrentBlobStoreTest, FlatMachineNeverCountsRemoteHits) {
+  ::unsetenv("HPCC_NUMA_NODES");
+  ::unsetenv("HPCC_BLOB_SHARDS");
+  BlobStore store;
+  EXPECT_EQ(store.num_shards(), 16u);
+  for (std::size_t i = 0; i < store.num_shards(); ++i)
+    EXPECT_EQ(store.node_of_shard(i), 0u);
+  (void)store.put(Bytes(64, std::uint8_t{7}));
+  EXPECT_EQ(store.numa_remote_hits(), 0u);
 }
 
 // -------------------------------------------------- concurrent BlobStore

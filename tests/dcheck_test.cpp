@@ -31,6 +31,7 @@
 #include "storage/tiers.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/work_deque.h"
 #include "vfs/squash_image.h"
 
 namespace hpcc {
@@ -124,6 +125,83 @@ TEST_F(DcheckRaceTest, SpawnJoinEdgesOrderTaskWritesBeforeCallerReads) {
     dcheck::access_read(&slots[i], "test.slot");
     EXPECT_EQ(slots[i], i * i);
   }
+  EXPECT_TRUE(dcheck::report().clean());
+}
+
+// ------------------------------------------- work-stealing transfer edges
+
+using DcheckStealTest = DcheckEnv;
+
+TEST_F(DcheckStealTest, AnnotatedDequeTransferOrdersVictimAndThief) {
+  // A steal done right: the victim banks the range in its RangeDeque
+  // (releasing the annotated "pool.deque" mutex), the thief takes it
+  // via steal() (acquiring the same mutex). That release→acquire is
+  // the happens-before edge that orders the victim's write of the
+  // payload before the thief's — the detector must see it.
+  enable();
+  util::RangeDeque dq;
+  std::atomic<std::uint64_t> payload{0};
+  std::thread victim([&] {
+    dcheck::access_write(&payload, "steal.payload");
+    payload.store(41, std::memory_order_relaxed);
+    dq.push(util::IndexRange{0, 8});
+  });
+  std::thread thief([&] {
+    util::IndexRange r;
+    while (!dq.steal(&r)) std::this_thread::yield();
+    dcheck::access_write(&payload, "steal.payload");
+    payload.store(42, std::memory_order_relaxed);
+  });
+  victim.join();
+  thief.join();
+  EXPECT_TRUE(dcheck::report().clean())
+      << "deque-mediated steal must carry a happens-before edge";
+}
+
+TEST_F(DcheckStealTest, BrokenStealWithoutJoinEdgeIsFlagged) {
+  // A deliberately broken steal: ownership is handed over through a
+  // plain atomic flag instead of the annotated deque, so no annotated
+  // edge joins the victim's clock into the thief's — exactly the bug a
+  // hand-rolled lock-free deque with a missing fence would have. The
+  // payload itself is atomic, so the fixture stays TSan-clean; dcheck
+  // must flag the *annotation-level* race anyway.
+  enable();
+  std::atomic<bool> handoff{false};
+  std::atomic<std::uint64_t> payload{0};
+  std::thread victim([&] {
+    dcheck::access_write(&payload, "steal.broken_payload");
+    payload.store(41, std::memory_order_relaxed);
+    handoff.store(true, std::memory_order_release);
+  });
+  std::thread thief([&] {
+    while (!handoff.load(std::memory_order_acquire)) std::this_thread::yield();
+    dcheck::access_write(&payload, "steal.broken_payload");
+    payload.store(42, std::memory_order_relaxed);
+  });
+  victim.join();
+  thief.join();
+  const auto report = dcheck::report();
+  ASSERT_TRUE(report.has("RACE001"));
+  EXPECT_EQ(report.find("RACE001")->object,
+            "location 'steal.broken_payload'");
+}
+
+TEST_F(DcheckStealTest, StealingSchedulerSweepIsClean) {
+  // The real stealing scheduler under the checker, with a skew that
+  // forces half-range steals: every slot write must be ordered before
+  // the caller's read by the spawn/join + deque edges.
+  enable();
+  util::ThreadPool pool(4, 0, util::PoolSched::kWorkStealing);
+  std::vector<std::uint64_t> slots(256, 0);
+  pool.parallel_for(slots.size(), [&](std::size_t i) {
+    std::uint64_t h = i;
+    const std::size_t rounds = i == 0 ? 1u << 18 : 16;
+    for (std::size_t r = 0; r < rounds; ++r) h = h * 6364136223846793005ull + 1;
+    dcheck::access_write(&slots[i], "steal.slot");
+    slots[i] = h;
+  });
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    dcheck::access_read(&slots[i], "steal.slot");
   EXPECT_TRUE(dcheck::report().clean());
 }
 

@@ -58,14 +58,16 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
     -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck'
 fi
 
-# Quick smoke of the sequential-vs-parallel pipeline bench; fails the
+# Quick smoke of the sequential-vs-parallel pipeline bench, including
+# the skewed work-stealing vs shared-index scheduler race; fails the
 # run on any determinism violation and leaves a machine-readable
-# summary at build/BENCH_parallel_pipeline.json.
+# summary at BENCH_parallel_pipeline.json in the repo root (committed,
+# so scheduler regressions show up in review).
 if [[ "${SKIP_BENCH:-}" != "1" ]]; then
-  echo "== bench smoke (bench_parallel_pipeline --quick)"
+  echo "== bench smoke (bench_parallel_pipeline --quick, skewed scheduler race)"
   cmake --build "$repo_root/build" -j "$jobs" --target bench_parallel_pipeline
   "$repo_root/build/bench/bench_parallel_pipeline" --quick \
-    --json "$repo_root/build/BENCH_parallel_pipeline.json"
+    --json "$repo_root/BENCH_parallel_pipeline.json"
   echo "== bench smoke (bench_cache_hierarchy --quick)"
   cmake --build "$repo_root/build" -j "$jobs" --target bench_cache_hierarchy
   "$repo_root/build/bench/bench_cache_hierarchy" --quick \

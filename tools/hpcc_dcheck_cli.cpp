@@ -140,6 +140,28 @@ void prefetch_stress(util::ThreadPool* pool) {
   }
 }
 
+/// Skewed stealing exercise: one item carrying 64× the work of its
+/// siblings forces half-range steals between the pool's deques, so the
+/// sweep's vector-clock pass walks the deque-transfer edges (DESIGN.md
+/// §12) and the determinism audit proves the steal schedule never
+/// reaches the output bytes.
+std::string skewed_steal_once(util::ThreadPool* pool) {
+  const std::size_t n = 512;
+  std::vector<std::uint64_t> out(n);
+  util::parallel_for(pool, n, [&out](std::size_t i) {
+    std::uint64_t h = 1469598103934665603ull ^ i;
+    const std::size_t rounds = i == 0 ? 64 * 512 : 512;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      h ^= r;
+      h *= 1099511628211ull;
+    }
+    out[i] = h;
+  });
+  std::string s;
+  for (const auto h : out) s += std::to_string(h) + ",";
+  return s;
+}
+
 int report_and_exit(const Options& opts) {
   const audit::AuditReport report =
       audit::report_from_dcheck(dcheck::report());
@@ -158,17 +180,24 @@ int run_sweep(const Options& opts) {
   dcheck::configure(cfg);
 
   const PullFixture fixture;
-  util::ThreadPool pool(4);
+  // Pin the scheduler explicitly so the sweep certifies the stealing
+  // deques regardless of any HPCC_POOL_SCHED in the environment.
+  util::ThreadPool pool(4, 0, util::PoolSched::kWorkStealing);
 
-  // Pass 1+2 (races, lock order) over the real data path.
+  // Pass 1+2 (races, lock order) over the real data path, including
+  // forced half-range steals.
   (void)fixture.pull_once(&pool);
+  (void)skewed_steal_once(&pool);
   prefetch_stress(&pool);
   prefetch_stress(nullptr);
 
   // Pass 3: the pull pipeline must be byte-identical under perturbed
-  // schedules (the §7 contract, now machine-checked).
+  // schedules (the §7 contract, now machine-checked), and so must the
+  // skewed stealing workload.
   (void)dcheck::audit_determinism(
       "parallel-pull", [&] { return fixture.pull_once(&pool); }, opts.seed);
+  (void)dcheck::audit_determinism(
+      "steal-skewed", [&] { return skewed_steal_once(&pool); }, opts.seed);
 
   return report_and_exit(opts);
 }
