@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "registry/profiles.h"
+#include "registry/registry.h"
 #include "runtime/container.h"
 #include "runtime/oci_config.h"
 #include "storage/chunk_source.h"
@@ -69,6 +70,14 @@ struct AuditInput {
   std::optional<fault::RetryPolicy> registry_retry;
   /// The image is mounted lazily (first-touch block fetches, §7).
   bool lazy_mount = false;
+  /// Fleet size: how many nodes will pull this configuration at once
+  /// (a flash crowd at job start). 0 = unknown, disables PERF006.
+  std::uint32_t fleet_nodes = 0;
+  /// Service limits of the registry those pulls hit; nullopt = no
+  /// registry in the picture.
+  std::optional<registry::RegistryLimits> registry_limits;
+  /// A site-local pull-through proxy tier fronts the registry (§5.1.3).
+  bool site_proxy = false;
   /// Size of the mounted image's hot index/metadata region; 0 = unknown.
   std::uint64_t image_index_bytes = 0;
 

@@ -411,6 +411,40 @@ void perf005(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+// PERF006: a fleet-scale flash crowd against a rate-limited registry
+// with no site proxy tier. §5.1.3: "any site with a small number of
+// public IP addresses for a large number of clients is quickly affected
+// by" upstream pull limits; the remedy named there is a site-local
+// pull-through cache that collapses N identical node pulls into one
+// upstream pull.
+constexpr std::uint32_t kFleetThreshold = 256;
+
+void perf006(const AuditInput& in, std::vector<Finding>& out) {
+  if (in.fleet_nodes < kFleetThreshold) return;
+  if (!in.registry_limits || in.registry_limits->pull_limit == 0) return;
+  if (in.site_proxy) return;
+  Finding f;
+  f.rule = "PERF006";
+  f.object = "fleet of " + std::to_string(in.fleet_nodes) + " nodes";
+  f.message =
+      "fleet-scale pull storm: " + std::to_string(in.fleet_nodes) +
+      " nodes pull directly against a registry rate-limited to " +
+      std::to_string(in.registry_limits->pull_limit) +
+      " pulls per window with no site proxy tier in between; the "
+      "flash crowd at job start exhausts the limit and every node "
+      "behind it serializes on 429 retries (§5.1.3)";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint = "front the registry with a site-local pull-through proxy";
+  f.fix = [](AuditInput& in2) {
+    in2.site_proxy = true;
+    if (!in2.data_path) in2.data_path.emplace();
+    in2.data_path->tiers.insert(
+        in2.data_path->tiers.begin(),
+        storage::TierSummary{"site-proxy", true, 0});
+  };
+  out.push_back(std::move(f));
+}
+
 // ---------------------------------------------------------------------------
 // CFG — engine / registry / site consistency (Tables 1-5, §5, §6)
 // ---------------------------------------------------------------------------
@@ -815,6 +849,10 @@ RuleRegistry RuleRegistry::builtin() {
       perf004);
   add("PERF005", Severity::kWarn,
       "cache tier smaller than the image's hot index", "§3.2 / §7", perf005);
+  add("PERF006", Severity::kWarn,
+      "fleet-scale pull storm against a rate-limited registry without a "
+      "site proxy",
+      "§5.1.3", perf006);
   add("CFG001", Severity::kWarn,
       "OCI hooks require manual root but mechanism is unprivileged",
       "Table 1 / §4.1.6", cfg001);

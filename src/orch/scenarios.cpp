@@ -83,6 +83,7 @@ class ScenarioBase : public IntegrationScenario {
   }
 
   void submit_trace_jobs(wlm::SlurmWlm& wlm, const WorkloadTrace& trace) {
+    events().reserve(trace.jobs.size());
     for (const auto& j : trace.jobs) {
       events().schedule_at(j.submit, [this, &wlm, j] {
         wlm::JobSpec spec;
@@ -97,6 +98,7 @@ class ScenarioBase : public IntegrationScenario {
   }
 
   void submit_trace_pods(k8s::ApiServer& api, const WorkloadTrace& trace) {
+    events().reserve(trace.pods.size());
     for (const auto& p : trace.pods) {
       events().schedule_at(p.submit, [&api, p] {
         (void)api.create_pod(p.name, p.spec);
@@ -467,6 +469,8 @@ class WlmInK8sScenario final : public ScenarioBase {
     k8s::ControlPlane cp(&events(), k8s::ControlPlaneKind::kFullK8s);
     std::vector<std::unique_ptr<k8s::Kubelet>> kubelets;
     cp.start(0, [&] {
+      // Every kubelet registration schedules one event at once.
+      events().reserve(cfg_.num_nodes);
       for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
         k8s::Kubelet::Config kc;
         kc.node_name = "nid" + std::to_string(n);
@@ -480,6 +484,7 @@ class WlmInK8sScenario final : public ScenarioBase {
 
     // HPC jobs become groups of privileged whole-node agent pods; the
     // containerized WLM pays the §6.2 overhead on every job.
+    events().reserve(trace.jobs.size());
     for (std::size_t ji = 0; ji < trace.jobs.size(); ++ji) {
       const auto& j = trace.jobs[ji];
       const std::string key = "wlmjob" + std::to_string(ji);
@@ -562,6 +567,7 @@ class K8sInWlmScenario final : public ScenarioBase {
       sessions.back().push_back(p);
     }
 
+    events().reserve(sessions.size());
     for (std::size_t si = 0; si < sessions.size(); ++si) {
       const auto& session = sessions[si];
       events().schedule_at(session.front().submit, [this, &wlm, session, si] {

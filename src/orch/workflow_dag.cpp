@@ -179,6 +179,8 @@ Result<WorkflowReport> run_on_wlm(WorkflowDag dag, sim::Cluster& cluster,
     (void)wlm.submit(job);
   };
 
+  // Each stage completion schedules one event; pre-size for the DAG.
+  cluster.events().reserve(dag.stages.size());
   for (const WorkflowStage* stage : driver->initial()) (*submit_stage)(stage);
   cluster.events().run();
 
@@ -239,6 +241,7 @@ Result<WorkflowReport> run_on_k8s(WorkflowDag dag, sim::EventQueue& events,
       create_pod(next);
   });
 
+  events.reserve(dag.stages.size());
   for (const WorkflowStage* stage : driver->initial()) create_pod(stage);
   events.run();
   *active = false;

@@ -1,35 +1,215 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <utility>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "util/env.h"
 
 namespace hpcc::sim {
 
-void EventQueue::schedule_at(SimTime t, Callback fn) {
-  if (t < now_) t = now_;
+namespace {
+
+constexpr SimDuration kDefaultBucketUs = 64;
+
+SimDuration bucket_width_from_env() {
+  return static_cast<SimDuration>(
+      util::env_uint("HPCC_SIM_BUCKET_US", kDefaultBucketUs, 1, 1000000000));
+}
+
+}  // namespace
+
+QueueImpl queue_impl_from_env() {
+  const char* v = std::getenv("HPCC_SIM_QUEUE");
+  if (v != nullptr && std::strcmp(v, "heap") == 0) return QueueImpl::kHeap;
+  return QueueImpl::kCalendar;
+}
+
+EventQueue::EventQueue() : EventQueue(queue_impl_from_env()) {}
+
+EventQueue::EventQueue(QueueImpl impl, SimDuration bucket_width)
+    : impl_(impl),
+      width_(bucket_width > 0 ? bucket_width : bucket_width_from_env()) {
+  if (impl_ == QueueImpl::kCalendar) buckets_.resize(kNumBuckets);
+}
+
+EventQueue::~EventQueue() {
+  // Pending calendar payloads own resources (captured shared_ptrs,
+  // strings); run their destructors without invoking them.
+  for (auto& b : buckets_) {
+    for (std::size_t i = b.cursor; i < b.ev.size(); ++i)
+      b.ev[i]->destroy(payload_of(b.ev[i]));
+  }
+  for (auto& [w, vec] : overflow_) {
+    for (EventNode* n : vec) n->destroy(payload_of(n));
+  }
+}
+
+// --------------------------------------------------------------- calendar
+
+void EventQueue::insert_calendar(EventNode* n) {
+  const std::uint64_t ab = abs_bucket(n->time);
+  const std::uint64_t w = ab / kNumBuckets;
+  if (w > wheel_window_) {
+    overflow_[w].push_back(n);
+    ++stats_.overflow_parked;
+    return;
+  }
+  if (w < wheel_window_) {
+    // The wheel skipped ahead (locate_next jumped an empty gap, then
+    // run_until stopped the clock inside it); pull it back so the new
+    // event keeps its place in the global (time, seq) order.
+    rewind_to(w);
+  }
+  const std::size_t b = static_cast<std::size_t>(ab % kNumBuckets);
+  Bucket& bucket = buckets_[b];
+  ++wheel_count_;
+  if (b == cursor_ && bucket.sorted) {
+    // Mid-consumption insert (an event scheduling into its own bucket):
+    // keep the unconsumed suffix ordered. The new event carries the
+    // largest seq, so among equal times it lands last — exactly the
+    // heap's tie-break.
+    const auto pos = std::lower_bound(
+        bucket.ev.begin() + static_cast<std::ptrdiff_t>(bucket.cursor),
+        bucket.ev.end(), n, [](const EventNode* a, const EventNode* e) {
+          if (a->time != e->time) return a->time < e->time;
+          return a->seq < e->seq;
+        });
+    bucket.ev.insert(pos, n);
+  } else {
+    bucket.ev.push_back(n);
+    bucket.sorted = false;
+    // The scan may already have walked past this (then-empty) bucket.
+    if (b < cursor_) cursor_ = b;
+  }
+}
+
+void EventQueue::load_window(std::uint64_t w) {
+  wheel_window_ = w;
+  cursor_ = 0;
+  const auto it = overflow_.find(w);
+  if (it == overflow_.end()) return;
+  for (EventNode* n : it->second) {
+    Bucket& b =
+        buckets_[static_cast<std::size_t>(abs_bucket(n->time) % kNumBuckets)];
+    b.ev.push_back(n);
+    // A bucket the previous window consumed to the end keeps sorted=true
+    // (the scan only resets buckets it advances past); refilled events
+    // arrive in seq order, not (time, seq) order, so the suffix must be
+    // re-sorted before consumption.
+    b.sorted = false;
+  }
+  wheel_count_ += it->second.size();
+  overflow_.erase(it);
+  ++stats_.bucket_refills;
+}
+
+void EventQueue::rewind_to(std::uint64_t w) {
+  if (wheel_count_ > 0) {
+    auto& dst = overflow_[wheel_window_];
+    for (auto& b : buckets_) {
+      for (std::size_t i = b.cursor; i < b.ev.size(); ++i)
+        dst.push_back(b.ev[i]);
+      b.ev.clear();
+      b.cursor = 0;
+      b.sorted = false;
+    }
+    wheel_count_ = 0;
+  } else {
+    for (auto& b : buckets_) {
+      b.ev.clear();
+      b.cursor = 0;
+      b.sorted = false;
+    }
+  }
+  ++stats_.wheel_rewinds;
+  load_window(w);
+}
+
+EventQueue::EventNode* EventQueue::locate_next() {
+  while (true) {
+    while (wheel_count_ > 0) {
+      Bucket& b = buckets_[cursor_];
+      if (b.cursor < b.ev.size()) {
+        if (!b.sorted) {
+          std::sort(b.ev.begin() + static_cast<std::ptrdiff_t>(b.cursor),
+                    b.ev.end(), [](const EventNode* x, const EventNode* y) {
+                      if (x->time != y->time) return x->time < y->time;
+                      return x->seq < y->seq;
+                    });
+          b.sorted = true;
+        }
+        return b.ev[b.cursor];
+      }
+      b.ev.clear();
+      b.cursor = 0;
+      b.sorted = false;
+      ++cursor_;
+    }
+    if (overflow_.empty()) return nullptr;
+    load_window(overflow_.begin()->first);
+  }
+}
+
+void EventQueue::run_calendar_event(EventNode* n) {
+  // All pop bookkeeping happens before the callback runs: the callback
+  // may schedule (growing the arena, rewinding the wheel) freely.
+  Bucket& b = buckets_[cursor_];
+  ++b.cursor;
+  --wheel_count_;
+  --pending_;
+  now_ = n->time;
+  ++stats_.executed;
+  void* p = payload_of(n);
+  n->invoke(p);
+  n->destroy(p);
+  arena_.release(n->block);
+}
+
+// ------------------------------------------------------------------- heap
+
+void EventQueue::push_heap_event(SimTime t, Callback fn) {
   // Doubling via reserve keeps scheduling bursts (a fan-out scheduling
   // hundreds of arrivals at once) from reallocating on every few
   // pushes; push_heap then only swaps Events along one root path.
   if (heap_.size() == heap_.capacity())
     heap_.reserve(heap_.empty() ? 16 : heap_.size() * 2);
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(HeapEvent{t, next_seq_++, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-void EventQueue::schedule_after(SimDuration delay, Callback fn) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
-}
-
-bool EventQueue::step() {
-  if (heap_.empty()) return false;
+void EventQueue::run_heap_event() {
   // pop_heap parks the next event at the back, where it is ours by
   // value — the Callback moves out instead of copying.
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  HeapEvent ev = std::move(heap_.back());
   heap_.pop_back();
+  --pending_;
   now_ = ev.time;
-  ++executed_;
+  ++stats_.executed;
   ev.fn();
+}
+
+// ------------------------------------------------------------ common API
+
+void EventQueue::reserve(std::size_t events) {
+  if (impl_ == QueueImpl::kHeap) {
+    heap_.reserve(heap_.size() + events);
+  } else {
+    arena_.reserve_bytes(events * kReservedEventBytes);
+  }
+}
+
+bool EventQueue::step() {
+  if (impl_ == QueueImpl::kHeap) {
+    if (heap_.empty()) return false;
+    run_heap_event();
+    return true;
+  }
+  EventNode* n = locate_next();
+  if (n == nullptr) return false;
+  run_calendar_event(n);
   return true;
 }
 
@@ -40,12 +220,42 @@ void EventQueue::run() {
 
 std::size_t EventQueue::run_until(SimTime t) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_.front().time <= t) {
-    step();
-    ++n;
+  if (impl_ == QueueImpl::kHeap) {
+    while (!heap_.empty() && heap_.front().time <= t) {
+      run_heap_event();
+      ++n;
+    }
+  } else {
+    while (EventNode* e = locate_next()) {
+      if (e->time > t) break;
+      run_calendar_event(e);
+      ++n;
+    }
   }
   if (now_ < t) now_ = t;
   return n;
+}
+
+EventQueueStats EventQueue::stats() const {
+  EventQueueStats s = stats_;
+  s.arena_blocks = arena_.blocks_opened();
+  return s;
+}
+
+void EventQueue::publish_stats() {
+  if (!obs::metrics_enabled()) return;
+  const EventQueueStats s = stats();
+  auto& m = obs::metrics();
+  m.counter("sim.events.executed").add(s.executed - published_.executed);
+  m.counter("sim.events.scheduled").add(s.scheduled - published_.scheduled);
+  m.counter("sim.queue.bucket_refills")
+      .add(s.bucket_refills - published_.bucket_refills);
+  m.counter("sim.queue.overflow_parked")
+      .add(s.overflow_parked - published_.overflow_parked);
+  auto& peak = m.gauge("sim.events.peak_pending");
+  if (static_cast<std::int64_t>(s.peak_pending) > peak.value())
+    peak.set(static_cast<std::int64_t>(s.peak_pending));
+  published_ = s;
 }
 
 }  // namespace hpcc::sim

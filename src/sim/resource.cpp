@@ -67,7 +67,11 @@ SimTime RateLimiter::next_admission(SimTime now) const {
                       tokens + rate * static_cast<double>(now - last_refill_));
   if (tokens >= 1.0) return now;
   const double deficit = 1.0 - tokens;
-  return now + static_cast<SimDuration>(deficit / rate + 0.999999);
+  // Round up, and never return `now` for a throttled caller: tokens can
+  // sit epsilon below 1.0 after a refill, where deficit/rate truncates
+  // to 0 and a retry-at-retry_at loop would spin at constant sim time.
+  const auto wait = static_cast<SimDuration>(deficit / rate + 0.999999);
+  return now + std::max<SimDuration>(wait, 1);
 }
 
 }  // namespace hpcc::sim

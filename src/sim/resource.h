@@ -63,7 +63,9 @@ class RateLimiter {
   bool try_acquire(SimTime now);
 
   /// Time at which the next request would be admitted (== now if tokens
-  /// are available).
+  /// are available, strictly after now otherwise — callers may safely
+  /// reschedule a throttled attempt at the returned time without risking
+  /// a constant-sim-time retry loop).
   SimTime next_admission(SimTime now) const;
 
   std::uint64_t admitted() const { return admitted_; }

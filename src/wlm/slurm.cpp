@@ -162,6 +162,8 @@ Result<Unit> SlurmWlm::node_failed(sim::NodeId node) {
 }
 
 void SlurmWlm::apply_fault_plan(const fault::FaultPlan& plan) {
+  // One crash event per plan entry: pre-size the kernel for the burst.
+  cluster_->events().reserve(plan.node_crashes.size());
   for (const auto& crash : plan.node_crashes) {
     if (crash.node >= cluster_->num_nodes()) continue;
     const sim::NodeId node = crash.node;

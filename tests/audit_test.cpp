@@ -281,6 +281,47 @@ TEST(AuditRules, Perf005CacheSmallerThanImageIndex) {
   EXPECT_FALSE(audit(unbounded).has("PERF005"));
 }
 
+TEST(AuditRules, Perf006FleetPullStormWithoutSiteProxy) {
+  AuditInput pos = clean_input();
+  pos.fleet_nodes = 1024;
+  pos.registry_limits.emplace();
+  pos.registry_limits->pull_limit = 200;  // DockerHub-style window cap
+  AuditInput neg = pos;
+  neg.site_proxy = true;
+  expect_rule("PERF006", pos, neg);
+
+  // Below the fleet threshold the storm never materializes.
+  AuditInput small = pos;
+  small.fleet_nodes = 64;
+  EXPECT_FALSE(audit(small).has("PERF006"));
+
+  // An unlimited registry has nothing to exhaust.
+  AuditInput unlimited = pos;
+  unlimited.registry_limits->pull_limit = 0;
+  EXPECT_FALSE(audit(unlimited).has("PERF006"));
+  AuditInput no_registry = pos;
+  no_registry.registry_limits.reset();
+  EXPECT_FALSE(audit(no_registry).has("PERF006"));
+}
+
+TEST(AuditRules, Perf006FixItInsertsProxyTier) {
+  AuditInput in = clean_input();
+  in.fleet_nodes = 4096;
+  in.registry_limits.emplace();
+  in.registry_limits->pull_limit = 100;
+  const AuditReport report = audit(in);
+  const Finding* f = report.find("PERF006");
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->has_fix());
+  f->fix(in);
+  EXPECT_TRUE(in.site_proxy);
+  ASSERT_TRUE(in.data_path.has_value());
+  ASSERT_FALSE(in.data_path->tiers.empty());
+  EXPECT_EQ(in.data_path->tiers.front().name, "site-proxy");
+  EXPECT_TRUE(in.data_path->tiers.front().cache);
+  EXPECT_FALSE(audit(in).has("PERF006"));
+}
+
 // ---------------------------------------------------------------------------
 // CFG rules
 // ---------------------------------------------------------------------------

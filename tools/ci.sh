@@ -87,6 +87,20 @@ if [[ "${SKIP_BENCH:-}" != "1" ]]; then
     --json "$repo_root/build/BENCH_fault_recovery.json"
 fi
 
+# Fleet smoke (DESIGN.md §13): the calendar-queue DES kernel against
+# the heap baseline on a flash-crowd tick storm, plus the §5.1.3
+# proxy/rate-limit/quota pull scenario. The bench exits non-zero when
+# the calendar kernel misses the events/sec ratio or floor gate, when
+# any node fails to complete its pull, or when the two kernels' results
+# are not byte-identical. Summary committed at BENCH_fleet.json in the
+# repo root, so kernel regressions show up in review.
+if [[ "${SKIP_BENCH:-}" != "1" ]]; then
+  echo "== fleet smoke (bench_fleet --quick, calendar vs heap kernel)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_fleet
+  "$repo_root/build/bench/bench_fleet" --quick \
+    --json "$repo_root/BENCH_fleet.json"
+fi
+
 # Observability smoke (DESIGN.md §10): run an instrumented scenario
 # with HPCC_TRACE/HPCC_METRICS exports and validate that the Chrome
 # trace is well-formed JSON with balanced begin/end events (every 'B'
@@ -148,6 +162,10 @@ if [[ "${SKIP_DCHECK:-}" != "1" ]]; then
   cmake --build "$repo_root/build" -j "$jobs" --target hpcc-dcheck
   "$repo_root/build/tools/hpcc-dcheck" sweep --json --seed 42 \
     > "$repo_root/build/dcheck_sweep.json"
+
+  echo "== dcheck sweep under HPCC_SIM_QUEUE=heap (kernel-agnostic clean)"
+  HPCC_SIM_QUEUE=heap "$repo_root/build/tools/hpcc-dcheck" sweep --json \
+    --seed 42 > "$repo_root/build/dcheck_sweep_heap.json"
 
   echo "== dcheck fixtures (broken workloads must be flagged)"
   if "$repo_root/build/tools/hpcc-dcheck" fixtures --json --seed 42 \

@@ -18,8 +18,11 @@
 //
 // Exit code: 0 when the report has no errors, 1 otherwise, 2 on usage
 // errors. `sweep` is expected to exit 0 and `fixtures` to exit 1.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -32,7 +35,9 @@
 #include "image/build.h"
 #include "image/convert.h"
 #include "registry/client.h"
+#include "registry/proxy.h"
 #include "registry/registry.h"
+#include "sim/event_queue.h"
 #include "sim/storage.h"
 #include "storage/cache_hierarchy.h"
 #include "storage/tiers.h"
@@ -162,6 +167,129 @@ std::string skewed_steal_once(util::ThreadPool* pool) {
   return s;
 }
 
+/// Fleet flash crowd in miniature: 64 nodes pull one image, most
+/// through a site pull-through proxy and one per wave straight at the
+/// rate-limited origin (429 → reschedule at retry_at), every stage a
+/// DES completion event on the selected kernel. Returns the counters
+/// and a completion checksum — the bytes the §13 contract says must be
+/// identical across kernels and perturbed schedules.
+std::string fleet_flash_crowd_once(sim::QueueImpl impl) {
+  registry::RegistryLimits limits;
+  limits.pull_limit = 6;  // tiny window cap: the limiter engages
+  limits.pull_window = sec(1);
+  registry::OciRegistry origin("registry.example", limits);
+  (void)origin.create_project("apps", "builder", /*quota_bytes=*/1 << 20);
+
+  Rng rng(11);
+  image::OciManifest manifest;
+  for (int i = 0; i < 3; ++i) {
+    Bytes blob = image::synthetic_file_content(rng, 96 * 1024);
+    manifest.layer_sizes.push_back(blob.size());
+    manifest.layer_digests.push_back(
+        origin.push_blob("builder", "apps", std::move(blob)).value());
+  }
+  manifest.config_digest =
+      origin.push_blob("builder", "apps",
+                       image::synthetic_file_content(rng, 2048))
+          .value();
+  const auto ref =
+      image::ImageReference::parse("registry.example/apps/app:v1").value();
+  (void)origin.push_manifest("builder", ref, manifest);
+
+  // Quota pressure: pushes past the 1 MiB project quota must bounce.
+  std::uint64_t quota_rejections = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (!origin
+             .push_blob("builder", "apps",
+                        image::synthetic_file_content(rng, 512 * 1024))
+             .ok())
+      ++quota_rejections;
+  }
+
+  registry::PullThroughProxy proxy("proxy.site", &origin);
+  sim::EventQueue events(impl);
+
+  constexpr std::uint32_t kNodes = 64;
+  std::uint64_t completions = 0;
+  std::uint64_t checksum = 1469598103934665603ull;
+  SimTime makespan = 0;
+  auto complete = [&](std::uint32_t node, SimTime at) {
+    ++completions;
+    makespan = std::max(makespan, at);
+    checksum ^= (static_cast<std::uint64_t>(node) << 32) ^
+                static_cast<std::uint64_t>(at);
+    checksum *= 1099511628211ull;
+  };
+
+  // Continuations outlive the callbacks that schedule them (held here,
+  // captured by raw pointer) — no shared_ptr self-cycles.
+  std::vector<std::unique_ptr<std::function<void()>>> retries;
+  std::vector<std::unique_ptr<std::function<void(std::size_t, SimTime)>>>
+      chains;
+  retries.reserve(kNodes);
+  chains.reserve(kNodes);
+
+  events.reserve(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    const SimTime arrival = (n % 8) * 50;  // 8 waves, 8 nodes each
+    if (n % 8 == 7) {
+      // Direct-to-origin pull: admission, then frontend + egress.
+      auto* attempt =
+          retries.emplace_back(std::make_unique<std::function<void()>>())
+              .get();
+      *attempt = [&, n, attempt] {
+        SimTime retry_at = 0;
+        if (!origin.admit_pull(events.now(), &retry_at).ok()) {
+          events.schedule_at(retry_at, [attempt] { (*attempt)(); });
+          return;
+        }
+        SimTime t = origin.serve_request(events.now());
+        t = origin.serve_transfer(t, manifest.total_layer_bytes());
+        events.schedule_at(t, [&, n] { complete(n, events.now()); });
+      };
+      events.schedule_at(arrival, [attempt] { (*attempt)(); });
+    } else {
+      // Proxy pull: manifest, then the layer blobs as a chained
+      // sequence of completion events.
+      auto* chain =
+          chains
+              .emplace_back(
+                  std::make_unique<std::function<void(std::size_t, SimTime)>>())
+              .get();
+      *chain = [&, n, chain](std::size_t idx, SimTime at) {
+        if (idx == manifest.layer_digests.size()) {
+          complete(n, at);
+          return;
+        }
+        const auto blob =
+            proxy.fetch_blob(events.now(), manifest.layer_digests[idx]);
+        if (!blob.ok()) return;
+        events.schedule_at(blob.value().done,
+                           [chain, idx, done = blob.value().done] {
+                             (*chain)(idx + 1, done);
+                           });
+      };
+      events.schedule_at(arrival, [&, chain] {
+        const auto m = proxy.fetch_manifest(events.now(), ref);
+        if (!m.ok()) return;
+        events.schedule_at(m.value().done, [chain, done = m.value().done] {
+          (*chain)(0, done);
+        });
+      });
+    }
+  }
+  events.run();
+
+  return "completions=" + std::to_string(completions) +
+         " throttled=" + std::to_string(origin.throttled()) +
+         " quota_rejections=" + std::to_string(quota_rejections) +
+         " proxy_hits=" + std::to_string(proxy.cache_hits()) +
+         " upstream_fetches=" + std::to_string(proxy.upstream_fetches()) +
+         " executed=" + std::to_string(events.executed()) +
+         " makespan=" + std::to_string(makespan) +
+         " checksum=" + std::to_string(checksum);
+}
+
 int report_and_exit(const Options& opts) {
   const audit::AuditReport report =
       audit::report_from_dcheck(dcheck::report());
@@ -198,6 +326,22 @@ int run_sweep(const Options& opts) {
       "parallel-pull", [&] { return fixture.pull_once(&pool); }, opts.seed);
   (void)dcheck::audit_determinism(
       "steal-skewed", [&] { return skewed_steal_once(&pool); }, opts.seed);
+
+  // Fleet workload: byte-identical across the two DES kernels (the §13
+  // event-order contract, end-to-end) and across perturbed schedules.
+  const std::string cal = fleet_flash_crowd_once(sim::QueueImpl::kCalendar);
+  const std::string heap = fleet_flash_crowd_once(sim::QueueImpl::kHeap);
+  if (cal != heap) {
+    std::fprintf(stderr,
+                 "fleet workload diverged between kernels:\n"
+                 "  calendar: %s\n  heap:     %s\n",
+                 cal.c_str(), heap.c_str());
+    return 1;
+  }
+  (void)dcheck::audit_determinism(
+      "fleet-flash-crowd",
+      [] { return fleet_flash_crowd_once(sim::QueueImpl::kCalendar); },
+      opts.seed);
 
   return report_and_exit(opts);
 }
