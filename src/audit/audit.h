@@ -24,6 +24,7 @@
 #include "adaptive/containerize.h"
 #include "adaptive/requirements.h"
 #include "engine/engine.h"
+#include "fault/resilience.h"
 #include "fault/retry.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -70,6 +71,14 @@ struct AuditInput {
   std::optional<fault::RetryPolicy> registry_retry;
   /// The image is mounted lazily (first-touch block fetches, §7).
   bool lazy_mount = false;
+  /// Circuit breaker guarding the client's WAN-facing pull legs;
+  /// nullopt = none configured — gates ROB003.
+  std::optional<fault::BreakerConfig> breaker;
+  /// Hedged-pull policy on the fallback path; nullopt = no hedging.
+  std::optional<fault::HedgePolicy> hedge;
+  /// Token-bucket admission controller shedding low-priority load;
+  /// nullopt = none — gates ROB004 together with `hedge`.
+  std::optional<fault::AdmissionConfig> admission;
   /// Fleet size: how many nodes will pull this configuration at once
   /// (a flash crowd at job start). 0 = unknown, disables PERF006.
   std::uint32_t fleet_nodes = 0;

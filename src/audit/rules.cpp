@@ -665,6 +665,61 @@ void rob002(const AuditInput& in, std::vector<Finding>& out) {
   out.push_back(std::move(f));
 }
 
+void rob003(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.has_registry_client) return;
+  if (!in.registry_retry || in.registry_retry->max_attempts <= 3) return;
+  if (in.breaker && in.breaker->enabled) return;
+  Finding f;
+  f.rule = "ROB003";
+  f.object = "registry client (" +
+             std::to_string(in.registry_retry->max_attempts) +
+             " attempts, no circuit breaker)";
+  f.message =
+      "a deep retry budget on a WAN-facing pull leg with no circuit "
+      "breaker: when the origin actually goes down, every client burns "
+      "its full attempt budget against a dead endpoint and the fleet's "
+      "retry amplification multiplies the outage load instead of "
+      "containing it — retries handle blips, breakers handle outages "
+      "(§5.1.3); a breaker also skips known-dead legs for free on the "
+      "proxy→secondary→origin failover chain";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint =
+      "wire a circuit breaker on the pull legs "
+      "(BreakerConfig::standard() via RegistryClient::set_breaker_config)";
+  f.fix = [](AuditInput& in2) {
+    in2.breaker = fault::BreakerConfig::standard();
+  };
+  out.push_back(std::move(f));
+}
+
+void rob004(const AuditInput& in, std::vector<Finding>& out) {
+  // PERF006's flash-crowd threshold: below it, hedging's duplicate load
+  // is noise; at fleet scale it needs an admission controller behind it.
+  constexpr std::uint32_t kFleetThreshold = 256;
+  if (in.fleet_nodes < kFleetThreshold) return;
+  if (!in.hedge || !in.hedge->enabled()) return;
+  if (in.admission && in.admission->enabled) return;
+  Finding f;
+  f.rule = "ROB004";
+  f.object = "fleet of " + std::to_string(in.fleet_nodes) +
+             " nodes (hedging enabled, no admission controller)";
+  f.message =
+      "hedged pulls at fleet scale without load shedding: every node "
+      "past its latency budget launches a second leg, so exactly when "
+      "the shared infrastructure is slow the offered load doubles — a "
+      "token-bucket admission controller with priority classes (lazy "
+      "prefetch sheds before first-touch reads) is what keeps the hedge "
+      "from becoming the cascade it was meant to avoid (§5.1.3)";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint =
+      "add a token-bucket admission controller "
+      "(AdmissionConfig::standard() via Proxy::set_admission)";
+  f.fix = [](AuditInput& in2) {
+    in2.admission = fault::AdmissionConfig::standard();
+  };
+  out.push_back(std::move(f));
+}
+
 // ---------------------------------------------------------------------------
 // OBS — observability configuration (DESIGN.md §10)
 // ---------------------------------------------------------------------------
@@ -874,6 +929,12 @@ RuleRegistry RuleRegistry::builtin() {
   add("ROB002", Severity::kWarn,
       "retry policy without backoff cap or per-attempt timeout", "§5.1.3",
       rob002);
+  add("ROB003", Severity::kWarn,
+      "deep retry budget on a WAN-facing pull leg with no circuit breaker",
+      "§5.1.3", rob003);
+  add("ROB004", Severity::kWarn,
+      "fleet-scale hedging without an admission controller", "§5.1.3",
+      rob004);
   add("OBS001", Severity::kWarn,
       "tracing enabled but no export path configured", "§3.2", obs001);
   add("OBS002", Severity::kWarn,

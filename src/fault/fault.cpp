@@ -28,6 +28,27 @@ FaultPlan FaultPlan::wan_failures(double probability, std::uint64_t seed) {
   return plan;
 }
 
+FaultPlan& FaultPlan::partition(Domain domain, SimTime from, SimTime until) {
+  PartitionSpec spec;
+  spec.domain = domain;
+  spec.from = from;
+  spec.until = until;
+  partitions.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::brownout(Domain domain, double bandwidth_factor,
+                               SimTime from, SimTime until) {
+  BrownoutSpec spec;
+  spec.domain = domain;
+  spec.bandwidth_factor =
+      bandwidth_factor <= 0.0 ? 1.0 : std::min(bandwidth_factor, 1.0);
+  spec.from = from;
+  spec.until = until;
+  brownouts.push_back(spec);
+  return *this;
+}
+
 FaultPlan& FaultPlan::with_random_node_crashes(std::uint32_t count,
                                                SimTime horizon,
                                                std::uint32_t num_nodes) {
@@ -50,7 +71,8 @@ FaultPlan& FaultPlan::with_random_node_crashes(std::uint32_t count,
 }
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
-  enabled_ = !plan_.specs.empty();
+  enabled_ = !plan_.specs.empty() || !plan_.partitions.empty() ||
+             !plan_.brownouts.empty();
   for (std::size_t d = 0; d < kNumDomains; ++d) {
     // Independent per-domain streams derived from the plan seed: fault
     // pressure in one domain never shifts another domain's draws.
@@ -67,6 +89,26 @@ Decision FaultInjector::decide(Domain domain, SimTime now) {
   const std::uint64_t op = state.ops++;
   if (!enabled_) return out;
   ++state.counters.checks;
+
+  // Partition wins over everything: the path is unreachable, so no spec
+  // evaluation (and no Bernoulli draw) happens for this op. Windows are
+  // pure time predicates, so skipping the draws is itself deterministic.
+  if (partition_active(domain, now)) {
+    out.fail = true;
+    out.partitioned = true;
+    ++state.counters.faults;
+    ++state.counters.partition_blocks;
+    return out;
+  }
+
+  // Brownout stacks under the specs: an unconditional stretch over the
+  // window, composed multiplicatively with any kDegrade slowdown below.
+  const double brownout = brownout_slowdown(domain, now);
+  if (brownout > 1.0) {
+    out.degrade = true;
+    out.slowdown = brownout;
+    ++state.counters.brownout_ops;
+  }
 
   for (const FaultSpec* spec : state.specs) {
     if (now < spec->window_from || now >= spec->window_until) continue;
@@ -85,7 +127,8 @@ Decision FaultInjector::decide(Domain domain, SimTime now) {
         break;
       case FaultKind::kDegrade:
         out.degrade = true;
-        out.slowdown = spec->slowdown < 1.0 ? 1.0 : spec->slowdown;
+        // Composes with an active brownout (multiplicative stretches).
+        out.slowdown *= spec->slowdown < 1.0 ? 1.0 : spec->slowdown;
         out.extra_latency = spec->extra_latency;
         ++state.counters.degradations;
         break;
@@ -97,6 +140,23 @@ Decision FaultInjector::decide(Domain domain, SimTime now) {
     return out;  // first firing spec wins
   }
   return out;
+}
+
+bool FaultInjector::partition_active(Domain domain, SimTime now) const {
+  for (const PartitionSpec& p : plan_.partitions) {
+    if (p.domain == domain && now >= p.from && now < p.until) return true;
+  }
+  return false;
+}
+
+double FaultInjector::brownout_slowdown(Domain domain, SimTime now) const {
+  double slowdown = 1.0;
+  for (const BrownoutSpec& b : plan_.brownouts) {
+    if (b.domain != domain || now < b.from || now >= b.until) continue;
+    if (b.bandwidth_factor > 0.0 && b.bandwidth_factor < 1.0)
+      slowdown *= 1.0 / b.bandwidth_factor;
+  }
+  return slowdown;
 }
 
 DomainCounters FaultInjector::counters(Domain domain) const {

@@ -69,6 +69,28 @@ struct FaultSpec {
   SimDuration extra_latency = 0;
 };
 
+/// kPartition chaos shape: every operation in `domain` inside
+/// [from, until) fails immediately — the path is unreachable, no bytes
+/// move. Consumers (sim::Network, the proxy's upstream leg) charge only
+/// the path's base latency for the refused connection, never wire time.
+struct PartitionSpec {
+  Domain domain = Domain::kWan;
+  SimTime from = 0;
+  SimTime until = INT64_MAX;
+};
+
+/// kBrownout chaos shape: the domain's effective bandwidth is multiplied
+/// by `bandwidth_factor` (< 1) inside [from, until) — transfers stretch
+/// by 1/factor. Unlike a kDegrade spec this is unconditional over the
+/// window (no Bernoulli draw), so a brownout never perturbs the
+/// domain's probabilistic streams.
+struct BrownoutSpec {
+  Domain domain = Domain::kWan;
+  double bandwidth_factor = 1.0;
+  SimTime from = 0;
+  SimTime until = INT64_MAX;
+};
+
 /// A scheduled node crash (Domain::kNode is event-, not op-, driven:
 /// crashes happen at points in sim time, independent of any data-path
 /// operation). Consumers wire these through wlm::SlurmWlm::
@@ -81,14 +103,24 @@ struct NodeCrash {
 struct FaultPlan {
   std::uint64_t seed = 0;
   std::vector<FaultSpec> specs;
+  std::vector<PartitionSpec> partitions;
+  std::vector<BrownoutSpec> brownouts;
   std::vector<NodeCrash> node_crashes;
 
-  bool empty() const { return specs.empty() && node_crashes.empty(); }
+  bool empty() const {
+    return specs.empty() && partitions.empty() && brownouts.empty() &&
+           node_crashes.empty();
+  }
 
   FaultPlan& add(FaultSpec spec) {
     specs.push_back(std::move(spec));
     return *this;
   }
+
+  /// Chaos-scenario sugar: scenarios are data (ISSUE 9), not code.
+  FaultPlan& partition(Domain domain, SimTime from, SimTime until);
+  FaultPlan& brownout(Domain domain, double bandwidth_factor, SimTime from,
+                      SimTime until);
 
   /// Seeded-Bernoulli WAN transfer failures — the common chaos knob.
   static FaultPlan wan_failures(double probability, std::uint64_t seed);
@@ -105,6 +137,9 @@ struct Decision {
   bool fail = false;          ///< hard error: the operation fails
   bool degrade = false;       ///< soft: stretch/delay, still succeeds
   bool auth_expired = false;  ///< registry: 401, refresh then retry
+  /// The failure is a partition: the path is unreachable, so the
+  /// consumer fails fast at base latency instead of charging wire time.
+  bool partitioned = false;
   double slowdown = 1.0;
   SimDuration extra_latency = 0;
 };
@@ -114,6 +149,8 @@ struct DomainCounters {
   std::uint64_t faults = 0;        ///< hard errors injected
   std::uint64_t degradations = 0;
   std::uint64_t auth_expiries = 0;
+  std::uint64_t partition_blocks = 0;  ///< ops refused by a partition
+  std::uint64_t brownout_ops = 0;      ///< ops stretched by a brownout
 };
 
 /// Evaluates a FaultPlan at injection hooks. Not thread-safe: hooks are
@@ -135,6 +172,15 @@ class FaultInjector {
   /// `domain` at sim time `now`. Specs are evaluated in plan order; the
   /// first one that fires wins.
   Decision decide(Domain domain, SimTime now);
+
+  /// Pure window queries (no counters, no draws): is a partition /
+  /// brownout active for `domain` at `now`? Consumers that only need to
+  /// peek (tier-health checks) use these; byte-moving hooks go through
+  /// decide().
+  bool partition_active(Domain domain, SimTime now) const;
+  /// Combined bandwidth multiplier (>= 1 slowdown) of every brownout
+  /// window covering `now`; 1.0 when none.
+  double brownout_slowdown(Domain domain, SimTime now) const;
 
   DomainCounters counters(Domain domain) const;
   std::uint64_t total_faults() const;

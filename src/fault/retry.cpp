@@ -85,6 +85,17 @@ Result<SimTime> retry_timed(SimTime now, const RetryPolicy& policy,
       return r.error();
     }
     const SimDuration wait = policy.backoff(a, jitter_rng);
+    if (policy.total_budget > 0 && observed + wait >= now + policy.total_budget) {
+      // The next attempt would start past the operation's deadline:
+      // give up at the failure just observed. The backoff draw above is
+      // still consumed, so a budget never shifts the jitter stream of
+      // later operations sharing the Rng.
+      if (stats) ++stats->failures;
+      obs::count("fault.retry.failures");
+      obs::count("fault.retry.budget_exhausted");
+      if (failed_at) *failed_at = observed;
+      return r.error();
+    }
     if (stats) {
       ++stats->retries;
       stats->backoff_total += wait;

@@ -34,6 +34,11 @@ struct RetryPolicy {
   /// Per-attempt timeout; 0 = none (ROB002 flags this too: without it
   /// one degraded transfer can stall the pull indefinitely).
   SimDuration attempt_timeout = 0;
+  /// Total-deadline budget across the whole operation: no retry attempt
+  /// starts at or after `now + total_budget`. 0 = unlimited (the
+  /// pre-budget behaviour — attempts × attempt_timeout can exceed any
+  /// caller SLO, which is what this knob caps).
+  SimDuration total_budget = 0;
   /// Jitter as a fraction of the backoff, drawn in [-jitter, +jitter].
   double jitter = 0.0;
   std::uint64_t jitter_seed = 0x5eedu;

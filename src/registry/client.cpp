@@ -248,13 +248,22 @@ Result<PullResult> RegistryClient::pull(SimTime now, OciRegistry& reg,
 Result<PullResult> RegistryClient::pull_via_proxy(
     SimTime now, PullThroughProxy& proxy, const image::ImageReference& ref,
     image::BlobStore* local) {
+  return proxy_pull_impl(now, proxy, ref, local, /*hedge_leg=*/false);
+}
+
+Result<PullResult> RegistryClient::proxy_pull_impl(
+    SimTime now, PullThroughProxy& proxy, const image::ImageReference& ref,
+    image::BlobStore* local, bool hedge_leg) {
   PullResult out;
   // Site-network legs (proxy → node) go through the retry policy too:
   // the fabric can drop a transfer (kFabric), and a pull should survive
-  // a blip without abandoning the proxy path.
+  // a blip without abandoning the proxy path. A hedge leg instead rides
+  // the contention-free estimate: it races a cancellable primary, so it
+  // must not occupy NIC queues or consume kFabric draws (client.h).
   Rng jitter(retry_.jitter_seed);
   auto site_transfer = [&](SimTime t0,
                            std::uint64_t bytes) -> Result<SimTime> {
+    if (hedge_leg) return network_->transfer_estimate(t0, 0, node_, bytes);
     SimTime failed_at = t0;
     auto r = fault::retry_timed(
         t0, retry_, jitter,
@@ -333,20 +342,102 @@ Result<PullResult> RegistryClient::pull_via_proxy(
   return out;
 }
 
+void RegistryClient::set_breaker_config(const fault::BreakerConfig& cfg) {
+  breaker_primary_ = fault::CircuitBreaker("proxy-primary", cfg);
+  breaker_secondary_ = fault::CircuitBreaker("proxy-secondary", cfg);
+  breaker_origin_ = fault::CircuitBreaker("origin", cfg);
+}
+
+// The hedge is simulated retroactively: the primary leg runs to
+// completion first, and if its duration overran the budget the second
+// leg is launched at now + budget — exactly when a live client's hedge
+// timer would have fired. First completion wins. The loser is cancelled:
+// its bytes are never charged to the returned result, and the hedge leg
+// pulls with a null local store so it emits no chunks into the node CAS
+// (the primary leg already populated it; a cancelled leg must not
+// double-admit). DESIGN.md §14 has the determinism argument.
+Result<PullResult> RegistryClient::hedged_proxy_pull(
+    SimTime now, PullThroughProxy& proxy, PullThroughProxy* secondary,
+    const image::ImageReference& ref, image::BlobStore* local) {
+  auto first = pull_via_proxy(now, proxy, ref, local);
+  const bool can_hedge =
+      hedge_.enabled() && secondary != nullptr &&
+      (!breaker_secondary_.enabled() ||
+       breaker_secondary_.state(now) == fault::BreakerState::kClosed);
+  // A hard primary failure is the failover path's job, not the hedge's.
+  if (!can_hedge || !first.ok()) return first;
+  const SimDuration budget = hedge_.launch_after(breaker_primary_.health());
+  if (first.value().done - now <= budget) return first;
+  ++hedges_launched_;
+  obs::count("fault.hedge.launched");
+  auto second =
+      proxy_pull_impl(now + budget, *secondary, ref, nullptr, /*hedge_leg=*/true);
+  if (second.ok() && second.value().done < first.value().done) {
+    ++hedges_won_;
+    obs::count("fault.hedge.won");
+    breaker_secondary_.on_success(second.value().done,
+                                  second.value().done - (now + budget));
+    return second;
+  }
+  return first;
+}
+
 Result<PullResult> RegistryClient::pull_with_fallback(
     SimTime now, PullThroughProxy& proxy, OciRegistry& origin,
-    const image::ImageReference& ref, image::BlobStore* local) {
-  auto via = pull_via_proxy(now, proxy, ref, local);
-  if (via.ok() || via.error().code() != ErrorCode::kUnavailable) return via;
-  // The proxy path is down (upstream leg dead, retries exhausted).
-  // Degrade gracefully: pull straight from the origin registry, picking
-  // up at the sim time the proxy attempt was abandoned.
+    const image::ImageReference& ref, image::BlobStore* local,
+    PullThroughProxy* secondary) {
+  SimTime t = now;
+
+  // Leg 1: the primary site proxy, hedged against the secondary. An
+  // open breaker skips the leg without charging any simulated time —
+  // avoiding a known-dead endpoint is free.
+  if (breaker_primary_.allow(t)) {
+    auto via = hedged_proxy_pull(t, proxy, secondary, ref, local);
+    if (via.ok()) {
+      breaker_primary_.on_success(via.value().done, via.value().done - t);
+      return via;
+    }
+    // Only "unavailable" means the endpoint is down; other errors
+    // (not-found, integrity) surface to the caller unchanged.
+    if (via.error().code() != ErrorCode::kUnavailable) return via;
+    breaker_primary_.on_failure(last_failed_at_);
+    t = std::max(t, last_failed_at_);
+  } else {
+    ++breaker_skips_;
+  }
+
+  // Leg 2: the secondary site proxy, when the site has one.
+  if (secondary != nullptr) {
+    if (breaker_secondary_.allow(t)) {
+      auto via = pull_via_proxy(t, *secondary, ref, local);
+      if (via.ok()) {
+        breaker_secondary_.on_success(via.value().done, via.value().done - t);
+        return via;
+      }
+      if (via.error().code() != ErrorCode::kUnavailable) return via;
+      breaker_secondary_.on_failure(last_failed_at_);
+      t = std::max(t, last_failed_at_);
+    } else {
+      ++breaker_skips_;
+    }
+  }
+
+  // Leg 3: degrade gracefully with a direct pull from the origin
+  // registry, picking up at the sim time the proxy legs were abandoned.
   ++proxy_fallbacks_;
   obs::count("registry.proxy_fallbacks");
-  const SimTime resume = std::max(now, last_failed_at_);
-  auto direct = pull(resume, origin, ref, local);
-  if (!direct.ok())
+  if (!breaker_origin_.allow(t)) {
+    ++breaker_skips_;
+    return err_unavailable("all pull legs rejected by open circuit breakers");
+  }
+  auto direct = pull(t, origin, ref, local);
+  if (!direct.ok()) {
+    const auto code = direct.error().code();
+    if (code == ErrorCode::kUnavailable || code == ErrorCode::kResourceExhausted)
+      breaker_origin_.on_failure(std::max(t, last_failed_at_));
     return direct.error().wrap("direct pull after proxy fallback");
+  }
+  breaker_origin_.on_success(direct.value().done, direct.value().done - t);
   return direct;
 }
 

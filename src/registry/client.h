@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "fault/fault.h"
+#include "fault/resilience.h"
 #include "fault/retry.h"
 #include "image/convert.h"
 #include "image/manifest.h"
@@ -79,6 +80,34 @@ class RegistryClient {
   std::uint64_t proxy_fallbacks() const { return proxy_fallbacks_; }
   std::uint64_t auth_refreshes() const { return auth_refreshes_; }
 
+  /// Installs per-endpoint circuit breakers on the fallback legs
+  /// (primary proxy, secondary proxy, origin). A leg whose breaker is
+  /// open is skipped without charging any simulated time — the breaker's
+  /// whole point is that known-dead endpoints cost nothing to avoid.
+  /// The default (disabled) keeps every pull byte-identical to the
+  /// breaker-less client.
+  void set_breaker_config(const fault::BreakerConfig& cfg);
+  /// Hedged pulls on the proxy leg: when the primary proxy pull runs
+  /// past the policy's latency budget, a second leg is launched against
+  /// the secondary proxy and the first completion wins; the loser is
+  /// cancelled — it charges no bytes to the result and emits no chunks
+  /// into the local store (DESIGN.md §14). Disabled by default.
+  void set_hedge_policy(const fault::HedgePolicy& policy) { hedge_ = policy; }
+  const fault::HedgePolicy& hedge_policy() const { return hedge_; }
+
+  const fault::CircuitBreaker& primary_breaker() const {
+    return breaker_primary_;
+  }
+  const fault::CircuitBreaker& secondary_breaker() const {
+    return breaker_secondary_;
+  }
+  const fault::CircuitBreaker& origin_breaker() const {
+    return breaker_origin_;
+  }
+  std::uint64_t breaker_skips() const { return breaker_skips_; }
+  std::uint64_t hedges_launched() const { return hedges_launched_; }
+  std::uint64_t hedges_won() const { return hedges_won_; }
+
   /// Timed pull of a full image. Rate-limited upstreams surface
   /// kResourceExhausted (with the §5.1.3 "toomanyrequests" semantics);
   /// callers either back off or go through a proxy.
@@ -94,12 +123,18 @@ class RegistryClient {
 
   /// Graceful degradation (§5.1.3): try the site proxy first; if the
   /// proxy path fails as unavailable (its upstream leg is down and its
-  /// retries are exhausted), fall back to a direct pull from the origin
-  /// registry, resuming at the sim time the proxy attempt failed.
+  /// retries are exhausted), fail over to `secondary` (when given), then
+  /// to a direct pull from the origin registry, each leg resuming at the
+  /// sim time the previous attempt failed. Each leg is guarded by its
+  /// breaker (open ⇒ the leg is skipped for free), and the primary leg
+  /// is hedged against `secondary` under the hedge policy. With no
+  /// secondary, disabled breakers and no hedging this is byte-identical
+  /// to the two-leg proxy→origin fallback it grew from.
   Result<PullResult> pull_with_fallback(SimTime now, PullThroughProxy& proxy,
                                         OciRegistry& origin,
                                         const image::ImageReference& ref,
-                                        image::BlobStore* local = nullptr);
+                                        image::BlobStore* local = nullptr,
+                                        PullThroughProxy* secondary = nullptr);
 
   /// Timed push of config + layers + manifest.
   Result<PushResult> push(SimTime now, OciRegistry& reg,
@@ -115,6 +150,23 @@ class RegistryClient {
   // events for the (untimed) verify/decode work are stamped with it, on
   // the calling thread in manifest order, so traces stay deterministic
   // regardless of pool scheduling.
+  // The primary-proxy leg of pull_with_fallback, hedged against the
+  // secondary proxy when the policy and breakers allow it.
+  Result<PullResult> hedged_proxy_pull(SimTime now, PullThroughProxy& proxy,
+                                       PullThroughProxy* secondary,
+                                       const image::ImageReference& ref,
+                                       image::BlobStore* local);
+
+  // Shared body of pull_via_proxy and the hedge's second leg. A hedge
+  // leg races a cancellable concurrent primary, so its site transfers
+  // use the network's contention-free estimate (no NIC queue occupancy,
+  // no kFabric draws, no retry-stats inflation) — neither racer may
+  // retroactively delay the other, and launching a hedge must not shift
+  // any fault stream another leg consumes.
+  Result<PullResult> proxy_pull_impl(SimTime now, PullThroughProxy& proxy,
+                                     const image::ImageReference& ref,
+                                     image::BlobStore* local, bool hedge_leg);
+
   Result<Unit> finish_layers(const image::OciManifest& manifest,
                              std::vector<std::optional<Bytes>>& fetched,
                              std::size_t layers_reached,
@@ -130,6 +182,14 @@ class RegistryClient {
   SimTime last_failed_at_ = 0;
   std::uint64_t proxy_fallbacks_ = 0;
   std::uint64_t auth_refreshes_ = 0;
+
+  fault::HedgePolicy hedge_;
+  fault::CircuitBreaker breaker_primary_;
+  fault::CircuitBreaker breaker_secondary_;
+  fault::CircuitBreaker breaker_origin_;
+  std::uint64_t breaker_skips_ = 0;
+  std::uint64_t hedges_launched_ = 0;
+  std::uint64_t hedges_won_ = 0;
 };
 
 }  // namespace hpcc::registry

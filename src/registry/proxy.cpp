@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "image/reference.h"
+#include "obs/obs.h"
 #include "storage/tiers.h"
 
 namespace hpcc::registry {
@@ -33,7 +34,35 @@ PullThroughProxy::PullThroughProxy(std::string host, OciRegistry* upstream,
       }));
 }
 
+Result<Unit> PullThroughProxy::admit_upstream(SimTime now,
+                                              fault::RequestClass cls) {
+  if (admission_.enabled() && !admission_.admit(cls, now)) {
+    return err_exhausted(host_ + " shed " + std::string(to_string(cls)) +
+                         " upstream request (admission)");
+  }
+  if (origin_breaker_.enabled() && !origin_breaker_.allow(now)) {
+    if (cls == fault::RequestClass::kPrefetch) {
+      ++breaker_sheds_;
+      obs::count("fault.shed.count");
+      return err_exhausted(host_ + " shed prefetch upstream request "
+                           "(origin breaker open)");
+    }
+    return err_unavailable(host_ + " origin breaker open");
+  }
+  return ok_unit();
+}
+
 SimTime PullThroughProxy::upstream_fetch(SimTime now, std::uint64_t bytes) {
+  // A partition window means the WAN is dark: the connect times out
+  // after one RTT without the upstream frontend ever seeing the request
+  // (pure window query — no draws, no upstream queue state touched).
+  if (faults_ != nullptr && faults_->enabled() &&
+      faults_->partition_active(fault::Domain::kWan, now)) {
+    ++upstream_fetches_;
+    origin_breaker_.on_failure(now + config_.upstream_rtt);
+    upstream_error_ = err_unavailable("upstream WAN partitioned");
+    return now + config_.upstream_rtt;
+  }
   // Wait out the upstream rate limiter (the proxy is one well-behaved
   // client instead of hundreds of throttled ones).
   SimTime t = now;
@@ -70,15 +99,17 @@ SimTime PullThroughProxy::upstream_fetch(SimTime now, std::uint64_t bytes) {
       },
       &retry_stats_, &failed_at);
   if (!r.ok()) {
+    origin_breaker_.on_failure(failed_at);
     upstream_error_ = r.error();
     return failed_at;
   }
+  origin_breaker_.on_success(r.value(), r.value() - t);
   upstream_bytes_ += bytes;
   return r.value();
 }
 
 Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
-    SimTime now, const image::ImageReference& ref) {
+    SimTime now, const image::ImageReference& ref, fault::RequestClass cls) {
   ManifestResult out;
   SimTime t = frontend_.submit(now, config_.limits.request_service);
 
@@ -93,6 +124,7 @@ Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
     return out;
   }
 
+  HPCC_TRY_UNIT(admit_upstream(t, cls));
   HPCC_TRY(out.manifest, upstream_->get_manifest(ref));
   Bytes blob = out.manifest.serialize();
   // Charged before the cache insert so the chain sees the miss.
@@ -110,7 +142,7 @@ Result<PullThroughProxy::ManifestResult> PullThroughProxy::fetch_manifest(
 }
 
 Result<PullThroughProxy::BlobResult> PullThroughProxy::fetch_blob(
-    SimTime now, const crypto::Digest& digest) {
+    SimTime now, const crypto::Digest& digest, fault::RequestClass cls) {
   BlobResult out;
   SimTime t = frontend_.submit(now, config_.limits.request_service);
 
@@ -119,6 +151,7 @@ Result<PullThroughProxy::BlobResult> PullThroughProxy::fetch_blob(
     out.cache_hit = true;
     t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;
   } else {
+    HPCC_TRY_UNIT(admit_upstream(t, cls));
     HPCC_TRY(out.blob, upstream_->get_blob(digest));
     upstream_error_.reset();
     t = path_.read(t, {"blob:" + digest.hex(), out.blob.size()}).done;

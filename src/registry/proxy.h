@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fault/fault.h"
+#include "fault/resilience.h"
 #include "fault/retry.h"
 #include "registry/registry.h"
 #include "storage/cache_hierarchy.h"
@@ -45,11 +46,20 @@ class PullThroughProxy {
 
   /// Fetches a manifest at `now`. Cache hit: served locally. Miss: the
   /// proxy pulls upstream (waiting out the upstream rate limiter if
-  /// throttled), caches, then serves.
-  Result<ManifestResult> fetch_manifest(SimTime now,
-                                        const image::ImageReference& ref);
+  /// throttled), caches, then serves. `cls` is the request's priority
+  /// class: a miss that needs the upstream goes through the admission
+  /// controller and the origin breaker first — prefetch-class requests
+  /// shed (kResourceExhausted) when either is unhappy, first-touch
+  /// requests shed only at the token bucket and fast-fail kUnavailable
+  /// on an open breaker (the client's cue to fail over). Cache hits are
+  /// never shed: they cost the upstream nothing.
+  Result<ManifestResult> fetch_manifest(
+      SimTime now, const image::ImageReference& ref,
+      fault::RequestClass cls = fault::RequestClass::kFirstTouch);
 
-  Result<BlobResult> fetch_blob(SimTime now, const crypto::Digest& digest);
+  Result<BlobResult> fetch_blob(
+      SimTime now, const crypto::Digest& digest,
+      fault::RequestClass cls = fault::RequestClass::kFirstTouch);
 
   /// Injector consulted (kWan domain) on each upstream WAN crossing, and
   /// the retry policy the proxy drives those crossings through. A cache
@@ -65,6 +75,27 @@ class PullThroughProxy {
   }
   const fault::RetryStats& retry_stats() const { return retry_stats_; }
 
+  /// Circuit breaker guarding the proxy's upstream (origin) leg. Fed by
+  /// upstream_fetch outcomes; when open, upstream-needing requests are
+  /// refused per the fetch_* class rules above. Disabled (the default)
+  /// keeps every fetch byte-identical to the breaker-less proxy.
+  void set_origin_breaker(const fault::BreakerConfig& cfg) {
+    origin_breaker_ = fault::CircuitBreaker(host_ + "-origin", cfg);
+  }
+  const fault::CircuitBreaker& origin_breaker() const {
+    return origin_breaker_;
+  }
+
+  /// Token-bucket load shedding on upstream-needing requests. Disabled
+  /// (the default) admits everything.
+  void set_admission(const fault::AdmissionConfig& cfg) {
+    admission_ = fault::AdmissionController(cfg);
+  }
+  const fault::AdmissionController& admission() const { return admission_; }
+  std::uint64_t shed_upstream() const {
+    return admission_.shed_total() + breaker_sheds_;
+  }
+
   // ----- the "detailed statistics" a proxy registry provides (§5.1.3)
   std::uint64_t cache_hits() const { return path_.tier_stats(0).hits; }
   std::uint64_t upstream_fetches() const { return upstream_fetches_; }
@@ -75,6 +106,10 @@ class PullThroughProxy {
 
  private:
   SimTime upstream_fetch(SimTime now, std::uint64_t bytes);
+  // Gatekeeper for a miss that needs the upstream: token bucket first,
+  // then the origin breaker. Errors are kResourceExhausted (shed) or
+  // kUnavailable (first-touch on an open breaker).
+  Result<Unit> admit_upstream(SimTime now, fault::RequestClass cls);
 
   std::string host_;
   OciRegistry* upstream_;
@@ -96,6 +131,9 @@ class PullThroughProxy {
   fault::FaultInjector* faults_ = nullptr;
   fault::RetryPolicy retry_ = fault::RetryPolicy::none();
   fault::RetryStats retry_stats_;
+  fault::CircuitBreaker origin_breaker_;
+  fault::AdmissionController admission_;
+  std::uint64_t breaker_sheds_ = 0;
   Rng jitter_rng_{0x5eedu};
   // OriginTier has no error channel: an upstream fetch whose retries
   // are exhausted raises this flag, checked after every path_.read().

@@ -74,6 +74,17 @@ SimTime Network::wan_transfer_impl(SimTime now, NodeId node,
          extra_latency;
 }
 
+SimTime Network::transfer_estimate(SimTime now, NodeId src, NodeId dst,
+                                   std::uint64_t bytes) const {
+  assert(src < nics_.size() && dst < nics_.size());
+  if (src == dst) return now + 1;
+  const auto wire_time = static_cast<SimDuration>(
+      static_cast<double>(bytes) / config_.nic_bandwidth);
+  // Send-side serialization, fabric crossing, receive-side serialization
+  // — an idle path, since a cancelled racer never holds the NIC.
+  return now + wire_time + config_.fabric_latency + wire_time;
+}
+
 SimTime Network::message(SimTime now, NodeId src, NodeId dst) {
   if (src == dst) return now + 1;
   return transfer(now, src, dst, 256) ;  // small control payload
@@ -99,6 +110,12 @@ Result<SimTime> Network::try_transfer(SimTime now, NodeId src, NodeId dst,
   fault::Decision d;
   if (faults_ && faults_->enabled())
     d = faults_->decide(fault::Domain::kFabric, now);
+  if (d.partitioned) {
+    // kPartition: the pair is unreachable — the connection is refused at
+    // base fabric latency. No bytes move and no NIC queue is touched.
+    if (failed_at) *failed_at = now + config_.fabric_latency;
+    return err_unavailable("fabric partitioned");
+  }
   const SimTime done = transfer_impl(now, src, dst, bytes, d.slowdown,
                                      d.extra_latency);
   if (!d.fail) return done;
@@ -113,6 +130,12 @@ Result<SimTime> Network::try_wan_transfer(SimTime now, NodeId node,
   fault::Decision d;
   if (faults_ && faults_->enabled())
     d = faults_->decide(fault::Domain::kWan, now);
+  if (d.partitioned) {
+    // kPartition: the uplink is dark for the window — fail at one WAN
+    // round trip, without charging wire time or the shared WAN queue.
+    if (failed_at) *failed_at = now + config_.wan_latency;
+    return err_unavailable("wan partitioned");
+  }
   const SimTime done = wan_transfer_impl(now, node, bytes, d.slowdown,
                                          d.extra_latency);
   if (!d.fail) return done;

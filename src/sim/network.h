@@ -80,10 +80,13 @@ class Network {
   }
 
   /// Fallible fabric transfer. Consults the injector's kFabric domain:
-  /// a degradation stretches the wire time and adds latency; a hard
-  /// fault still charges the full (stretched) transfer time — a failed
-  /// transfer is not free — then returns kUnavailable with *failed_at
-  /// (when non-null) set to the time the failure was observed.
+  /// a degradation or brownout window stretches the wire time and adds
+  /// latency; a hard fault still charges the full (stretched) transfer
+  /// time — a failed transfer is not free — then returns kUnavailable
+  /// with *failed_at (when non-null) set to the time the failure was
+  /// observed. A partition window instead refuses the transfer at base
+  /// fabric latency: the path is unreachable, so no wire time is
+  /// charged and no queue state is touched.
   Result<SimTime> try_transfer(SimTime now, NodeId src, NodeId dst,
                                std::uint64_t bytes,
                                SimTime* failed_at = nullptr);
@@ -93,6 +96,15 @@ class Network {
   Result<SimTime> try_wan_transfer(SimTime now, NodeId node,
                                    std::uint64_t bytes,
                                    SimTime* failed_at = nullptr);
+
+  /// Contention-free delivery estimate for a fabric transfer: the same
+  /// serialization and latency arithmetic as transfer(), but touching no
+  /// NIC queue, no byte counters and no fault stream. This is what a
+  /// *cancellable* concurrent leg charges — a hedged pull's second leg
+  /// races the primary, and whichever loses is cancelled, so neither
+  /// leg's queue occupancy may retroactively delay the other (§14).
+  SimTime transfer_estimate(SimTime now, NodeId src, NodeId dst,
+                            std::uint64_t bytes) const;
 
   std::uint64_t bytes_moved() const { return bytes_moved_; }
   std::uint64_t wan_bytes() const { return wan_bytes_; }

@@ -430,6 +430,48 @@ TEST(AuditRules, Rob002MissingAttemptTimeout) {
   expect_rule("ROB002", pos, neg);
 }
 
+TEST(AuditRules, Rob003DeepRetryWithoutBreaker) {
+  AuditInput pos = clean_input();
+  pos.has_registry_client = true;
+  pos.registry_retry = fault::RetryPolicy::standard();
+  pos.registry_retry->max_attempts = 6;  // deep budget, no breaker
+  AuditInput neg = pos;
+  neg.breaker = fault::BreakerConfig::standard();
+  expect_rule("ROB003", pos, neg);
+}
+
+TEST(AuditRules, Rob003ShallowRetryDoesNotFire) {
+  AuditInput shallow = clean_input();
+  shallow.has_registry_client = true;
+  shallow.registry_retry = fault::RetryPolicy::standard();
+  shallow.registry_retry->max_attempts = 3;  // blip-scale: breaker optional
+  EXPECT_FALSE(audit(shallow).has("ROB003"));
+  // A configured-but-disabled breaker is no breaker at all.
+  AuditInput disabled = shallow;
+  disabled.registry_retry->max_attempts = 6;
+  disabled.breaker = fault::BreakerConfig{};  // enabled == false
+  EXPECT_TRUE(audit(disabled).has("ROB003"));
+}
+
+TEST(AuditRules, Rob004FleetHedgingWithoutAdmission) {
+  AuditInput pos = clean_input();
+  pos.fleet_nodes = 512;
+  pos.hedge = fault::HedgePolicy::at_percentile(0.95, 1.5);
+  AuditInput neg = pos;
+  neg.admission = fault::AdmissionConfig::standard();
+  expect_rule("ROB004", pos, neg);
+}
+
+TEST(AuditRules, Rob004SmallFleetOrNoHedgeDoesNotFire) {
+  AuditInput small = clean_input();
+  small.fleet_nodes = 64;  // below the flash-crowd threshold
+  small.hedge = fault::HedgePolicy::at_percentile(0.95, 1.5);
+  EXPECT_FALSE(audit(small).has("ROB004"));
+  AuditInput no_hedge = clean_input();
+  no_hedge.fleet_nodes = 512;  // big fleet but nothing to amplify
+  EXPECT_FALSE(audit(no_hedge).has("ROB004"));
+}
+
 // ---------------------------------------------------------------------------
 // OBS rules
 // ---------------------------------------------------------------------------

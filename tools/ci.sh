@@ -7,6 +7,7 @@
 #   SKIP_SAN=1 tools/ci.sh   # skip the ASan/UBSan configuration
 #   SKIP_TSAN=1 tools/ci.sh  # skip the ThreadSanitizer configuration
 #   SKIP_BENCH=1 tools/ci.sh # skip the bench smoke
+#   SKIP_CHAOS=1 tools/ci.sh # skip the chaos-fleet resilience gate
 #   SKIP_OBS=1 tools/ci.sh   # skip the observability trace validation
 #   SKIP_DCHECK=1 tools/ci.sh # skip the dcheck sweep/fixtures stage
 set -euo pipefail
@@ -50,12 +51,13 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
   tsan_dir="$repo_root/build-tsan"
   echo "== configure $tsan_dir (-DHPCC_SANITIZE=thread)"
   cmake -B "$tsan_dir" -S "$repo_root" -DHPCC_SANITIZE=thread
-  echo "== build $tsan_dir (concurrency_test fault_test obs_test dcheck_test)"
+  echo "== build $tsan_dir (concurrency_test fault_test obs_test dcheck_test" \
+       "resilience_test)"
   cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test \
-    obs_test dcheck_test
-  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck)"
+    obs_test dcheck_test resilience_test
+  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil)"
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck'
+    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil'
 fi
 
 # Quick smoke of the sequential-vs-parallel pipeline bench, including
@@ -99,6 +101,23 @@ if [[ "${SKIP_BENCH:-}" != "1" ]]; then
   cmake --build "$repo_root/build" -j "$jobs" --target bench_fleet
   "$repo_root/build/bench/bench_fleet" --quick \
     --json "$repo_root/BENCH_fleet.json"
+fi
+
+# Chaos-fleet resilience gate (ISSUE 9): a 1024-node pull storm through
+# overlapping brownout / proxy-flap / partition windows, resilient arm
+# vs baseline arm over the same seeded plan. The bench exits non-zero
+# when the resilient fleet completes < 99% of pulls, retry
+# amplification exceeds 2x, the resilient arm puts more fetches on the
+# origin than the baseline (a cascade), the breakers/shedding never
+# engage, or a same-seed rerun diverges. Summary committed at
+# BENCH_chaos_fleet.json in the repo root, so resilience regressions
+# show up in review.
+if [[ "${SKIP_CHAOS:-}" != "1" ]]; then
+  echo "== chaos fleet (bench_chaos_fleet --quick, resilient vs baseline)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_chaos_fleet
+  HPCC_FAULT_SEED="${HPCC_FAULT_SEED:-805381}" \
+    "$repo_root/build/bench/bench_chaos_fleet" --quick \
+    --json "$repo_root/BENCH_chaos_fleet.json"
 fi
 
 # Observability smoke (DESIGN.md §10): run an instrumented scenario

@@ -24,11 +24,16 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "audit/dcheck_bridge.h"
+#include "fault/fault.h"
+#include "fault/resilience.h"
+#include "fault/retry.h"
 #include "audit/report.h"
 #include "dcheck/dcheck.h"
 #include "dcheck/determinism.h"
@@ -290,6 +295,108 @@ std::string fleet_flash_crowd_once(sim::QueueImpl impl) {
          " checksum=" + std::to_string(checksum);
 }
 
+/// Partition flash crowd through the resilience layer (DESIGN.md §14):
+/// 64 nodes pull 8 images via two breaker-guarded proxies while a WAN
+/// partition window cuts the origin — clients fail over, proxies trip
+/// and shed, nodes re-attempt past the window. Everything runs on the
+/// single timed plane, so the counters and completion checksum must be
+/// a pure function of the configuration; the determinism audit checks
+/// exactly that.
+std::string partition_flash_crowd_once() {
+  sim::Network net(64);
+  fault::FaultPlan plan;
+  plan.seed = 21;
+  plan.partition(fault::Domain::kWan, sec(8), sec(14));
+  fault::FaultInjector injector(plan);
+  net.set_fault_injector(&injector);
+
+  registry::OciRegistry origin("registry.example");
+  (void)origin.create_project("apps", "builder");
+  Rng rng(13);
+  std::vector<image::ImageReference> refs;
+  for (int i = 0; i < 8; ++i) {
+    vfs::MemFs fs;
+    (void)fs.mkdir("/opt", {}, true);
+    (void)fs.write_file("/opt/payload",
+                        image::synthetic_file_content(rng, 32 * 1024));
+    image::OciManifest m;
+    Bytes blob = vfs::Layer::from_fs(fs).serialize();
+    m.layer_sizes.push_back(blob.size());
+    m.layer_digests.push_back(
+        origin.push_blob("builder", "apps", std::move(blob)).value());
+    m.config_digest =
+        origin.push_blob("builder", "apps", image::ImageConfig{}.serialize())
+            .value();
+    auto ref = image::ImageReference::parse("registry.example/apps/img" +
+                                            std::to_string(i) + ":v1")
+                   .value();
+    (void)origin.push_manifest("builder", ref, m);
+    refs.push_back(std::move(ref));
+  }
+
+  registry::PullThroughProxy primary("proxy0.site", &origin);
+  registry::PullThroughProxy secondary("proxy1.site", &origin);
+  for (auto* proxy : {&primary, &secondary}) {
+    proxy->set_fault_injector(&injector);
+    proxy->set_retry_policy(fault::RetryPolicy::standard(2));
+    proxy->set_origin_breaker(fault::BreakerConfig::standard());
+    proxy->set_admission(fault::AdmissionConfig::standard(50.0));
+  }
+
+  std::vector<registry::RegistryClient> clients;
+  clients.reserve(64);
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    clients.emplace_back(&net, n);
+    auto rp = fault::RetryPolicy::standard(3);
+    rp.total_budget = sec(4);
+    clients.back().set_retry_policy(rp);
+    clients.back().set_breaker_config(fault::BreakerConfig::standard());
+  }
+
+  // (time, node, attempt) min-heap: images are released across the 20s
+  // arrival window, so the partition lands on cold first-touch pulls.
+  using Job = std::tuple<SimTime, std::uint32_t, int>;
+  std::priority_queue<Job, std::vector<Job>, std::greater<Job>> jobs;
+  for (std::uint32_t n = 0; n < 64; ++n)
+    jobs.emplace(static_cast<SimTime>((n * 2654435761ull) %
+                                      static_cast<std::uint64_t>(sec(20))),
+                 n, 0);
+
+  std::uint64_t completions = 0;
+  std::uint64_t checksum = 1469598103934665603ull;
+  while (!jobs.empty()) {
+    const auto [t, n, attempt] = jobs.top();
+    jobs.pop();
+    auto& client = clients[n];
+    const auto img = std::min<std::size_t>(
+        refs.size() - 1, static_cast<std::size_t>((t * 8) / sec(20)));
+    const auto pulled = client.pull_with_fallback(t, primary, origin,
+                                                 refs[img], nullptr,
+                                                 &secondary);
+    if (pulled.ok()) {
+      ++completions;
+      checksum ^= (static_cast<std::uint64_t>(n) << 32) ^
+                  static_cast<std::uint64_t>(pulled.value().done);
+      checksum *= 1099511628211ull;
+    } else if (attempt + 1 < 4) {
+      jobs.emplace(std::max(t, client.last_failed_at()) + sec(3), n,
+                   attempt + 1);
+    }
+  }
+
+  std::uint64_t trips = primary.origin_breaker().trips() +
+                        secondary.origin_breaker().trips();
+  std::uint64_t sheds = primary.shed_upstream() + secondary.shed_upstream();
+  std::uint64_t fallbacks = 0;
+  for (const auto& c : clients) fallbacks += c.proxy_fallbacks();
+  return "completions=" + std::to_string(completions) +
+         " trips=" + std::to_string(trips) +
+         " sheds=" + std::to_string(sheds) +
+         " fallbacks=" + std::to_string(fallbacks) +
+         " wan_bytes=" + std::to_string(net.wan_bytes()) +
+         " checksum=" + std::to_string(checksum);
+}
+
 int report_and_exit(const Options& opts) {
   const audit::AuditReport report =
       audit::report_from_dcheck(dcheck::report());
@@ -341,6 +448,12 @@ int run_sweep(const Options& opts) {
   (void)dcheck::audit_determinism(
       "fleet-flash-crowd",
       [] { return fleet_flash_crowd_once(sim::QueueImpl::kCalendar); },
+      opts.seed);
+
+  // Resilience workload (§14): the breaker/failover/shedding path under
+  // a WAN partition window must be schedule-independent too.
+  (void)dcheck::audit_determinism(
+      "partition-flash-crowd", [] { return partition_flash_crowd_once(); },
       opts.seed);
 
   return report_and_exit(opts);
