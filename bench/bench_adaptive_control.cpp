@@ -1,0 +1,472 @@
+// bench_adaptive_control — the closed-loop control plane against the
+// static configurations it replaces (ISSUE 10: the adaptive story's
+// end-to-end gate, DESIGN.md §15).
+//
+// One site, one drifting workload: 4 nodes pull a 1 MB image through
+// the site pull-through proxy once a second while a fifth node scans a
+// lazily-mounted squash image. Two phases over the horizon:
+//
+//   * healthy   [0, 2/3 H): the proxy serves warm at fabric speed, so
+//     proxy-first routing wins by ~100x over direct origin pulls, and
+//     the in-order lazy scan rewards sequential prefetch;
+//   * brownout  [2/3 H, H): the site fabric degrades (40x slowdown +
+//     100 ms per transfer), stretching every proxy leg while the origin
+//     WAN path is untouched — now origin-first wins.
+//
+// No static (route, depth) configuration is right in both phases. The
+// closed-loop arm starts from the same defaults as the worst static
+// (proxy-first, prefetch off) and must *earn* its way out: the
+// RoutingPolicy flips the fleet to origin-first when proxy health
+// EWMAs degrade past 3x baseline, and the PrefetchPolicy ramps the
+// mount's depth once the scan reads sequential — every move through a
+// StepGuard, every actuation in the decision log.
+//
+// Arms over the same seed and fault plan:
+//
+//   * closed-loop        — controller on (routing + prefetch policies);
+//   * static {proxy,origin}-first x depth {0,8} — the oracle grid;
+//   * controller-off     — controller attached but disabled, tuning
+//     handle at depth 0 (the contract arm);
+//   * rerun              — the closed-loop arm again, same seed.
+//
+// Gates: the closed-loop arm beats the worst static by >= 1.3x on mean
+// pull latency and lands within 10% of the best static (the oracle);
+// the controller actually actuated (routing flipped, depth moved); the
+// controller-off arm is byte-identical to the static it shadows; and
+// the rerun reproduces the closed-loop arm — simulation bytes AND
+// decision log.
+//
+// Plain driver (not google-benchmark), so CI can track the summary:
+//
+//   bench_adaptive_control [--quick] [--json PATH]
+//                          [--min-win X] [--max-regret X]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "control/control.h"
+#include "control/controller.h"
+#include "control/policies.h"
+#include "fault/fault.h"
+#include "image/build.h"
+#include "obs/obs.h"
+#include "registry/client.h"
+#include "registry/lazy.h"
+#include "registry/proxy.h"
+#include "registry/registry.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/storage.h"
+#include "storage/tiers.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "vfs/layer.h"
+#include "vfs/memfs.h"
+#include "vfs/squash_image.h"
+
+namespace {
+
+using namespace hpcc;
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+struct ControlParams {
+  SimTime horizon = sec(90);
+  SimDuration pull_period = sec(1);
+  SimDuration epoch = sec(2);
+  std::uint32_t pull_nodes = 4;
+  std::uint32_t lazy_files = 10;
+  unsigned max_depth = 8;
+  double slowdown = 40.0;            ///< fabric degrade multiplier
+  SimDuration extra_latency = msec(100);  ///< per-transfer brownout tax
+
+  SimTime brownout_from() const { return horizon / 3 * 2; }
+
+  static ControlParams quick() {
+    // Same pull count and phase proportions at half the sim horizon:
+    // the control epochs shrink with the pull period, so the flip
+    // costs the same number of degraded pulls as the full run.
+    ControlParams p;
+    p.horizon = sec(45);
+    p.pull_period = msec(500);
+    p.epoch = sec(1);
+    return p;
+  }
+};
+
+/// What one knob configuration runs as. The closed-loop and
+/// controller-off arms share run_arm with the statics; only the wiring
+/// differs.
+struct ArmConfig {
+  std::string name;
+  bool controller = false;  ///< closed loop live
+  bool attach_off = false;  ///< disabled controller + tuning handle
+  registry::RegistryClient::RoutePreference route =
+      registry::RegistryClient::RoutePreference::kProxyFirst;
+  unsigned depth = 0;
+};
+
+struct ArmResult {
+  std::string name;
+  std::uint64_t pulls = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t failures = 0;
+  SimTime pull_total = 0;
+  SimTime read_total = 0;
+  std::uint64_t checksum = 1469598103934665603ull;
+  std::string decisions = "[]";
+  std::uint64_t decision_count = 0;
+  std::uint64_t route_flips = 0;
+  unsigned final_depth = 0;
+  bool origin_first_at_end = false;
+  std::string metrics_json;
+  double wall_ms = 0;
+
+  double pull_mean_ms() const {
+    return pulls == 0 ? 0.0 : static_cast<double>(pull_total) / pulls / 1000.0;
+  }
+  double read_mean_ms() const {
+    return reads == 0 ? 0.0 : static_cast<double>(read_total) / reads / 1000.0;
+  }
+  /// Byte-identity: same ops, same simulated timings, same fold order.
+  bool same_simulation(const ArmResult& o) const {
+    return checksum == o.checksum && pulls == o.pulls && reads == o.reads &&
+           pull_total == o.pull_total && read_total == o.read_total &&
+           failures == o.failures;
+  }
+};
+
+ArmResult run_arm(const ArmConfig& arm, const ControlParams& p,
+                  bool want_metrics_json) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ArmResult out;
+  out.name = arm.name;
+
+  // The control policies sense through obs counters (lazy.*), so the
+  // controller arms run with metrics on; every other arm runs dark —
+  // the controller-off contract is against today's metrics-off build.
+  obs::Config ocfg;
+  ocfg.metrics = arm.controller;
+  obs::configure(ocfg);
+
+  sim::Network net(8);
+  registry::OciRegistry reg("upstream.example");
+  (void)reg.create_project("base", "ci", 0);
+
+  // The pulled image: one 1 MB layer, so a warm proxy pull is two site
+  // transfers and a direct origin pull pays the WAN per leg.
+  {
+    vfs::MemFs fs;
+    (void)fs.mkdir("/opt", {}, true);
+    Rng rng(3);
+    (void)fs.write_file("/opt/payload",
+                        image::synthetic_file_content(rng, 1 << 20));
+    vfs::Layer layer = vfs::Layer::from_fs(fs);
+    image::ImageConfig cfg;
+    image::OciManifest m;
+    m.config_digest = reg.push_blob("ci", "base", cfg.serialize()).value();
+    Bytes blob = layer.serialize();
+    const auto size = blob.size();
+    m.layer_digests.push_back(
+        reg.push_blob("ci", "base", std::move(blob)).value());
+    m.layer_sizes.push_back(size);
+    (void)reg.push_manifest(
+        "ci", image::ImageReference::parse("upstream.example/base/app:v1").value(),
+        m);
+  }
+  const auto ref =
+      image::ImageReference::parse("upstream.example/base/app:v1").value();
+
+  // The lazily-mounted squash image the scan walks (256 KB files,
+  // 128 KB blocks: two sequential block touches per file).
+  (void)reg.create_project("apps", "ci");
+  vfs::MemFs tree;
+  (void)tree.mkdir("/opt/data", {}, true);
+  Rng rng(7);
+  std::vector<std::string> files;
+  for (std::uint32_t i = 0; i < p.lazy_files; ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "/opt/data/f%02u", i);
+    files.push_back(buf);
+    (void)tree.write_file(files.back(),
+                          image::synthetic_file_content(rng, 256 << 10),
+                          {0, 0, 0644, 0});
+  }
+  auto squash = vfs::SquashImage::build(tree, 128 * 1024);
+  (void)registry::publish_lazy(reg, "ci", "apps", squash);
+
+  registry::PullThroughProxy proxy("proxy.site", &reg);
+
+  // The drift: a windowed site-fabric brownout. Proxy legs ride the
+  // fabric, the direct origin path rides the (untouched) WAN.
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  fault::FaultSpec slow;
+  slow.domain = fault::Domain::kFabric;
+  slow.kind = fault::FaultKind::kDegrade;
+  slow.probability = 1.0;
+  slow.slowdown = p.slowdown;
+  slow.extra_latency = p.extra_latency;
+  slow.window_from = p.brownout_from();
+  plan.add(slow);
+  fault::FaultInjector inj(plan);
+  net.set_fault_injector(&inj);
+
+  std::vector<std::unique_ptr<registry::RegistryClient>> clients;
+  for (std::uint32_t i = 0; i < p.pull_nodes; ++i) {
+    clients.push_back(
+        std::make_unique<registry::RegistryClient>(&net, 1 + i));
+    clients.back()->set_route_preference(arm.route);
+  }
+
+  sim::PageCache pc;
+  registry::LazyMountConfig lcfg;
+  lcfg.registry = &reg;
+  lcfg.network = &net;
+  lcfg.node = p.pull_nodes + 1;
+  lcfg.cache = storage::page_cache_tier(pc);
+  lcfg.over_wan = true;
+  std::shared_ptr<registry::LazyTuning> tuning;
+  if (arm.controller || arm.attach_off) {
+    tuning = std::make_shared<registry::LazyTuning>(arm.depth);
+    lcfg.tuning = tuning;
+  } else {
+    lcfg.prefetch_depth = arm.depth;
+  }
+  auto mount = registry::make_lazy_rootfs(&squash, std::move(lcfg)).value();
+
+  control::Config ccfg;
+  ccfg.enabled = arm.controller;
+  ccfg.epoch = p.epoch;
+  control::Controller ctrl{ccfg};
+
+  sim::EventQueue q;
+
+  // Pull stream: one pull per period, round-robin across the nodes,
+  // always transferring fully (no local store) so every sample prices
+  // the route taken.
+  std::uint64_t k = 0;
+  for (SimTime t = 0; t < p.horizon; t += p.pull_period, ++k) {
+    const std::size_t n = k % clients.size();
+    q.schedule_at(t, [&, n] {
+      const SimTime start = q.now();
+      const auto r =
+          clients[n]->pull_with_fallback(start, proxy, reg, ref, nullptr);
+      if (!r.ok()) {
+        ++out.failures;
+        return;
+      }
+      const SimTime latency = r.value().done - start;
+      ++out.pulls;
+      out.pull_total += latency;
+      out.checksum = fold(out.checksum, static_cast<std::uint64_t>(latency));
+    });
+  }
+
+  // Lazy scan: in file order, offset half a period from the pulls —
+  // overwhelmingly sequential block touches, what the prefetch policy
+  // is meant to notice.
+  k = 0;
+  for (SimTime t = p.pull_period / 2; t < p.horizon; t += p.pull_period, ++k) {
+    const std::size_t f = k % files.size();
+    q.schedule_at(t, [&, f] {
+      Bytes content;
+      const auto r = mount->read_file(q.now(), files[f], &content);
+      if (!r.ok()) {
+        ++out.failures;
+        return;
+      }
+      const SimTime latency = r.value() - q.now();
+      ++out.reads;
+      out.read_total += latency;
+      out.checksum = fold(out.checksum, static_cast<std::uint64_t>(latency));
+    });
+  }
+
+  if (arm.controller || arm.attach_off) {
+    ctrl.add_policy(std::make_unique<control::RoutingPolicy>(
+        [&] {
+          std::vector<registry::RegistryClient*> ptrs;
+          for (auto& c : clients) ptrs.push_back(c.get());
+          return ptrs;
+        }()));
+    ctrl.add_policy(
+        std::make_unique<control::PrefetchPolicy>(tuning, p.max_depth));
+    ctrl.start(q, p.horizon);  // disabled config: schedules nothing
+  }
+
+  q.run();
+
+  out.decisions = ctrl.decisions_json();
+  out.decision_count = ctrl.decisions().size();
+  for (const auto& d : ctrl.decisions())
+    if (d.policy == "routing") ++out.route_flips;
+  out.final_depth = tuning != nullptr ? tuning->prefetch_depth() : arm.depth;
+  out.origin_first_at_end =
+      clients[0]->route_preference() ==
+      registry::RegistryClient::RoutePreference::kOriginFirst;
+  if (want_metrics_json && arm.controller)
+    out.metrics_json = obs::metrics().snapshot().to_json(2);
+  obs::reset();
+  out.wall_ms = elapsed_ms(t0);
+  return out;
+}
+
+void report(const ArmResult& r) {
+  std::printf(
+      "  %-18s pulls %3llu  mean pull %9.3f ms  mean read %8.3f ms  "
+      "decisions %2llu  depth %u  route %s  [%.0f ms wall]\n",
+      r.name.c_str(), static_cast<unsigned long long>(r.pulls),
+      r.pull_mean_ms(), r.read_mean_ms(),
+      static_cast<unsigned long long>(r.decision_count), r.final_depth,
+      r.origin_first_at_end ? "origin-first" : "proxy-first", r.wall_ms);
+}
+
+void write_arm(hpcc::bench::JsonWriter& js, const ArmResult& r) {
+  js.begin_object()
+      .field("name", r.name)
+      .field("pulls", r.pulls)
+      .field("reads", r.reads)
+      .field("failures", r.failures)
+      .field("mean_pull_ms", r.pull_mean_ms())
+      .field("mean_read_ms", r.read_mean_ms())
+      .field("checksum", std::to_string(r.checksum))
+      .field("decisions", r.decision_count)
+      .field("route_flips", r.route_flips)
+      .field("final_depth", r.final_depth)
+      .field("origin_first_at_end", r.origin_first_at_end)
+      .field("wall_ms", r.wall_ms)
+      .end();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ControlParams params;
+  std::string json_path;
+  double min_win = 1.3;     // static-worst mean / closed-loop mean
+  double max_regret = 1.1;  // closed-loop mean vs static-best mean
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      params = ControlParams::quick();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-win") == 0 && i + 1 < argc) {
+      min_win = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-regret") == 0 && i + 1 < argc) {
+      max_regret = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--min-win X] "
+                   "[--max-regret X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  hpcc::LogSink::instance().set_print(false);
+
+  std::printf("bench_adaptive_control: horizon %llds, brownout from %llds, "
+              "epoch %lld ms\n",
+              static_cast<long long>(params.horizon / 1000000),
+              static_cast<long long>(params.brownout_from() / 1000000),
+              static_cast<long long>(params.epoch / 1000));
+
+  using Route = hpcc::registry::RegistryClient::RoutePreference;
+  const bool want_json = !json_path.empty();
+  const auto closed = run_arm(
+      {"closed-loop", true, false, Route::kProxyFirst, 0}, params, want_json);
+  std::vector<ArmResult> statics;
+  statics.push_back(run_arm(
+      {"static-proxy-d0", false, false, Route::kProxyFirst, 0}, params, false));
+  statics.push_back(run_arm(
+      {"static-proxy-d8", false, false, Route::kProxyFirst, 8}, params, false));
+  statics.push_back(run_arm({"static-origin-d0", false, false,
+                             Route::kOriginFirst, 0}, params, false));
+  statics.push_back(run_arm({"static-origin-d8", false, false,
+                             Route::kOriginFirst, 8}, params, false));
+  const auto off = run_arm(
+      {"controller-off", false, true, Route::kProxyFirst, 0}, params, false);
+  const auto rerun = run_arm(
+      {"closed-loop", true, false, Route::kProxyFirst, 0}, params, false);
+
+  report(closed);
+  for (const auto& s : statics) report(s);
+  report(off);
+
+  const auto best = *std::min_element(
+      statics.begin(), statics.end(), [](const auto& a, const auto& b) {
+        return a.pull_mean_ms() < b.pull_mean_ms();
+      });
+  const auto worst = *std::max_element(
+      statics.begin(), statics.end(), [](const auto& a, const auto& b) {
+        return a.pull_mean_ms() < b.pull_mean_ms();
+      });
+  const double win = worst.pull_mean_ms() / closed.pull_mean_ms();
+  const double regret = closed.pull_mean_ms() / best.pull_mean_ms();
+  std::printf("  static best %s (%.3f ms), worst %s (%.3f ms): "
+              "win %.2fx, regret %.3fx\n",
+              best.name.c_str(), best.pull_mean_ms(), worst.name.c_str(),
+              worst.pull_mean_ms(), win, regret);
+
+  bool ok = true;
+  auto gate = [&ok](bool cond, const std::string& what) {
+    if (!cond) {
+      std::printf("GATE FAILED: %s\n", what.c_str());
+      ok = false;
+    }
+  };
+  std::uint64_t failures = closed.failures + off.failures + rerun.failures;
+  for (const auto& s : statics) failures += s.failures;
+  gate(failures == 0, "some arm failed an operation");
+  gate(win >= min_win,
+       "closed loop does not beat the worst static by " +
+           std::to_string(min_win) + "x");
+  gate(regret <= max_regret,
+       "closed loop misses the static oracle by more than " +
+           std::to_string(max_regret) + "x");
+  gate(closed.route_flips >= 1 && closed.origin_first_at_end,
+       "routing policy never steered away from the degraded proxy");
+  gate(closed.final_depth > 0,
+       "prefetch policy never raised the depth on a sequential scan");
+  gate(off.same_simulation(statics[0]),
+       "controller-off arm is not byte-identical to the static it shadows");
+  gate(rerun.same_simulation(closed) && rerun.decisions == closed.decisions,
+       "same-seed rerun does not reproduce the run and its decision log");
+  if (ok) std::printf("all gates passed\n");
+
+  if (want_json) {
+    hpcc::bench::JsonWriter js;
+    js.field("bench", "adaptive_control")
+        .field("horizon_s", params.horizon / 1000000.0)
+        .field("epoch_ms", params.epoch / 1000.0)
+        .field("win_over_static_worst", win)
+        .field("regret_vs_static_best", regret)
+        .field("static_best", best.name)
+        .field("static_worst", worst.name)
+        .field("gates_passed", ok);
+    js.begin_array("arms");
+    write_arm(js, closed);
+    for (const auto& s : statics) write_arm(js, s);
+    write_arm(js, off);
+    js.end();
+    js.raw("decision_log", closed.decisions.empty() ? "[]" : closed.decisions);
+    if (!closed.metrics_json.empty()) js.raw("metrics", closed.metrics_json);
+    if (!js.write_file(json_path)) ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 
 #include "adaptive/containerize.h"
 #include "adaptive/requirements.h"
+#include "control/control.h"
 #include "engine/engine.h"
 #include "fault/resilience.h"
 #include "fault/retry.h"
@@ -109,6 +110,12 @@ struct AuditInput {
   /// Histogram declarations the run will register — drives OBS002
   /// (bucket bounds must be strictly increasing).
   std::vector<obs::HistogramSpec> histograms;
+
+  /// The closed-loop control-plane configuration (DESIGN.md §15) —
+  /// drives CTRL001 (controller on but metrics gate off: sensors dark)
+  /// and CTRL002 (control epoch shorter than the retry backoff cap:
+  /// control thrash). nullopt = no controller in the picture.
+  std::optional<control::Config> control_plane;
 };
 
 /// A machine-applicable remediation: mutates the offending AuditInput so

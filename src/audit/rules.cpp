@@ -773,6 +773,55 @@ void obs002(const AuditInput& in, std::vector<Finding>& out) {
   }
 }
 
+void ctrl001(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.control_plane || !in.control_plane->enabled) return;
+  if (in.obs && in.obs->metrics) return;
+  Finding f;
+  f.rule = "CTRL001";
+  f.object = "control plane (controller enabled, metrics gate off)";
+  f.message =
+      "the closed-loop controller is enabled but the obs metrics gate is "
+      "off: every policy that senses through obs (prefetch pattern "
+      "counters, health gauges) reads an empty snapshot each epoch and "
+      "holds forever — the control loop runs with dark sensors, paying "
+      "epoch overhead while adapting nothing. Enable metrics "
+      "(HPCC_METRICS / obs::Config::metrics) so the policies can see";
+  f.paper_ref = "§5 / §7";
+  f.fix_hint = "enable the obs metrics plane (the controller's sensors)";
+  f.fix = [](AuditInput& in2) {
+    if (!in2.obs) in2.obs.emplace();
+    in2.obs->metrics = true;
+  };
+  out.push_back(std::move(f));
+}
+
+void ctrl002(const AuditInput& in, std::vector<Finding>& out) {
+  if (!in.control_plane || !in.control_plane->enabled) return;
+  if (!in.registry_retry || in.registry_retry->max_backoff <= 0) return;
+  if (in.control_plane->epoch >= in.registry_retry->max_backoff) return;
+  Finding f;
+  f.rule = "CTRL002";
+  f.object = "control plane (epoch " +
+             std::to_string(in.control_plane->epoch) + "us < backoff cap " +
+             std::to_string(in.registry_retry->max_backoff) + "us)";
+  f.message =
+      "the control epoch is shorter than the retry layer's backoff cap: "
+      "the controller re-evaluates while the retry layer is still "
+      "absorbing the same transient, so one blip reads as several epochs "
+      "of degraded sensors and the policies chase it — classic control "
+      "thrash where two loops fight over one disturbance. The outer "
+      "(adaptation) loop must run slower than the inner (retry) loop";
+  f.paper_ref = "§5.1.3";
+  f.fix_hint =
+      "raise the control epoch (HPCC_CONTROL_EPOCH_MS) to at least the "
+      "retry backoff cap";
+  f.fix = [](AuditInput& in2) {
+    if (in2.control_plane && in2.registry_retry)
+      in2.control_plane->epoch = in2.registry_retry->max_backoff;
+  };
+  out.push_back(std::move(f));
+}
+
 void adapt002(const AuditInput& in, std::vector<Finding>& out) {
   if (!in.plan || !in.plan->prefetch_node_local) return;
   if (!in.site || in.site->node_local_storage) return;
@@ -940,6 +989,12 @@ RuleRegistry RuleRegistry::builtin() {
   add("OBS002", Severity::kWarn,
       "histogram bucket bounds not monotonically increasing", "§3.2",
       obs002);
+  add("CTRL001", Severity::kWarn,
+      "closed-loop controller enabled but metrics gate off (sensors dark)",
+      "§5 / §7", ctrl001);
+  add("CTRL002", Severity::kWarn,
+      "control epoch shorter than the retry backoff cap (control thrash)",
+      "§5.1.3", ctrl002);
   add("ADAPT001", Severity::kError,
       "adaptive plan mount inadmissible under the mount policy", "§4.1.2",
       adapt001);

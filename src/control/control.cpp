@@ -1,0 +1,39 @@
+#include "control/control.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/env.h"
+
+namespace hpcc::control {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+Config g_config;
+}  // namespace
+
+Config Config::from_env() { return from_env(Config{}); }
+
+Config Config::from_env(Config fallback) {
+  const char* p = std::getenv("HPCC_CONTROL");
+  if (p == nullptr || *p == '\0') return fallback;
+  Config cfg;
+  cfg.enabled = std::strcmp(p, "0") != 0;
+  cfg.epoch = static_cast<SimDuration>(
+      msec(util::env_uint("HPCC_CONTROL_EPOCH_MS", 500, 1, 3'600'000)));
+  return cfg;
+}
+
+void configure(const Config& cfg) {
+  g_config = cfg;
+  detail::g_enabled.store(cfg.enabled, std::memory_order_relaxed);
+}
+
+const Config& config() { return g_config; }
+
+void reset() { configure(Config{}); }
+
+}  // namespace hpcc::control

@@ -1,0 +1,150 @@
+#include "control/controller.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace hpcc::control {
+
+// ---------------------------------------------------------------------------
+// StepGuard
+// ---------------------------------------------------------------------------
+
+std::optional<double> StepGuard::step(double current, double target) {
+  double err = target - current;
+  if (std::fabs(err) <= cfg_.deadband) {
+    // Inside the deadband: hold, and forget any pending direction so a
+    // signal dithering across the band edge never accumulates a streak.
+    dir_ = 0;
+    streak_ = 0;
+    return std::nullopt;
+  }
+  const int dir = err > 0 ? 1 : -1;
+  if (dir != dir_) {
+    dir_ = dir;
+    streak_ = 0;
+  }
+  ++streak_;
+  if (streak_ < cfg_.hysteresis_epochs) return std::nullopt;
+  if (cfg_.max_step > 0.0) {
+    if (err > cfg_.max_step) err = cfg_.max_step;
+    if (err < -cfg_.max_step) err = -cfg_.max_step;
+  }
+  double next = current + err;
+  if (next < cfg_.min_value) next = cfg_.min_value;
+  if (next > cfg_.max_value) next = cfg_.max_value;
+  if (next == current) return std::nullopt;
+  return next;
+}
+
+void StepGuard::reset() {
+  dir_ = 0;
+  streak_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaTracker
+// ---------------------------------------------------------------------------
+
+std::uint64_t DeltaTracker::delta(const obs::MetricsSnapshot& snap,
+                                  const std::string& name) {
+  std::uint64_t cur = 0;
+  if (auto it = snap.counters.find(name); it != snap.counters.end())
+    cur = it->second;
+  auto [slot, inserted] = last_.try_emplace(name, 0);
+  const std::uint64_t prev = slot->second;
+  slot->second = cur;
+  return cur >= prev ? cur - prev : cur;
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+std::string fmt_setting(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Controller::add_policy(std::unique_ptr<Policy> policy) {
+  policies_.push_back(std::move(policy));
+}
+
+void Controller::start(sim::EventQueue& q, SimTime until) {
+  if (!cfg_.enabled) return;
+  q.schedule_after(cfg_.epoch, [this, q = &q, until] { tick(q, until); });
+}
+
+void Controller::tick(sim::EventQueue* q, SimTime until) {
+  run_epoch(q->now());
+  if (q->now() <= until && until - q->now() >= cfg_.epoch)
+    q->schedule_after(cfg_.epoch, [this, q, until] { tick(q, until); });
+}
+
+void Controller::run_epoch(SimTime now) {
+  ++epochs_;
+  obs::count("control.epochs");
+  for (auto& policy : policies_) {
+    EpochContext ctx;
+    ctx.now = now;
+    ctx.epoch = epochs_;
+    obs::MetricsSnapshot subset;
+    const std::string_view prefix = policy->sensor_prefix();
+    if (!prefix.empty() && obs::metrics_enabled())
+      subset = obs::metrics().snapshot_subset(prefix);
+    ctx.sensors = &subset;
+    auto proposal = policy->evaluate(ctx);
+    if (!proposal) {
+      obs::count("control.holds");
+      continue;
+    }
+    policy->actuate(*proposal);
+    obs::count("control.decisions");
+    ControlDecision d;
+    d.epoch = epochs_;
+    d.at = now;
+    d.policy = std::string(policy->name());
+    d.sensors = std::move(proposal->sensors);
+    d.old_setting = proposal->old_setting;
+    d.new_setting = proposal->new_setting;
+    d.rationale = std::move(proposal->rationale);
+    decisions_.push_back(std::move(d));
+  }
+}
+
+std::string Controller::decisions_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "[";
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    const ControlDecision& d = decisions_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += pad + "  {\"epoch\": " + std::to_string(d.epoch) +
+           ", \"at\": " + std::to_string(d.at) + ", \"policy\": \"" +
+           json_escape(d.policy) + "\", \"old\": " + fmt_setting(d.old_setting) +
+           ", \"new\": " + fmt_setting(d.new_setting) + ", \"sensors\": \"" +
+           json_escape(d.sensors) + "\", \"rationale\": \"" +
+           json_escape(d.rationale) + "\"}";
+  }
+  if (!decisions_.empty()) out += "\n" + pad;
+  out += "]";
+  return out;
+}
+
+}  // namespace hpcc::control

@@ -1,0 +1,186 @@
+// hpcc/control/policies.h
+//
+// The four built-in control policies (DESIGN.md §15) — one knob each,
+// all steered from signals the tree already produces:
+//
+//  * PrefetchPolicy    — tunes the lazy mount's prefetch depth from the
+//                        observed access pattern (sequential vs random
+//                        first-touch order) and fault-shed pressure,
+//                        through a shared LazyTuning handle;
+//  * TierSizingPolicy  — rebalances capacity between two cache tiers of
+//                        a CacheHierarchy from per-tier eviction
+//                        pressure, under a fixed total byte budget;
+//  * RoutingPolicy     — steers RegistryClient route preference
+//                        (proxy-first vs origin-first) from the primary
+//                        proxy's HealthTracker EWMAs and breaker state,
+//                        *ahead* of the breaker tripping;
+//  * EngineSelectPolicy— re-scores the adaptive::DecisionEngine's
+//                        engine ranking per workload class from
+//                        observed pod/container start latencies.
+//
+// Each policy runs its target through a StepGuard (deadband, hysteresis,
+// bounded step — controller.h), so no sensor spike can slam a knob and
+// no boundary-sitting signal can oscillate one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/decision.h"
+#include "control/controller.h"
+#include "engine/engine.h"
+#include "registry/client.h"
+#include "registry/lazy.h"
+#include "storage/cache_hierarchy.h"
+
+namespace hpcc::control {
+
+// ---------------------------------------------------------------------------
+// PrefetchPolicy
+// ---------------------------------------------------------------------------
+
+class PrefetchPolicy final : public Policy {
+ public:
+  /// Steers `tuning` (shared with one or more lazy mounts) in
+  /// [0, max_depth]. The default guard reacts after 2 consecutive
+  /// epochs, moves at most 4 blocks per epoch, and holds targets within
+  /// half a block of the current depth.
+  PrefetchPolicy(std::shared_ptr<registry::LazyTuning> tuning,
+                 unsigned max_depth = 16);
+  PrefetchPolicy(std::shared_ptr<registry::LazyTuning> tuning,
+                 unsigned max_depth, GuardConfig guard);
+
+  std::string_view name() const override { return "prefetch"; }
+  std::string_view sensor_prefix() const override { return "lazy."; }
+
+  std::optional<Proposal> evaluate(const EpochContext& ctx) override;
+  void actuate(const Proposal& p) override;
+
+ private:
+  std::shared_ptr<registry::LazyTuning> tuning_;
+  unsigned max_depth_;
+  StepGuard guard_;
+  DeltaTracker deltas_;
+};
+
+// ---------------------------------------------------------------------------
+// TierSizingPolicy
+// ---------------------------------------------------------------------------
+
+class TierSizingPolicy final : public Policy {
+ public:
+  /// Rebalances capacity between `upper` and `lower` cache tiers of
+  /// `chain`. The total budget is the sum of both capacities at
+  /// construction; the setting is the upper tier's share of it. The
+  /// guard's min/max clamp keeps both tiers alive (no tier ever drops
+  /// below 10% of the budget by default).
+  TierSizingPolicy(storage::CacheHierarchy* chain, std::size_t upper,
+                   std::size_t lower);
+  TierSizingPolicy(storage::CacheHierarchy* chain, std::size_t upper,
+                   std::size_t lower, GuardConfig guard);
+
+  std::string_view name() const override { return "tier-sizing"; }
+
+  std::optional<Proposal> evaluate(const EpochContext& ctx) override;
+  void actuate(const Proposal& p) override;
+
+  std::uint64_t budget_bytes() const { return budget_; }
+  double upper_share() const { return share_; }
+
+ private:
+  storage::CacheHierarchy* chain_;
+  std::size_t upper_;
+  std::size_t lower_;
+  std::uint64_t budget_ = 0;
+  double share_ = 0.5;
+  StepGuard guard_;
+  storage::TierStats last_upper_;
+  storage::TierStats last_lower_;
+};
+
+// ---------------------------------------------------------------------------
+// RoutingPolicy
+// ---------------------------------------------------------------------------
+
+struct RoutingConfig {
+  /// Switch to origin-first when the proxy latency EWMA exceeds
+  /// degrade_factor × the best EWMA this policy has observed.
+  double degrade_factor = 3.0;
+  /// ...or when the proxy error-rate EWMA exceeds this.
+  double max_error_rate = 0.5;
+  /// Return to proxy-first once the EWMA recovers under
+  /// recover_factor × baseline (needs fresh proxy samples — the
+  /// preference is sticky while the proxy goes unexercised).
+  double recover_factor = 1.5;
+};
+
+class RoutingPolicy final : public Policy {
+ public:
+  /// Steers every client in `clients` together (one site = one route
+  /// decision). The setting is binary: 0 = proxy-first, 1 =
+  /// origin-first; the default guard needs the flip direction to hold
+  /// for 2 consecutive epochs.
+  explicit RoutingPolicy(std::vector<registry::RegistryClient*> clients,
+                         RoutingConfig cfg = {});
+  RoutingPolicy(std::vector<registry::RegistryClient*> clients,
+                RoutingConfig cfg, GuardConfig guard);
+
+  std::string_view name() const override { return "routing"; }
+  std::string_view sensor_prefix() const override { return "fault.health."; }
+
+  std::optional<Proposal> evaluate(const EpochContext& ctx) override;
+  void actuate(const Proposal& p) override;
+
+  /// The best (lowest) mean proxy latency EWMA observed so far — the
+  /// healthy-proxy baseline the degrade threshold is relative to.
+  double baseline_latency_us() const { return baseline_; }
+
+ private:
+  std::vector<registry::RegistryClient*> clients_;
+  RoutingConfig cfg_;
+  StepGuard guard_;
+  double baseline_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// EngineSelectPolicy
+// ---------------------------------------------------------------------------
+
+class EngineSelectPolicy final : public Policy {
+ public:
+  /// Re-ranks `candidates` for one workload class. The harness feeds
+  /// observe() with measured start latencies; once every candidate has
+  /// samples, each epoch re-scores via DecisionEngine::rescore_engines
+  /// and switches selected() only after the same winner persists for
+  /// `hysteresis_epochs` consecutive epochs.
+  EngineSelectPolicy(const adaptive::DecisionEngine* engine,
+                     std::string workload_class,
+                     std::vector<engine::EngineKind> candidates,
+                     double blend = 0.5, unsigned hysteresis_epochs = 2);
+
+  std::string_view name() const override { return name_; }
+
+  /// One observed start latency for `kind` (EWMA, alpha 0.3).
+  void observe(engine::EngineKind kind, SimDuration start_latency);
+
+  std::optional<Proposal> evaluate(const EpochContext& ctx) override;
+  void actuate(const Proposal& p) override;
+
+  engine::EngineKind selected() const { return candidates_[selected_]; }
+
+ private:
+  const adaptive::DecisionEngine* engine_;
+  std::string name_;
+  std::vector<engine::EngineKind> candidates_;
+  std::vector<double> latency_ewma_;
+  std::vector<std::uint64_t> samples_;
+  double blend_;
+  unsigned hysteresis_epochs_;
+  std::size_t selected_ = 0;
+  std::size_t pending_ = 0;
+  unsigned streak_ = 0;
+};
+
+}  // namespace hpcc::control

@@ -45,6 +45,21 @@ void HealthTracker::record_failure(SimTime now) {
   error_ewma_ += cfg_.alpha * (1.0 - error_ewma_);
 }
 
+void HealthTracker::publish(std::string_view prefix) const {
+  if (!obs::metrics_enabled()) return;
+  const std::string base(prefix);
+  obs::metrics().gauge(base + ".latency_us").set(latency_ewma());
+  obs::metrics()
+      .gauge(base + ".error_bp")
+      .set(static_cast<std::int64_t>(error_ewma_ * 10000.0));
+  obs::metrics()
+      .gauge(base + ".successes")
+      .set(static_cast<std::int64_t>(successes_));
+  obs::metrics()
+      .gauge(base + ".failures")
+      .set(static_cast<std::int64_t>(failures_));
+}
+
 SimDuration HealthTracker::latency_percentile(double p) const {
   if (successes_ == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);
@@ -164,6 +179,15 @@ void CircuitBreaker::transition(BreakerState next, SimTime now) {
       break;
   }
   publish(now);
+}
+
+void CircuitBreaker::publish_health() const {
+  if (!obs::metrics_enabled()) return;
+  const std::string suffix = endpoint_.empty() ? "?" : endpoint_;
+  obs::metrics()
+      .gauge("fault.breaker.state:" + suffix)
+      .set(static_cast<std::int64_t>(state_));
+  health_.publish("fault.health." + suffix);
 }
 
 void CircuitBreaker::publish(SimTime now) {

@@ -82,6 +82,12 @@ class HealthTracker {
   std::uint64_t samples() const { return successes_ + failures_; }
   SimTime last_sample_at() const { return last_sample_at_; }
 
+  /// Exports the tracker's state as obs gauges under `prefix`
+  /// (<prefix>.latency_us, .error_bp, .successes, .failures) — the
+  /// on-demand health export the control plane reads per epoch via
+  /// obs::Registry::snapshot_subset. No-op when metrics are off.
+  void publish(std::string_view prefix) const;
+
  private:
   // Power-of-two latency buckets: bucket k counts successes with
   // latency in [2^k, 2^(k+1)) microseconds (bucket 0 includes 0).
@@ -159,6 +165,10 @@ class CircuitBreaker {
   BreakerState state() const { return state_; }
 
   const HealthTracker& health() const { return health_; }
+  /// On-demand re-publish of the breaker's state + health gauges (the
+  /// transition-driven publish only fires when state changes; a control
+  /// epoch wants fresh EWMAs even on a quiet breaker).
+  void publish_health() const;
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t trips() const { return trips_; }
   SimTime opened_at() const { return opened_at_; }

@@ -112,6 +112,34 @@ MetricsSnapshot Registry::snapshot() const {
   return snap;
 }
 
+MetricsSnapshot Registry::snapshot_subset(std::string_view prefix) const {
+  MetricsSnapshot snap;
+  dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
+  if (dcheck::enabled())
+    dcheck::access_read(&counters_, "obs.registry.counters");
+  const auto walk = [&prefix](const auto& src, auto fill) {
+    for (auto it = src.lower_bound(prefix); it != src.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      fill(it->first, *it->second);
+    }
+  };
+  walk(counters_, [&](const std::string& name, const Counter& c) {
+    snap.counters[name] = c.value();
+  });
+  walk(gauges_, [&](const std::string& name, const Gauge& g) {
+    snap.gauges[name] = g.value();
+  });
+  walk(histograms_, [&](const std::string& name, const Histogram& h) {
+    MetricsSnapshot::HistogramView view;
+    view.bounds = h.bounds();
+    view.counts = h.bucket_counts();
+    view.count = h.count();
+    view.sum = h.sum();
+    snap.histograms[name] = std::move(view);
+  });
+  return snap;
+}
+
 void Registry::clear() {
   dcheck::AnnotatedLock lock(mu_, "obs.registry.mu");
   if (dcheck::enabled())

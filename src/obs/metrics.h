@@ -136,6 +136,13 @@ class Registry {
   Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds);
 
   MetricsSnapshot snapshot() const;
+  /// Snapshot restricted to metrics whose name starts with `prefix` —
+  /// what a control policy materializes once per epoch to read only its
+  /// own sensor family ("lazy.", "fault.health.") instead of the whole
+  /// registry. Same determinism contract as snapshot(). The maps are
+  /// name-sorted, so the walk visits exactly the contiguous prefix
+  /// range: lower_bound(prefix) up to the first non-matching name.
+  MetricsSnapshot snapshot_subset(std::string_view prefix) const;
   void clear();
 
  private:

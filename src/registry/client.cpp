@@ -388,10 +388,18 @@ Result<PullResult> RegistryClient::pull_with_fallback(
     PullThroughProxy* secondary) {
   SimTime t = now;
 
-  // Leg 1: the primary site proxy, hedged against the secondary. An
-  // open breaker skips the leg without charging any simulated time —
-  // avoiding a known-dead endpoint is free.
-  if (breaker_primary_.allow(t)) {
+  // Leg bodies shared by both route orders. Each returns a final result
+  // (success, or an error that must surface to the caller) or nullopt
+  // meaning "this leg is down — fall through to the next one", with `t`
+  // advanced to the sim time the attempt was abandoned. An open breaker
+  // skips its leg without charging any simulated time — avoiding a
+  // known-dead endpoint is free.
+  const auto primary_leg = [&]() -> std::optional<Result<PullResult>> {
+    // The primary site proxy, hedged against the secondary.
+    if (!breaker_primary_.allow(t)) {
+      ++breaker_skips_;
+      return std::nullopt;
+    }
     auto via = hedged_proxy_pull(t, proxy, secondary, ref, local);
     if (via.ok()) {
       breaker_primary_.on_success(via.value().done, via.value().done - t);
@@ -402,43 +410,72 @@ Result<PullResult> RegistryClient::pull_with_fallback(
     if (via.error().code() != ErrorCode::kUnavailable) return via;
     breaker_primary_.on_failure(last_failed_at_);
     t = std::max(t, last_failed_at_);
-  } else {
-    ++breaker_skips_;
-  }
+    return std::nullopt;
+  };
 
-  // Leg 2: the secondary site proxy, when the site has one.
-  if (secondary != nullptr) {
-    if (breaker_secondary_.allow(t)) {
-      auto via = pull_via_proxy(t, *secondary, ref, local);
-      if (via.ok()) {
-        breaker_secondary_.on_success(via.value().done, via.value().done - t);
-        return via;
-      }
-      if (via.error().code() != ErrorCode::kUnavailable) return via;
-      breaker_secondary_.on_failure(last_failed_at_);
-      t = std::max(t, last_failed_at_);
-    } else {
+  const auto secondary_leg = [&]() -> std::optional<Result<PullResult>> {
+    if (!breaker_secondary_.allow(t)) {
       ++breaker_skips_;
+      return std::nullopt;
     }
-  }
+    auto via = pull_via_proxy(t, *secondary, ref, local);
+    if (via.ok()) {
+      breaker_secondary_.on_success(via.value().done, via.value().done - t);
+      return via;
+    }
+    if (via.error().code() != ErrorCode::kUnavailable) return via;
+    breaker_secondary_.on_failure(last_failed_at_);
+    t = std::max(t, last_failed_at_);
+    return std::nullopt;
+  };
 
-  // Leg 3: degrade gracefully with a direct pull from the origin
-  // registry, picking up at the sim time the proxy legs were abandoned.
-  ++proxy_fallbacks_;
-  obs::count("registry.proxy_fallbacks");
-  if (!breaker_origin_.allow(t)) {
-    ++breaker_skips_;
-    return err_unavailable("all pull legs rejected by open circuit breakers");
-  }
-  auto direct = pull(t, origin, ref, local);
-  if (!direct.ok()) {
+  const auto origin_leg = [&](bool last) -> std::optional<Result<PullResult>> {
+    if (!breaker_origin_.allow(t)) {
+      ++breaker_skips_;
+      if (last)
+        return Result<PullResult>(
+            err_unavailable("all pull legs rejected by open circuit breakers"));
+      return std::nullopt;
+    }
+    auto direct = pull(t, origin, ref, local);
+    if (direct.ok()) {
+      breaker_origin_.on_success(direct.value().done, direct.value().done - t);
+      return direct;
+    }
     const auto code = direct.error().code();
     if (code == ErrorCode::kUnavailable || code == ErrorCode::kResourceExhausted)
       breaker_origin_.on_failure(std::max(t, last_failed_at_));
-    return direct.error().wrap("direct pull after proxy fallback");
+    if (last)
+      return Result<PullResult>(
+          direct.error().wrap("direct pull after proxy fallback"));
+    // Mid-order (origin-first), unavailability and rate-limit fall back
+    // to the proxy legs; anything else surfaces unchanged.
+    if (code != ErrorCode::kUnavailable && code != ErrorCode::kResourceExhausted)
+      return direct;
+    t = std::max(t, last_failed_at_);
+    return std::nullopt;
+  };
+
+  if (route_pref_ == RoutePreference::kOriginFirst) {
+    // The control plane steered this client away from degraded proxies
+    // ahead of the breaker tripping (DESIGN.md §15).
+    obs::count("registry.origin_first_pulls");
+    if (auto r = origin_leg(/*last=*/false)) return *r;
+    if (auto r = primary_leg()) return *r;
+    if (secondary != nullptr)
+      if (auto r = secondary_leg()) return *r;
+    return err_unavailable("all pull legs failed or were rejected");
   }
-  breaker_origin_.on_success(direct.value().done, direct.value().done - t);
-  return direct;
+
+  // Classic order: primary proxy → secondary proxy → degrade gracefully
+  // with a direct pull from the origin registry, picking up at the sim
+  // time the proxy legs were abandoned.
+  if (auto r = primary_leg()) return *r;
+  if (secondary != nullptr)
+    if (auto r = secondary_leg()) return *r;
+  ++proxy_fallbacks_;
+  obs::count("registry.proxy_fallbacks");
+  return *origin_leg(/*last=*/true);
 }
 
 Result<PushResult> RegistryClient::push(SimTime now, OciRegistry& reg,

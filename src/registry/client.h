@@ -95,6 +95,18 @@ class RegistryClient {
   void set_hedge_policy(const fault::HedgePolicy& policy) { hedge_ = policy; }
   const fault::HedgePolicy& hedge_policy() const { return hedge_; }
 
+  /// Which leg pull_with_fallback tries first. kProxyFirst (default) is
+  /// the classic site order: primary proxy (hedged) → secondary proxy →
+  /// origin. kOriginFirst — what the control plane's RoutingPolicy
+  /// installs when proxy health EWMAs degrade ahead of the breaker
+  /// tripping — tries the origin first and falls back to the proxy legs
+  /// on unavailability or rate-limit. The default keeps every pull
+  /// byte-identical to the preference-less client.
+  enum class RoutePreference : std::uint8_t { kProxyFirst = 0, kOriginFirst = 1 };
+
+  void set_route_preference(RoutePreference pref) { route_pref_ = pref; }
+  RoutePreference route_preference() const { return route_pref_; }
+
   const fault::CircuitBreaker& primary_breaker() const {
     return breaker_primary_;
   }
@@ -183,6 +195,7 @@ class RegistryClient {
   std::uint64_t proxy_fallbacks_ = 0;
   std::uint64_t auth_refreshes_ = 0;
 
+  RoutePreference route_pref_ = RoutePreference::kProxyFirst;
   fault::HedgePolicy hedge_;
   fault::CircuitBreaker breaker_primary_;
   fault::CircuitBreaker breaker_secondary_;

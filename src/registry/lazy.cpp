@@ -34,11 +34,11 @@ class LazyRootfs final : public runtime::MountedRootfs {
         [this](SimTime t, std::uint64_t bytes) { return fetch(t, bytes); }));
     chain->set_prefetch_pool(config_.prefetch_pool);
     path_ = storage::DataPath(std::move(chain), std::string());
-    if (config_.prefetch_depth > 0) {
+    if (prefetch_depth() > 0 || config_.tuning) {
       build_block_table();
       // Warm the head of the image while the container is still being
       // set up (overlap fetch with startup, §5.1).
-      schedule_prefetch(0, 0);
+      if (prefetch_depth() > 0) schedule_prefetch(0, 0);
     }
   }
 
@@ -91,6 +91,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
     HPCC_TRY(const auto blocks, squash_->file_blocks(path));
     fetch_error_.reset();
     obs::count("lazy.reads");
+    note_access_pattern(path, blocks.comp_lens.size());
     obs::SpanScope read_span;
     if (obs::tracing_enabled())
       read_span = obs::SpanScope(obs::Category::kVfs,
@@ -122,7 +123,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
       remaining -= unc;
     }
     read_span.end(t);
-    if (config_.prefetch_depth > 0) {
+    if (prefetch_depth() > 0) {
       auto it = file_start_.find(std::string(path));
       if (it != file_start_.end()) {
         schedule_prefetch(t, it->second + blocks.comp_lens.size());
@@ -172,8 +173,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
   /// read goes through the retry policy instead.
   void schedule_prefetch(SimTime now, std::size_t from) {
     const std::size_t to =
-        std::min<std::size_t>(from + config_.prefetch_depth,
-                              block_table_.size());
+        std::min<std::size_t>(from + prefetch_depth(), block_table_.size());
     for (std::size_t i = from; i < to; ++i) {
       const BlockEntry& e = block_table_[i];
       const std::string key =
@@ -192,6 +192,26 @@ class LazyRootfs final : public runtime::MountedRootfs {
                     squash_->block_size(),
            length = e.unc] { (void)squash->read_range(path, offset, length); });
     }
+  }
+
+  /// The live prefetch depth: the tuning handle (control-plane
+  /// actuator) wins over the static config when present.
+  unsigned prefetch_depth() const {
+    return config_.tuning ? config_.tuning->prefetch_depth()
+                          : config_.prefetch_depth;
+  }
+
+  /// Sequentiality sensor for the control plane's PrefetchPolicy: a
+  /// read whose first block continues where the previous read ended is
+  /// sequential in image layout order — the access pattern prefetch
+  /// pays off on. Pure counters; needs the block table.
+  void note_access_pattern(std::string_view path, std::size_t nblocks) {
+    if (file_start_.empty() || !obs::metrics_enabled()) return;
+    auto it = file_start_.find(std::string(path));
+    if (it == file_start_.end()) return;
+    obs::count(it->second == expected_next_block_ ? "lazy.read_sequential"
+                                                  : "lazy.read_random");
+    expected_next_block_ = it->second + nblocks;
   }
 
   std::uint64_t block_size() const { return squash_->block_size(); }
@@ -267,6 +287,7 @@ class LazyRootfs final : public runtime::MountedRootfs {
   storage::DataPath path_;
   std::vector<BlockEntry> block_table_;
   std::unordered_map<std::string, std::size_t> file_start_;
+  std::size_t expected_next_block_ = static_cast<std::size_t>(-1);
   std::uint64_t rnd_counter_ = 0;
   std::uint64_t seq_counter_ = 0;
   Rng jitter_rng_{0x5eedu};

@@ -24,6 +24,7 @@
 // functional read results are byte-identical with and without it.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "fault/fault.h"
@@ -48,6 +49,27 @@ Result<crypto::Digest> publish_lazy(OciRegistry& reg,
                                     const std::string& project,
                                     const vfs::SquashImage& squash);
 
+/// Live tuning handle shared between a lazy mount and the control
+/// plane's PrefetchPolicy (control/policies.h): the mount reads
+/// prefetch_depth() at every prefetch decision point, so the controller
+/// can steer aggressiveness online without remounting. Relaxed atomics —
+/// both sides live on the deterministic timed plane; the atomic only
+/// keeps the handle safe to read from instrumentation threads.
+class LazyTuning {
+ public:
+  explicit LazyTuning(unsigned depth = 0) : depth_(depth) {}
+
+  unsigned prefetch_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
+  void set_prefetch_depth(unsigned depth) {
+    depth_.store(depth, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<unsigned> depth_;
+};
+
 /// Move-only: the tier handles transfer into the mount's hierarchy.
 struct LazyMountConfig {
   OciRegistry* registry = nullptr;
@@ -66,6 +88,12 @@ struct LazyMountConfig {
   /// (0 = off). Closes the ROADMAP "async prefetch for lazy pulling"
   /// item when enabled.
   unsigned prefetch_depth = 0;
+  /// When set, overrides prefetch_depth per decision point with the
+  /// handle's live value (the control-plane actuator). A handle at
+  /// depth 0 keeps functional reads and timing byte-identical to a
+  /// handle-less mount — the block table is built eagerly (pure
+  /// functional-plane work) so a later depth raise can take effect.
+  std::shared_ptr<LazyTuning> tuning;
   /// Pool for prefetch decompression work; null = inline.
   util::ThreadPool* prefetch_pool = nullptr;
   /// Injector for the mount's own decisions (prefetch candidates that

@@ -39,6 +39,7 @@ class PageCacheTier : public ChunkSource {
                 std::uint64_t bytes) override;
   std::uint64_t admit(const std::string& key, std::uint64_t bytes) override;
   std::uint64_t capacity_bytes() const override;
+  bool set_capacity(std::uint64_t bytes) override;
 
  private:
   sim::PageCache* cache_;
@@ -67,6 +68,10 @@ class NodeLocalTier : public ChunkSource {
                 std::uint64_t bytes) override;
   std::uint64_t admit(const std::string& key, std::uint64_t bytes) override;
   std::uint64_t capacity_bytes() const override;
+  /// Cache mode only: resident tiers refuse (their capacity is the
+  /// device's). Shrinking evicts LRU entries and releases the freed
+  /// reservation back to the device.
+  bool set_capacity(std::uint64_t bytes) override;
   SimTime meta_op(SimTime now) override;
   SimTime stream_write(SimTime now, std::uint64_t bytes) override;
 

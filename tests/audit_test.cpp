@@ -524,6 +524,82 @@ TEST(AuditRules, Obs002EmptyBoundsFireWithoutFix) {
 }
 
 // ---------------------------------------------------------------------------
+// CTRL rules
+// ---------------------------------------------------------------------------
+
+TEST(AuditRules, Ctrl001ControllerOnWithDarkSensors) {
+  AuditInput pos = clean_input();
+  pos.control_plane = control::Config{};
+  pos.control_plane->enabled = true;  // controller on, no obs at all
+  AuditInput neg = pos;
+  neg.obs = obs::Config{};
+  neg.obs->metrics = true;  // the sensors are lit
+  expect_rule("CTRL001", pos, neg);
+}
+
+TEST(AuditRules, Ctrl001DoesNotFireWhenControllerOff) {
+  AuditInput in = clean_input();
+  in.control_plane = control::Config{};  // present but disabled
+  EXPECT_FALSE(audit(in).has("CTRL001"));
+  // Metrics off without any controller is nobody's business either.
+  AuditInput bare = clean_input();
+  bare.obs = obs::Config{};
+  EXPECT_FALSE(audit(bare).has("CTRL001"));
+}
+
+TEST(AuditRules, Ctrl002EpochFasterThanRetryBackoffCap) {
+  AuditInput pos = clean_input();
+  pos.obs = obs::Config{};
+  pos.obs->metrics = true;  // keep CTRL001 quiet: this is CTRL002's case
+  pos.control_plane = control::Config{};
+  pos.control_plane->enabled = true;
+  pos.control_plane->epoch = msec(100);
+  pos.has_registry_client = true;
+  fault::RetryPolicy retry = fault::RetryPolicy::standard(4);
+  retry.max_backoff = sec(2);  // the inner loop is slower than the outer
+  pos.registry_retry = retry;
+  AuditInput neg = pos;
+  neg.control_plane->epoch = sec(5);
+  expect_rule("CTRL002", pos, neg);
+}
+
+TEST(AuditRules, Ctrl002FixRaisesTheEpochToTheCap) {
+  AuditInput in = clean_input();
+  in.obs = obs::Config{};
+  in.obs->metrics = true;
+  in.control_plane = control::Config{};
+  in.control_plane->enabled = true;
+  in.control_plane->epoch = msec(50);
+  fault::RetryPolicy retry = fault::RetryPolicy::standard(4);
+  retry.max_backoff = sec(1);
+  in.registry_retry = retry;
+  const AuditReport report = audit(in);
+  ASSERT_TRUE(report.has("CTRL002"));
+  const Finding* f = report.find("CTRL002");
+  ASSERT_TRUE(f->has_fix());
+  f->fix(in);
+  EXPECT_EQ(in.control_plane->epoch, sec(1));
+  EXPECT_FALSE(audit(in).has("CTRL002"));
+}
+
+TEST(AuditRules, Ctrl002SilentWithoutRetryOrController) {
+  AuditInput no_retry = clean_input();
+  no_retry.obs = obs::Config{};
+  no_retry.obs->metrics = true;
+  no_retry.control_plane = control::Config{};
+  no_retry.control_plane->enabled = true;
+  no_retry.control_plane->epoch = usec(1);
+  EXPECT_FALSE(audit(no_retry).has("CTRL002"));  // no retry policy at all
+
+  AuditInput off = clean_input();
+  off.control_plane = control::Config{};  // disabled controller
+  fault::RetryPolicy retry = fault::RetryPolicy::standard(4);
+  retry.max_backoff = sec(10);
+  off.registry_retry = retry;
+  EXPECT_FALSE(audit(off).has("CTRL002"));
+}
+
+// ---------------------------------------------------------------------------
 // ADAPT rules
 // ---------------------------------------------------------------------------
 

@@ -108,6 +108,51 @@ TEST_F(ObsMetricsTest, SnapshotIsSortedAndDeterministic) {
   EXPECT_TRUE(reg.snapshot().empty());
 }
 
+TEST_F(ObsMetricsTest, SnapshotSubsetFiltersByPrefix) {
+  // The control plane's sensor read (control::Controller hands each
+  // policy only its own metric family): subset must carry exactly the
+  // prefixed names, across all three metric kinds.
+  obs::Registry reg;
+  reg.counter("lazy.read_sequential").add(7);
+  reg.counter("lazy.read_random").add(2);
+  reg.counter("registry.pulls").add(9);
+  reg.gauge("lazy.depth").set(4);
+  reg.gauge("fault.health.latency_us").set(1000);
+  reg.histogram("lazy.h", {10}).observe(5);
+  reg.histogram("other.h", {10}).observe(5);
+
+  const auto sub = reg.snapshot_subset("lazy.");
+  EXPECT_EQ(sub.counters.size(), 2u);
+  EXPECT_EQ(sub.counters.at("lazy.read_sequential"), 7u);
+  EXPECT_EQ(sub.counters.at("lazy.read_random"), 2u);
+  EXPECT_EQ(sub.gauges.size(), 1u);
+  EXPECT_EQ(sub.gauges.at("lazy.depth"), 4);
+  EXPECT_EQ(sub.histograms.size(), 1u);
+  EXPECT_EQ(sub.histograms.at("lazy.h").count, 1u);
+
+  // A subset is a restriction of the full snapshot, never a mutation.
+  const auto full = reg.snapshot();
+  EXPECT_EQ(full.counters.size(), 3u);
+  for (const auto& [name, value] : sub.counters)
+    EXPECT_EQ(full.counters.at(name), value);
+}
+
+TEST_F(ObsMetricsTest, SnapshotSubsetEdgeCases) {
+  obs::Registry reg;
+  reg.counter("a.x").add(1);
+  reg.gauge("b.y").set(2);
+  // No name under the prefix: an empty (but valid) snapshot.
+  EXPECT_TRUE(reg.snapshot_subset("zzz.").empty());
+  // The empty prefix matches everything — same view as snapshot().
+  const auto all = reg.snapshot_subset("");
+  EXPECT_EQ(all.counters.size(), 1u);
+  EXPECT_EQ(all.gauges.size(), 1u);
+  // Prefix selection is lexicographic on the full name, so "a." must
+  // not leak "a-other" style siblings.
+  reg.counter("a-sibling").add(5);
+  EXPECT_EQ(reg.snapshot_subset("a.").counters.size(), 1u);
+}
+
 // --------------------------------------------------------------- tracer
 
 using ObsTraceTest = ObsEnv;

@@ -8,6 +8,7 @@
 #   SKIP_TSAN=1 tools/ci.sh  # skip the ThreadSanitizer configuration
 #   SKIP_BENCH=1 tools/ci.sh # skip the bench smoke
 #   SKIP_CHAOS=1 tools/ci.sh # skip the chaos-fleet resilience gate
+#   SKIP_CONTROL=1 tools/ci.sh # skip the closed-loop control smoke
 #   SKIP_OBS=1 tools/ci.sh   # skip the observability trace validation
 #   SKIP_DCHECK=1 tools/ci.sh # skip the dcheck sweep/fixtures stage
 set -euo pipefail
@@ -54,10 +55,11 @@ if [[ "${SKIP_TSAN:-}" != "1" ]]; then
   echo "== build $tsan_dir (concurrency_test fault_test obs_test dcheck_test" \
        "resilience_test)"
   cmake --build "$tsan_dir" -j "$jobs" --target concurrency_test fault_test \
-    obs_test dcheck_test resilience_test
-  echo "== test $tsan_dir (ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil)"
+    obs_test dcheck_test resilience_test control_test
+  echo "== test $tsan_dir" \
+       "(ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil|Ctrl)"
   ctest --test-dir "$tsan_dir" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil'
+    -R 'ThreadPool|Concurrent|Pipeline|Fault|Obs|Dcheck|Resil|Ctrl'
 fi
 
 # Quick smoke of the sequential-vs-parallel pipeline bench, including
@@ -118,6 +120,23 @@ if [[ "${SKIP_CHAOS:-}" != "1" ]]; then
   HPCC_FAULT_SEED="${HPCC_FAULT_SEED:-805381}" \
     "$repo_root/build/bench/bench_chaos_fleet" --quick \
     --json "$repo_root/BENCH_chaos_fleet.json"
+fi
+
+# Closed-loop control smoke (ISSUE 10, DESIGN.md §15): the adaptive
+# controller against the static (route, prefetch-depth) grid on a
+# drifting workload whose best configuration changes mid-run. The
+# bench exits non-zero when the closed-loop arm fails to beat the
+# worst static by 1.3x mean pull latency, misses the static oracle by
+# more than 10%, never actuates, when the controller-off arm is not
+# byte-identical to the static it shadows, or when a same-seed rerun
+# diverges in simulation bytes or decision log. Summary committed at
+# BENCH_adaptive_control.json in the repo root, so control-plane
+# regressions show up in review.
+if [[ "${SKIP_CONTROL:-}" != "1" ]]; then
+  echo "== control smoke (bench_adaptive_control --quick, closed loop vs statics)"
+  cmake --build "$repo_root/build" -j "$jobs" --target bench_adaptive_control
+  "$repo_root/build/bench/bench_adaptive_control" --quick \
+    --json "$repo_root/BENCH_adaptive_control.json"
 fi
 
 # Observability smoke (DESIGN.md §10): run an instrumented scenario

@@ -31,6 +31,9 @@
 #include <vector>
 
 #include "audit/dcheck_bridge.h"
+#include "control/control.h"
+#include "control/controller.h"
+#include "control/policies.h"
 #include "fault/fault.h"
 #include "fault/resilience.h"
 #include "fault/retry.h"
@@ -39,7 +42,9 @@
 #include "dcheck/determinism.h"
 #include "image/build.h"
 #include "image/convert.h"
+#include "obs/obs.h"
 #include "registry/client.h"
+#include "registry/lazy.h"
 #include "registry/proxy.h"
 #include "registry/registry.h"
 #include "sim/event_queue.h"
@@ -397,6 +402,75 @@ std::string partition_flash_crowd_once() {
          " checksum=" + std::to_string(checksum);
 }
 
+/// Closed-loop control workload (DESIGN.md §15): a lazy mount with a
+/// live tuning handle, metrics sensing the first-touch pattern, and a
+/// controller raising the prefetch depth mid-run — so prefetch
+/// decompression lands on the instrumented pool *because* the control
+/// plane turned it on. The output folds the functional read bytes, the
+/// final depth and the decision log; all of it must be byte-identical
+/// under perturbed schedules.
+std::string control_loop_once(util::ThreadPool* pool) {
+  obs::Config ocfg;
+  ocfg.metrics = true;
+  obs::configure(ocfg);  // fresh sensor plane per run
+
+  Rng rng(11);
+  vfs::MemFs tree;
+  (void)tree.mkdir("/opt/data", {}, true);
+  for (int i = 0; i < 8; ++i)
+    (void)tree.write_file("/opt/data/f" + std::to_string(i),
+                          image::synthetic_file_content(rng, 256 << 10));
+  const auto squash = vfs::SquashImage::build(tree, 128 * 1024);
+
+  sim::Network net(4);
+  registry::OciRegistry reg("registry.site");
+  (void)reg.create_project("apps", "ci");
+  (void)registry::publish_lazy(reg, "ci", "apps", squash);
+
+  sim::PageCache pc;
+  registry::LazyMountConfig cfg;
+  cfg.registry = &reg;
+  cfg.network = &net;
+  cfg.node = 1;
+  cfg.cache = storage::page_cache_tier(pc);
+  cfg.over_wan = true;
+  auto tuning = std::make_shared<registry::LazyTuning>(0);
+  cfg.tuning = tuning;
+  cfg.prefetch_pool = pool;
+  auto mount = registry::make_lazy_rootfs(&squash, std::move(cfg));
+  if (!mount.ok()) return "mount-error:" + mount.error().to_string();
+
+  control::Config ccfg;
+  ccfg.enabled = true;
+  ccfg.epoch = msec(100);
+  control::Controller ctrl{ccfg};
+  ctrl.add_policy(
+      std::make_unique<control::PrefetchPolicy>(tuning, /*max_depth=*/8));
+
+  std::uint64_t checksum = 1469598103934665603ull;  // FNV offset basis
+  SimTime t = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Bytes out;
+      const auto r =
+          mount.value()->read_file(t, "/opt/data/f" + std::to_string(i), &out);
+      if (!r.ok()) return "read-error:" + r.error().to_string();
+      t = r.value();
+      for (unsigned char b : out) {
+        checksum ^= b;
+        checksum *= 1099511628211ull;
+      }
+    }
+    ctrl.run_epoch(t);
+  }
+  const std::string out = "depth=" + std::to_string(tuning->prefetch_depth()) +
+                          " done=" + std::to_string(t) +
+                          " checksum=" + std::to_string(checksum) +
+                          " decisions=" + ctrl.decisions_json();
+  obs::reset();
+  return out;
+}
+
 int report_and_exit(const Options& opts) {
   const audit::AuditReport report =
       audit::report_from_dcheck(dcheck::report());
@@ -455,6 +529,12 @@ int run_sweep(const Options& opts) {
   (void)dcheck::audit_determinism(
       "partition-flash-crowd", [] { return partition_flash_crowd_once(); },
       opts.seed);
+
+  // Control-plane workload (§15): the closed-loop controller steering a
+  // live lazy mount — its decision log, the steered prefetch schedule
+  // and the functional bytes must all be schedule-independent.
+  (void)dcheck::audit_determinism(
+      "control-loop", [&] { return control_loop_once(&pool); }, opts.seed);
 
   return report_and_exit(opts);
 }
